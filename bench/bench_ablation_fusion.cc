@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation (DESIGN.md): stacking the software optimizations of
+ * Sec. 6.1 — fused GeLU, fused Scale+Mask+DR+SM, fused DR+RC+LN,
+ * fused Q/K/V GEMM, and multi-tensor optimizer — on top of the
+ * baseline kernel mapping, for FP32 and mixed precision. Shows how
+ * much of BERT's memory-bound time software alone can recover, and
+ * that the optimizer's traffic is the piece fusion cannot touch
+ * (motivating the paper's NMC proposal).
+ */
+
+#include <cstdio>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+int
+main()
+{
+    Characterizer characterizer(mi100());
+
+    struct Step {
+        const char *label;
+        TraceOptions options;
+    };
+    std::vector<Step> steps;
+    TraceOptions opts;
+    steps.push_back({"baseline (paper's mapping)", opts});
+    opts.fuseGelu = true;
+    steps.push_back({"+ fused GeLU", opts});
+    opts.fuseScaleMaskDrSm = true;
+    steps.push_back({"+ fused Scale+Mask+DR+SM", opts});
+    opts.fuseDrRcLn = true;
+    steps.push_back({"+ fused DR+RC+LN", opts});
+    opts.fuseQkvGemm = true;
+    steps.push_back({"+ fused QKV GEMM", opts});
+    opts.optimizerFusion = OptimizerFusion::MultiTensor;
+    steps.push_back({"+ multi-tensor LAMB", opts});
+
+    for (Precision precision : {Precision::FP32, Precision::Mixed}) {
+        BertConfig config = withPhase1(bertLarge(), 32);
+        config.precision = precision;
+        Table table(std::string("Fusion stacking ablation (") +
+                    config.tag() + ")");
+        table.setHeader({"Variant", "Iter time", "Speedup vs base",
+                         "Kernels", "LAMB share", "GEMM share"});
+        double base_time = 0.0;
+        for (const auto &step : steps) {
+            const auto result = characterizer.run(config, step.options);
+            if (base_time == 0.0)
+                base_time = result.totalSeconds;
+            char speedup[32];
+            std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                          base_time / result.totalSeconds);
+            table.addRow({step.label,
+                          formatSeconds(result.totalSeconds), speedup,
+                          std::to_string(result.kernelCount),
+                          formatPercent(result.scopeShare("Optimizer")),
+                          formatPercent(result.gemmShare())});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf("Reading guide: fusing the EW groups buys the most in "
+                "MP (their share is larger, Takeaway 9); the optimizer "
+                "share barely moves under multi-tensor fusion because "
+                "its traffic is irreducible (Sec. 6.1.1) — hence NMC "
+                "(Sec. 6.2.1).\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Ablation: input-sequence-length heterogeneity. Real NLP corpora
+ * have variable-length sequences (the reason the paper's profiling
+ * methodology, via SeqPoint [67], needs representative iterations).
+ * This study (a) sweeps n finely to expose the quadratic attention
+ * cost, and (b) compares padding every sequence to n_max against
+ * length-bucketed batching for a synthetic corpus-like length
+ * distribution.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+int
+main()
+{
+    Characterizer characterizer(mi100());
+
+    // (a) Fine n sweep at a fixed token budget per iteration.
+    Table sweep("Sequence-length sweep at ~4096 tokens per iteration "
+                "(BERT-Large, FP32)");
+    sweep.setHeader({"n", "B", "Iter time", "Attn ops", "us per token"});
+    CsvWriter csv;
+    csv.setHeader({"n", "batch", "seconds", "attn_share"});
+    for (std::int64_t n : {32, 64, 128, 256, 512}) {
+        BertConfig config = bertLarge();
+        config.seqLen = n;
+        config.batch = std::max<std::int64_t>(1, 4096 / n);
+        config.maxPredictions = std::max<std::int64_t>(1, n * 15 / 100);
+        const auto result = characterizer.run(config);
+        const double attn = result.subLayerShare("Attn B-GEMM") +
+                            result.subLayerShare("Scale+Mask+DR+SM");
+        char per_token[32];
+        std::snprintf(per_token, sizeof(per_token), "%.2f",
+                      result.totalSeconds * 1e6 /
+                          static_cast<double>(config.tokens()));
+        sweep.addRow({std::to_string(n), std::to_string(config.batch),
+                      formatSeconds(result.totalSeconds),
+                      formatPercent(attn), per_token});
+        csv.addRow({std::to_string(n), std::to_string(config.batch),
+                    std::to_string(result.totalSeconds),
+                    std::to_string(attn)});
+    }
+    std::printf("%s\n", sweep.render().c_str());
+    csv.writeFile("seqlen_sweep.csv");
+
+    // (b) Padded vs bucketed batching over a skewed length
+    // distribution (most sequences are short; a long tail reaches
+    // n_max — typical of Wikipedia sentence pairs).
+    Rng rng(2024);
+    std::map<std::int64_t, std::int64_t> bucket_counts;
+    const std::int64_t corpus = 16384;
+    std::int64_t total_tokens = 0;
+    for (std::int64_t i = 0; i < corpus; ++i) {
+        const double raw = std::exp(rng.normal(4.2, 0.7));
+        const std::int64_t len = std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(raw), 16, 512);
+        total_tokens += len;
+        // Buckets at powers of two up to 512.
+        std::int64_t bucket = 32;
+        while (bucket < len)
+            bucket *= 2;
+        ++bucket_counts[bucket];
+    }
+
+    auto iteration_seconds = [&](std::int64_t n, std::int64_t batch) {
+        BertConfig config = bertLarge();
+        config.seqLen = n;
+        config.batch = batch;
+        config.maxPredictions = std::max<std::int64_t>(1, n * 15 / 100);
+        return characterizer.run(config).totalSeconds;
+    };
+
+    // Strategy A: pad everything to 512, B=8 (4096 tokens/iter).
+    const Seconds padded_iter = iteration_seconds(512, 8);
+    const double padded_iters =
+        std::ceil(static_cast<double>(corpus) / 8.0);
+    const Seconds padded_total = padded_iters * padded_iter;
+
+    // Strategy B: per-bucket batches holding ~4096 padded tokens.
+    Seconds bucketed_total = 0.0;
+    Table buckets("Length-bucketed batching (4096 padded tokens per "
+                  "iteration)");
+    buckets.setHeader({"Bucket n", "Sequences", "B", "Iterations",
+                       "Time"});
+    for (const auto &[bucket, count] : bucket_counts) {
+        const std::int64_t batch =
+            std::max<std::int64_t>(1, 4096 / bucket);
+        const double iters = std::ceil(static_cast<double>(count) /
+                                       static_cast<double>(batch));
+        const Seconds iter_s = iteration_seconds(bucket, batch);
+        bucketed_total += iters * iter_s;
+        buckets.addRow({std::to_string(bucket), std::to_string(count),
+                        std::to_string(batch),
+                        std::to_string(static_cast<long long>(iters)),
+                        formatSeconds(iters * iter_s)});
+    }
+    std::printf("%s\n", buckets.render().c_str());
+    std::printf("Corpus: %lld sequences, %lld real tokens (mean length "
+                "%.0f).\n",
+                static_cast<long long>(corpus),
+                static_cast<long long>(total_tokens),
+                static_cast<double>(total_tokens) / corpus);
+    std::printf("Pad-to-512 epoch: %s | bucketed epoch: %s | bucketing "
+                "speedup: %.2fx\n",
+                formatSeconds(padded_total).c_str(),
+                formatSeconds(bucketed_total).c_str(),
+                padded_total / bucketed_total);
+    std::printf("The quadratic attention terms make padding waste "
+                "super-linear in n — the heterogeneity SeqPoint [67] "
+                "exists to handle.\n");
+    return 0;
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the executable CPU substrate:
+ * the individual kernels (GEMM, softmax, LayerNorm, GeLU, dropout,
+ * LAMB step) and a full tiny-BERT training iteration. These are real
+ * measured times (the repo's equivalent of the paper's rocProf runs,
+ * scaled down to CPU-tractable sizes).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/bertprof.h"
+#include "ops/activation.h"
+#include "ops/gemm.h"
+#include "ops/layernorm.h"
+#include "ops/softmax.h"
+
+using namespace bertprof;
+
+namespace {
+
+/** A CPU-tractable BERT configuration for real-execution runs. */
+BertConfig
+tinyConfig()
+{
+    BertConfig config;
+    config.name = "bert-tiny";
+    config.numLayers = 2;
+    config.dModel = 64;
+    config.numHeads = 4;
+    config.dFf = 256;
+    config.vocabSize = 512;
+    config.maxPositions = 64;
+    config.batch = 2;
+    config.seqLen = 32;
+    config.maxPredictions = 4;
+    return config;
+}
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const std::int64_t dim = state.range(0);
+    Rng rng;
+    Tensor a(Shape({dim, dim})), b(Shape({dim, dim})), c(Shape({dim, dim}));
+    a.fillNormal(rng);
+    b.fillNormal(rng);
+    for (auto _ : state) {
+        gemm(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * dim * dim * dim);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_BatchedGemmAttentionScore(benchmark::State &state)
+{
+    // The attention-score shape: n x n x d/h over B*h groups.
+    const std::int64_t n = 32, dh = 16, bh = 8;
+    Rng rng;
+    Tensor q(Shape({bh, n, dh})), k(Shape({bh, n, dh})),
+        s(Shape({bh, n, n}));
+    q.fillNormal(rng);
+    k.fillNormal(rng);
+    for (auto _ : state) {
+        batchedGemm(q, k, s, false, true);
+        benchmark::DoNotOptimize(s.data());
+    }
+}
+BENCHMARK(BM_BatchedGemmAttentionScore);
+
+void
+BM_Softmax(benchmark::State &state)
+{
+    const std::int64_t rows = state.range(0);
+    Rng rng;
+    Tensor x(Shape({rows, 128})), y(x.shape());
+    x.fillNormal(rng);
+    for (auto _ : state) {
+        softmaxForward(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Softmax)->Arg(256)->Arg(1024);
+
+void
+BM_LayerNorm(benchmark::State &state)
+{
+    const std::int64_t rows = state.range(0);
+    Rng rng;
+    Tensor x(Shape({rows, 256})), y(x.shape());
+    Tensor gamma(Shape({256})), beta(Shape({256}));
+    Tensor mean(Shape({rows})), rstd(Shape({rows}));
+    gamma.fill(1.0f);
+    x.fillNormal(rng);
+    for (auto _ : state) {
+        layerNormForward(x, gamma, beta, y, mean, rstd);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_LayerNorm)->Arg(256)->Arg(1024);
+
+void
+BM_Gelu(benchmark::State &state)
+{
+    Rng rng;
+    Tensor x(Shape({state.range(0)})), y(x.shape());
+    x.fillNormal(rng);
+    for (auto _ : state) {
+        geluForward(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Gelu)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_LambStep(benchmark::State &state)
+{
+    Rng rng;
+    Parameter param("w", Shape({state.range(0)}));
+    param.value.fillNormal(rng);
+    param.grad.fillNormal(rng);
+    Lamb lamb(OptimizerConfig{});
+    std::vector<Parameter *> params{&param};
+    for (auto _ : state) {
+        lamb.step(params);
+        benchmark::DoNotOptimize(param.value.data());
+    }
+}
+BENCHMARK(BM_LambStep)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_UnfusedAdamStep(benchmark::State &state)
+{
+    // The real-execution counterpart of Fig. 12a: same update as
+    // BM_AdamStep-equivalent below but one kernel per elementary op.
+    Rng rng;
+    Parameter param("w", Shape({state.range(0)}));
+    param.value.fillNormal(rng);
+    param.grad.fillNormal(rng);
+    UnfusedAdam adam(OptimizerConfig{});
+    std::vector<Parameter *> params{&param};
+    for (auto _ : state) {
+        adam.step(params);
+        benchmark::DoNotOptimize(param.value.data());
+    }
+}
+BENCHMARK(BM_UnfusedAdamStep)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_FusedAdamStep(benchmark::State &state)
+{
+    Rng rng;
+    Parameter param("w", Shape({state.range(0)}));
+    param.value.fillNormal(rng);
+    param.grad.fillNormal(rng);
+    Adam adam(OptimizerConfig{});
+    std::vector<Parameter *> params{&param};
+    for (auto _ : state) {
+        adam.step(params);
+        benchmark::DoNotOptimize(param.value.data());
+    }
+}
+BENCHMARK(BM_FusedAdamStep)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_TinyBertIteration(benchmark::State &state)
+{
+    const BertConfig config = tinyConfig();
+    NnRuntime rt;
+    rt.dropoutP = 0.0f;
+    BertPretrainer trainer(config, &rt);
+    Rng init_rng(7);
+    trainer.initialize(init_rng);
+    SyntheticDataset dataset(config, 11);
+    Lamb lamb(OptimizerConfig{});
+    auto params = trainer.parameters();
+    for (auto _ : state) {
+        const PretrainBatch batch = dataset.nextBatch();
+        trainer.zeroGrad();
+        auto result = trainer.forwardBackward(batch);
+        lamb.step(params);
+        benchmark::DoNotOptimize(result.mlmLoss);
+    }
+}
+BENCHMARK(BM_TinyBertIteration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Reproduces Fig. 12a: the impact of kernel fusion on kernel count,
+ * runtime, and memory traffic for (1) LayerNorm and (2) the optimizer
+ * (Adam, as in the paper, because fused and unfused versions are both
+ * available; LAMB is also reported).
+ *
+ * Paper reference points: LayerNorm fusion shrinks kernels, runtime,
+ * and traffic together by ~6-8x (high producer-consumer reuse). Adam
+ * fusion cuts kernel count by ~250x but runtime/traffic only ~6-8x —
+ * its unfused kernels touch independent per-layer data, so fusion
+ * can't remove those accesses.
+ */
+
+#include <cstdio>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+namespace {
+
+struct GroupTotals {
+    std::int64_t kernels = 0;
+    Seconds seconds = 0.0;
+    double bytes = 0.0;
+};
+
+template <typename Pred>
+GroupTotals
+totals(const TimedTrace &timed, Pred pred)
+{
+    GroupTotals t;
+    for (const auto &op : timed.ops) {
+        if (!pred(op.op))
+            continue;
+        ++t.kernels;
+        t.seconds += op.time.total();
+        t.bytes += static_cast<double>(op.op.stats.bytesTotal());
+    }
+    return t;
+}
+
+void
+addComparison(Table &table, const char *label, const GroupTotals &unfused,
+              const GroupTotals &fused)
+{
+    char kernel_ratio[32], time_ratio[32], bytes_ratio[32];
+    std::snprintf(kernel_ratio, sizeof(kernel_ratio), "%.0fx",
+                  static_cast<double>(unfused.kernels) /
+                      static_cast<double>(fused.kernels));
+    std::snprintf(time_ratio, sizeof(time_ratio), "%.1fx",
+                  unfused.seconds / fused.seconds);
+    std::snprintf(bytes_ratio, sizeof(bytes_ratio), "%.1fx",
+                  unfused.bytes / fused.bytes);
+    table.addRow({label,
+                  std::to_string(unfused.kernels) + " -> " +
+                      std::to_string(fused.kernels),
+                  kernel_ratio,
+                  formatSeconds(unfused.seconds) + " -> " +
+                      formatSeconds(fused.seconds),
+                  time_ratio,
+                  formatBytes(unfused.bytes) + " -> " +
+                      formatBytes(fused.bytes),
+                  bytes_ratio});
+}
+
+} // namespace
+
+int
+main()
+{
+    Characterizer characterizer(mi100());
+    const BertConfig base = withPhase1(bertLarge(), 32);
+
+    Table table("Fig. 12a — kernel fusion impact (Ph1-B32-FP32)");
+    table.setHeader({"Op", "Kernels", "Kernel x", "Runtime", "Runtime x",
+                     "Mem traffic", "Traffic x"});
+
+    // -- LayerNorm: unfused (per-EW-op kernels) vs fused --
+    {
+        TraceOptions unfused_opt;
+        unfused_opt.unfuseLayerNorm = true;
+        const auto unfused = characterizer.run(base, unfused_opt);
+        const auto fused = characterizer.run(base, {});
+        auto is_ln = [](const OpDesc &op) {
+            return op.name.find(".ln") != std::string::npos &&
+                   op.phase == Phase::Fwd;
+        };
+        addComparison(table, "LayerNorm (fwd)",
+                      totals(unfused.timed, is_ln),
+                      totals(fused.timed, is_ln));
+    }
+
+    // -- Adam: eager unfused vs multi-tensor fused --
+    {
+        BertConfig adam_config = base;
+        adam_config.optimizer = OptimizerKind::Adam;
+        TraceOptions unfused_opt;
+        unfused_opt.optimizerFusion = OptimizerFusion::Unfused;
+        TraceOptions fused_opt;
+        fused_opt.optimizerFusion = OptimizerFusion::MultiTensor;
+        const auto unfused = characterizer.run(adam_config, unfused_opt);
+        const auto fused = characterizer.run(adam_config, fused_opt);
+        auto is_update = [](const OpDesc &op) {
+            return op.phase == Phase::Update;
+        };
+        addComparison(table, "Adam update",
+                      totals(unfused.timed, is_update),
+                      totals(fused.timed, is_update));
+    }
+
+    // -- LAMB: per-tensor two-stage (the paper's default) vs
+    //    multi-tensor: kernel count drops but traffic barely moves
+    //    (independent data, Sec. 6.1.1) --
+    {
+        TraceOptions per_tensor;
+        per_tensor.optimizerFusion = OptimizerFusion::PerTensorStages;
+        TraceOptions multi;
+        multi.optimizerFusion = OptimizerFusion::MultiTensor;
+        const auto unfused = characterizer.run(base, per_tensor);
+        const auto fused = characterizer.run(base, multi);
+        auto is_update = [](const OpDesc &op) {
+            return op.phase == Phase::Update;
+        };
+        addComparison(table, "LAMB per-tensor vs multi-tensor",
+                      totals(unfused.timed, is_update),
+                      totals(fused.timed, is_update));
+    }
+
+    std::printf("%s\n", table.render().c_str());
+
+    // Real-execution cross-check on the CPU substrate: the same
+    // Adam update run fused (one pass) vs eager-unfused (one kernel
+    // per elementary op), measured with the profiler.
+    {
+        auto make_params = [](std::vector<Parameter> &storage) {
+            storage.clear();
+            storage.reserve(6);
+            Rng rng(17);
+            for (std::int64_t numel :
+                 {1 << 16, 1 << 16, 1 << 14, 1 << 12, 1024, 1024}) {
+                char name[16];
+                std::snprintf(name, sizeof(name), "p%zu",
+                              storage.size());
+                storage.emplace_back(name, Shape({numel}));
+                storage.back().value.fillNormal(rng);
+                storage.back().grad.fillNormal(rng);
+            }
+            std::vector<Parameter *> out;
+            for (auto &param : storage)
+                out.push_back(&param);
+            return out;
+        };
+
+        Profiler fused_prof, unfused_prof;
+        std::vector<Parameter> fused_storage, unfused_storage;
+        auto fused_params = make_params(fused_storage);
+        auto unfused_params = make_params(unfused_storage);
+        Adam fused(OptimizerConfig{}, &fused_prof);
+        UnfusedAdam unfused(OptimizerConfig{}, &unfused_prof);
+        for (int repeat = 0; repeat < 20; ++repeat) {
+            fused.step(fused_params);
+            unfused.step(unfused_params);
+        }
+
+        auto bytes = [](const Profiler &profiler) {
+            double total = 0.0;
+            for (const auto &rec : profiler.records())
+                total += static_cast<double>(rec.stats.bytesTotal());
+            return total;
+        };
+        std::printf("Measured on the CPU substrate (20 steps over 6 "
+                    "tensors):\n"
+                    "  kernels %zu -> %zu (%.0fx), wall %s -> %s "
+                    "(%.1fx), traffic %s -> %s (%.1fx)\n\n",
+                    unfused_prof.records().size(),
+                    fused_prof.records().size(),
+                    static_cast<double>(unfused_prof.records().size()) /
+                        static_cast<double>(fused_prof.records().size()),
+                    formatSeconds(unfused_prof.totalSeconds()).c_str(),
+                    formatSeconds(fused_prof.totalSeconds()).c_str(),
+                    unfused_prof.totalSeconds() /
+                        fused_prof.totalSeconds(),
+                    formatBytes(bytes(unfused_prof)).c_str(),
+                    formatBytes(bytes(fused_prof)).c_str(),
+                    bytes(unfused_prof) / bytes(fused_prof));
+    }
+
+    std::printf("Paper: LayerNorm fusion ~6-8x on all three metrics; "
+                "Adam fusion ~250x kernels but only ~6-8x runtime/"
+                "traffic; fusing optimizer work across layers gains "
+                "little (independent data).\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reproduces Fig. 12b: fusing the three independent attention linear
+ * GEMMs (Q/K/V share the same input matrix) into one GEMM with
+ * concatenated weights, for forward and backward-gradient GEMMs
+ * across token counts.
+ *
+ * Paper reference points: fusion improves performance by up to ~62%
+ * by reusing the common input and increasing parallelism; gains are
+ * larger when the input matrices are small (fewer tokens / smaller
+ * hidden dim).
+ */
+
+#include <cstdio>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+namespace {
+
+/** Build the Q/K/V projection GEMM op (serial or fused). */
+OpDesc
+linearGemm(std::int64_t d_model, std::int64_t tokens, bool fused,
+           Phase phase)
+{
+    OpDesc op;
+    op.name = fused ? "qkv.fused" : "qkv.single";
+    op.kind = OpKind::Gemm;
+    op.phase = phase;
+    op.scope = LayerScope::Transformer;
+    op.sub = SubLayer::AttnLinear;
+    const std::int64_t m = fused ? 3 * d_model : d_model;
+    if (phase == Phase::Fwd) {
+        op.gemm = {false, true, m, tokens, d_model, 1};
+    } else {
+        // Weight-gradient GEMM: dW = dY^T X.
+        op.gemm = {true, false, m, d_model, tokens, 1};
+    }
+    op.stats = gemmStats(op.gemm.m, op.gemm.n, op.gemm.k);
+    return op;
+}
+
+} // namespace
+
+int
+main()
+{
+    const DeviceSpec spec = mi100();
+    KernelCostModel cost(spec);
+    const std::int64_t d_model = 1024;
+
+    Table table("Fig. 12b — fusing the 3 attention linear GEMMs "
+                "(d_model=1024, FP32): serial 3S vs fused 3F");
+    table.setHeader({"Tokens (n*B)", "FWD 3S", "FWD 3F", "FWD speedup",
+                     "WGRAD 3S", "WGRAD 3F", "WGRAD speedup"});
+
+    for (std::int64_t tokens : {256, 512, 1024, 2048, 4096, 8192}) {
+        std::vector<std::string> row;
+        row.push_back(std::to_string(tokens));
+        for (Phase phase : {Phase::Fwd, Phase::Bwd}) {
+            const OpDesc single =
+                linearGemm(d_model, tokens, false, phase);
+            const OpDesc fused = linearGemm(d_model, tokens, true, phase);
+            const Seconds serial3 = 3.0 * cost.evaluate(single).total();
+            const Seconds fused1 = cost.evaluate(fused).total();
+            char speedup[32];
+            std::snprintf(speedup, sizeof(speedup), "+%.0f%%",
+                          100.0 * (serial3 / fused1 - 1.0));
+            row.push_back(formatSeconds(serial3));
+            row.push_back(formatSeconds(fused1));
+            row.push_back(speedup);
+        }
+        table.addRow(row);
+    }
+
+    std::printf("%s\n", table.render().c_str());
+
+    // Hidden-dimension sweep at a fixed token count: gains are also
+    // larger for smaller d_model ("impact is higher when the input
+    // matrices are small — smaller token count or hidden dimension").
+    Table dims_table("Fusion gain vs hidden dim (2048 tokens, FWD)");
+    dims_table.setHeader({"d_model", "3S", "3F", "Speedup"});
+    for (std::int64_t d : {256, 512, 1024, 2048}) {
+        OpDesc single;
+        single.kind = OpKind::Gemm;
+        single.gemm = {false, true, d, 2048, d, 1};
+        single.stats = gemmStats(d, 2048, d);
+        OpDesc fused;
+        fused.kind = OpKind::Gemm;
+        fused.gemm = {false, true, 3 * d, 2048, d, 1};
+        fused.stats = gemmStats(3 * d, 2048, d);
+        const Seconds serial3 = 3.0 * cost.evaluate(single).total();
+        const Seconds fused1 = cost.evaluate(fused).total();
+        char speedup[32];
+        std::snprintf(speedup, sizeof(speedup), "+%.0f%%",
+                      100.0 * (serial3 / fused1 - 1.0));
+        dims_table.addRow({std::to_string(d), formatSeconds(serial3),
+                           formatSeconds(fused1), speedup});
+    }
+    std::printf("%s\n", dims_table.render().c_str());
+    std::printf("Paper: fusion improves performance by up to 62%%, more "
+                "at small token counts (better CU utilization + the "
+                "shared input matrix is read once).\n");
+    return 0;
+}

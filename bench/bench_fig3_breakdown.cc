@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Fig. 3 of the paper: high-level runtime breakdown of a
+ * BERT-Large pre-training iteration (Embedding / Transformer / Output
+ * / LAMB optimizer) across phases, mini-batch sizes, and precisions.
+ *
+ * Paper reference points: Transformer layers 68-85%; LAMB second
+ * contributor, 7-10% at Ph1-B32-FP32, up to 25% at small token
+ * counts, 16-19% with mixed precision; output layer 3-7%; embedding
+ * negligible.
+ */
+
+#include <cstdio>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+int
+main()
+{
+    Characterizer characterizer(mi100());
+    const std::vector<std::string> scopes = {
+        "Transformer", "Optimizer", "Output", "Embedding"};
+
+    struct Config {
+        const char *label;
+        BertConfig config;
+    };
+    std::vector<Config> configs;
+    {
+        BertConfig c = withPhase1(bertLarge(), 32);
+        configs.push_back({"Ph1-B32-FP32", c});
+    }
+    {
+        BertConfig c = withPhase1(bertLarge(), 4);
+        configs.push_back({"Ph1-B4-FP32", c});
+    }
+    {
+        BertConfig c = withPhase2(bertLarge(), 4);
+        configs.push_back({"Ph2-B4-FP32", c});
+    }
+    {
+        BertConfig c = withPhase1(bertLarge(), 32);
+        c.precision = Precision::Mixed;
+        configs.push_back({"Ph1-B32-FP16", c});
+    }
+    {
+        BertConfig c = withPhase2(bertLarge(), 4);
+        c.precision = Precision::Mixed;
+        configs.push_back({"Ph2-B4-FP16", c});
+    }
+
+    Table table("Fig. 3 — runtime breakdown of BERT-Large pre-training");
+    table.setHeader({"Config", "Transformer", "LAMB", "Output",
+                     "Embedding", "Iter time", "Kernels"});
+    CsvWriter csv;
+    csv.setHeader({"config", "transformer", "lamb", "output", "embedding",
+                   "seconds"});
+
+    for (const auto &[label, config] : configs) {
+        const auto result = characterizer.run(config);
+        table.addRow({label,
+                      formatPercent(result.scopeShare("Transformer")),
+                      formatPercent(result.scopeShare("Optimizer")),
+                      formatPercent(result.scopeShare("Output")),
+                      formatPercent(result.scopeShare("Embedding")),
+                      formatSeconds(result.totalSeconds),
+                      std::to_string(result.kernelCount)});
+        csv.addRow({label,
+                    std::to_string(result.scopeShare("Transformer")),
+                    std::to_string(result.scopeShare("Optimizer")),
+                    std::to_string(result.scopeShare("Output")),
+                    std::to_string(result.scopeShare("Embedding")),
+                    std::to_string(result.totalSeconds)});
+    }
+
+    // Output-layer implementation sensitivity: computing MLM logits
+    // densely over every position (as several production stacks do)
+    // instead of gathering the masked ~15% puts the output layer in
+    // the paper's 3-7% band.
+    {
+        TraceOptions dense;
+        dense.denseMlmLogits = true;
+        const auto result =
+            characterizer.run(withPhase1(bertLarge(), 32), dense);
+        table.addSeparator();
+        table.addRow({"Ph1-B32-FP32 (dense MLM)",
+                      formatPercent(result.scopeShare("Transformer")),
+                      formatPercent(result.scopeShare("Optimizer")),
+                      formatPercent(result.scopeShare("Output")),
+                      formatPercent(result.scopeShare("Embedding")),
+                      formatSeconds(result.totalSeconds),
+                      std::to_string(result.kernelCount)});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper: Transformer 68-85%%; LAMB 7-10%% (Ph1-B32-FP32), "
+                "~25%% (B4), 16-19%% (MP); Output 3-7%%; Embedding "
+                "negligible. The dense-MLM row shows the output-layer "
+                "implementation choice that closes our main "
+                "divergence.\n");
+    csv.writeFile("fig3_breakdown.csv");
+    return 0;
+}

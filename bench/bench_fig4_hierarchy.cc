@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces Fig. 4: hierarchical breakdown of the Transformer layers
+ * for single-precision (Ph1-B32-FP32) and mixed-precision
+ * (Ph1-B32-FP16) training. Prints the three bars of the figure —
+ * Transformer-level groups, the Attention layer split, and the FC
+ * layer split — as shares of total training time.
+ *
+ * Paper reference points (FP32 -> MP): Linear+FC GEMMs 57% -> 42%;
+ * attention ops (B-GEMM + Scale/Mask/DR/SM) 7% -> 9%; linear
+ * projections 22% -> 19%; GeLU 13% -> 15%; DR+RC+LN 5% -> 9%.
+ */
+
+#include <cstdio>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+namespace {
+
+void
+printHierarchy(const CharacterizationResult &result)
+{
+    std::printf("== %s (iteration %s, %zu kernels) ==\n",
+                result.config.tag().c_str(),
+                formatSeconds(result.totalSeconds).c_str(),
+                result.kernelCount);
+
+    Table groups("Transformer sub-layer groups (share of total time)");
+    groups.setHeader({"Group", "Share", "Kernels", "FLOP/B"});
+    const char *order[] = {"Attn Linear", "Attn B-GEMM",
+                           "Scale+Mask+DR+SM", "FC GEMM", "GeLU",
+                           "DR+RC+LN"};
+    for (const char *group : order) {
+        auto it = result.bySubLayer.find(group);
+        if (it == result.bySubLayer.end())
+            continue;
+        char intensity[32];
+        std::snprintf(intensity, sizeof(intensity), "%.2f",
+                      it->second.stats.opsPerByte());
+        groups.addRow({group,
+                       formatPercent(it->second.seconds /
+                                     result.totalSeconds),
+                       std::to_string(it->second.kernelCount), intensity});
+    }
+    std::printf("%s", groups.render().c_str());
+
+    const double linear = result.subLayerShare("Attn Linear");
+    const double fc = result.subLayerShare("FC GEMM");
+    const double attn_ops = result.subLayerShare("Attn B-GEMM") +
+                            result.subLayerShare("Scale+Mask+DR+SM");
+    std::printf("Linear+FC GEMM share: %s   attention-op share: %s   "
+                "GEMM-kernel share: %s\n\n",
+                formatPercent(linear + fc).c_str(),
+                formatPercent(attn_ops).c_str(),
+                formatPercent(result.gemmShare()).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    Characterizer characterizer(mi100());
+
+    BertConfig fp32 = withPhase1(bertLarge(), 32);
+    printHierarchy(characterizer.run(fp32));
+
+    BertConfig mp = fp32;
+    mp.precision = Precision::Mixed;
+    printHierarchy(characterizer.run(mp));
+
+    std::printf("Paper: Linear+FC GEMMs 57%% (FP32) -> 42%% (MP); "
+                "attention ops 7%% -> 9%%; GeLU 13%% -> 15%%; "
+                "DR+RC+LN 5%% -> 9%%.\n");
+    return 0;
+}

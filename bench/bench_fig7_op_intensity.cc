@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reproduces Fig. 7: arithmetic intensity and bandwidth demand
+ * (normalized to the best-achieved streaming bandwidth) of BERT's
+ * operation classes — FC/linear GEMMs, attention B-GEMMs,
+ * LAMBStage1/2, Scale+Mask+DR+SM, GeLU, DR+RC+LN, and a plain EW
+ * multiply reference.
+ *
+ * Paper reference points: attention GEMMs demand ~70% of peak
+ * bandwidth vs ~20% for FC/linear GEMMs; LAMB stages, GeLU, and
+ * DR+RC+LN all have FLOP/B near or below 1 and are bandwidth bound.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+int
+main()
+{
+    const DeviceSpec spec = mi100();
+    Characterizer characterizer(spec);
+    KernelCostModel cost(spec);
+    const BertConfig config = withPhase1(bertLarge(), 32);
+    const auto result = characterizer.run(config);
+
+    // Aggregate intensity and bandwidth demand per op class, using
+    // time-weighted bandwidth demand over the class's kernels.
+    struct ClassAgg {
+        double flops = 0.0;
+        double bytes = 0.0;
+        Seconds busy = 0.0;
+        std::int64_t kernels = 0;
+    };
+    std::map<std::string, ClassAgg> classes;
+    auto classify = [](const OpDesc &op) -> std::string {
+        if (op.kind == OpKind::Gemm &&
+            op.scope == LayerScope::Transformer) {
+            return op.sub == SubLayer::FcGemm ? "FC GEMM" : "Linear GEMM";
+        }
+        if (op.kind == OpKind::BatchedGemm)
+            return "Attn B-GEMM";
+        if (op.sub == SubLayer::LambStage1)
+            return "LAMBStage1";
+        if (op.sub == SubLayer::LambStage2)
+            return "LAMBStage2";
+        if (op.sub == SubLayer::AttnScaleMaskDrSm)
+            return "Scale+Mask+DR+SM";
+        if (op.sub == SubLayer::FcGelu)
+            return "GeLU";
+        if (op.sub == SubLayer::DrRcLn)
+            return "DR+RC+LN";
+        return "";
+    };
+    for (const auto &timed : result.timed.ops) {
+        const std::string cls = classify(timed.op);
+        if (cls.empty())
+            continue;
+        auto &agg = classes[cls];
+        agg.flops += static_cast<double>(timed.op.stats.flops);
+        agg.bytes += static_cast<double>(timed.op.stats.bytesTotal());
+        agg.busy += std::max(timed.time.compute, timed.time.memory);
+        ++agg.kernels;
+    }
+
+    // Reference: a large element-wise multiply ([B*n, d_ff] sized) —
+    // the op that achieves the best bandwidth in the paper.
+    OpDesc ew_ref;
+    ew_ref.name = "ew_multiply_ref";
+    ew_ref.kind = OpKind::Elementwise;
+    ew_ref.numel = config.tokens() * config.dFf;
+    ew_ref.stats = elementwiseStats(ew_ref.numel, 2, 1, 1);
+    const KernelTime ew_time = cost.evaluate(ew_ref);
+    const double ew_bw = static_cast<double>(ew_ref.stats.bytesTotal()) /
+                         std::max(ew_time.compute, ew_time.memory);
+
+    Table table("Fig. 7 — op intensity and bandwidth demand "
+                "(Ph1-B32-FP32; demand normalized to EW-multiply "
+                "achieved bandwidth)");
+    table.setHeader({"Op class", "Kernels", "FLOP/B", "BW demand",
+                     "Bound"});
+    const char *order[] = {"FC GEMM",    "Linear GEMM", "Attn B-GEMM",
+                           "LAMBStage1", "LAMBStage2",  "Scale+Mask+DR+SM",
+                           "GeLU",       "DR+RC+LN"};
+    for (const char *cls : order) {
+        auto it = classes.find(cls);
+        if (it == classes.end())
+            continue;
+        const auto &agg = it->second;
+        const double intensity =
+            agg.bytes > 0.0 ? agg.flops / agg.bytes : 0.0;
+        const double bw = agg.busy > 0.0 ? agg.bytes / agg.busy : 0.0;
+        char intensity_str[32];
+        std::snprintf(intensity_str, sizeof(intensity_str), "%.2f",
+                      intensity);
+        const double ridge =
+            ridgePoint(spec,
+                       std::string(cls).find("GEMM") != std::string::npos
+                           ? OpKind::Gemm
+                           : OpKind::Elementwise,
+                       DType::F32);
+        table.addRow({cls, std::to_string(agg.kernels), intensity_str,
+                      formatPercent(bw / ew_bw),
+                      intensity < ridge ? "memory@peak" : "compute@peak"});
+    }
+    table.addSeparator();
+    table.addRow({"EW multiply (ref)", "1", "0.08", "100.0%",
+                  "memory@peak"});
+    std::printf("%s\n", table.render().c_str());
+    rooflineScatterCsv(result.timed, spec).writeFile("fig7_roofline.csv");
+    std::printf("Per-kernel roofline scatter written to "
+                "fig7_roofline.csv.\n");
+    std::printf("Paper: Attn B-GEMMs ~70%% bandwidth demand vs ~20%% for "
+                "other GEMMs; LAMB stages / GeLU / DR+RC+LN near "
+                "bandwidth-bound with FLOP/B <= ~1.\n");
+    return 0;
+}

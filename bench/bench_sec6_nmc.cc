@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Reproduces Sec. 6.2.1: near-memory compute for the LAMB optimizer.
+ * The update phase (a pure stream of element-wise kernels over 4x the
+ * model's footprint) is offloaded to in-bank DRAM ALUs; GEMMs stay on
+ * the GPU.
+ *
+ * Paper reference points: LAMB speeds up ~3.8x vs. an optimistic GPU
+ * bound (minimal reads/writes at full external bandwidth), improving
+ * end-to-end training by 5-22% depending on configuration.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+int
+main()
+{
+    const DeviceSpec spec = mi100();
+    Characterizer characterizer(spec);
+    NmcOffloadEvaluator bank_nmc(hbm2BankNmc(), spec);
+    NmcOffloadEvaluator shared_nmc(hbm2SharedAluNmc(), spec);
+
+    Table table("Sec. 6.2.1 — LAMB on near-memory compute "
+                "(bank-level ALUs)");
+    table.setHeader({"Config", "LAMB share", "LAMB opt-GPU", "LAMB NMC",
+                     "LAMB speedup", "End-to-end gain"});
+
+    struct Entry {
+        const char *label;
+        BertConfig config;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"Ph1-B32-FP32", withPhase1(bertLarge(), 32)});
+    {
+        BertConfig c = withPhase1(bertLarge(), 32);
+        c.precision = Precision::Mixed;
+        entries.push_back({"Ph1-B32-FP16", c});
+    }
+    entries.push_back({"Ph1-B4-FP32", withPhase1(bertLarge(), 4)});
+    {
+        BertConfig c = withPhase1(scalingC3(), 16);
+        entries.push_back({"C3-B16-FP32", c});
+    }
+    {
+        BertConfig c = withPhase1(scalingC3(), 16);
+        c.precision = Precision::Mixed;
+        entries.push_back({"C3-B16-FP16", c});
+    }
+
+    double min_gain = 1.0, max_gain = 0.0;
+    for (const auto &[label, config] : entries) {
+        const auto result = characterizer.run(config);
+        const auto offload = bank_nmc.evaluate(result.timed);
+        char speedup[32];
+        std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                      offload.optimizerSpeedup());
+        const double gain = offload.endToEndImprovement();
+        min_gain = std::min(min_gain, gain);
+        max_gain = std::max(max_gain, gain);
+        table.addRow({label,
+                      formatPercent(result.scopeShare("Optimizer")),
+                      formatSeconds(offload.gpuOptimisticSeconds),
+                      formatSeconds(offload.nmcSeconds), speedup,
+                      formatPercent(gain)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Design-space sweep (Sec. 6.2.1's tradeoff discussion): ALUs at
+    // every bank vs shared among 2/4/8 banks. Fewer ALUs cut cost but
+    // serialize the streaming work.
+    {
+        const auto result =
+            characterizer.run(withPhase1(bertLarge(), 32));
+        Table design("NMC design points (Ph1-B32-FP32)");
+        design.setHeader({"Banks per ALU", "ALUs", "Internal BW",
+                          "LAMB time", "LAMB speedup"});
+        for (int sharing : {1, 2, 4, 8}) {
+            DramSpec dram = hbm2BankNmc();
+            dram.perBankBandwidth /= sharing;
+            dram.perBankFlops /= sharing;
+            NmcOffloadEvaluator evaluator(dram, spec);
+            const auto offload = evaluator.evaluate(result.timed);
+            char speedup[32];
+            std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                          offload.optimizerSpeedup());
+            design.addRow(
+                {std::to_string(sharing),
+                 std::to_string(dram.totalBanks() / sharing),
+                 formatByteRate(dram.internalBandwidth()),
+                 formatSeconds(offload.nmcSeconds), speedup});
+        }
+        std::printf("%s\n", design.render().c_str());
+        const auto shared = shared_nmc.evaluate(result.timed);
+        (void)shared;
+    }
+    std::printf("End-to-end gains span %s - %s across configurations.\n",
+                formatPercent(min_gain).c_str(),
+                formatPercent(max_gain).c_str());
+
+    // Energy view (Sec. 6.2.1 also claims energy-efficiency gains):
+    // LAMB's bytes at in-bank cost vs the external interface.
+    {
+        EnergyModel energy;
+        NmcModel nmc(hbm2BankNmc());
+        const auto result =
+            characterizer.run(withPhase1(bertLarge(), 32));
+        double gpu_joules = 0.0, nmc_joules = 0.0;
+        for (const auto &timed : result.timed.ops) {
+            if (timed.op.phase != Phase::Update ||
+                !NmcModel::offloadable(timed.op))
+                continue;
+            gpu_joules += energy.kernelEnergy(timed).total();
+            nmc_joules += energy
+                              .nmcKernelEnergy(timed.op,
+                                               nmc.timeFor(timed.op))
+                              .total();
+        }
+        std::printf("LAMB energy (Ph1-B32-FP32): %.2f J on the GPU vs "
+                    "%.2f J on NMC (%.1fx less).\n",
+                    gpu_joules, nmc_joules, gpu_joules / nmc_joules);
+    }
+    std::printf("Paper: LAMB ~3.8x vs optimistic GPU; end-to-end "
+                "5-22%%; NMC also improves energy efficiency.\n");
+    return 0;
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Regenerates Table 1: the paper's summary of takeaways, with each
+ * claim re-derived from this library's models and marked REPRODUCED
+ * or DIVERGES. This is the one-stop shape-agreement check.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+int
+main()
+{
+    const DeviceSpec spec = mi100();
+    Characterizer characterizer(spec);
+    const CommModel comm(spec, AllReduceAlgo::Ring);
+
+    Table table("Table 1 — takeaway summary, re-derived");
+    table.setHeader({"#", "Takeaway", "Paper", "Measured (model)",
+                     "Status"});
+
+    const auto fp32 = characterizer.run(withPhase1(bertLarge(), 32));
+    BertConfig mp_cfg = withPhase1(bertLarge(), 32);
+    mp_cfg.precision = Precision::Mixed;
+    const auto mp = characterizer.run(mp_cfg);
+    const auto b4 = characterizer.run(withPhase1(bertLarge(), 4));
+    const auto c3 = characterizer.run(withPhase1(scalingC3(), 16));
+    const auto ph2 = characterizer.run(withPhase2(bertLarge(), 4));
+
+    auto status = [](bool ok) { return ok ? "REPRODUCED" : "DIVERGES"; };
+
+    // T1/T2: LAMB is the second-highest contributor and grows with
+    // fewer tokens / mixed precision.
+    {
+        const double lamb32 = fp32.scopeShare("Optimizer");
+        const double lamb4 = b4.scopeShare("Optimizer");
+        const double lamb_mp = mp.scopeShare("Optimizer");
+        char measured[96];
+        std::snprintf(measured, sizeof(measured),
+                      "%.1f%% (B32) / %.1f%% (B4) / %.1f%% (MP)",
+                      lamb32 * 100, lamb4 * 100, lamb_mp * 100);
+        table.addRow({"1-2", "LAMB 2nd-highest; grows w/ fewer tokens, MP",
+                      "7-10% / ~25% / 16-19%", measured,
+                      status(lamb32 > 0.05 && lamb4 > 0.15 &&
+                             lamb_mp > lamb32)});
+    }
+    // T3: GEMMs speed up more than non-GEMMs under MP.
+    {
+        const double gemm32 = fp32.gemmShare();
+        const double gemm16 = mp.gemmShare();
+        char measured[64];
+        std::snprintf(measured, sizeof(measured), "%.1f%% -> %.1f%%",
+                      gemm32 * 100, gemm16 * 100);
+        table.addRow({"3", "GEMM share drops under MP", "55% -> 36%",
+                      measured, status(gemm16 < gemm32)});
+    }
+    // T4: attention operations are a small share.
+    {
+        const double attn32 = fp32.subLayerShare("Attn B-GEMM") +
+                              fp32.subLayerShare("Scale+Mask+DR+SM");
+        char measured[32];
+        std::snprintf(measured, sizeof(measured), "%.1f%%", attn32 * 100);
+        table.addRow({"4", "Attention ops small share", "7% (FP32)",
+                      measured, status(attn32 < 0.15)});
+    }
+    // T6: attention B-GEMMs are bandwidth-hungry vs FC GEMMs.
+    {
+        KernelCostModel cost(spec);
+        double attn_demand = 0.0, fc_demand = 0.0;
+        int attn_n = 0, fc_n = 0;
+        for (const auto &timed : fp32.timed.ops) {
+            if (timed.op.layerIndex != 0)
+                continue;
+            if (timed.op.kind == OpKind::BatchedGemm) {
+                attn_demand += cost.bandwidthDemand(timed.op);
+                ++attn_n;
+            } else if (timed.op.kind == OpKind::Gemm &&
+                       timed.op.sub == SubLayer::FcGemm) {
+                fc_demand += cost.bandwidthDemand(timed.op);
+                ++fc_n;
+            }
+        }
+        attn_demand /= attn_n;
+        fc_demand /= fc_n;
+        char measured[64];
+        std::snprintf(measured, sizeof(measured), "%.0f%% vs %.0f%%",
+                      attn_demand * 100, fc_demand * 100);
+        table.addRow({"6", "Attn B-GEMMs much higher BW demand than FC",
+                      "~70% vs ~20%", measured,
+                      status(attn_demand > 2.0 * fc_demand)});
+    }
+    // T7: LAMB reads 4x the model size.
+    {
+        BertTraceBuilder builder(withPhase1(bertLarge(), 32));
+        const OpTrace update = builder.buildUpdate();
+        std::int64_t read = 0;
+        for (const auto &op : update.ops)
+            if (op.sub == SubLayer::LambStage1)
+                read += op.stats.bytesRead;
+        const double model_bytes = static_cast<double>(
+            withPhase1(bertLarge(), 32).parameterCount() * 4);
+        char measured[32];
+        std::snprintf(measured, sizeof(measured), "%.1fx",
+                      static_cast<double>(read) / model_bytes);
+        table.addRow({"7", "LAMB stage-1 reads vs model size", "4x",
+                      measured,
+                      status(std::abs(read / model_bytes - 4.0) < 0.3)});
+    }
+    // T8/T9: memory-bound EW ops are a large and growing share.
+    {
+        auto ew_share = [](const CharacterizationResult &result) {
+            double s = 0.0;
+            for (const char *kind : {"EW", "Reduce", "Gather"}) {
+                auto it = result.byKind.find(kind);
+                if (it != result.byKind.end())
+                    s += it->second.seconds;
+            }
+            return s / result.totalSeconds;
+        };
+        char measured[64];
+        std::snprintf(measured, sizeof(measured), "%.1f%% -> %.1f%% (MP)",
+                      ew_share(fp32) * 100, ew_share(mp) * 100);
+        table.addRow({"8-9", "Non-GEMM ops big share, grows w/ MP",
+                      "~45% -> ~64%", measured,
+                      status(ew_share(mp) > ew_share(fp32))});
+    }
+    // T10: higher n makes attention important.
+    {
+        const auto b16 = characterizer.run(withPhase1(bertLarge(), 16));
+        const double a1 = b16.subLayerShare("Attn B-GEMM") +
+                          b16.subLayerShare("Scale+Mask+DR+SM");
+        const double a2 = ph2.subLayerShare("Attn B-GEMM") +
+                          ph2.subLayerShare("Scale+Mask+DR+SM");
+        char measured[64];
+        std::snprintf(measured, sizeof(measured),
+                      "%.1f%% (n=128) -> %.1f%% (n=512)", a1 * 100,
+                      a2 * 100);
+        table.addRow({"10", "Higher n raises attention share",
+                      "7% -> 17%", measured, status(a2 > 1.5 * a1)});
+    }
+    // T11: GEMM and LAMB shares grow with layer width.
+    {
+        const auto c2 = characterizer.run(withPhase1(scalingC2(), 16));
+        char measured[96];
+        std::snprintf(measured, sizeof(measured),
+                      "GEMM %.1f%%->%.1f%%, LAMB %.1f%%->%.1f%%",
+                      c2.gemmShare() * 100, c3.gemmShare() * 100,
+                      c2.scopeShare("Optimizer") * 100,
+                      c3.scopeShare("Optimizer") * 100);
+        table.addRow({"11", "GEMM & LAMB shares grow with width (C2->C3)",
+                      "LAMB up to 34% (C3)", measured,
+                      status(c3.gemmShare() > c2.gemmShare() &&
+                             c3.scopeShare("Optimizer") >
+                                 c2.scopeShare("Optimizer"))});
+    }
+    // T12/T13: tensor slicing (2-way vs 8-way).
+    {
+        TensorSlicingModel ts(spec, comm);
+        const auto t1 = ts.evaluate(withPhase1(bertLarge(), 16), 2);
+        const auto t2 = ts.evaluate(withPhase1(bertLarge(), 64), 8);
+        const double comm1 =
+            t1.exposedCommSeconds / t1.timed.totalSeconds();
+        const double comm2 =
+            t2.exposedCommSeconds / t2.timed.totalSeconds();
+        char measured[64];
+        std::snprintf(measured, sizeof(measured),
+                      "%.0f%% (2-way) -> %.0f%% (8-way)", comm1 * 100,
+                      comm2 * 100);
+        table.addRow({"12-13", "TS comm share grows with device count",
+                      "9% -> 42%", measured, status(comm2 > comm1)});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

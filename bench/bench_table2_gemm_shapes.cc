@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates Table 2b: the architecture-agnostic GEMM shapes of
+ * every important BERT sub-layer for FWD, BWD-activation-gradient,
+ * and BWD-weight-gradient, directly from the kernel trace. The trace
+ * builder is the source of truth, so this table doubles as a check
+ * that the emitted GEMMs match the paper's.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+int
+main()
+{
+    const BertConfig config = withPhase1(bertLarge(), 32);
+    BertTraceBuilder builder(config);
+    const OpTrace trace = builder.buildIteration();
+
+    // Collect the layer-0 GEMMs by sub-layer and phase.
+    Table table("Table 2b — BERT GEMM shapes (M x N x K, [batch]); "
+                "d_model=" + std::to_string(config.dModel) +
+                ", n*B=" + std::to_string(config.tokens()) +
+                ", d_ff=" + std::to_string(config.dFf));
+    table.setHeader({"Kernel", "Phase", "Dims (tA,tB,M,N,K,[b])",
+                     "FLOPs"});
+    for (const auto &op : trace.ops) {
+        if (op.layerIndex != 0)
+            continue;
+        if (op.kind != OpKind::Gemm && op.kind != OpKind::BatchedGemm)
+            continue;
+        table.addRow({op.name, phaseName(op.phase), op.gemm.label(),
+                      formatFlops(static_cast<double>(op.stats.flops))});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Paper Table 2b (for the same parameters):\n"
+                "  Linear      FWD %lldx%lldx%lld | BWD-act same | "
+                "BWD-wgt %lldx%lldx%lld\n"
+                "  Attn Score  FWD %lldx%lldx%lld [%lld]\n"
+                "  Attn O/p    FWD %lldx%lldx%lld [%lld]\n"
+                "  FC-1        FWD %lldx%lldx%lld\n"
+                "  FC-2        FWD %lldx%lldx%lld\n",
+                static_cast<long long>(config.dModel),
+                static_cast<long long>(config.tokens()),
+                static_cast<long long>(config.dModel),
+                static_cast<long long>(config.dModel),
+                static_cast<long long>(config.dModel),
+                static_cast<long long>(config.tokens()),
+                static_cast<long long>(config.seqLen),
+                static_cast<long long>(config.seqLen),
+                static_cast<long long>(config.headDim()),
+                static_cast<long long>(config.batch * config.numHeads),
+                static_cast<long long>(config.headDim()),
+                static_cast<long long>(config.seqLen),
+                static_cast<long long>(config.seqLen),
+                static_cast<long long>(config.batch * config.numHeads),
+                static_cast<long long>(config.dFf),
+                static_cast<long long>(config.tokens()),
+                static_cast<long long>(config.dModel),
+                static_cast<long long>(config.dModel),
+                static_cast<long long>(config.tokens()),
+                static_cast<long long>(config.dFf));
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fine-tune a tiny pre-trained BERT on a synthetic classification
+ * task (the Sec. 7 story, executed for real on the CPU substrate):
+ * pre-train briefly with LAMB, transplant the encoder weights into a
+ * classifier, fine-tune with Adam, and report accuracy — then show
+ * that the profiled breakdown of fine-tuning matches pre-training's
+ * (transformer-dominated, negligible output layer).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+namespace {
+
+BertConfig
+tinyConfig()
+{
+    BertConfig config;
+    config.name = "bert-tiny";
+    config.numLayers = 2;
+    config.dModel = 64;
+    config.numHeads = 4;
+    config.dFf = 256;
+    config.vocabSize = 256;
+    config.maxPositions = 64;
+    config.batch = 8;
+    config.seqLen = 32;
+    config.maxPredictions = 5;
+    return config;
+}
+
+/** Copy encoder parameters by name from one module tree to another. */
+void
+transplantEncoder(Module &from, Module &to)
+{
+    auto src = from.parameters();
+    auto dst = to.parameters();
+    std::size_t copied = 0;
+    for (Parameter *d : dst) {
+        for (Parameter *s : src) {
+            if (s->name == d->name &&
+                s->value.shape() == d->value.shape()) {
+                d->value = s->value.clone();
+                ++copied;
+                break;
+            }
+        }
+    }
+    std::printf("Transplanted %zu parameter tensors into the "
+                "classifier.\n",
+                copied);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int pretrain_iters = argc > 1 ? std::atoi(argv[1]) : 20;
+    const int finetune_iters = argc > 2 ? std::atoi(argv[2]) : 40;
+
+    NnRuntime rt;
+    rt.dropoutP = 0.0f;
+
+    // ---- Stage 1: brief pre-training (MLM + NSP, LAMB) ----
+    BertConfig pretrain_config = tinyConfig();
+    BertPretrainer pretrainer(pretrain_config, &rt);
+    Rng init(99);
+    pretrainer.initialize(init);
+    SyntheticDataset pretrain_data(pretrain_config, 7);
+    OptimizerConfig lamb_config;
+    lamb_config.weightDecay = 0.01f;
+    Lamb lamb(lamb_config);
+    const LrSchedule pre_schedule(5e-3f, pretrain_iters / 5 + 1,
+                                  pretrain_iters);
+    std::printf("Pre-training %d iterations (LAMB)...\n",
+                pretrain_iters);
+    auto pre_params = pretrainer.parameters();
+    for (int it = 0; it < pretrain_iters; ++it) {
+        lamb.setLearningRate(pre_schedule.at(it));
+        pretrainer.zeroGrad();
+        const auto result =
+            pretrainer.forwardBackward(pretrain_data.nextBatch());
+        lamb.step(pre_params);
+        if (it % 5 == 0 || it == pretrain_iters - 1)
+            std::printf("  pretrain iter %3d  mlm %.3f  nsp %.3f\n", it,
+                        result.mlmLoss, result.nspLoss);
+    }
+
+    // ---- Stage 2: fine-tune a classifier on the stripe task ----
+    BertConfig ft_config = tinyConfig();
+    ft_config.taskHead = TaskHead::SequenceClassification;
+    ft_config.numClasses = 2;
+    ft_config.optimizer = OptimizerKind::Adam;
+    Profiler profiler;
+    BertClassifier classifier(ft_config, &rt);
+    Rng ft_init(100);
+    classifier.initialize(ft_init);
+    transplantEncoder(pretrainer, classifier);
+
+    SyntheticDataset ft_data(ft_config, 8);
+    OptimizerConfig adam_config;
+    adam_config.learningRate = 2e-3f;
+    adam_config.weightDecay = 0.0f;
+    Adam adam(adam_config);
+    auto ft_params = classifier.parameters();
+
+    std::printf("\nFine-tuning %d iterations (Adam)...\n",
+                finetune_iters);
+    for (int it = 0; it < finetune_iters; ++it) {
+        if (it == finetune_iters - 1)
+            rt.profiler = &profiler; // paper methodology: profile one
+                                     // steady-state iteration
+        classifier.zeroGrad();
+        const auto result =
+            classifier.forwardBackward(ft_data.nextClassificationBatch());
+        adam.step(ft_params);
+        if (it % 8 == 0 || it == finetune_iters - 1)
+            std::printf("  finetune iter %3d  loss %.3f  acc %4.1f%%\n",
+                        it, result.loss, 100.0 * result.accuracy);
+    }
+
+    std::printf("\nProfiled fine-tuning iteration (real CPU "
+                "execution):\n");
+    Profiler::renderBreakdown(profiler.byScope(), profiler.totalSeconds(),
+                              "By layer scope")
+        .print(std::cout);
+    std::printf("Sec. 7's claim, live: the transformer layers dominate "
+                "fine-tuning too, and the classification head is "
+                "negligible.\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Quickstart: characterize one BERT-Large pre-training iteration with
+ * the public API — build the config, run the Characterizer, and print
+ * the paper-style breakdowns. This is the 20-line tour of the
+ * library.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+int
+main()
+{
+    // 1. Pick a model / input configuration (Table 2a parameters).
+    BertConfig config = withPhase1(bertLarge(), /*batch=*/32);
+
+    // 2. Pick (or customize) a device. Defaults approximate an
+    //    AMD Instinct MI100.
+    Characterizer characterizer(mi100());
+
+    // 3. Characterize one training iteration.
+    const CharacterizationResult result = characterizer.run(config);
+
+    std::printf("Config %s: %zu kernels, modeled iteration time %s\n\n",
+                config.tag().c_str(), result.kernelCount,
+                formatSeconds(result.totalSeconds).c_str());
+
+    // 4. Print the Fig. 3-style layer breakdown ...
+    breakdownTable(result.byScope, result.totalSeconds,
+                   "By layer scope (Fig. 3 axis)")
+        .print(std::cout);
+
+    // ... the Fig. 4-style sub-layer breakdown ...
+    breakdownTable(result.bySubLayer, result.totalSeconds,
+                   "By sub-layer group (Fig. 4 axis)")
+        .print(std::cout);
+
+    // ... the per-GEMM arithmetic-intensity table (Fig. 6) ...
+    gemmIntensityTable(result, characterizer.spec(), 0).print(std::cout);
+
+    // ... and the classic profiler view: hottest kernels.
+    topKernelsTable(result.timed, 10).print(std::cout);
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Scaling explorer: a small CLI over the analytical model. Pass any
+ * of the Table 2a hyperparameters and training options and get the
+ * modeled iteration breakdown — the tool you would use to project
+ * bottlenecks for a future Transformer before building hardware.
+ *
+ * Usage:
+ *   scaling_explorer [--layers N] [--dmodel D] [--heads H] [--dff F]
+ *                    [--batch B] [--seq N] [--mp] [--checkpoint K]
+ *                    [--adam] [--half-bw] [--2x-compute]
+ *                    [--dump-csv FILE] [--dump-chrome FILE]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/bertprof.h"
+
+using namespace bertprof;
+
+int
+main(int argc, char **argv)
+{
+    BertConfig config = withPhase1(bertLarge(), 32);
+    DeviceSpec spec = mi100();
+    std::string dump_csv, dump_chrome;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> long long {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return std::atoll(argv[++i]);
+        };
+        if (arg == "--layers") {
+            config.numLayers = static_cast<int>(next());
+        } else if (arg == "--dmodel") {
+            config.dModel = next();
+        } else if (arg == "--heads") {
+            config.numHeads = static_cast<int>(next());
+        } else if (arg == "--dff") {
+            config.dFf = next();
+        } else if (arg == "--batch") {
+            config.batch = next();
+        } else if (arg == "--seq") {
+            config.seqLen = next();
+            config.maxPredictions = config.seqLen * 15 / 100;
+        } else if (arg == "--mp") {
+            config.precision = Precision::Mixed;
+        } else if (arg == "--checkpoint") {
+            config.checkpointEvery = static_cast<int>(next());
+        } else if (arg == "--adam") {
+            config.optimizer = OptimizerKind::Adam;
+        } else if (arg == "--half-bw") {
+            spec = mi100HalfBandwidth();
+        } else if (arg == "--2x-compute") {
+            spec = futureDoubleCompute();
+        } else if (arg == "--dump-csv") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                return 1;
+            }
+            dump_csv = argv[++i];
+        } else if (arg == "--dump-chrome") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                return 1;
+            }
+            dump_chrome = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("see file header for usage\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return 1;
+        }
+    }
+
+    const std::string problem = config.validate();
+    if (!problem.empty()) {
+        std::fprintf(stderr, "invalid configuration: %s\n",
+                     problem.c_str());
+        return 1;
+    }
+
+    Characterizer characterizer(spec);
+    const auto result = characterizer.run(config);
+
+    std::printf("Device %s | config %s | %lld parameters\n",
+                spec.name.c_str(), config.tag().c_str(),
+                static_cast<long long>(config.parameterCount()));
+    std::printf("Modeled iteration: %s over %zu kernels "
+                "(%s of GEMM work)\n",
+                formatSeconds(result.totalSeconds).c_str(),
+                result.kernelCount,
+                formatPercent(result.gemmShare()).c_str());
+    const MemoryFootprint footprint = trainingFootprint(config);
+    std::printf("Memory footprint: %s\n",
+                describeFootprint(footprint).c_str());
+    const std::int64_t hbm = 32LL * 1024 * 1024 * 1024; // MI100 HBM2
+    if (footprint.total() > hbm) {
+        std::printf("  !! exceeds a 32 GiB device: consider "
+                    "--checkpoint 6 or tensor slicing\n");
+    }
+    std::printf("\n");
+
+    breakdownTable(result.byScope, result.totalSeconds, "By layer scope")
+        .print(std::cout);
+    breakdownTable(result.bySubLayer, result.totalSeconds,
+                   "By sub-layer group")
+        .print(std::cout);
+    breakdownTable(result.byPhase, result.totalSeconds,
+                   "By training phase")
+        .print(std::cout);
+    breakdownTable(result.byKind, result.totalSeconds, "By op kind")
+        .print(std::cout);
+
+    if (!dump_csv.empty() && writeTraceCsv(result.timed, dump_csv))
+        std::printf("Wrote per-kernel CSV to %s\n", dump_csv.c_str());
+    if (!dump_chrome.empty() &&
+        writeChromeTrace(result.timed, dump_chrome)) {
+        std::printf("Wrote Chrome trace to %s (open in "
+                    "chrome://tracing)\n",
+                    dump_chrome.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper figure/table into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for bench in build/bench/bench_*; do
+    name="$(basename "$bench")"
+    echo "== ${name} =="
+    "$bench" | tee "results/${name}.txt"
+done
+echo "All experiment outputs are in results/."

@@ -1,0 +1,62 @@
+#include "core/characterizer.h"
+
+namespace bertprof {
+
+double
+CharacterizationResult::scopeShare(const std::string &scope) const
+{
+    auto it = byScope.find(scope);
+    if (it == byScope.end() || totalSeconds <= 0.0)
+        return 0.0;
+    return it->second.seconds / totalSeconds;
+}
+
+double
+CharacterizationResult::subLayerShare(const std::string &sub) const
+{
+    auto it = bySubLayer.find(sub);
+    if (it == bySubLayer.end() || totalSeconds <= 0.0)
+        return 0.0;
+    return it->second.seconds / totalSeconds;
+}
+
+double
+CharacterizationResult::gemmShare() const
+{
+    if (totalSeconds <= 0.0)
+        return 0.0;
+    double gemm = 0.0;
+    for (const char *kind : {"GEMM", "B-GEMM"}) {
+        auto it = byKind.find(kind);
+        if (it != byKind.end())
+            gemm += it->second.seconds;
+    }
+    return gemm / totalSeconds;
+}
+
+CharacterizationResult
+Characterizer::run(const BertConfig &config, TraceOptions options) const
+{
+    BertTraceBuilder builder(config, options);
+    return runTrace(config, builder.buildIteration(), options);
+}
+
+CharacterizationResult
+Characterizer::runTrace(const BertConfig &config, const OpTrace &trace,
+                        TraceOptions options) const
+{
+    TraceExecutor executor(spec_);
+    CharacterizationResult result;
+    result.config = config;
+    result.options = options;
+    result.timed = executor.execute(trace);
+    result.totalSeconds = result.timed.totalSeconds();
+    result.kernelCount = result.timed.kernelCount();
+    result.byScope = result.timed.byScope();
+    result.bySubLayer = result.timed.bySubLayer();
+    result.byPhase = result.timed.byPhase();
+    result.byKind = result.timed.byKind();
+    return result;
+}
+
+} // namespace bertprof

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Characterizer: the library's top-level entry point. Wires the trace
+ * builder, device model, and aggregators together and returns the
+ * runtime breakdowns the paper's figures are built from. See
+ * examples/quickstart.cpp for typical use.
+ */
+
+#ifndef BERTPROF_CORE_CHARACTERIZER_H
+#define BERTPROF_CORE_CHARACTERIZER_H
+
+#include <map>
+#include <string>
+
+#include "perf/executor.h"
+#include "trace/bert_config.h"
+#include "trace/bert_trace_builder.h"
+#include "trace/trace_options.h"
+
+namespace bertprof {
+
+/** Everything the model produces for one training configuration. */
+struct CharacterizationResult {
+    BertConfig config;
+    TraceOptions options;
+    TimedTrace timed;
+    Seconds totalSeconds = 0.0;
+    std::size_t kernelCount = 0;
+    /** Fig. 3 axis: Embedding / Transformer / Output / Optimizer. */
+    std::map<std::string, TraceAggregate> byScope;
+    /** Fig. 4 axis: sub-layer groups. */
+    std::map<std::string, TraceAggregate> bySubLayer;
+    /** FWD / BWD / UPDATE split. */
+    std::map<std::string, TraceAggregate> byPhase;
+    /** GEMM / B-GEMM / EW / Reduce / Gather split. */
+    std::map<std::string, TraceAggregate> byKind;
+
+    /** Share of total time for a scope ("Transformer", ...). */
+    double scopeShare(const std::string &scope) const;
+
+    /** Share of total time for a sub-layer group. */
+    double subLayerShare(const std::string &sub) const;
+
+    /** Share of total time spent in (batched) GEMM kernels. */
+    double gemmShare() const;
+};
+
+/** Facade over trace building and device-model evaluation. */
+class Characterizer
+{
+  public:
+    explicit Characterizer(DeviceSpec spec = {}) : spec_(std::move(spec)) {}
+
+    /** Characterize one full training iteration. */
+    CharacterizationResult run(const BertConfig &config,
+                               TraceOptions options = {}) const;
+
+    /** Characterize an arbitrary pre-built trace. */
+    CharacterizationResult runTrace(const BertConfig &config,
+                                    const OpTrace &trace,
+                                    TraceOptions options = {}) const;
+
+    const DeviceSpec &spec() const { return spec_; }
+
+  private:
+    DeviceSpec spec_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_CORE_CHARACTERIZER_H

@@ -1,0 +1,177 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <vector>
+
+#include "perf/cost_model.h"
+#include "perf/gemm_model.h"
+#include "perf/roofline.h"
+#include "util/units.h"
+
+namespace bertprof {
+
+Seconds
+aggregateTotal(const std::map<std::string, TraceAggregate> &agg)
+{
+    Seconds total = 0.0;
+    for (const auto &[name, a] : agg)
+        total += a.seconds;
+    return total;
+}
+
+Table
+breakdownTable(const std::map<std::string, TraceAggregate> &agg,
+               Seconds total_seconds, const std::string &title)
+{
+    Table table(title);
+    table.setHeader({"Group", "Kernels", "Time", "Share", "FLOPs", "Bytes",
+                     "FLOP/B"});
+    for (const auto &[name, a] : agg) {
+        char intensity[32];
+        std::snprintf(intensity, sizeof(intensity), "%.2f",
+                      a.stats.opsPerByte());
+        table.addRow({name, std::to_string(a.kernelCount),
+                      formatSeconds(a.seconds),
+                      formatPercent(total_seconds > 0.0
+                                        ? a.seconds / total_seconds
+                                        : 0.0),
+                      formatFlops(static_cast<double>(a.stats.flops)),
+                      formatBytes(static_cast<double>(a.stats.bytesTotal())),
+                      intensity});
+    }
+    return table;
+}
+
+std::vector<std::string>
+scopeShareRow(const CharacterizationResult &result,
+              const std::vector<std::string> &scopes)
+{
+    std::vector<std::string> row;
+    row.push_back(result.config.tag());
+    for (const auto &scope : scopes)
+        row.push_back(formatPercent(result.scopeShare(scope)));
+    return row;
+}
+
+namespace {
+
+/** Strip the leading "encN." layer index from a kernel name. */
+std::string
+canonicalKernelName(const std::string &name)
+{
+    if (name.rfind("enc", 0) != 0)
+        return name;
+    const std::size_t dot = name.find('.');
+    if (dot == std::string::npos)
+        return name;
+    // Verify the part between "enc" and '.' is numeric.
+    for (std::size_t i = 3; i < dot; ++i)
+        if (!std::isdigit(static_cast<unsigned char>(name[i])))
+            return name;
+    return "enc*." + name.substr(dot + 1);
+}
+
+} // namespace
+
+Table
+topKernelsTable(const TimedTrace &timed, std::size_t top_k)
+{
+    struct Agg {
+        Seconds seconds = 0.0;
+        std::int64_t count = 0;
+        KernelStats stats;
+    };
+    std::map<std::string, Agg> by_name;
+    for (const auto &op : timed.ops) {
+        Agg &agg = by_name[canonicalKernelName(op.op.name)];
+        agg.seconds += op.time.total();
+        ++agg.count;
+        agg.stats += op.op.stats;
+    }
+    std::vector<std::pair<std::string, Agg>> sorted(by_name.begin(),
+                                                    by_name.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.seconds > b.second.seconds;
+              });
+    const Seconds total = timed.totalSeconds();
+
+    Table table("Top kernels by aggregate time");
+    table.setHeader({"Kernel", "Calls", "Time", "Share", "FLOP/B"});
+    for (std::size_t i = 0; i < sorted.size() && i < top_k; ++i) {
+        const auto &[name, agg] = sorted[i];
+        char intensity[32];
+        std::snprintf(intensity, sizeof(intensity), "%.2f",
+                      agg.stats.opsPerByte());
+        table.addRow({name, std::to_string(agg.count),
+                      formatSeconds(agg.seconds),
+                      formatPercent(total > 0 ? agg.seconds / total : 0),
+                      intensity});
+    }
+    return table;
+}
+
+CsvWriter
+rooflineScatterCsv(const TimedTrace &timed, const DeviceSpec &spec)
+{
+    CsvWriter csv;
+    csv.setHeader({"kernel", "kind", "sublayer", "ops_per_byte",
+                   "achieved_flops", "attainable_flops", "peak_flops"});
+    KernelCostModel cost(spec);
+    for (const auto &timed_op : timed.ops) {
+        const OpDesc &op = timed_op.op;
+        if (op.stats.flops == 0)
+            continue;
+        const Seconds busy =
+            std::max(timed_op.time.compute, timed_op.time.memory);
+        const double achieved =
+            busy > 0 ? static_cast<double>(op.stats.flops) / busy : 0.0;
+        const bool matrix = op.kind == OpKind::Gemm ||
+                            op.kind == OpKind::BatchedGemm;
+        csv.addRow({op.name, opKindName(op.kind), subLayerName(op.sub),
+                    std::to_string(op.opsPerByte()),
+                    std::to_string(achieved),
+                    std::to_string(attainableFlops(
+                        spec, op.kind, op.dtype, op.opsPerByte())),
+                    std::to_string(matrix ? spec.matrixFlops(op.dtype)
+                                          : spec.vectorFlops(op.dtype))});
+    }
+    return csv;
+}
+
+Table
+gemmIntensityTable(const CharacterizationResult &result,
+                   const DeviceSpec &spec, int layer_index)
+{
+    KernelCostModel cost(spec);
+    GemmModel gemm_model(spec);
+    Table table("GEMMs of transformer layer " +
+                std::to_string(layer_index) + " (" + result.config.tag() +
+                ")");
+    table.setHeader({"Kernel", "Dims (tA,tB,M,N,K,[b])", "FLOPs", "Bytes",
+                     "FLOP/B", "Eff", "BW demand", "Bound"});
+    for (const auto &timed : result.timed.ops) {
+        const OpDesc &op = timed.op;
+        if (op.layerIndex != layer_index || op.phase != Phase::Fwd)
+            continue;
+        if (op.kind != OpKind::Gemm && op.kind != OpKind::BatchedGemm)
+            continue;
+        const auto eff = gemm_model.evaluate(op.gemm, op.dtype);
+        char intensity[32], eff_str[32];
+        std::snprintf(intensity, sizeof(intensity), "%.2f",
+                      op.opsPerByte());
+        std::snprintf(eff_str, sizeof(eff_str), "%.2f", eff.efficiency);
+        table.addRow({op.name, op.gemm.label(),
+                      formatFlops(static_cast<double>(op.stats.flops)),
+                      formatBytes(static_cast<double>(
+                          op.stats.bytesTotal())),
+                      intensity, eff_str,
+                      formatPercent(cost.bandwidthDemand(op)),
+                      timed.time.memoryBound() ? "memory" : "compute"});
+    }
+    return table;
+}
+
+} // namespace bertprof

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Report builders: render the paper's figures/tables from
+ * characterization results (breakdown tables, GEMM intensity tables,
+ * stacked-share rows). Shared by bench/ binaries and examples.
+ */
+
+#ifndef BERTPROF_CORE_REPORT_H
+#define BERTPROF_CORE_REPORT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace bertprof {
+
+/** Render a share table from an aggregation map. */
+Table breakdownTable(const std::map<std::string, TraceAggregate> &agg,
+                     Seconds total_seconds, const std::string &title);
+
+/**
+ * Render one stacked-bar row (Fig. 3/8/9 style): shares of the given
+ * groups (in order) as percentages of the result's total.
+ */
+std::vector<std::string> scopeShareRow(const CharacterizationResult &result,
+                                       const std::vector<std::string>
+                                           &scopes);
+
+/**
+ * Render the per-GEMM table of Fig. 6: the label in the paper's
+ * "transA,transB,M,N,K,[batch]" format, FLOPs, bytes, arithmetic
+ * intensity, and modeled efficiency/bandwidth demand.
+ */
+Table gemmIntensityTable(const CharacterizationResult &result,
+                         const DeviceSpec &spec, int layer_index = 0);
+
+/** Sum the seconds of an aggregation map. */
+Seconds aggregateTotal(const std::map<std::string, TraceAggregate> &agg);
+
+/**
+ * The classic profiler view: the top-k kernels by aggregate time,
+ * grouped by kernel name with per-layer indices stripped (so all 24
+ * "encN.fc1.fwd" instances aggregate into one row).
+ */
+Table topKernelsTable(const TimedTrace &timed, std::size_t top_k = 15);
+
+/**
+ * Roofline scatter data: one row per op class with arithmetic
+ * intensity and modeled achieved FLOP/s — ready to plot against the
+ * device's rooflines.
+ */
+CsvWriter rooflineScatterCsv(const TimedTrace &timed,
+                             const DeviceSpec &spec);
+
+} // namespace bertprof
+
+#endif // BERTPROF_CORE_REPORT_H

@@ -1,0 +1,116 @@
+#include "core/trace_export.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace bertprof {
+
+namespace {
+
+std::string
+toStr(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+/** Minimal JSON string escaping for kernel names. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+int
+phaseTrack(Phase phase)
+{
+    switch (phase) {
+      case Phase::Fwd: return 0;
+      case Phase::Recompute: return 1;
+      case Phase::Bwd: return 2;
+      case Phase::Update: return 3;
+      case Phase::Comm: return 4;
+    }
+    return 5;
+}
+
+} // namespace
+
+CsvWriter
+traceToCsv(const TimedTrace &timed)
+{
+    CsvWriter csv;
+    csv.setHeader({"index", "name", "kind", "phase", "scope", "sublayer",
+                   "layer", "dims", "flops", "bytes_read",
+                   "bytes_written", "ops_per_byte", "compute_s",
+                   "memory_s", "overhead_s", "link_s", "total_s",
+                   "memory_bound"});
+    for (std::size_t i = 0; i < timed.ops.size(); ++i) {
+        const auto &[op, time] = timed.ops[i];
+        const bool is_gemm = op.kind == OpKind::Gemm ||
+                             op.kind == OpKind::BatchedGemm;
+        csv.addRow({std::to_string(i), op.name, opKindName(op.kind),
+                    phaseName(op.phase), layerScopeName(op.scope),
+                    subLayerName(op.sub), std::to_string(op.layerIndex),
+                    is_gemm ? op.gemm.label() : std::to_string(op.numel),
+                    std::to_string(op.stats.flops),
+                    std::to_string(op.stats.bytesRead),
+                    std::to_string(op.stats.bytesWritten),
+                    toStr(op.opsPerByte()), toStr(time.compute),
+                    toStr(time.memory), toStr(time.overhead),
+                    toStr(time.link), toStr(time.total()),
+                    time.memoryBound() ? "1" : "0"});
+    }
+    return csv;
+}
+
+bool
+writeTraceCsv(const TimedTrace &timed, const std::string &path)
+{
+    return traceToCsv(timed).writeFile(path);
+}
+
+std::string
+traceToChromeJson(const TimedTrace &timed)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    double cursor_us = 0.0;
+    for (std::size_t i = 0; i < timed.ops.size(); ++i) {
+        const auto &[op, time] = timed.ops[i];
+        const double duration_us = time.total() * 1e6;
+        if (i)
+            os << ',';
+        os << "{\"name\":\"" << jsonEscape(op.name)
+           << "\",\"cat\":\"" << layerScopeName(op.scope)
+           << "\",\"ph\":\"X\",\"ts\":" << toStr(cursor_us)
+           << ",\"dur\":" << toStr(duration_us)
+           << ",\"pid\":0,\"tid\":" << phaseTrack(op.phase)
+           << ",\"args\":{\"sublayer\":\"" << subLayerName(op.sub)
+           << "\",\"flops\":" << op.stats.flops
+           << ",\"bytes\":" << op.stats.bytesTotal() << "}}";
+        cursor_us += duration_us;
+    }
+    os << "]}";
+    return os.str();
+}
+
+bool
+writeChromeTrace(const TimedTrace &timed, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << traceToChromeJson(timed);
+    return static_cast<bool>(out);
+}
+
+} // namespace bertprof

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Trace export: dump a timed kernel trace as CSV (one row per kernel:
+ * name, taxonomy tags, dims, FLOPs, bytes, modeled times) or as
+ * Chrome trace-event JSON (open in chrome://tracing or Perfetto to
+ * see the iteration as a timeline with one track per phase).
+ */
+
+#ifndef BERTPROF_CORE_TRACE_EXPORT_H
+#define BERTPROF_CORE_TRACE_EXPORT_H
+
+#include <string>
+
+#include "perf/executor.h"
+#include "util/csv.h"
+
+namespace bertprof {
+
+/** Build a CSV table of every kernel in the timed trace. */
+CsvWriter traceToCsv(const TimedTrace &timed);
+
+/** Write the CSV to a file; returns false on I/O error. */
+bool writeTraceCsv(const TimedTrace &timed, const std::string &path);
+
+/**
+ * Render Chrome trace-event JSON ("traceEvents" array of complete
+ * events). Kernels are laid out back-to-back in issue order; each
+ * phase gets its own thread id so FWD/BWD/UPDATE/COMM appear as
+ * separate tracks.
+ */
+std::string traceToChromeJson(const TimedTrace &timed);
+
+/** Write the Chrome trace JSON to a file. */
+bool writeChromeTrace(const TimedTrace &timed, const std::string &path);
+
+} // namespace bertprof
+
+#endif // BERTPROF_CORE_TRACE_EXPORT_H

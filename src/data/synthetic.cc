@@ -1,0 +1,167 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+SyntheticDataset::SyntheticDataset(const BertConfig &config,
+                                   std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    BP_REQUIRE(config_.vocabSize > 4);
+    BP_REQUIRE(config_.maxPredictions <= config_.seqLen);
+}
+
+PretrainBatch
+SyntheticDataset::nextBatch()
+{
+    const std::int64_t b = config_.batch;
+    const std::int64_t n = config_.seqLen;
+    const std::int64_t v = config_.vocabSize;
+    const std::int64_t first_regular = 4; // after CLS/SEP/MASK/PAD
+
+    PretrainBatch batch;
+    batch.tokenIds.resize(static_cast<std::size_t>(b * n));
+    batch.segmentIds.resize(static_cast<std::size_t>(b * n));
+
+    for (std::int64_t s = 0; s < b; ++s) {
+        const std::int64_t base = s * n;
+        // Layout: [CLS] tok... [SEP] tok... — segment flips halfway.
+        batch.tokenIds[static_cast<std::size_t>(base)] = clsId();
+        batch.segmentIds[static_cast<std::size_t>(base)] = 0;
+        // Markov-ish token stream: next token correlates with the
+        // previous one so masked prediction is learnable.
+        std::int64_t prev = rng_.uniformInt(first_regular, v - 1);
+        for (std::int64_t t = 1; t < n; ++t) {
+            std::int64_t tok;
+            if (t == n / 2) {
+                tok = sepId();
+            } else if (rng_.bernoulli(0.7)) {
+                tok = first_regular +
+                      (prev - first_regular + 1) % (v - first_regular);
+            } else {
+                tok = rng_.uniformInt(first_regular, v - 1);
+            }
+            batch.tokenIds[static_cast<std::size_t>(base + t)] = tok;
+            batch.segmentIds[static_cast<std::size_t>(base + t)] =
+                t >= n / 2 ? 1 : 0;
+            prev = tok;
+        }
+
+        // Choose maxPredictions distinct maskable positions.
+        std::vector<std::int64_t> candidates;
+        for (std::int64_t t = 1; t < n; ++t) {
+            if (t != n / 2)
+                candidates.push_back(t);
+        }
+        std::shuffle(candidates.begin(), candidates.end(), rng_.engine());
+        for (std::int64_t i = 0; i < config_.maxPredictions; ++i) {
+            const std::int64_t t = candidates[static_cast<std::size_t>(i)];
+            const std::size_t flat = static_cast<std::size_t>(base + t);
+            batch.mlmPositions.push_back(base + t);
+            batch.mlmLabels.push_back(batch.tokenIds[flat]);
+            batch.tokenIds[flat] = maskId();
+        }
+        batch.nspLabels.push_back(rng_.bernoulli(0.5) ? 1 : 0);
+    }
+    return batch;
+}
+
+PretrainBatch
+SyntheticDataset::nextPaddedBatch()
+{
+    const std::int64_t b = config_.batch;
+    const std::int64_t n = config_.seqLen;
+    const std::int64_t v = config_.vocabSize;
+    const std::int64_t first_regular = 4;
+    const std::int64_t min_len = std::max<std::int64_t>(8, n / 2);
+    BP_REQUIRE(min_len <= n);
+
+    PretrainBatch batch;
+    batch.tokenIds.assign(static_cast<std::size_t>(b * n), padId());
+    batch.segmentIds.assign(static_cast<std::size_t>(b * n), 0);
+
+    for (std::int64_t s = 0; s < b; ++s) {
+        const std::int64_t base = s * n;
+        const std::int64_t len = rng_.uniformInt(min_len, n);
+        batch.seqLengths.push_back(len);
+        batch.tokenIds[static_cast<std::size_t>(base)] = clsId();
+
+        std::int64_t prev = rng_.uniformInt(first_regular, v - 1);
+        for (std::int64_t t = 1; t < len; ++t) {
+            std::int64_t tok;
+            if (t == len / 2) {
+                tok = sepId();
+            } else if (rng_.bernoulli(0.7)) {
+                tok = first_regular +
+                      (prev - first_regular + 1) % (v - first_regular);
+            } else {
+                tok = rng_.uniformInt(first_regular, v - 1);
+            }
+            batch.tokenIds[static_cast<std::size_t>(base + t)] = tok;
+            batch.segmentIds[static_cast<std::size_t>(base + t)] =
+                t >= len / 2 ? 1 : 0;
+            prev = tok;
+        }
+
+        // Mask only within the real content.
+        std::vector<std::int64_t> candidates;
+        for (std::int64_t t = 1; t < len; ++t)
+            if (t != len / 2)
+                candidates.push_back(t);
+        std::shuffle(candidates.begin(), candidates.end(), rng_.engine());
+        const std::int64_t predictions = std::min<std::int64_t>(
+            config_.maxPredictions,
+            static_cast<std::int64_t>(candidates.size()));
+        for (std::int64_t i = 0; i < predictions; ++i) {
+            const std::int64_t t = candidates[static_cast<std::size_t>(i)];
+            const std::size_t flat = static_cast<std::size_t>(base + t);
+            batch.mlmPositions.push_back(base + t);
+            batch.mlmLabels.push_back(batch.tokenIds[flat]);
+            batch.tokenIds[flat] = maskId();
+        }
+        batch.nspLabels.push_back(rng_.bernoulli(0.5) ? 1 : 0);
+    }
+    return batch;
+}
+
+ClassificationBatch
+SyntheticDataset::nextClassificationBatch()
+{
+    const std::int64_t b = config_.batch;
+    const std::int64_t n = config_.seqLen;
+    const std::int64_t v = config_.vocabSize;
+    const std::int64_t classes = config_.numClasses;
+    const std::int64_t first_regular = 4; // after CLS/SEP/MASK/PAD
+    const std::int64_t stripe = (v - first_regular) / classes;
+    BP_REQUIRE(stripe >= 1);
+
+    ClassificationBatch batch;
+    batch.tokenIds.resize(static_cast<std::size_t>(b * n));
+    batch.segmentIds.assign(static_cast<std::size_t>(b * n), 0);
+
+    for (std::int64_t s = 0; s < b; ++s) {
+        const std::int64_t base = s * n;
+        batch.tokenIds[static_cast<std::size_t>(base)] = clsId();
+        // Bias token draws toward one vocabulary stripe; that stripe
+        // is the label, so the task is learnable from token identity.
+        const std::int64_t target = rng_.uniformInt(0, classes - 1);
+        for (std::int64_t t = 1; t < n; ++t) {
+            std::int64_t tok;
+            if (rng_.bernoulli(0.7)) {
+                tok = first_regular + target * stripe +
+                      rng_.uniformInt(0, stripe - 1);
+            } else {
+                tok = rng_.uniformInt(first_regular, v - 1);
+            }
+            batch.tokenIds[static_cast<std::size_t>(base + t)] = tok;
+        }
+        batch.labels.push_back(target);
+    }
+    return batch;
+}
+
+} // namespace bertprof

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synthetic masked-LM data generator. The paper profiles fixed-shape
+ * iterations of Wikipedia pre-training; token *content* never affects
+ * kernel shapes or timing, so a synthetic corpus with the same shape
+ * distribution (n tokens per sequence, ~15% masked, NSP pairs) is a
+ * faithful substitute (see DESIGN.md substitution table).
+ */
+
+#ifndef BERTPROF_DATA_SYNTHETIC_H
+#define BERTPROF_DATA_SYNTHETIC_H
+
+#include "nn/bert_classifier.h"
+#include "nn/bert_pretrainer.h"
+#include "trace/bert_config.h"
+#include "util/rng.h"
+
+namespace bertprof {
+
+/** Generates reproducible synthetic pre-training batches. */
+class SyntheticDataset
+{
+  public:
+    /**
+     * @param config Model/input configuration (vocab, B, n, masks).
+     * @param seed RNG seed for reproducibility.
+     */
+    explicit SyntheticDataset(const BertConfig &config,
+                              std::uint64_t seed = 42);
+
+    /**
+     * Draw the next batch: random token/segment ids, a random subset
+     * of maxPredictions positions per sequence masked (replaced with
+     * the [MASK] id) with their original ids as labels, and random
+     * NSP labels. A learnable structure is injected so training has
+     * signal: label tokens are drawn from a skewed distribution
+     * correlated with their neighbors.
+     */
+    PretrainBatch nextBatch();
+
+    /**
+     * Draw a classification batch: token streams as in nextBatch()
+     * but with a *learnable* label — class = whether tokens from the
+     * lower half of the vocabulary outnumber those from the upper
+     * half (for numClasses == 2; generally, the majority vocab
+     * stripe). A linear probe over token identities can solve it, so
+     * fine-tuning must drive the loss down.
+     */
+    ClassificationBatch nextClassificationBatch();
+
+    /**
+     * Draw a variable-length batch: each sequence gets a random real
+     * length in [seqLen/2, seqLen], the tail is filled with [PAD],
+     * batch.seqLengths is set, and masked positions stay inside the
+     * real content. Exercises the padding-mask path.
+     */
+    PretrainBatch nextPaddedBatch();
+
+    /** Special token ids (within the configured vocab). */
+    std::int64_t clsId() const { return 0; }
+    std::int64_t sepId() const { return 1; }
+    std::int64_t maskId() const { return 2; }
+    std::int64_t padId() const { return 3; }
+
+  private:
+    BertConfig config_;
+    Rng rng_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_DATA_SYNTHETIC_H

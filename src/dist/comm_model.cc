@@ -1,0 +1,33 @@
+#include "dist/comm_model.h"
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+Seconds
+CommModel::allReduceTime(std::int64_t bytes, int devices) const
+{
+    BP_REQUIRE(devices >= 1);
+    if (devices == 1 || bytes == 0)
+        return 0.0;
+    const double b = static_cast<double>(bytes);
+    switch (algo_) {
+      case AllReduceAlgo::Simple:
+        return linkLatency_ + b / linkBandwidth_;
+      case AllReduceAlgo::Ring: {
+        const double d = static_cast<double>(devices);
+        const double steps = 2.0 * (d - 1.0);
+        return steps * linkLatency_ +
+               (2.0 * (d - 1.0) / d) * b / linkBandwidth_;
+      }
+    }
+    return 0.0;
+}
+
+Seconds
+CommModel::transferTime(std::int64_t bytes) const
+{
+    return linkLatency_ + static_cast<double>(bytes) / linkBandwidth_;
+}
+
+} // namespace bertprof

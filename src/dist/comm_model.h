@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Communication cost model for multi-device training (Sec. 5.1 of the
+ * paper). The paper estimates AllReduce time by dividing gradient
+ * bytes by the PCIe 4.0 link bandwidth; a Ring-AllReduce variant
+ * (Gibiansky/Baidu, the algorithm the paper cites) is also provided.
+ */
+
+#ifndef BERTPROF_DIST_COMM_MODEL_H
+#define BERTPROF_DIST_COMM_MODEL_H
+
+#include <cstdint>
+
+#include "perf/device.h"
+
+namespace bertprof {
+
+/** How AllReduce time is estimated. */
+enum class AllReduceAlgo {
+    /** bytes / link bandwidth (the paper's Sec. 5.1 model). */
+    Simple,
+    /** Ring: 2*(D-1)/D * bytes / bw + per-step latency. */
+    Ring,
+};
+
+/** Multi-device link/collective cost model. */
+class CommModel
+{
+  public:
+    CommModel(double link_bandwidth, Seconds link_latency,
+              AllReduceAlgo algo = AllReduceAlgo::Simple)
+        : linkBandwidth_(link_bandwidth), linkLatency_(link_latency),
+          algo_(algo)
+    {
+    }
+
+    /** Construct from a device spec's link parameters. */
+    explicit CommModel(const DeviceSpec &spec,
+                       AllReduceAlgo algo = AllReduceAlgo::Simple)
+        : CommModel(spec.linkBandwidth, spec.linkLatency, algo)
+    {
+    }
+
+    /** Time to all-reduce `bytes` across `devices` devices. */
+    Seconds allReduceTime(std::int64_t bytes, int devices) const;
+
+    /** Time for a point-to-point transfer of `bytes`. */
+    Seconds transferTime(std::int64_t bytes) const;
+
+    AllReduceAlgo algo() const { return algo_; }
+
+  private:
+    double linkBandwidth_;
+    Seconds linkLatency_;
+    AllReduceAlgo algo_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_DIST_COMM_MODEL_H

@@ -1,0 +1,111 @@
+#include "dist/data_parallel.h"
+
+#include <algorithm>
+#include <map>
+
+#include "trace/bert_trace_builder.h"
+#include "util/logging.h"
+
+namespace bertprof {
+
+DistributedProfile
+DataParallelModel::evaluate(const BertConfig &config, int devices,
+                            bool overlap, TraceOptions options) const
+{
+    BP_REQUIRE(devices >= 1);
+    BertTraceBuilder builder(config, options);
+    TraceExecutor executor(spec_);
+
+    DistributedProfile profile;
+    profile.timed = executor.execute(builder.buildIteration());
+    profile.computeSeconds = profile.timed.totalSeconds();
+
+    // Gradient bytes per transformer layer and for the shared
+    // (embedding/output) tensors. MP training communicates
+    // reduced-precision gradients.
+    const std::int64_t grad_elem_bytes = config.activationBytes();
+    std::map<int, std::int64_t> layer_bytes;
+    std::int64_t shared_bytes = 0;
+    for (const auto &param : config.parameterTensors()) {
+        const std::int64_t bytes = param.numel * grad_elem_bytes;
+        if (param.layerIndex >= 0)
+            layer_bytes[param.layerIndex] += bytes;
+        else
+            shared_bytes += bytes;
+    }
+
+    // Per-layer backward compute available for overlap.
+    std::map<int, Seconds> layer_bwd;
+    for (const auto &timed : profile.timed.ops) {
+        if (timed.op.layerIndex >= 0 &&
+            (timed.op.phase == Phase::Bwd ||
+             timed.op.phase == Phase::Recompute)) {
+            layer_bwd[timed.op.layerIndex] += timed.time.total();
+        }
+    }
+
+    if (!overlap) {
+        // Gradients are communicated after the whole backprop as one
+        // fused collective over the full model.
+        std::int64_t all_bytes = shared_bytes;
+        for (const auto &[layer, bytes] : layer_bytes)
+            all_bytes += bytes;
+        const Seconds comm = comm_.allReduceTime(all_bytes, devices);
+        profile.totalCommSeconds = comm;
+        profile.exposedCommSeconds = devices > 1 ? comm : 0.0;
+        if (devices > 1 && comm > 0.0) {
+            OpDesc comm_op;
+            comm_op.name = "dp.allreduce.serial";
+            comm_op.kind = OpKind::Comm;
+            comm_op.phase = Phase::Comm;
+            comm_op.scope = LayerScope::Network;
+            comm_op.sub = SubLayer::AllReduce;
+            comm_op.commBytes = all_bytes;
+            KernelTime time;
+            time.link = comm;
+            profile.timed.ops.push_back({comm_op, time});
+        }
+        return profile;
+    }
+
+    Seconds total_comm = 0.0;
+    Seconds exposed = 0.0;
+    for (const auto &[layer, bytes] : layer_bytes) {
+        const Seconds comm = comm_.allReduceTime(bytes, devices);
+        total_comm += comm;
+        // Layer l's gradients are communicated while layer l-1 is
+        // backpropagated; layer 0 has nothing left to hide behind
+        // (the paper's "except for the first layer").
+        if (layer == 0) {
+            exposed += comm;
+        } else {
+            auto it = layer_bwd.find(layer - 1);
+            const Seconds window =
+                it != layer_bwd.end() ? it->second : 0.0;
+            exposed += std::max<Seconds>(0.0, comm - window);
+        }
+    }
+    const Seconds shared_comm = comm_.allReduceTime(shared_bytes, devices);
+    total_comm += shared_comm;
+    // Embedding gradients materialize at the very end of backprop, so
+    // their communication is always exposed.
+    exposed += shared_comm;
+
+    profile.totalCommSeconds = total_comm;
+    profile.exposedCommSeconds = devices > 1 ? exposed : 0.0;
+
+    if (devices > 1 && profile.exposedCommSeconds > 0.0) {
+        OpDesc comm_op;
+        comm_op.name = "dp.allreduce.exposed";
+        comm_op.kind = OpKind::Comm;
+        comm_op.phase = Phase::Comm;
+        comm_op.scope = LayerScope::Network;
+        comm_op.sub = SubLayer::AllReduce;
+        KernelTime time;
+        time.link = profile.exposedCommSeconds;
+        profile.timed.ops.push_back({comm_op, time});
+    }
+    return profile;
+}
+
+} // namespace bertprof

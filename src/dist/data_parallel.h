@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Data-parallel training model (Sec. 5.1/5.2 of the paper): each
+ * device holds a model replica and computes the full iteration;
+ * per-layer gradient AllReduces can be overlapped with the backprop
+ * of earlier layers. The exposed (non-overlapped) communication is
+ * what appears in the per-GPU breakdown of Fig. 11 (D1 vs D2).
+ */
+
+#ifndef BERTPROF_DIST_DATA_PARALLEL_H
+#define BERTPROF_DIST_DATA_PARALLEL_H
+
+#include "dist/comm_model.h"
+#include "perf/executor.h"
+#include "trace/bert_config.h"
+#include "trace/trace_options.h"
+
+namespace bertprof {
+
+/** Result of evaluating a distributed configuration. */
+struct DistributedProfile {
+    /** Per-device timed trace, Network ops included. */
+    TimedTrace timed;
+    /** Device-side compute time (no communication). */
+    Seconds computeSeconds = 0.0;
+    /** Communication time not hidden behind compute. */
+    Seconds exposedCommSeconds = 0.0;
+    /** Total communication issued (hidden + exposed). */
+    Seconds totalCommSeconds = 0.0;
+
+    /** Modeled iteration time on each device. */
+    Seconds totalSeconds() const
+    {
+        return computeSeconds + exposedCommSeconds;
+    }
+};
+
+/** Models data-parallel training of a BERT configuration. */
+class DataParallelModel
+{
+  public:
+    DataParallelModel(const DeviceSpec &spec, CommModel comm)
+        : spec_(spec), comm_(comm)
+    {
+    }
+
+    /**
+     * Evaluate per-device behaviour with `devices` replicas.
+     *
+     * @param config Per-device model/input configuration (B is the
+     *        per-device mini-batch).
+     * @param devices Replica count D.
+     * @param overlap Whether per-layer gradient communication is
+     *        overlapped with backprop of the next layers (D2) or
+     *        serialized after the whole backprop (D1).
+     */
+    DistributedProfile evaluate(const BertConfig &config, int devices,
+                                bool overlap,
+                                TraceOptions options = {}) const;
+
+  private:
+    DeviceSpec spec_;
+    CommModel comm_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_DIST_DATA_PARALLEL_H

@@ -1,0 +1,57 @@
+#include "dist/hierarchical_comm.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+HierarchicalCommModel::HierarchicalCommModel(double intra_bandwidth,
+                                             double inter_bandwidth,
+                                             int node_size,
+                                             Seconds latency)
+    : intraBandwidth_(intra_bandwidth), interBandwidth_(inter_bandwidth),
+      nodeSize_(node_size), latency_(latency)
+{
+    BP_REQUIRE(intra_bandwidth > 0.0 && inter_bandwidth > 0.0);
+    BP_REQUIRE(node_size >= 1);
+}
+
+Seconds
+HierarchicalCommModel::intraNodeTime(std::int64_t bytes, int devices) const
+{
+    const int local = std::min(devices, nodeSize_);
+    if (local <= 1 || bytes == 0)
+        return 0.0;
+    const double s = static_cast<double>(local);
+    // Reduce-scatter + all-gather = a full ring all-reduce's traffic.
+    return 2.0 * (s - 1.0) * latency_ +
+           2.0 * ((s - 1.0) / s) * static_cast<double>(bytes) /
+               intraBandwidth_;
+}
+
+Seconds
+HierarchicalCommModel::interNodeTime(std::int64_t bytes, int devices) const
+{
+    if (devices <= nodeSize_ || bytes == 0)
+        return 0.0;
+    const int nodes = (devices + nodeSize_ - 1) / nodeSize_;
+    const double m = static_cast<double>(nodes);
+    const int local = std::min(devices, nodeSize_);
+    // Each device carries a 1/local shard across the node ring.
+    const double shard =
+        static_cast<double>(bytes) / static_cast<double>(local);
+    return 2.0 * (m - 1.0) * latency_ +
+           2.0 * ((m - 1.0) / m) * shard / interBandwidth_;
+}
+
+Seconds
+HierarchicalCommModel::allReduceTime(std::int64_t bytes, int devices) const
+{
+    BP_REQUIRE(devices >= 1);
+    if (devices == 1 || bytes == 0)
+        return 0.0;
+    return intraNodeTime(bytes, devices) + interNodeTime(bytes, devices);
+}
+
+} // namespace bertprof

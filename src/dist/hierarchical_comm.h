@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Two-level (non-homogeneous) network model: fast links within a node
+ * (e.g. xGMI/NVLink-class) and slower links across nodes (PCIe/NIC
+ * class). Sec. 5.2 of the paper argues its distributed-training
+ * takeaways survive non-homogeneous networks — the absolute cost is
+ * bottlenecked by the slowest hop but the trends stand. This model
+ * lets the benchmarks demonstrate that claim quantitatively.
+ */
+
+#ifndef BERTPROF_DIST_HIERARCHICAL_COMM_H
+#define BERTPROF_DIST_HIERARCHICAL_COMM_H
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace bertprof {
+
+/** Hierarchical ring AllReduce over intra-node + inter-node links. */
+class HierarchicalCommModel
+{
+  public:
+    /**
+     * @param intra_bandwidth Per-link bandwidth within a node.
+     * @param inter_bandwidth Per-node bandwidth across nodes.
+     * @param node_size Devices per node.
+     * @param latency Per-hop message latency.
+     */
+    HierarchicalCommModel(double intra_bandwidth, double inter_bandwidth,
+                          int node_size, Seconds latency = 5e-6);
+
+    /**
+     * AllReduce of `bytes` across `devices` devices: ring
+     * reduce-scatter within each node, ring all-reduce of the
+     * node-local shards across nodes, then intra-node all-gather.
+     */
+    Seconds allReduceTime(std::int64_t bytes, int devices) const;
+
+    /** Time of the intra-node portion alone. */
+    Seconds intraNodeTime(std::int64_t bytes, int devices) const;
+
+    /** Time of the inter-node portion alone. */
+    Seconds interNodeTime(std::int64_t bytes, int devices) const;
+
+    int nodeSize() const { return nodeSize_; }
+
+  private:
+    double intraBandwidth_;
+    double interBandwidth_;
+    int nodeSize_;
+    Seconds latency_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_DIST_HIERARCHICAL_COMM_H

@@ -1,0 +1,79 @@
+#include "dist/hybrid.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+DistributedProfile
+HybridModel::evaluate(const BertConfig &config, int ts_ways,
+                      int dp_replicas, TraceOptions options) const
+{
+    BP_REQUIRE(ts_ways >= 1 && dp_replicas >= 1);
+    DistributedProfile profile = ts_.evaluate(config, ts_ways, options);
+    if (dp_replicas == 1)
+        return profile;
+
+    // Per-layer gradient bytes of this device's shard (1/ts_ways of
+    // the layer parameters; shared tensors are replicated and must be
+    // fully exchanged).
+    const std::int64_t grad_elem_bytes = config.activationBytes();
+    std::map<int, std::int64_t> layer_bytes;
+    std::int64_t shared_bytes = 0;
+    for (const auto &param : config.parameterTensors()) {
+        const std::int64_t bytes = param.numel * grad_elem_bytes;
+        if (param.layerIndex >= 0)
+            layer_bytes[param.layerIndex] += bytes / ts_ways;
+        else
+            shared_bytes += bytes;
+    }
+
+    // Backprop compute windows per layer (includes the serialized TS
+    // all-reduces, which the DP exchange can also hide behind).
+    std::map<int, Seconds> layer_bwd;
+    for (const auto &timed : profile.timed.ops) {
+        if (timed.op.layerIndex >= 0 &&
+            (timed.op.phase == Phase::Bwd ||
+             timed.op.phase == Phase::Recompute ||
+             timed.op.phase == Phase::Comm)) {
+            layer_bwd[timed.op.layerIndex] += timed.time.total();
+        }
+    }
+
+    Seconds total_comm = 0.0;
+    Seconds exposed = 0.0;
+    for (const auto &[layer, bytes] : layer_bytes) {
+        const Seconds comm = comm_.allReduceTime(bytes, dp_replicas);
+        total_comm += comm;
+        if (layer == 0) {
+            exposed += comm;
+        } else {
+            auto it = layer_bwd.find(layer - 1);
+            const Seconds window =
+                it != layer_bwd.end() ? it->second : 0.0;
+            exposed += std::max<Seconds>(0.0, comm - window);
+        }
+    }
+    const Seconds shared_comm =
+        comm_.allReduceTime(shared_bytes, dp_replicas);
+    total_comm += shared_comm;
+    exposed += shared_comm;
+
+    profile.totalCommSeconds += total_comm;
+    profile.exposedCommSeconds += exposed;
+
+    OpDesc comm_op;
+    comm_op.name = "hybrid.dp.allreduce.exposed";
+    comm_op.kind = OpKind::Comm;
+    comm_op.phase = Phase::Comm;
+    comm_op.scope = LayerScope::Network;
+    comm_op.sub = SubLayer::AllReduce;
+    KernelTime time;
+    time.link = exposed;
+    profile.timed.ops.push_back({comm_op, time});
+    return profile;
+}
+
+} // namespace bertprof

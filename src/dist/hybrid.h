@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hybrid parallelism (Sec. 2.5: "models also use a hybrid approach,
+ * where the model is split between M devices in a cluster, and
+ * replicated across D such clusters"): tensor slicing inside a group,
+ * data parallelism across groups. The per-device profile is the
+ * tensor-sliced iteration plus a data-parallel exchange of the
+ * sliced gradients (1/M of the model per device).
+ */
+
+#ifndef BERTPROF_DIST_HYBRID_H
+#define BERTPROF_DIST_HYBRID_H
+
+#include "dist/comm_model.h"
+#include "dist/data_parallel.h"
+#include "dist/tensor_slicing.h"
+
+namespace bertprof {
+
+/** Models M-way tensor slicing x D-way data parallelism. */
+class HybridModel
+{
+  public:
+    HybridModel(const DeviceSpec &spec, CommModel comm)
+        : spec_(spec), comm_(comm), ts_(spec, comm)
+    {
+    }
+
+    /**
+     * Evaluate `ts_ways` x `dp_replicas` training. `config.batch` is
+     * the per-group mini-batch (each group of ts_ways devices shares
+     * it; the global batch is config.batch * dp_replicas). The DP
+     * gradient all-reduce covers each device's 1/ts_ways parameter
+     * shard and runs across the dp_replicas peer devices holding the
+     * same shard; like plain DP it can overlap with backprop, so
+     * only the tail is exposed.
+     */
+    DistributedProfile evaluate(const BertConfig &config, int ts_ways,
+                                int dp_replicas,
+                                TraceOptions options = {}) const;
+
+  private:
+    DeviceSpec spec_;
+    CommModel comm_;
+    TensorSlicingModel ts_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_DIST_HYBRID_H

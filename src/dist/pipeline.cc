@@ -1,0 +1,90 @@
+#include "dist/pipeline.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "trace/bert_trace_builder.h"
+#include "util/logging.h"
+
+namespace bertprof {
+
+PipelineProfile
+PipelineModel::evaluate(const BertConfig &config, int stages,
+                        int micro_batches, TraceOptions options) const
+{
+    BP_REQUIRE(stages >= 1 && micro_batches >= 1);
+    BP_REQUIRE(config.numLayers % stages == 0);
+    BP_REQUIRE(config.batch % micro_batches == 0);
+
+    // Per-micro-batch trace.
+    BertConfig micro = config;
+    micro.batch = config.batch / micro_batches;
+    BertTraceBuilder builder(micro, options);
+    TraceExecutor executor(spec_);
+
+    OpTrace fwd_bwd = builder.buildForward();
+    fwd_bwd.append(builder.buildBackward());
+    const TimedTrace timed = executor.execute(fwd_bwd);
+
+    // Time per transformer layer plus the embedding (stage 0) and
+    // output head (last stage) extras.
+    std::vector<Seconds> layer_time(
+        static_cast<std::size_t>(config.numLayers), 0.0);
+    Seconds embedding_time = 0.0, output_time = 0.0;
+    for (const auto &op : timed.ops) {
+        if (op.op.layerIndex >= 0) {
+            layer_time[static_cast<std::size_t>(op.op.layerIndex)] +=
+                op.time.total();
+        } else if (op.op.scope == LayerScope::Embedding) {
+            embedding_time += op.time.total();
+        } else if (op.op.scope == LayerScope::Output) {
+            output_time += op.time.total();
+        }
+    }
+
+    const int layers_per_stage = config.numLayers / stages;
+    Seconds max_slot = 0.0;
+    for (int stage = 0; stage < stages; ++stage) {
+        Seconds slot = 0.0;
+        for (int l = stage * layers_per_stage;
+             l < (stage + 1) * layers_per_stage; ++l)
+            slot += layer_time[static_cast<std::size_t>(l)];
+        if (stage == 0)
+            slot += embedding_time;
+        if (stage == stages - 1)
+            slot += output_time;
+        max_slot = std::max(max_slot, slot);
+    }
+
+    PipelineProfile profile;
+    profile.stageSeconds = max_slot * micro_batches;
+    profile.bubbleFraction =
+        static_cast<double>(stages - 1) /
+        static_cast<double>(micro_batches + stages - 1);
+
+    // Activation + gradient transfers across each boundary, per
+    // micro-batch; only the (S-1) fill/drain hops sit on the critical
+    // path (steady-state transfers overlap with compute).
+    const std::int64_t boundary_bytes =
+        micro.tokens() * config.dModel * config.activationBytes();
+    const Seconds hop = comm_.transferTime(boundary_bytes);
+    profile.commSeconds =
+        2.0 * hop * static_cast<double>((stages - 1) * micro_batches);
+    const Seconds exposed_comm =
+        2.0 * hop * static_cast<double>(stages - 1);
+
+    // Optimizer: parameters split across stages; every stage updates
+    // its shard concurrently, so the slowest (1/S of the work plus
+    // the fixed grad-norm) gates.
+    const TimedTrace update = executor.execute(builder.buildUpdate());
+    profile.updateSeconds =
+        stages > 1 ? update.totalSeconds() / stages
+                   : update.totalSeconds();
+
+    profile.totalSeconds =
+        static_cast<double>(micro_batches + stages - 1) * max_slot +
+        exposed_comm + profile.updateSeconds;
+    return profile;
+}
+
+} // namespace bertprof

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Pipeline parallelism (GPipe-style): the other form of model
+ * parallelism Sec. 2.5 alludes to. The N transformer layers are split
+ * into S stages on S devices; a mini-batch is cut into M micro-batches
+ * that flow through the pipeline. Utilization is bounded by the bubble
+ * fraction (S-1)/(M+S-1); activations cross stage boundaries once per
+ * micro-batch per direction.
+ */
+
+#ifndef BERTPROF_DIST_PIPELINE_H
+#define BERTPROF_DIST_PIPELINE_H
+
+#include "dist/comm_model.h"
+#include "perf/executor.h"
+#include "trace/bert_config.h"
+#include "trace/trace_options.h"
+
+namespace bertprof {
+
+/** Modeled behaviour of one pipeline-parallel iteration. */
+struct PipelineProfile {
+    /** Per-stage compute time for the whole mini-batch (max stage). */
+    Seconds stageSeconds = 0.0;
+    /** Pipeline bubble fraction: (S-1)/(M+S-1). */
+    double bubbleFraction = 0.0;
+    /** Activation transfer time across stage boundaries (total). */
+    Seconds commSeconds = 0.0;
+    /** Optimizer time on the slowest stage (parameters split /S). */
+    Seconds updateSeconds = 0.0;
+    /** Modeled iteration time. */
+    Seconds totalSeconds = 0.0;
+};
+
+/** Models S-stage pipeline-parallel training. */
+class PipelineModel
+{
+  public:
+    PipelineModel(const DeviceSpec &spec, CommModel comm)
+        : spec_(spec), comm_(comm)
+    {
+    }
+
+    /**
+     * Evaluate `stages`-deep pipelining of the configuration with
+     * `micro_batches` micro-batches per mini-batch (config.batch is
+     * the global mini-batch; each micro-batch is batch/micro_batches,
+     * which must divide evenly, as must numLayers/stages).
+     */
+    PipelineProfile evaluate(const BertConfig &config, int stages,
+                             int micro_batches,
+                             TraceOptions options = {}) const;
+
+  private:
+    DeviceSpec spec_;
+    CommModel comm_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_DIST_PIPELINE_H

@@ -1,0 +1,203 @@
+#include "dist/tensor_slicing.h"
+
+#include <string>
+
+#include "trace/bert_trace_builder.h"
+#include "util/logging.h"
+
+namespace bertprof {
+
+namespace {
+
+bool
+endsWith(const std::string &name, const std::string &suffix)
+{
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+bool
+endsWithAny(const std::string &name,
+            std::initializer_list<const char *> suffixes)
+{
+    for (const char *suffix : suffixes)
+        if (endsWith(name, suffix))
+            return true;
+    return false;
+}
+
+/** Scale an element-wise op's work and traffic by 1/ways. */
+void
+shrinkEw(OpDesc &op, int ways)
+{
+    op.numel /= ways;
+    op.stats.flops /= ways;
+    op.stats.bytesRead /= ways;
+    op.stats.bytesWritten /= ways;
+}
+
+/** Recompute a GEMM op's stats after its dims changed. */
+void
+refreshGemm(OpDesc &op)
+{
+    op.stats = gemmStats(op.gemm.m, op.gemm.n, op.gemm.k, op.gemm.batch,
+                         dtypeBytes(op.dtype));
+}
+
+OpDesc
+makeAllReduce(const std::string &name, Phase phase, std::int64_t bytes)
+{
+    OpDesc op;
+    op.name = name;
+    op.kind = OpKind::Comm;
+    op.phase = phase;
+    op.scope = LayerScope::Network;
+    op.sub = SubLayer::AllReduce;
+    op.commBytes = bytes;
+    return op;
+}
+
+} // namespace
+
+OpTrace
+TensorSlicingModel::buildSlicedTrace(const BertConfig &config, int ways,
+                                     TraceOptions options)
+{
+    BP_REQUIRE(ways >= 1);
+    BP_REQUIRE(config.numHeads % ways == 0);
+    BP_REQUIRE(config.dModel % ways == 0 && config.dFf % ways == 0);
+
+    BertTraceBuilder builder(config, options);
+    OpTrace full = builder.buildIteration();
+    if (ways == 1)
+        return full;
+
+    const std::int64_t activation_bytes =
+        config.tokens() * config.dModel * config.activationBytes();
+
+    OpTrace sliced;
+    for (OpDesc op : full.ops) {
+        const std::string &name = op.name;
+        bool emit_fwd_allreduce = false;
+        bool emit_bwd_allreduce = false;
+
+        if (op.scope == LayerScope::Optimizer) {
+            // LAMB work is split with the parameters (Takeaway 12).
+            shrinkEw(op, ways);
+        } else if (op.kind == OpKind::Gemm ||
+                   op.kind == OpKind::BatchedGemm) {
+            if (op.sub == SubLayer::AttnBGemm) {
+                // Heads are divided among devices.
+                op.gemm.batch /= ways;
+                refreshGemm(op);
+            } else if (endsWithAny(name, {"attn.q.fwd", "attn.k.fwd",
+                                          "attn.v.fwd", "attn.qkv.fwd",
+                                          "fc1.fwd"})) {
+                // Column-parallel forward: output features split.
+                op.gemm.m /= ways;
+                refreshGemm(op);
+            } else if (endsWithAny(name, {"attn.q.wgrad", "attn.k.wgrad",
+                                          "attn.v.wgrad",
+                                          "attn.qkv.wgrad"})) {
+                op.gemm.m /= ways;
+                refreshGemm(op);
+            } else if (endsWith(name, "fc1.wgrad")) {
+                op.gemm.n /= ways;
+                refreshGemm(op);
+            } else if (endsWithAny(name, {"attn.q.dgrad", "attn.k.dgrad",
+                                          "attn.v.dgrad",
+                                          "attn.qkv.dgrad",
+                                          "fc1.dgrad"})) {
+                // Column-parallel backward produces a partial [T, d]
+                // that must be all-reduced; the last such GEMM in the
+                // group triggers the collective.
+                op.gemm.k /= ways;
+                refreshGemm(op);
+                if (endsWithAny(name,
+                                {"attn.q.dgrad", "attn.qkv.dgrad",
+                                 "fc1.dgrad"})) {
+                    emit_bwd_allreduce = true;
+                }
+            } else if (endsWithAny(name, {"attn.out.fwd", "fc2.fwd"})) {
+                // Row-parallel forward: K split, output is a partial
+                // sum that is all-reduced before bias/dropout.
+                op.gemm.k /= ways;
+                refreshGemm(op);
+                emit_fwd_allreduce = true;
+            } else if (endsWith(name, "attn.out.wgrad")) {
+                op.gemm.n /= ways;
+                refreshGemm(op);
+            } else if (endsWithAny(name,
+                                   {"attn.out.dgrad", "fc2.dgrad"})) {
+                op.gemm.m /= ways;
+                refreshGemm(op);
+            } else if (endsWith(name, "fc2.wgrad")) {
+                op.gemm.m /= ways;
+                refreshGemm(op);
+            }
+            // Embedding/output GEMMs: replicated, unchanged.
+        } else if (op.sub == SubLayer::AttnScaleMaskDrSm ||
+                   op.sub == SubLayer::FcGelu) {
+            // These operate on per-head scores / split d_ff features.
+            shrinkEw(op, ways);
+        } else if (op.sub == SubLayer::AttnLinear &&
+                   (endsWithAny(name,
+                                {"attn.q.bias", "attn.k.bias",
+                                 "attn.v.bias", "attn.qkv.bias",
+                                 "attn.q.bias.bwd", "attn.k.bias.bwd",
+                                 "attn.v.bias.bwd",
+                                 "attn.qkv.bias.bwd"}))) {
+            shrinkEw(op, ways);
+        } else if (op.sub == SubLayer::FcGemm &&
+                   endsWithAny(name, {"fc1.bias", "fc1.bias.bwd"})) {
+            shrinkEw(op, ways);
+        }
+        // DR+RC+LN, embedding, output head: replicated, unchanged
+        // (Takeaway: their share grows with device count).
+
+        const int layer = op.layerIndex;
+        const Phase phase = op.phase;
+        sliced.add(std::move(op));
+        if (emit_fwd_allreduce) {
+            OpDesc comm = makeAllReduce("ts.allreduce.fwd", phase,
+                                        activation_bytes);
+            comm.layerIndex = layer;
+            sliced.add(std::move(comm));
+        }
+        if (emit_bwd_allreduce) {
+            OpDesc comm = makeAllReduce("ts.allreduce.bwd", Phase::Comm,
+                                        activation_bytes);
+            comm.layerIndex = layer;
+            sliced.add(std::move(comm));
+        }
+    }
+    return sliced;
+}
+
+DistributedProfile
+TensorSlicingModel::evaluate(const BertConfig &config, int ways,
+                             TraceOptions options) const
+{
+    OpTrace trace = buildSlicedTrace(config, ways, options);
+    TraceExecutor executor(spec_);
+
+    DistributedProfile profile;
+    profile.timed = executor.execute(trace);
+    // Re-time the AllReduce ops with the collective model (the
+    // executor's per-op link model is point-to-point).
+    for (auto &timed : profile.timed.ops) {
+        if (timed.op.kind != OpKind::Comm)
+            continue;
+        timed.time = KernelTime{};
+        timed.time.link = comm_.allReduceTime(timed.op.commBytes, ways);
+        profile.totalCommSeconds += timed.time.link;
+    }
+    // Tensor slicing's communication is serialized with compute.
+    profile.exposedCommSeconds = profile.totalCommSeconds;
+    profile.computeSeconds =
+        profile.timed.totalSeconds() - profile.totalCommSeconds;
+    return profile;
+}
+
+} // namespace bertprof

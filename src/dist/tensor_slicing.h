@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Megatron-LM-style tensor slicing (Sec. 5.1 of the paper): each
+ * transformer layer's weight matrices are split m ways (Q/K/V and
+ * FC-1 column-parallel, output projection and FC-2 row-parallel),
+ * DR+RC+LN and the embedding/output layers are replicated, the
+ * optimizer is split m ways, and four serialized AllReduces of the
+ * [B*n, d_model] activations/gradients run per layer per iteration
+ * (two forward, two backward). Unlike data parallelism these cannot
+ * be overlapped (data dependencies).
+ */
+
+#ifndef BERTPROF_DIST_TENSOR_SLICING_H
+#define BERTPROF_DIST_TENSOR_SLICING_H
+
+#include "dist/comm_model.h"
+#include "dist/data_parallel.h"
+#include "perf/executor.h"
+#include "trace/bert_config.h"
+#include "trace/trace_options.h"
+
+namespace bertprof {
+
+/** Models m-way tensor-sliced training of a BERT configuration. */
+class TensorSlicingModel
+{
+  public:
+    TensorSlicingModel(const DeviceSpec &spec, CommModel comm)
+        : spec_(spec), comm_(comm)
+    {
+    }
+
+    /**
+     * Evaluate per-device behaviour with the model split `ways` ways.
+     * `config.batch` is the global mini-batch (every device sees all
+     * activations in tensor slicing).
+     */
+    DistributedProfile evaluate(const BertConfig &config, int ways,
+                                TraceOptions options = {}) const;
+
+    /**
+     * The per-device kernel trace after an m-way split, including the
+     * serialized AllReduce ops. Exposed for testing.
+     */
+    static OpTrace buildSlicedTrace(const BertConfig &config, int ways,
+                                    TraceOptions options = {});
+
+  private:
+    DeviceSpec spec_;
+    CommModel comm_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_DIST_TENSOR_SLICING_H

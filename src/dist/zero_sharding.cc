@@ -1,0 +1,90 @@
+#include "dist/zero_sharding.h"
+
+#include <algorithm>
+
+#include "perf/executor.h"
+#include "trace/bert_trace_builder.h"
+#include "util/logging.h"
+
+namespace bertprof {
+
+Seconds
+ZeroShardingModel::shardCollectiveTime(std::int64_t bytes,
+                                       int devices) const
+{
+    if (devices <= 1 || bytes == 0)
+        return 0.0;
+    // Ring reduce-scatter / all-gather each move (D-1)/D of the data
+    // (half of a ring all-reduce).
+    const double d = static_cast<double>(devices);
+    return spec_.linkLatency * (d - 1.0) +
+           ((d - 1.0) / d) * static_cast<double>(bytes) /
+               spec_.linkBandwidth;
+}
+
+DistributedProfile
+ZeroShardingModel::evaluate(const BertConfig &config, int devices,
+                            TraceOptions options) const
+{
+    BP_REQUIRE(devices >= 1);
+    BertTraceBuilder builder(config, options);
+    TraceExecutor executor(spec_);
+
+    // Per-device compute: full FWD+BWD, optimizer work divided D ways.
+    OpTrace trace = builder.buildForward();
+    trace.append(builder.buildBackward());
+    OpTrace update = builder.buildUpdate();
+    for (OpDesc op : update.ops) {
+        if (devices > 1 && op.sub != SubLayer::GradNorm) {
+            op.numel /= devices;
+            op.stats.flops /= devices;
+            op.stats.bytesRead /= devices;
+            op.stats.bytesWritten /= devices;
+        }
+        trace.add(std::move(op));
+    }
+
+    DistributedProfile profile;
+    profile.timed = executor.execute(trace);
+    profile.computeSeconds = profile.timed.totalSeconds();
+    if (devices <= 1)
+        return profile;
+
+    const std::int64_t grad_bytes =
+        config.parameterCount() * config.activationBytes();
+
+    // Gradient reduce-scatter: overlappable with backprop like DP;
+    // conservatively expose only the final layer's share plus the
+    // LAMB grad-norm all-reduce of per-shard partial norms (tiny but
+    // serialized — the paper's caveat that at least one device must
+    // see every gradient's contribution).
+    const Seconds reduce_scatter =
+        shardCollectiveTime(grad_bytes, devices);
+    const std::int64_t per_layer_bytes =
+        grad_bytes / std::max(1, config.numLayers);
+    const Seconds exposed_rs =
+        shardCollectiveTime(per_layer_bytes, devices);
+    const Seconds norm_allreduce =
+        comm_.allReduceTime(static_cast<std::int64_t>(devices) * 8,
+                            devices);
+
+    // Parameter all-gather after the (sharded) update: fully exposed.
+    const Seconds all_gather = shardCollectiveTime(grad_bytes, devices);
+
+    profile.totalCommSeconds = reduce_scatter + norm_allreduce +
+                               all_gather;
+    profile.exposedCommSeconds = exposed_rs + norm_allreduce + all_gather;
+
+    OpDesc comm_op;
+    comm_op.name = "zero.collectives.exposed";
+    comm_op.kind = OpKind::Comm;
+    comm_op.phase = Phase::Comm;
+    comm_op.scope = LayerScope::Network;
+    comm_op.sub = SubLayer::AllReduce;
+    KernelTime time;
+    time.link = profile.exposedCommSeconds;
+    profile.timed.ops.push_back({comm_op, time});
+    return profile;
+}
+
+} // namespace bertprof

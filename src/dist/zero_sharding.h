@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ZeRO-style optimizer-sharded data parallelism — the optimization the
+ * paper's Sec. 5.2 discusses (Rajbhandari et al. [69]): each of the D
+ * replicas keeps only 1/D of the optimizer state, reduce-scatters
+ * gradients instead of all-reducing them, updates its parameter shard,
+ * and all-gathers the updated parameters. The paper's caveat is
+ * modeled too: LAMB's global gradient L2 norm still needs a full view
+ * of all gradients before any shard can update, adding a small
+ * serialized collective.
+ */
+
+#ifndef BERTPROF_DIST_ZERO_SHARDING_H
+#define BERTPROF_DIST_ZERO_SHARDING_H
+
+#include "dist/comm_model.h"
+#include "dist/data_parallel.h"
+#include "trace/bert_config.h"
+#include "trace/trace_options.h"
+
+namespace bertprof {
+
+/** Models ZeRO-style sharded-optimizer data parallelism. */
+class ZeroShardingModel
+{
+  public:
+    ZeroShardingModel(const DeviceSpec &spec, CommModel comm)
+        : spec_(spec), comm_(comm)
+    {
+    }
+
+    /**
+     * Evaluate per-device behaviour with `devices` replicas. The
+     * gradient reduce-scatter overlaps with backprop (like DP-overlap)
+     * but the post-update parameter all-gather is serialized: nothing
+     * can hide behind it.
+     */
+    DistributedProfile evaluate(const BertConfig &config, int devices,
+                                TraceOptions options = {}) const;
+
+    /** Time of a ring reduce-scatter (or all-gather) of `bytes`. */
+    Seconds shardCollectiveTime(std::int64_t bytes, int devices) const;
+
+  private:
+    DeviceSpec spec_;
+    CommModel comm_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_DIST_ZERO_SHARDING_H

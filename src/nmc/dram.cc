@@ -1,0 +1,23 @@
+#include "nmc/dram.h"
+
+namespace bertprof {
+
+DramSpec
+hbm2BankNmc()
+{
+    return DramSpec{};
+}
+
+DramSpec
+hbm2SharedAluNmc()
+{
+    DramSpec spec;
+    spec.name = "hbm2-nmc-shared4";
+    // One ALU group serves four banks: same streaming bandwidth per
+    // active bank but a quarter of the parallelism.
+    spec.perBankBandwidth /= 4.0;
+    spec.perBankFlops /= 4.0;
+    return spec;
+}
+
+} // namespace bertprof

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DramSpec: the memory-device parameters behind the near-memory
+ * compute model of Sec. 6.2.1. The paper considers a balanced design
+ * with ALUs at each DRAM bank (as in recent vendor proposals
+ * [46,53,54]): aggregate internal bank bandwidth is several times the
+ * external interface bandwidth, which is where the speedup for
+ * streaming element-wise work comes from.
+ */
+
+#ifndef BERTPROF_NMC_DRAM_H
+#define BERTPROF_NMC_DRAM_H
+
+#include <string>
+
+#include "util/units.h"
+
+namespace bertprof {
+
+/** HBM2-like stacked-DRAM parameters with per-bank ALUs. */
+struct DramSpec {
+    std::string name = "hbm2-nmc";
+
+    /** Pseudo-channels across the stacks (MI100 HBM2: 32). */
+    int channels = 32;
+
+    /** Banks per channel. */
+    int banksPerChannel = 16;
+
+    /**
+     * Sustained per-bank internal bandwidth available to the in-bank
+     * ALU (row-buffer streaming, tCCD limited).
+     */
+    double perBankBandwidth = 9.6e9;
+
+    /**
+     * FP32 throughput of one in-bank ALU group — provisioned so
+     * streaming element-wise chains stay bandwidth-bound rather than
+     * ALU-bound (multiple ops per fetched element per cycle).
+     */
+    double perBankFlops = 19.2e9;
+
+    /**
+     * Per-kernel command broadcast / setup overhead from the host.
+     * NMC ops are broadcast commands, far cheaper than GPU kernel
+     * launches.
+     */
+    Seconds commandOverhead = 0.2e-6;
+
+    /** External interface bandwidth (for reference / comparisons). */
+    double externalBandwidth = 1.23e12;
+
+    /** Total banks. */
+    int totalBanks() const { return channels * banksPerChannel; }
+
+    /** Aggregate internal bandwidth across all banks. */
+    double
+    internalBandwidth() const
+    {
+        return static_cast<double>(totalBanks()) * perBankBandwidth;
+    }
+
+    /** Aggregate ALU throughput across all banks. */
+    double
+    aggregateFlops() const
+    {
+        return static_cast<double>(totalBanks()) * perBankFlops;
+    }
+};
+
+/** Balanced bank-level design calibrated to MI100's HBM2. */
+DramSpec hbm2BankNmc();
+
+/** A cheaper design sharing one ALU among four banks. */
+DramSpec hbm2SharedAluNmc();
+
+} // namespace bertprof
+
+#endif // BERTPROF_NMC_DRAM_H

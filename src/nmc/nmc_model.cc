@@ -1,0 +1,50 @@
+#include "nmc/nmc_model.h"
+
+#include <algorithm>
+
+namespace bertprof {
+
+bool
+NmcModel::offloadable(const OpDesc &op)
+{
+    return op.kind == OpKind::Elementwise || op.kind == OpKind::Reduction;
+}
+
+Seconds
+NmcModel::timeFor(const OpDesc &op) const
+{
+    const double bytes = static_cast<double>(op.stats.bytesTotal());
+    const double flops = static_cast<double>(op.stats.flops);
+    const Seconds stream = bytes / dram_.internalBandwidth();
+    const Seconds compute = flops / dram_.aggregateFlops();
+    return std::max(stream, compute) + dram_.commandOverhead;
+}
+
+NmcOffloadResult
+NmcOffloadEvaluator::evaluate(const TimedTrace &iteration) const
+{
+    NmcOffloadResult result;
+    result.iterationGpuSeconds = iteration.totalSeconds();
+    result.iterationNmcSeconds = 0.0;
+    for (const auto &timed : iteration.ops) {
+        const bool is_update = timed.op.phase == Phase::Update;
+        if (is_update && NmcModel::offloadable(timed.op)) {
+            const Seconds nmc_time = nmc_.timeFor(timed.op);
+            result.nmcSeconds += nmc_time;
+            result.gpuModeledSeconds += timed.time.total();
+            // Optimistic GPU bound: only the minimal reads/writes at
+            // the full external interface bandwidth, no overheads.
+            result.gpuOptimisticSeconds +=
+                static_cast<double>(timed.op.stats.bytesTotal()) /
+                device_.memBandwidth;
+            result.iterationNmcSeconds += nmc_time;
+        } else {
+            if (is_update)
+                result.gpuModeledSeconds += timed.time.total();
+            result.iterationNmcSeconds += timed.time.total();
+        }
+    }
+    return result;
+}
+
+} // namespace bertprof

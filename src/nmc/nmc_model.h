@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Near-memory compute model (Sec. 6.2.1): element-wise kernels
+ * execute on in-bank ALUs at aggregate internal bank bandwidth,
+ * avoiding the external memory interface entirely. GEMMs stay on the
+ * host accelerator. The evaluator compares LAMB on NMC against an
+ * optimistic GPU bound (pure reads/writes at full external peak — the
+ * paper's baseline) and reports the end-to-end training impact.
+ */
+
+#ifndef BERTPROF_NMC_NMC_MODEL_H
+#define BERTPROF_NMC_NMC_MODEL_H
+
+#include "nmc/dram.h"
+#include "perf/executor.h"
+#include "trace/op.h"
+
+namespace bertprof {
+
+/** Times element-wise/reduction ops on the in-memory ALUs. */
+class NmcModel
+{
+  public:
+    explicit NmcModel(const DramSpec &dram) : dram_(dram) {}
+
+    /** True if the op can be offloaded (streaming EW/reduction). */
+    static bool offloadable(const OpDesc &op);
+
+    /** Modeled NMC execution time of one offloadable op. */
+    Seconds timeFor(const OpDesc &op) const;
+
+    const DramSpec &dram() const { return dram_; }
+
+  private:
+    DramSpec dram_;
+};
+
+/** Outcome of offloading the optimizer phase to NMC. */
+struct NmcOffloadResult {
+    /** Optimizer time under the optimistic GPU bound (paper's ref). */
+    Seconds gpuOptimisticSeconds = 0.0;
+    /** Optimizer time as actually modeled on the GPU. */
+    Seconds gpuModeledSeconds = 0.0;
+    /** Optimizer time on the NMC units. */
+    Seconds nmcSeconds = 0.0;
+    /** Iteration time with the optimizer on the GPU (modeled). */
+    Seconds iterationGpuSeconds = 0.0;
+    /** Iteration time with the optimizer offloaded to NMC. */
+    Seconds iterationNmcSeconds = 0.0;
+
+    /** LAMB speedup vs. the optimistic GPU bound (paper: ~3.8x). */
+    double
+    optimizerSpeedup() const
+    {
+        return nmcSeconds > 0.0 ? gpuOptimisticSeconds / nmcSeconds : 0.0;
+    }
+
+    /** End-to-end improvement (paper: 5-22%). */
+    double
+    endToEndImprovement() const
+    {
+        return iterationGpuSeconds > 0.0
+                   ? 1.0 - iterationNmcSeconds / iterationGpuSeconds
+                   : 0.0;
+    }
+};
+
+/** Evaluates optimizer offload over a timed iteration trace. */
+class NmcOffloadEvaluator
+{
+  public:
+    NmcOffloadEvaluator(const DramSpec &dram, const DeviceSpec &device)
+        : nmc_(dram), device_(device)
+    {
+    }
+
+    /**
+     * Offload every Update-phase kernel of the timed iteration to
+     * NMC and compare. The optimistic GPU bound prices each update
+     * kernel as pure data movement at full external bandwidth.
+     */
+    NmcOffloadResult evaluate(const TimedTrace &iteration) const;
+
+  private:
+    NmcModel nmc_;
+    DeviceSpec device_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_NMC_NMC_MODEL_H

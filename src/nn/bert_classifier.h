@@ -1,0 +1,66 @@
+/**
+ * @file
+ * BertClassifier: the fine-tuning counterpart of BertPretrainer — a
+ * BERT encoder with a sequence-classification head (pooler + tanh +
+ * classifier), as in GLUE fine-tuning (Sec. 7 of the paper: same
+ * model with a simpler output layer).
+ */
+
+#ifndef BERTPROF_NN_BERT_CLASSIFIER_H
+#define BERTPROF_NN_BERT_CLASSIFIER_H
+
+#include <vector>
+
+#include "nn/bert_model.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace bertprof {
+
+/** One fine-tuning mini-batch. */
+struct ClassificationBatch {
+    std::vector<std::int64_t> tokenIds;   ///< B*n entries
+    std::vector<std::int64_t> segmentIds; ///< B*n entries
+    std::vector<std::int64_t> labels;     ///< B class labels
+};
+
+/** Loss and accuracy of one classification step. */
+struct ClassificationStepResult {
+    double loss = 0.0;
+    double accuracy = 0.0;
+};
+
+/** BERT with a classification head; runs fine-tuning steps. */
+class BertClassifier : public Module
+{
+  public:
+    BertClassifier(const BertConfig &config, NnRuntime *rt);
+
+    /** Forward + backward on a batch; leaves accumulated grads. */
+    ClassificationStepResult forwardBackward(
+        const ClassificationBatch &batch);
+
+    /** Forward only; returns predicted class per sequence. */
+    std::vector<std::int64_t> predict(const ClassificationBatch &batch);
+
+    void collectParameters(std::vector<Parameter *> &out) override;
+
+    void initialize(Rng &rng, float stddev = 0.02f);
+
+    BertModel &model() { return model_; }
+
+  private:
+    /** Shared forward: returns classifier logits [B, numClasses]. */
+    Tensor forwardLogits(const ClassificationBatch &batch, Tensor &cls);
+
+    BertConfig config_;
+    NnRuntime *rt_;
+    BertModel model_;
+    Linear pooler_;
+    Linear classifier_;
+    Tensor savedPooled_; ///< tanh output, for backward
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_NN_BERT_CLASSIFIER_H

@@ -1,0 +1,183 @@
+#include "nn/bert_model.h"
+
+#include <sstream>
+
+#include "ops/dropout.h"
+#include "ops/elementwise.h"
+#include "ops/embedding.h"
+#include "util/logging.h"
+
+namespace bertprof {
+
+BertModel::BertModel(const BertConfig &config, NnRuntime *rt)
+    : config_(config), rt_(rt),
+      tokTable_("embeddings.token",
+                Shape({config.vocabSize, config.dModel})),
+      posTable_("embeddings.position",
+                Shape({config.maxPositions, config.dModel})),
+      segTable_("embeddings.segment",
+                Shape({config.typeVocab, config.dModel})),
+      embLn_("embeddings.ln", config.dModel, rt, LayerScope::Embedding,
+             SubLayer::EmbeddingOps)
+{
+    BP_REQUIRE(rt_ != nullptr);
+    BP_REQUIRE(config_.seqLen <= config_.maxPositions);
+    for (int l = 0; l < config_.numLayers; ++l) {
+        std::ostringstream name;
+        name << "encoder." << l;
+        layers_.push_back(std::make_unique<EncoderLayer>(
+            name.str(), config_.dModel, config_.numHeads, config_.dFf, rt_,
+            l));
+    }
+    attnMask_ = Tensor(Shape({config_.seqLen, config_.seqLen}));
+}
+
+void
+BertModel::setPaddingMask(const std::vector<std::int64_t> &lengths)
+{
+    BP_REQUIRE(static_cast<std::int64_t>(lengths.size()) ==
+               config_.batch);
+    const std::int64_t n = config_.seqLen;
+    attnMask_ = Tensor(Shape({config_.batch, n, n}));
+    for (std::int64_t b = 0; b < config_.batch; ++b) {
+        const std::int64_t len = lengths[static_cast<std::size_t>(b)];
+        BP_REQUIRE(len >= 1 && len <= n);
+        float *m = attnMask_.data() + b * n * n;
+        for (std::int64_t i = 0; i < n; ++i)
+            for (std::int64_t j = len; j < n; ++j)
+                m[i * n + j] = -1e9f;
+    }
+}
+
+void
+BertModel::clearPaddingMask()
+{
+    attnMask_ = Tensor(Shape({config_.seqLen, config_.seqLen}));
+}
+
+void
+BertModel::initialize(Rng &rng, float stddev)
+{
+    tokTable_.value.fillNormal(rng, 0.0f, stddev);
+    posTable_.value.fillNormal(rng, 0.0f, stddev);
+    segTable_.value.fillNormal(rng, 0.0f, stddev);
+    for (auto &layer : layers_)
+        layer->initialize(rng, stddev);
+}
+
+Tensor
+BertModel::forward(const std::vector<std::int64_t> &token_ids,
+                   const std::vector<std::int64_t> &segment_ids)
+{
+    const std::int64_t tokens = config_.tokens();
+    BP_REQUIRE(static_cast<std::int64_t>(token_ids.size()) == tokens);
+    BP_REQUIRE(static_cast<std::int64_t>(segment_ids.size()) == tokens);
+    savedTokenIds_ = token_ids;
+    savedSegmentIds_ = segment_ids;
+    savedPositionIds_.resize(token_ids.size());
+    for (std::int64_t t = 0; t < tokens; ++t)
+        savedPositionIds_[static_cast<std::size_t>(t)] =
+            t % config_.seqLen;
+
+    Tensor tok(Shape({tokens, config_.dModel}));
+    Tensor pos(Shape({tokens, config_.dModel}));
+    Tensor seg(Shape({tokens, config_.dModel}));
+    {
+        ScopedKernel k(rt_->profiler, "emb.token.gather", OpKind::Gather,
+                       Phase::Fwd, LayerScope::Embedding,
+                       SubLayer::EmbeddingOps);
+        k.setStats(embeddingForward(tokTable_.value, token_ids, tok));
+    }
+    {
+        ScopedKernel k(rt_->profiler, "emb.position.gather", OpKind::Gather,
+                       Phase::Fwd, LayerScope::Embedding,
+                       SubLayer::EmbeddingOps);
+        k.setStats(
+            embeddingForward(posTable_.value, savedPositionIds_, pos));
+    }
+    {
+        ScopedKernel k(rt_->profiler, "emb.segment.gather", OpKind::Gather,
+                       Phase::Fwd, LayerScope::Embedding,
+                       SubLayer::EmbeddingOps);
+        k.setStats(embeddingForward(segTable_.value, segment_ids, seg));
+    }
+    Tensor summed(tok.shape());
+    {
+        ScopedKernel k(rt_->profiler, "emb.add_pos", OpKind::Elementwise,
+                       Phase::Fwd, LayerScope::Embedding,
+                       SubLayer::EmbeddingOps);
+        k.setStats(addForward(tok, pos, summed));
+    }
+    {
+        ScopedKernel k(rt_->profiler, "emb.add_seg", OpKind::Elementwise,
+                       Phase::Fwd, LayerScope::Embedding,
+                       SubLayer::EmbeddingOps);
+        k.setStats(addForward(summed, seg, summed));
+    }
+    Tensor normed = embLn_.forward(summed);
+    Tensor hidden(normed.shape());
+    embDropMask_ = Tensor(normed.shape());
+    {
+        ScopedKernel k(rt_->profiler, "emb.dropout", OpKind::Elementwise,
+                       Phase::Fwd, LayerScope::Embedding,
+                       SubLayer::EmbeddingOps);
+        k.setStats(dropoutForward(normed, rt_->effectiveDropout(), rt_->rng,
+                                  hidden, embDropMask_));
+    }
+
+    for (auto &layer : layers_)
+        hidden = layer->forward(hidden, attnMask_, config_.batch,
+                                config_.seqLen);
+    return hidden;
+}
+
+void
+BertModel::backward(const Tensor &dhidden)
+{
+    Tensor grad = dhidden.clone();
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        grad = (*it)->backward(grad);
+
+    Tensor dnormed(grad.shape());
+    {
+        ScopedKernel k(rt_->profiler, "emb.dropout.bwd",
+                       OpKind::Elementwise, Phase::Bwd,
+                       LayerScope::Embedding, SubLayer::EmbeddingOps);
+        k.setStats(dropoutBackward(grad, embDropMask_, dnormed));
+    }
+    Tensor dsummed = embLn_.backward(dnormed);
+    {
+        ScopedKernel k(rt_->profiler, "emb.token.scatter", OpKind::Gather,
+                       Phase::Bwd, LayerScope::Embedding,
+                       SubLayer::EmbeddingOps);
+        k.setStats(
+            embeddingBackward(dsummed, savedTokenIds_, tokTable_.grad));
+    }
+    {
+        ScopedKernel k(rt_->profiler, "emb.position.scatter",
+                       OpKind::Gather, Phase::Bwd, LayerScope::Embedding,
+                       SubLayer::EmbeddingOps);
+        k.setStats(embeddingBackward(dsummed, savedPositionIds_,
+                                     posTable_.grad));
+    }
+    {
+        ScopedKernel k(rt_->profiler, "emb.segment.scatter", OpKind::Gather,
+                       Phase::Bwd, LayerScope::Embedding,
+                       SubLayer::EmbeddingOps);
+        k.setStats(embeddingBackward(dsummed, savedSegmentIds_,
+                                     segTable_.grad));
+    }
+}
+
+void
+BertModel::collectParameters(std::vector<Parameter *> &out)
+{
+    out.push_back(&tokTable_);
+    out.push_back(&posTable_);
+    out.push_back(&segTable_);
+    embLn_.collectParameters(out);
+    for (auto &layer : layers_)
+        layer->collectParameters(out);
+}
+
+} // namespace bertprof

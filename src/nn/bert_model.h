@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The BERT encoder: token/position/segment embeddings with LN and
+ * dropout, followed by N Transformer encoder layers (Fig. 2(a) of the
+ * paper). Produces the final hidden states; the pre-training heads
+ * live in nn/bert_pretrainer.h.
+ */
+
+#ifndef BERTPROF_NN_BERT_MODEL_H
+#define BERTPROF_NN_BERT_MODEL_H
+
+#include <memory>
+#include <vector>
+
+#include "nn/encoder_layer.h"
+#include "nn/layer_norm.h"
+#include "nn/module.h"
+#include "trace/bert_config.h"
+
+namespace bertprof {
+
+/** BERT encoder stack with embeddings. */
+class BertModel : public Module
+{
+  public:
+    BertModel(const BertConfig &config, NnRuntime *rt);
+
+    /**
+     * Forward: token and segment ids are flat [B*n] vectors;
+     * positions are implicit (t mod n). Returns hidden [B*n, d].
+     */
+    Tensor forward(const std::vector<std::int64_t> &token_ids,
+                   const std::vector<std::int64_t> &segment_ids);
+
+    /** Backward from dhidden [B*n, d]; accumulates all grads. */
+    void backward(const Tensor &dhidden);
+
+    void collectParameters(std::vector<Parameter *> &out) override;
+
+    /** Random-initialize every parameter. */
+    void initialize(Rng &rng, float stddev = 0.02f);
+
+    /** The token embedding table (shared with the MLM decoder). */
+    Parameter &tokenEmbedding() { return tokTable_; }
+
+    /**
+     * Install a per-sequence padding mask: positions at or beyond
+     * lengths[b] become unattendable for sequence b (additive -1e9 on
+     * their key columns). Pass one length per sequence in the batch.
+     */
+    void setPaddingMask(const std::vector<std::int64_t> &lengths);
+
+    /** Back to the dense all-attend mask. */
+    void clearPaddingMask();
+
+    const BertConfig &config() const { return config_; }
+
+  private:
+    BertConfig config_;
+    NnRuntime *rt_;
+    Parameter tokTable_;
+    Parameter posTable_;
+    Parameter segTable_;
+    LayerNorm embLn_;
+    std::vector<std::unique_ptr<EncoderLayer>> layers_;
+
+    // Saved forward state.
+    Tensor attnMask_; ///< additive [n, n] mask (all zeros = attend all)
+    Tensor embDropMask_;
+    std::vector<std::int64_t> savedTokenIds_;
+    std::vector<std::int64_t> savedSegmentIds_;
+    std::vector<std::int64_t> savedPositionIds_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_NN_BERT_MODEL_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * BERT pre-training heads and the end-to-end forward/backward step:
+ * the masked-LM head (transform + GeLU + LN + decoder tied to the
+ * token embedding) and the next-sentence-prediction head (pooler +
+ * classifier), exactly the two unsupervised tasks the paper's output
+ * layer runs.
+ */
+
+#ifndef BERTPROF_NN_BERT_PRETRAINER_H
+#define BERTPROF_NN_BERT_PRETRAINER_H
+
+#include <vector>
+
+#include "nn/bert_model.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace bertprof {
+
+/** One pre-training mini-batch. */
+struct PretrainBatch {
+    /** Flat token ids, B*n entries. */
+    std::vector<std::int64_t> tokenIds;
+    /** Flat segment ids, B*n entries (0/1). */
+    std::vector<std::int64_t> segmentIds;
+    /** Flat positions (in [0, B*n)) of masked-LM predictions. */
+    std::vector<std::int64_t> mlmPositions;
+    /** Vocabulary labels for each masked position. */
+    std::vector<std::int64_t> mlmLabels;
+    /** NSP labels, B entries (0 = not next, 1 = is next). */
+    std::vector<std::int64_t> nspLabels;
+    /**
+     * Real sequence lengths (B entries) for padded batches; empty
+     * means every sequence uses the full seqLen. When set, padded
+     * positions are masked out of attention.
+     */
+    std::vector<std::int64_t> seqLengths;
+};
+
+/** Losses and prediction accuracies of one forward/backward step. */
+struct PretrainStepResult {
+    double mlmLoss = 0.0;
+    double nspLoss = 0.0;
+    /** Fraction of masked positions predicted correctly (argmax). */
+    double mlmAccuracy = 0.0;
+    /** Fraction of NSP labels predicted correctly. */
+    double nspAccuracy = 0.0;
+
+    double totalLoss() const { return mlmLoss + nspLoss; }
+};
+
+/** BERT with both pre-training heads; runs full training steps. */
+class BertPretrainer : public Module
+{
+  public:
+    BertPretrainer(const BertConfig &config, NnRuntime *rt);
+
+    /**
+     * One forward + backward pass: computes both losses and leaves
+     * accumulated gradients on every parameter (call zeroGrad()
+     * first; the optimizer step is separate). With loss_scale != 1
+     * every gradient is multiplied by it — pair with GradScaler for
+     * mixed-precision-style dynamic loss scaling.
+     */
+    PretrainStepResult forwardBackward(const PretrainBatch &batch,
+                                       float loss_scale = 1.0f);
+
+    void collectParameters(std::vector<Parameter *> &out) override;
+
+    void initialize(Rng &rng, float stddev = 0.02f);
+
+    BertModel &model() { return model_; }
+
+  private:
+    BertConfig config_;
+    NnRuntime *rt_;
+    BertModel model_;
+    Linear pooler_;
+    Linear mlmTransform_;
+    LayerNorm mlmLn_;
+    Parameter mlmDecoderBias_;
+    Linear nsp_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_NN_BERT_PRETRAINER_H

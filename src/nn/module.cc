@@ -1,0 +1,21 @@
+#include "nn/module.h"
+
+namespace bertprof {
+
+void
+Module::zeroGrad()
+{
+    for (Parameter *param : parameters())
+        param->zeroGrad();
+}
+
+std::int64_t
+Module::parameterCount()
+{
+    std::int64_t total = 0;
+    for (Parameter *param : parameters())
+        total += param->value.numel();
+    return total;
+}
+
+} // namespace bertprof

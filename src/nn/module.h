@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Module framework for the CPU substrate: named parameters with
+ * gradients, a base class that exposes them to optimizers, and the
+ * shared runtime context (profiler, dropout RNG, training mode) that
+ * every layer sees.
+ */
+
+#ifndef BERTPROF_NN_MODULE_H
+#define BERTPROF_NN_MODULE_H
+
+#include <string>
+#include <vector>
+
+#include "runtime/profiler.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace bertprof {
+
+/** A trainable tensor with its gradient accumulator. */
+struct Parameter {
+    std::string name;
+    Tensor value;
+    Tensor grad;
+    /** Excluded from weight decay (biases, LayerNorm params). */
+    bool noDecay = false;
+
+    Parameter(std::string param_name, Shape shape, bool no_decay = false)
+        : name(std::move(param_name)), value(shape), grad(shape),
+          noDecay(no_decay)
+    {
+    }
+
+    /** Zero the gradient accumulator. */
+    void zeroGrad() { grad.fill(0.0f); }
+};
+
+/**
+ * Shared per-run state threaded through every layer: the profiler
+ * (may be null), the dropout RNG, the dropout probability, and
+ * whether we are training (dropout on) or evaluating.
+ */
+struct NnRuntime {
+    Profiler *profiler = nullptr;
+    Rng rng;
+    float dropoutP = 0.0f;
+    bool training = true;
+
+    /** Effective dropout probability (0 when evaluating). */
+    float
+    effectiveDropout() const
+    {
+        return training ? dropoutP : 0.0f;
+    }
+};
+
+/** Base class for substrate layers. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** Append pointers to every owned parameter (recursive). */
+    virtual void collectParameters(std::vector<Parameter *> &out) = 0;
+
+    /** All parameters of this module tree. */
+    std::vector<Parameter *>
+    parameters()
+    {
+        std::vector<Parameter *> out;
+        collectParameters(out);
+        return out;
+    }
+
+    /** Zero every parameter gradient. */
+    void zeroGrad();
+
+    /** Total trainable element count. */
+    std::int64_t parameterCount();
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_NN_MODULE_H

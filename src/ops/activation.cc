@@ -1,0 +1,88 @@
+#include "ops/activation.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+constexpr double kInvSqrt2Pi = 0.3989422804014326779;
+
+} // namespace
+
+KernelStats
+geluForward(const Tensor &in, Tensor &out)
+{
+    BP_REQUIRE(in.shape() == out.shape());
+    const std::int64_t n = in.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double x = in.data()[i];
+        out.data()[i] =
+            static_cast<float>(x * 0.5 * (1.0 + std::erf(x * kInvSqrt2)));
+    }
+    // The paper decomposes unfused GeLU into ~5 EW ops (mul, add,
+    // div, erf, mul); we count the fused arithmetic here.
+    return elementwiseStats(n, 1, 1, 5, dtypeBytes(in.dtype()));
+}
+
+KernelStats
+geluBackward(const Tensor &in, const Tensor &dout, Tensor &din)
+{
+    BP_REQUIRE(in.shape() == dout.shape() && in.shape() == din.shape());
+    const std::int64_t n = in.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double x = in.data()[i];
+        const double cdf = 0.5 * (1.0 + std::erf(x * kInvSqrt2));
+        const double pdf = kInvSqrt2Pi * std::exp(-0.5 * x * x);
+        din.data()[i] =
+            static_cast<float>(dout.data()[i] * (cdf + x * pdf));
+    }
+    return elementwiseStats(n, 2, 1, 8, dtypeBytes(in.dtype()));
+}
+
+KernelStats
+reluForward(const Tensor &in, Tensor &out)
+{
+    BP_REQUIRE(in.shape() == out.shape());
+    const std::int64_t n = in.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        out.data()[i] = in.data()[i] > 0.0f ? in.data()[i] : 0.0f;
+    return elementwiseStats(n, 1, 1, 1, dtypeBytes(in.dtype()));
+}
+
+KernelStats
+reluBackward(const Tensor &in, const Tensor &dout, Tensor &din)
+{
+    BP_REQUIRE(in.shape() == dout.shape() && in.shape() == din.shape());
+    const std::int64_t n = in.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        din.data()[i] = in.data()[i] > 0.0f ? dout.data()[i] : 0.0f;
+    return elementwiseStats(n, 2, 1, 1, dtypeBytes(in.dtype()));
+}
+
+KernelStats
+tanhForward(const Tensor &in, Tensor &out)
+{
+    BP_REQUIRE(in.shape() == out.shape());
+    const std::int64_t n = in.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        out.data()[i] = std::tanh(in.data()[i]);
+    return elementwiseStats(n, 1, 1, 4, dtypeBytes(in.dtype()));
+}
+
+KernelStats
+tanhBackward(const Tensor &out, const Tensor &dout, Tensor &din)
+{
+    BP_REQUIRE(out.shape() == dout.shape() && out.shape() == din.shape());
+    const std::int64_t n = out.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float y = out.data()[i];
+        din.data()[i] = dout.data()[i] * (1.0f - y * y);
+    }
+    return elementwiseStats(n, 2, 1, 3, dtypeBytes(out.dtype()));
+}
+
+} // namespace bertprof

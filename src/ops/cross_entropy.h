@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Softmax cross-entropy with logits, supporting ignored positions —
+ * the loss behind BERT's masked-LM head (only ~15% of positions carry
+ * a label) and the next-sentence-prediction head.
+ */
+
+#ifndef BERTPROF_OPS_CROSS_ENTROPY_H
+#define BERTPROF_OPS_CROSS_ENTROPY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ops/kernel_stats.h"
+#include "tensor/tensor.h"
+
+namespace bertprof {
+
+/** Marks a position that does not contribute to the loss. */
+constexpr std::int64_t kIgnoreIndex = -1;
+
+/** Result of a cross-entropy evaluation. */
+struct CrossEntropyResult {
+    /** Mean negative log-likelihood over counted positions. */
+    double loss = 0.0;
+    /** Number of positions that carried a label. */
+    std::int64_t count = 0;
+    /** Kernel accounting. */
+    KernelStats stats;
+};
+
+/**
+ * Forward + backward in one pass: given logits [T, C] and labels
+ * (size T, kIgnoreIndex entries skipped), computes the mean loss and
+ * writes dlogits = (softmax - onehot) / count for labeled rows and 0
+ * for ignored rows.
+ */
+CrossEntropyResult softmaxCrossEntropy(const Tensor &logits,
+                                       const std::vector<std::int64_t>
+                                           &labels,
+                                       Tensor &dlogits);
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPS_CROSS_ENTROPY_H

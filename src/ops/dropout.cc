@@ -1,0 +1,33 @@
+#include "ops/dropout.h"
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+KernelStats
+dropoutForward(const Tensor &in, float p, Rng &rng, Tensor &out,
+               Tensor &mask)
+{
+    BP_REQUIRE(in.shape() == out.shape() && in.shape() == mask.shape());
+    BP_REQUIRE(p >= 0.0f && p < 1.0f);
+    const std::int64_t n = in.numel();
+    const float keep_scale = 1.0f / (1.0f - p);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float m = (p == 0.0f || !rng.bernoulli(p)) ? keep_scale : 0.0f;
+        mask.data()[i] = m;
+        out.data()[i] = in.data()[i] * m;
+    }
+    return elementwiseStats(n, 1, 2, 2, dtypeBytes(in.dtype()));
+}
+
+KernelStats
+dropoutBackward(const Tensor &dout, const Tensor &mask, Tensor &din)
+{
+    BP_REQUIRE(dout.shape() == mask.shape() && dout.shape() == din.shape());
+    const std::int64_t n = dout.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        din.data()[i] = dout.data()[i] * mask.data()[i];
+    return elementwiseStats(n, 2, 1, 1, dtypeBytes(dout.dtype()));
+}
+
+} // namespace bertprof

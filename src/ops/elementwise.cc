@@ -1,0 +1,126 @@
+#include "ops/elementwise.h"
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+KernelStats
+addForward(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    BP_REQUIRE(a.shape() == b.shape() && a.shape() == out.shape());
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        out.data()[i] = a.data()[i] + b.data()[i];
+    return elementwiseStats(n, 2, 1, 1, dtypeBytes(a.dtype()));
+}
+
+KernelStats
+mulForward(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    BP_REQUIRE(a.shape() == b.shape() && a.shape() == out.shape());
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        out.data()[i] = a.data()[i] * b.data()[i];
+    return elementwiseStats(n, 2, 1, 1, dtypeBytes(a.dtype()));
+}
+
+KernelStats
+scaleForward(const Tensor &a, float scalar, Tensor &out)
+{
+    BP_REQUIRE(a.shape() == out.shape());
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        out.data()[i] = a.data()[i] * scalar;
+    return elementwiseStats(n, 1, 1, 1, dtypeBytes(a.dtype()));
+}
+
+KernelStats
+accumulate(Tensor &a, const Tensor &b)
+{
+    BP_REQUIRE(a.shape() == b.shape());
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        a.data()[i] += b.data()[i];
+    return elementwiseStats(n, 2, 1, 1, dtypeBytes(a.dtype()));
+}
+
+KernelStats
+biasForward(const Tensor &in, const Tensor &bias, Tensor &out)
+{
+    BP_REQUIRE(in.shape() == out.shape());
+    BP_REQUIRE(bias.shape().rank() == 1);
+    const std::int64_t cols = bias.shape().dim(0);
+    BP_REQUIRE(in.numel() % cols == 0);
+    const std::int64_t rows = in.numel() / cols;
+    for (std::int64_t r = 0; r < rows; ++r)
+        for (std::int64_t c = 0; c < cols; ++c)
+            out.data()[r * cols + c] = in.data()[r * cols + c] +
+                                       bias.data()[c];
+    KernelStats s = elementwiseStats(in.numel(), 1, 1, 1,
+                                     dtypeBytes(in.dtype()));
+    s.bytesRead += bias.storageBytes();
+    return s;
+}
+
+KernelStats
+biasBackward(const Tensor &dout, Tensor &dbias)
+{
+    BP_REQUIRE(dbias.shape().rank() == 1);
+    const std::int64_t cols = dbias.shape().dim(0);
+    BP_REQUIRE(dout.numel() % cols == 0);
+    const std::int64_t rows = dout.numel() / cols;
+    dbias.fill(0.0f);
+    for (std::int64_t r = 0; r < rows; ++r)
+        for (std::int64_t c = 0; c < cols; ++c)
+            dbias.data()[c] += dout.data()[r * cols + c];
+    KernelStats s = elementwiseStats(dout.numel(), 1, 0, 1,
+                                     dtypeBytes(dout.dtype()));
+    s.bytesWritten += dbias.storageBytes();
+    return s;
+}
+
+KernelStats
+batchMaskAddForward(const Tensor &a, const Tensor &mask,
+                    std::int64_t heads, Tensor &out)
+{
+    BP_REQUIRE(a.shape() == out.shape());
+    BP_REQUIRE(a.shape().rank() == 3 && mask.shape().rank() == 3);
+    BP_REQUIRE(heads > 0);
+    const std::int64_t groups = a.shape().dim(0);
+    BP_REQUIRE(groups % heads == 0);
+    BP_REQUIRE(mask.shape().dim(0) == groups / heads);
+    BP_REQUIRE(mask.shape().dim(1) == a.shape().dim(1));
+    BP_REQUIRE(mask.shape().dim(2) == a.shape().dim(2));
+    const std::int64_t per_group = a.shape().dim(1) * a.shape().dim(2);
+
+    for (std::int64_t g = 0; g < groups; ++g) {
+        const float *m = mask.data() + (g / heads) * per_group;
+        const float *src = a.data() + g * per_group;
+        float *dst = out.data() + g * per_group;
+        for (std::int64_t i = 0; i < per_group; ++i)
+            dst[i] = src[i] + m[i];
+    }
+    KernelStats s = elementwiseStats(a.numel(), 1, 1, 1,
+                                     dtypeBytes(a.dtype()));
+    s.bytesRead += mask.storageBytes();
+    return s;
+}
+
+KernelStats
+maskAddForward(const Tensor &a, const Tensor &mask, Tensor &out)
+{
+    BP_REQUIRE(a.shape() == out.shape());
+    const std::int64_t mask_n = mask.numel();
+    BP_REQUIRE(mask_n > 0 && a.numel() % mask_n == 0);
+    const std::int64_t groups = a.numel() / mask_n;
+    for (std::int64_t g = 0; g < groups; ++g)
+        for (std::int64_t i = 0; i < mask_n; ++i)
+            out.data()[g * mask_n + i] = a.data()[g * mask_n + i] +
+                                         mask.data()[i];
+    KernelStats s = elementwiseStats(a.numel(), 1, 1, 1,
+                                     dtypeBytes(a.dtype()));
+    s.bytesRead += mask.storageBytes();
+    return s;
+}
+
+} // namespace bertprof

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Element-wise kernels: the memory-bound operations the paper shows
+ * make up a large share of BERT's runtime (scale, add, multiply, bias,
+ * residual connections). Each returns KernelStats so profiles and the
+ * analytical model agree on traffic.
+ */
+
+#ifndef BERTPROF_OPS_ELEMENTWISE_H
+#define BERTPROF_OPS_ELEMENTWISE_H
+
+#include "ops/kernel_stats.h"
+#include "tensor/tensor.h"
+
+namespace bertprof {
+
+/** out = a + b (same shape). */
+KernelStats addForward(const Tensor &a, const Tensor &b, Tensor &out);
+
+/** out = a * b (same shape; Hadamard product). */
+KernelStats mulForward(const Tensor &a, const Tensor &b, Tensor &out);
+
+/** out = a * scalar. */
+KernelStats scaleForward(const Tensor &a, float scalar, Tensor &out);
+
+/** a += b in place (gradient accumulation / residual backward). */
+KernelStats accumulate(Tensor &a, const Tensor &b);
+
+/**
+ * out[r, :] = in[r, :] + bias for a [rows, cols] input and a [cols]
+ * bias (broadcast add after every GEMM).
+ */
+KernelStats biasForward(const Tensor &in, const Tensor &bias, Tensor &out);
+
+/**
+ * Bias gradient: dbias[c] = sum_r dout[r, c] — the column reduction
+ * paired with biasForward.
+ */
+KernelStats biasBackward(const Tensor &dout, Tensor &dbias);
+
+/**
+ * out = a + mask where mask is [rows_mask, cols] broadcast over the
+ * leading dims of `a` ([groups, rows_mask, cols] flattened). Used for
+ * the attention mask addition.
+ */
+KernelStats maskAddForward(const Tensor &a, const Tensor &mask, Tensor &out);
+
+/**
+ * Per-sequence attention mask: a is [B*heads, n, n] score matrices,
+ * mask is [B, n, n]; group g uses mask row g / heads. This is how
+ * BERT applies padding masks to variable-length batches.
+ */
+KernelStats batchMaskAddForward(const Tensor &a, const Tensor &mask,
+                                std::int64_t heads, Tensor &out);
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPS_ELEMENTWISE_H

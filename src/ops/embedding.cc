@@ -1,0 +1,61 @@
+#include "ops/embedding.h"
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+KernelStats
+embeddingForward(const Tensor &table, const std::vector<std::int64_t> &ids,
+                 Tensor &out)
+{
+    BP_REQUIRE(table.shape().rank() == 2 && out.shape().rank() == 2);
+    const std::int64_t vocab = table.shape().dim(0);
+    const std::int64_t dim = table.shape().dim(1);
+    BP_REQUIRE(out.shape().dim(0) ==
+               static_cast<std::int64_t>(ids.size()));
+    BP_REQUIRE(out.shape().dim(1) == dim);
+
+    for (std::size_t t = 0; t < ids.size(); ++t) {
+        const std::int64_t id = ids[t];
+        BP_REQUIRE(id >= 0 && id < vocab);
+        const float *src = table.data() + id * dim;
+        float *dst = out.data() + static_cast<std::int64_t>(t) * dim;
+        for (std::int64_t c = 0; c < dim; ++c)
+            dst[c] = src[c];
+    }
+    KernelStats s;
+    s.bytesRead = out.numel() * dtypeBytes(table.dtype()) +
+                  static_cast<std::int64_t>(ids.size()) * 8;
+    s.bytesWritten = out.storageBytes();
+    return s;
+}
+
+KernelStats
+embeddingBackward(const Tensor &dout, const std::vector<std::int64_t> &ids,
+                  Tensor &dtable)
+{
+    BP_REQUIRE(dtable.shape().rank() == 2 && dout.shape().rank() == 2);
+    const std::int64_t vocab = dtable.shape().dim(0);
+    const std::int64_t dim = dtable.shape().dim(1);
+    BP_REQUIRE(dout.shape().dim(0) ==
+               static_cast<std::int64_t>(ids.size()));
+    BP_REQUIRE(dout.shape().dim(1) == dim);
+
+    for (std::size_t t = 0; t < ids.size(); ++t) {
+        const std::int64_t id = ids[t];
+        BP_REQUIRE(id >= 0 && id < vocab);
+        const float *src = dout.data() + static_cast<std::int64_t>(t) * dim;
+        float *dst = dtable.data() + id * dim;
+        for (std::int64_t c = 0; c < dim; ++c)
+            dst[c] += src[c];
+    }
+    KernelStats s;
+    s.flops = dout.numel();
+    s.bytesRead = dout.storageBytes() +
+                  dout.numel() * dtypeBytes(dtable.dtype()) +
+                  static_cast<std::int64_t>(ids.size()) * 8;
+    s.bytesWritten = dout.numel() * dtypeBytes(dtable.dtype());
+    return s;
+}
+
+} // namespace bertprof

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Embedding lookup (gather) and its scatter-add backward. BERT's
+ * input embedding layer sums token, position, and segment embeddings;
+ * each is one gather here.
+ */
+
+#ifndef BERTPROF_OPS_EMBEDDING_H
+#define BERTPROF_OPS_EMBEDDING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ops/kernel_stats.h"
+#include "tensor/tensor.h"
+
+namespace bertprof {
+
+/**
+ * out[t, :] = table[ids[t], :] for each of the T ids. `table` is
+ * [vocab, dim]; `out` is [T, dim].
+ */
+KernelStats embeddingForward(const Tensor &table,
+                             const std::vector<std::int64_t> &ids,
+                             Tensor &out);
+
+/**
+ * dtable[ids[t], :] += dout[t, :] (scatter-add). `dtable` must be
+ * pre-zeroed or hold accumulated gradients.
+ */
+KernelStats embeddingBackward(const Tensor &dout,
+                              const std::vector<std::int64_t> &ids,
+                              Tensor &dtable);
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPS_EMBEDDING_H

@@ -1,0 +1,96 @@
+#include "ops/gemm.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+namespace {
+
+/**
+ * Core MxNxK kernel on raw pointers with row-major storage and
+ * logical transposes handled via strides. Blocked on K and N to keep
+ * the working set cache resident.
+ */
+void
+gemmKernel(const float *a, const float *b, float *c, std::int64_t m,
+           std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
+           float alpha, float beta)
+{
+    // Element (i, p) of op(A): A is MxK or (transposed) KxM.
+    const std::int64_t a_rs = trans_a ? 1 : k; // row stride
+    const std::int64_t a_cs = trans_a ? m : 1; // col stride
+    const std::int64_t b_rs = trans_b ? 1 : n;
+    const std::int64_t b_cs = trans_b ? k : 1;
+
+    for (std::int64_t i = 0; i < m * n; ++i)
+        c[i] = beta == 0.0f ? 0.0f : c[i] * beta;
+
+    constexpr std::int64_t kBlockK = 64;
+    constexpr std::int64_t kBlockN = 128;
+    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+        const std::int64_t p1 = std::min(p0 + kBlockK, k);
+        for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+            const std::int64_t j1 = std::min(j0 + kBlockN, n);
+            for (std::int64_t i = 0; i < m; ++i) {
+                float *crow = c + i * n;
+                for (std::int64_t p = p0; p < p1; ++p) {
+                    const float av = alpha * a[i * a_rs + p * a_cs];
+                    const float *brow = b + p * b_rs;
+                    for (std::int64_t j = j0; j < j1; ++j)
+                        crow[j] += av * brow[j * b_cs];
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+KernelStats
+gemm(const Tensor &a, const Tensor &b, Tensor &c, bool trans_a, bool trans_b,
+     float alpha, float beta)
+{
+    BP_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+               c.shape().rank() == 2);
+    const std::int64_t m = trans_a ? a.shape().dim(1) : a.shape().dim(0);
+    const std::int64_t k = trans_a ? a.shape().dim(0) : a.shape().dim(1);
+    const std::int64_t kb = trans_b ? b.shape().dim(1) : b.shape().dim(0);
+    const std::int64_t n = trans_b ? b.shape().dim(0) : b.shape().dim(1);
+    BP_REQUIRE(k == kb);
+    BP_REQUIRE(c.shape().dim(0) == m && c.shape().dim(1) == n);
+
+    gemmKernel(a.data(), b.data(), c.data(), m, n, k, trans_a, trans_b,
+               alpha, beta);
+    return gemmStats(m, n, k, 1, dtypeBytes(a.dtype()));
+}
+
+KernelStats
+batchedGemm(const Tensor &a, const Tensor &b, Tensor &c, bool trans_a,
+            bool trans_b, float alpha, float beta)
+{
+    BP_REQUIRE(a.shape().rank() == 3 && b.shape().rank() == 3 &&
+               c.shape().rank() == 3);
+    const std::int64_t batch = a.shape().dim(0);
+    BP_REQUIRE(b.shape().dim(0) == batch && c.shape().dim(0) == batch);
+
+    const std::int64_t m = trans_a ? a.shape().dim(2) : a.shape().dim(1);
+    const std::int64_t k = trans_a ? a.shape().dim(1) : a.shape().dim(2);
+    const std::int64_t kb = trans_b ? b.shape().dim(2) : b.shape().dim(1);
+    const std::int64_t n = trans_b ? b.shape().dim(1) : b.shape().dim(2);
+    BP_REQUIRE(k == kb);
+    BP_REQUIRE(c.shape().dim(1) == m && c.shape().dim(2) == n);
+
+    const std::int64_t a_step = a.shape().dim(1) * a.shape().dim(2);
+    const std::int64_t b_step = b.shape().dim(1) * b.shape().dim(2);
+    const std::int64_t c_step = m * n;
+    for (std::int64_t g = 0; g < batch; ++g) {
+        gemmKernel(a.data() + g * a_step, b.data() + g * b_step,
+                   c.data() + g * c_step, m, n, k, trans_a, trans_b, alpha,
+                   beta);
+    }
+    return gemmStats(m, n, k, batch, dtypeBytes(a.dtype()));
+}
+
+} // namespace bertprof

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * General matrix multiply (GEMM) and batched GEMM on Tensors. These
+ * are the kernels the paper's Table 2b shapes manifest as. The
+ * implementation is a cache-blocked triple loop: correct and fast
+ * enough for the tiny-model substrate tests, not a BLAS replacement.
+ */
+
+#ifndef BERTPROF_OPS_GEMM_H
+#define BERTPROF_OPS_GEMM_H
+
+#include "ops/kernel_stats.h"
+#include "tensor/tensor.h"
+
+namespace bertprof {
+
+/**
+ * C = alpha * op(A) * op(B) + beta * C for rank-2 tensors.
+ *
+ * @param a Left operand; MxK, or KxM when trans_a.
+ * @param b Right operand; KxN, or NxK when trans_b.
+ * @param c Output, MxN; must be pre-shaped.
+ * @param trans_a Whether to use A^T.
+ * @param trans_b Whether to use B^T.
+ * @param alpha Scale on the product.
+ * @param beta Scale on the existing C (0 overwrites).
+ * @return FLOP/byte stats of the invocation.
+ */
+KernelStats gemm(const Tensor &a, const Tensor &b, Tensor &c,
+                 bool trans_a = false, bool trans_b = false,
+                 float alpha = 1.0f, float beta = 0.0f);
+
+/**
+ * Batched GEMM over rank-3 tensors [batch, M, K] x [batch, K, N] ->
+ * [batch, M, N], with the same transpose/scale semantics as gemm().
+ * This is the kernel the attention score / attention output
+ * computations invoke (B*h independent small GEMMs).
+ */
+KernelStats batchedGemm(const Tensor &a, const Tensor &b, Tensor &c,
+                        bool trans_a = false, bool trans_b = false,
+                        float alpha = 1.0f, float beta = 0.0f);
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPS_GEMM_H

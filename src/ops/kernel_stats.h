@@ -1,0 +1,89 @@
+/**
+ * @file
+ * KernelStats: the FLOP and byte accounting every CPU kernel reports.
+ * The same quantities drive the analytical device model (src/perf), so
+ * a single definition keeps the substrate and the model consistent.
+ */
+
+#ifndef BERTPROF_OPS_KERNEL_STATS_H
+#define BERTPROF_OPS_KERNEL_STATS_H
+
+#include <cstdint>
+
+namespace bertprof {
+
+/** Work and traffic performed by one kernel invocation. */
+struct KernelStats {
+    /** Floating-point operations (multiply-add counts as 2). */
+    std::int64_t flops = 0;
+    /** Bytes read from memory (at storage precision). */
+    std::int64_t bytesRead = 0;
+    /** Bytes written to memory (at storage precision). */
+    std::int64_t bytesWritten = 0;
+
+    /** Total bytes moved. */
+    std::int64_t bytesTotal() const { return bytesRead + bytesWritten; }
+
+    /** Arithmetic intensity in FLOP per byte (0 if no traffic). */
+    double
+    opsPerByte() const
+    {
+        auto b = bytesTotal();
+        return b > 0 ? static_cast<double>(flops) / static_cast<double>(b)
+                     : 0.0;
+    }
+
+    KernelStats &
+    operator+=(const KernelStats &other)
+    {
+        flops += other.flops;
+        bytesRead += other.bytesRead;
+        bytesWritten += other.bytesWritten;
+        return *this;
+    }
+};
+
+inline KernelStats
+operator+(KernelStats a, const KernelStats &b)
+{
+    a += b;
+    return a;
+}
+
+/**
+ * Stats of an MxNxK GEMM (C[MxN] = A[MxK] * B[KxN]), batched
+ * `batch` times, with `elem_bytes`-wide elements. Assumes each
+ * operand is read once and C written once (ideal cache behaviour,
+ * matching how the paper computes arithmetic intensity).
+ */
+inline KernelStats
+gemmStats(std::int64_t m, std::int64_t n, std::int64_t k,
+          std::int64_t batch = 1, std::int64_t elem_bytes = 4)
+{
+    KernelStats s;
+    s.flops = 2 * m * n * k * batch;
+    s.bytesRead = (m * k + k * n) * batch * elem_bytes;
+    s.bytesWritten = m * n * batch * elem_bytes;
+    return s;
+}
+
+/**
+ * Stats of an element-wise kernel over `numel` elements reading
+ * `reads` input tensors and writing `writes` output tensors, with
+ * `flops_per_elem` operations per element.
+ */
+inline KernelStats
+elementwiseStats(std::int64_t numel, std::int64_t reads = 1,
+                 std::int64_t writes = 1, std::int64_t flops_per_elem = 1,
+                 std::int64_t elem_bytes = 4)
+{
+    KernelStats s;
+    s.flops = numel * flops_per_elem;
+    s.bytesRead = numel * reads * elem_bytes;
+    s.bytesWritten = numel * writes * elem_bytes;
+    return s;
+}
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPS_KERNEL_STATS_H

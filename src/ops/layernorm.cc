@@ -1,0 +1,97 @@
+#include "ops/layernorm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+KernelStats
+layerNormForward(const Tensor &in, const Tensor &gamma, const Tensor &beta,
+                 Tensor &out, Tensor &mean, Tensor &rstd, float eps)
+{
+    BP_REQUIRE(in.shape() == out.shape());
+    BP_REQUIRE(gamma.shape().rank() == 1 && beta.shape() == gamma.shape());
+    const std::int64_t cols = gamma.shape().dim(0);
+    BP_REQUIRE(in.shape().dim(-1) == cols);
+    const std::int64_t rows = in.numel() / cols;
+    BP_REQUIRE(mean.numel() == rows && rstd.numel() == rows);
+
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *x = in.data() + r * cols;
+        float *y = out.data() + r * cols;
+        double mu = 0.0;
+        for (std::int64_t c = 0; c < cols; ++c)
+            mu += x[c];
+        mu /= static_cast<double>(cols);
+        double var = 0.0;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            const double d = x[c] - mu;
+            var += d * d;
+        }
+        var /= static_cast<double>(cols);
+        const double rs = 1.0 / std::sqrt(var + eps);
+        mean.data()[r] = static_cast<float>(mu);
+        rstd.data()[r] = static_cast<float>(rs);
+        for (std::int64_t c = 0; c < cols; ++c) {
+            y[c] = static_cast<float>((x[c] - mu) * rs) * gamma.data()[c] +
+                   beta.data()[c];
+        }
+    }
+    KernelStats s = elementwiseStats(in.numel(), 1, 1, 6,
+                                     dtypeBytes(in.dtype()));
+    s.bytesRead += gamma.storageBytes() + beta.storageBytes();
+    s.bytesWritten += mean.storageBytes() + rstd.storageBytes();
+    return s;
+}
+
+KernelStats
+layerNormBackward(const Tensor &in, const Tensor &gamma, const Tensor &mean,
+                  const Tensor &rstd, const Tensor &dout, Tensor &din,
+                  Tensor &dgamma, Tensor &dbeta)
+{
+    const std::int64_t cols = gamma.shape().dim(0);
+    const std::int64_t rows = in.numel() / cols;
+    BP_REQUIRE(in.shape() == dout.shape() && in.shape() == din.shape());
+    BP_REQUIRE(dgamma.shape() == gamma.shape() &&
+               dbeta.shape() == gamma.shape());
+    BP_REQUIRE(mean.numel() == rows && rstd.numel() == rows);
+
+    dgamma.fill(0.0f);
+    dbeta.fill(0.0f);
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *x = in.data() + r * cols;
+        const float *dy = dout.data() + r * cols;
+        float *dx = din.data() + r * cols;
+        const double mu = mean.data()[r];
+        const double rs = rstd.data()[r];
+
+        // xhat = (x - mu) * rs; din follows the standard LN backward:
+        // dx = rs/C * (C*g*dy - sum(g*dy) - xhat * sum(g*dy*xhat))
+        double sum_gdy = 0.0;
+        double sum_gdy_xhat = 0.0;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            const double xhat = (x[c] - mu) * rs;
+            const double gdy = static_cast<double>(gamma.data()[c]) * dy[c];
+            sum_gdy += gdy;
+            sum_gdy_xhat += gdy * xhat;
+            dgamma.data()[c] += static_cast<float>(dy[c] * xhat);
+            dbeta.data()[c] += dy[c];
+        }
+        const double inv_c = 1.0 / static_cast<double>(cols);
+        for (std::int64_t c = 0; c < cols; ++c) {
+            const double xhat = (x[c] - mu) * rs;
+            const double gdy = static_cast<double>(gamma.data()[c]) * dy[c];
+            dx[c] = static_cast<float>(
+                rs * (gdy - inv_c * (sum_gdy + xhat * sum_gdy_xhat)));
+        }
+    }
+    KernelStats s = elementwiseStats(in.numel(), 2, 1, 9,
+                                     dtypeBytes(in.dtype()));
+    s.bytesRead += gamma.storageBytes() + mean.storageBytes() +
+                   rstd.storageBytes();
+    s.bytesWritten += dgamma.storageBytes() + dbeta.storageBytes();
+    return s;
+}
+
+} // namespace bertprof

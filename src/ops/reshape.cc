@@ -1,0 +1,69 @@
+#include "ops/reshape.h"
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+KernelStats
+transpose2d(const Tensor &in, Tensor &out)
+{
+    BP_REQUIRE(in.shape().rank() == 2 && out.shape().rank() == 2);
+    const std::int64_t rows = in.shape().dim(0);
+    const std::int64_t cols = in.shape().dim(1);
+    BP_REQUIRE(out.shape().dim(0) == cols && out.shape().dim(1) == rows);
+    for (std::int64_t r = 0; r < rows; ++r)
+        for (std::int64_t c = 0; c < cols; ++c)
+            out.data()[c * rows + r] = in.data()[r * cols + c];
+    return elementwiseStats(in.numel(), 1, 1, 0, dtypeBytes(in.dtype()));
+}
+
+KernelStats
+splitHeads(const Tensor &in, std::int64_t batch, std::int64_t seq,
+           std::int64_t heads, Tensor &out)
+{
+    BP_REQUIRE(in.shape().rank() == 2);
+    const std::int64_t d_model = in.shape().dim(1);
+    BP_REQUIRE(in.shape().dim(0) == batch * seq);
+    BP_REQUIRE(d_model % heads == 0);
+    const std::int64_t dh = d_model / heads;
+    BP_REQUIRE(out.shape() == Shape({batch * heads, seq, dh}));
+
+    for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t t = 0; t < seq; ++t) {
+            const float *src = in.data() + (b * seq + t) * d_model;
+            for (std::int64_t h = 0; h < heads; ++h) {
+                float *dst =
+                    out.data() + ((b * heads + h) * seq + t) * dh;
+                for (std::int64_t j = 0; j < dh; ++j)
+                    dst[j] = src[h * dh + j];
+            }
+        }
+    }
+    return elementwiseStats(in.numel(), 1, 1, 0, dtypeBytes(in.dtype()));
+}
+
+KernelStats
+mergeHeads(const Tensor &in, std::int64_t batch, std::int64_t seq,
+           std::int64_t heads, Tensor &out)
+{
+    BP_REQUIRE(in.shape().rank() == 3);
+    const std::int64_t dh = in.shape().dim(2);
+    const std::int64_t d_model = dh * heads;
+    BP_REQUIRE(in.shape() == Shape({batch * heads, seq, dh}));
+    BP_REQUIRE(out.shape() == Shape({batch * seq, d_model}));
+
+    for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t t = 0; t < seq; ++t) {
+            float *dst = out.data() + (b * seq + t) * d_model;
+            for (std::int64_t h = 0; h < heads; ++h) {
+                const float *src =
+                    in.data() + ((b * heads + h) * seq + t) * dh;
+                for (std::int64_t j = 0; j < dh; ++j)
+                    dst[h * dh + j] = src[j];
+            }
+        }
+    }
+    return elementwiseStats(in.numel(), 1, 1, 0, dtypeBytes(in.dtype()));
+}
+
+} // namespace bertprof

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Layout kernels: 2-D transpose and the split-heads / merge-heads
+ * permutations that feed the attention batched GEMMs. These move data
+ * without arithmetic — pure bandwidth, like the paper's layout ops.
+ */
+
+#ifndef BERTPROF_OPS_RESHAPE_H
+#define BERTPROF_OPS_RESHAPE_H
+
+#include "ops/kernel_stats.h"
+#include "tensor/tensor.h"
+
+namespace bertprof {
+
+/** out = in^T for rank-2 tensors. */
+KernelStats transpose2d(const Tensor &in, Tensor &out);
+
+/**
+ * Rearrange a [B*n, d_model] projection output into per-head batches
+ * [B*h, n, d_model/h] so attention runs as a batched GEMM over B*h
+ * groups (the manifestation Fig. 5 of the paper illustrates).
+ */
+KernelStats splitHeads(const Tensor &in, std::int64_t batch,
+                       std::int64_t seq, std::int64_t heads, Tensor &out);
+
+/** Inverse of splitHeads: [B*h, n, d/h] -> [B*n, d_model]. */
+KernelStats mergeHeads(const Tensor &in, std::int64_t batch,
+                       std::int64_t seq, std::int64_t heads, Tensor &out);
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPS_RESHAPE_H

@@ -1,0 +1,56 @@
+#include "ops/softmax.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+KernelStats
+softmaxForward(const Tensor &in, Tensor &out)
+{
+    BP_REQUIRE(in.shape() == out.shape());
+    BP_REQUIRE(in.shape().rank() >= 1);
+    const std::int64_t cols = in.shape().dim(-1);
+    const std::int64_t rows = in.numel() / cols;
+
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *x = in.data() + r * cols;
+        float *y = out.data() + r * cols;
+        float mx = x[0];
+        for (std::int64_t c = 1; c < cols; ++c)
+            mx = std::max(mx, x[c]);
+        double denom = 0.0;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            y[c] = std::exp(x[c] - mx);
+            denom += y[c];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (std::int64_t c = 0; c < cols; ++c)
+            y[c] *= inv;
+    }
+    // max + exp + sum + div: ~4 passes of arithmetic per element.
+    return elementwiseStats(in.numel(), 1, 1, 4, dtypeBytes(in.dtype()));
+}
+
+KernelStats
+softmaxBackward(const Tensor &out, const Tensor &dout, Tensor &din)
+{
+    BP_REQUIRE(out.shape() == dout.shape() && out.shape() == din.shape());
+    const std::int64_t cols = out.shape().dim(-1);
+    const std::int64_t rows = out.numel() / cols;
+
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *y = out.data() + r * cols;
+        const float *dy = dout.data() + r * cols;
+        float *dx = din.data() + r * cols;
+        double dot = 0.0;
+        for (std::int64_t c = 0; c < cols; ++c)
+            dot += static_cast<double>(y[c]) * dy[c];
+        for (std::int64_t c = 0; c < cols; ++c)
+            dx[c] = y[c] * (dy[c] - static_cast<float>(dot));
+    }
+    return elementwiseStats(out.numel(), 2, 1, 4, dtypeBytes(out.dtype()));
+}
+
+} // namespace bertprof

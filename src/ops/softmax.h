@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Numerically stable softmax over the last dimension, with backward.
+ * Invoked on the attention score matrices (the paper's SM kernel in
+ * the Scale+Mask+DR+SM group).
+ */
+
+#ifndef BERTPROF_OPS_SOFTMAX_H
+#define BERTPROF_OPS_SOFTMAX_H
+
+#include "ops/kernel_stats.h"
+#include "tensor/tensor.h"
+
+namespace bertprof {
+
+/**
+ * Row-wise softmax over the last dimension of `in` (any rank >= 1;
+ * leading dims are flattened into rows).
+ */
+KernelStats softmaxForward(const Tensor &in, Tensor &out);
+
+/**
+ * Softmax backward using the saved forward output:
+ * din = out * (dout - sum(dout * out, lastdim)).
+ */
+KernelStats softmaxBackward(const Tensor &out, const Tensor &dout,
+                            Tensor &din);
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPS_SOFTMAX_H

@@ -1,0 +1,61 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+namespace bertprof {
+
+void
+Adam::step(const std::vector<Parameter *> &params)
+{
+    ++steps_;
+    const float scale = globalGradScale(params);
+    const double bc1 =
+        1.0 - std::pow(config_.beta1, static_cast<double>(steps_));
+    const double bc2 =
+        1.0 - std::pow(config_.beta2, static_cast<double>(steps_));
+
+    for (Parameter *param : params) {
+        auto [it, inserted] =
+            state_.try_emplace(param, param->value.shape());
+        State &st = it->second;
+        const std::int64_t n = param->value.numel();
+        float *w = param->value.data();
+        const float *g = param->grad.data();
+        float *m = st.m.data();
+        float *v = st.v.data();
+        const float wd = param->noDecay ? 0.0f : config_.weightDecay;
+
+        // Stage 1: update m/v, form the bias-corrected direction.
+        Tensor update(param->value.shape());
+        float *u = update.data();
+        {
+            ScopedKernel k(profiler_, param->name + ".adam.stage1",
+                           OpKind::Elementwise, Phase::Update,
+                           LayerScope::Optimizer, SubLayer::LambStage1);
+            k.setStats(elementwiseStats(n, 4, 3, 12));
+            for (std::int64_t i = 0; i < n; ++i) {
+                const float gi = g[i] * scale;
+                m[i] = config_.beta1 * m[i] +
+                       (1.0f - config_.beta1) * gi;
+                v[i] = config_.beta2 * v[i] +
+                       (1.0f - config_.beta2) * gi * gi;
+                const double mhat = m[i] / bc1;
+                const double vhat = v[i] / bc2;
+                u[i] = static_cast<float>(
+                           mhat / (std::sqrt(vhat) + config_.epsilon)) +
+                       wd * w[i];
+            }
+        }
+        // Stage 2: apply the update.
+        {
+            ScopedKernel k(profiler_, param->name + ".adam.stage2",
+                           OpKind::Elementwise, Phase::Update,
+                           LayerScope::Optimizer, SubLayer::LambStage2);
+            k.setStats(elementwiseStats(n, 2, 1, 2));
+            for (std::int64_t i = 0; i < n; ++i)
+                w[i] -= config_.learningRate * u[i];
+        }
+    }
+}
+
+} // namespace bertprof

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Adam (Kingma & Ba) with decoupled weight decay — the alternative
+ * optimizer the paper uses for its fusion study (Fig. 12a). State
+ * (momentum m, velocity v) is FP32 regardless of training precision.
+ */
+
+#ifndef BERTPROF_OPTIM_ADAM_H
+#define BERTPROF_OPTIM_ADAM_H
+
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+
+namespace bertprof {
+
+/** Adam optimizer with per-parameter m/v state. */
+class Adam : public Optimizer
+{
+  public:
+    explicit Adam(OptimizerConfig config, Profiler *profiler = nullptr)
+        : Optimizer(config, profiler)
+    {
+    }
+
+    void step(const std::vector<Parameter *> &params) override;
+
+  private:
+    struct State {
+        Tensor m;
+        Tensor v;
+        State(const Shape &shape) : m(shape), v(shape) {}
+    };
+    std::unordered_map<const Parameter *, State> state_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPTIM_ADAM_H

@@ -1,0 +1,63 @@
+#include "optim/grad_scaler.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+GradScaler::GradScaler(float initial_scale, float growth_factor,
+                       float backoff_factor, std::int64_t growth_interval)
+    : scale_(initial_scale), growthFactor_(growth_factor),
+      backoffFactor_(backoff_factor), growthInterval_(growth_interval)
+{
+    BP_REQUIRE(initial_scale > 0.0f);
+    BP_REQUIRE(growth_factor > 1.0f);
+    BP_REQUIRE(backoff_factor > 0.0f && backoff_factor < 1.0f);
+    BP_REQUIRE(growth_interval >= 1);
+}
+
+bool
+GradScaler::unscale(const std::vector<Parameter *> &params)
+{
+    const float inv = 1.0f / scale_;
+    bool finite = true;
+    for (Parameter *param : params) {
+        float *g = param->grad.data();
+        const std::int64_t n = param->grad.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+            if (!std::isfinite(g[i])) {
+                finite = false;
+                break;
+            }
+            g[i] *= inv;
+        }
+        if (!finite)
+            break;
+    }
+    if (!finite) {
+        // The step must be skipped; leave no stale scaled gradients.
+        for (Parameter *param : params)
+            param->zeroGrad();
+    }
+    return finite;
+}
+
+void
+GradScaler::update(bool grads_finite)
+{
+    if (!grads_finite) {
+        scale_ *= backoffFactor_;
+        if (scale_ < 1.0f)
+            scale_ = 1.0f;
+        stableSteps_ = 0;
+        ++skipped_;
+        return;
+    }
+    if (++stableSteps_ >= growthInterval_) {
+        scale_ *= growthFactor_;
+        stableSteps_ = 0;
+    }
+}
+
+} // namespace bertprof

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dynamic loss scaling for mixed-precision training (the mechanism
+ * behind the paper's MP setup [62]: FWD/BWD run in FP16, so small
+ * gradients underflow unless the loss — and therefore every gradient
+ * — is scaled up; the scaler unscales before the FP32 optimizer step
+ * and backs off when overflow produces non-finite gradients).
+ */
+
+#ifndef BERTPROF_OPTIM_GRAD_SCALER_H
+#define BERTPROF_OPTIM_GRAD_SCALER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace bertprof {
+
+/** Dynamic loss scaler with growth/backoff, apex-amp style. */
+class GradScaler
+{
+  public:
+    /**
+     * @param initial_scale Starting loss scale.
+     * @param growth_factor Multiplier after a stable streak.
+     * @param backoff_factor Multiplier on overflow.
+     * @param growth_interval Steps without overflow before growing.
+     */
+    explicit GradScaler(float initial_scale = 65536.0f,
+                        float growth_factor = 2.0f,
+                        float backoff_factor = 0.5f,
+                        std::int64_t growth_interval = 200);
+
+    /** The scale to multiply the loss (or initial gradient) by. */
+    float scale() const { return scale_; }
+
+    /**
+     * Divide every gradient by the current scale, checking for
+     * non-finite values. @return true if all gradients are finite
+     * (the optimizer step may proceed); false if overflow was found
+     * (gradients are zeroed and the step must be skipped).
+     */
+    bool unscale(const std::vector<Parameter *> &params);
+
+    /**
+     * Advance the dynamic schedule after unscale(): on overflow the
+     * scale backs off; after growth_interval clean steps it grows.
+     */
+    void update(bool grads_finite);
+
+    /** Steps skipped because of overflow so far. */
+    std::int64_t skippedSteps() const { return skipped_; }
+
+  private:
+    float scale_;
+    float growthFactor_;
+    float backoffFactor_;
+    std::int64_t growthInterval_;
+    std::int64_t stableSteps_ = 0;
+    std::int64_t skipped_ = 0;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPTIM_GRAD_SCALER_H

@@ -1,0 +1,90 @@
+#include "optim/lamb.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+void
+Lamb::step(const std::vector<Parameter *> &params)
+{
+    ++steps_;
+    // LAMB's global pre-normalization: the L2 norm across all
+    // gradients must complete before any parameter can update.
+    const float scale = globalGradScale(params);
+    const double bc1 =
+        1.0 - std::pow(config_.beta1, static_cast<double>(steps_));
+    const double bc2 =
+        1.0 - std::pow(config_.beta2, static_cast<double>(steps_));
+
+    for (Parameter *param : params) {
+        auto [it, inserted] =
+            state_.try_emplace(param, param->value.shape());
+        State &st = it->second;
+        const std::int64_t n = param->value.numel();
+        float *w = param->value.data();
+        const float *g = param->grad.data();
+        float *m = st.m.data();
+        float *v = st.v.data();
+        const float wd = param->noDecay ? 0.0f : config_.weightDecay;
+
+        // Stage 1 (the paper's LAMBStage1): moment updates, update
+        // direction, and the two norms for the trust ratio. Reads
+        // w, g, m, v — 4x the parameter footprint.
+        Tensor update(param->value.shape());
+        float *u = update.data();
+        double w_sq = 0.0;
+        double u_sq = 0.0;
+        {
+            ScopedKernel k(profiler_, param->name + ".lamb.stage1",
+                           OpKind::Elementwise, Phase::Update,
+                           LayerScope::Optimizer, SubLayer::LambStage1);
+            k.setStats(elementwiseStats(n, 4, 3, 14));
+            for (std::int64_t i = 0; i < n; ++i) {
+                const float gi = g[i] * scale;
+                m[i] = config_.beta1 * m[i] +
+                       (1.0f - config_.beta1) * gi;
+                v[i] = config_.beta2 * v[i] +
+                       (1.0f - config_.beta2) * gi * gi;
+                const double mhat = m[i] / bc1;
+                const double vhat = v[i] / bc2;
+                u[i] = static_cast<float>(
+                           mhat / (std::sqrt(vhat) + config_.epsilon)) +
+                       wd * w[i];
+                w_sq += static_cast<double>(w[i]) * w[i];
+                u_sq += static_cast<double>(u[i]) * u[i];
+            }
+        }
+
+        // Trust ratio: ||w|| / ||update||, defaulting to 1 when
+        // either norm vanishes (You et al., Algorithm 2).
+        const double w_norm = std::sqrt(w_sq);
+        const double u_norm = std::sqrt(u_sq);
+        const double trust =
+            (w_norm > 0.0 && u_norm > 0.0) ? w_norm / u_norm : 1.0;
+        st.lastTrust = trust;
+
+        // Stage 2 (LAMBStage2): apply the rescaled update.
+        {
+            ScopedKernel k(profiler_, param->name + ".lamb.stage2",
+                           OpKind::Elementwise, Phase::Update,
+                           LayerScope::Optimizer, SubLayer::LambStage2);
+            k.setStats(elementwiseStats(n, 2, 1, 2));
+            const float step_size = static_cast<float>(
+                config_.learningRate * trust);
+            for (std::int64_t i = 0; i < n; ++i)
+                w[i] -= step_size * u[i];
+        }
+    }
+}
+
+double
+Lamb::lastTrustRatio(const Parameter *param) const
+{
+    auto it = state_.find(param);
+    BP_REQUIRE(it != state_.end());
+    return it->second.lastTrust;
+}
+
+} // namespace bertprof

@@ -1,0 +1,47 @@
+#include "optim/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+LrSchedule::LrSchedule(float peak_lr, std::int64_t warmup_steps,
+                       std::int64_t total_steps, DecayKind decay,
+                       double power)
+    : peakLr_(peak_lr), warmupSteps_(warmup_steps),
+      totalSteps_(total_steps), decay_(decay), power_(power)
+{
+    BP_REQUIRE(peak_lr >= 0.0f);
+    BP_REQUIRE(warmup_steps >= 0);
+    BP_REQUIRE(total_steps >= warmup_steps);
+}
+
+float
+LrSchedule::at(std::int64_t step) const
+{
+    if (step < 0)
+        step = 0;
+    if (warmupSteps_ > 0 && step < warmupSteps_) {
+        return peakLr_ * static_cast<float>(step + 1) /
+               static_cast<float>(warmupSteps_);
+    }
+    if (decay_ == DecayKind::None || totalSteps_ == warmupSteps_)
+        return peakLr_;
+    const double span = static_cast<double>(totalSteps_ - warmupSteps_);
+    const double progress =
+        std::min(1.0, static_cast<double>(step - warmupSteps_) / span);
+    switch (decay_) {
+      case DecayKind::None:
+        return peakLr_;
+      case DecayKind::Linear:
+        return peakLr_ * static_cast<float>(1.0 - progress);
+      case DecayKind::Polynomial:
+        return peakLr_ *
+               static_cast<float>(std::pow(1.0 - progress, power_));
+    }
+    return peakLr_;
+}
+
+} // namespace bertprof

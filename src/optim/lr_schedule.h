@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Learning-rate schedules used by BERT pre-training: linear warmup
+ * followed by linear or polynomial decay (You et al. use warmup +
+ * polynomial decay with LAMB). Pure functions of the step index so
+ * they are trivially testable and resumable.
+ */
+
+#ifndef BERTPROF_OPTIM_LR_SCHEDULE_H
+#define BERTPROF_OPTIM_LR_SCHEDULE_H
+
+#include <cstdint>
+
+namespace bertprof {
+
+/** Shape of the post-warmup decay. */
+enum class DecayKind {
+    None,       ///< constant after warmup
+    Linear,     ///< linear to zero at totalSteps
+    Polynomial, ///< (1 - progress)^power
+};
+
+/** Warmup + decay schedule. */
+class LrSchedule
+{
+  public:
+    /**
+     * @param peak_lr Learning rate at the end of warmup.
+     * @param warmup_steps Steps of linear warmup from 0.
+     * @param total_steps Step at which decay reaches zero.
+     * @param decay Decay shape after warmup.
+     * @param power Exponent for polynomial decay.
+     */
+    LrSchedule(float peak_lr, std::int64_t warmup_steps,
+               std::int64_t total_steps,
+               DecayKind decay = DecayKind::Linear, double power = 1.0);
+
+    /** Learning rate at (0-based) step `step`. */
+    float at(std::int64_t step) const;
+
+    float peakLr() const { return peakLr_; }
+    std::int64_t warmupSteps() const { return warmupSteps_; }
+    std::int64_t totalSteps() const { return totalSteps_; }
+
+  private:
+    float peakLr_;
+    std::int64_t warmupSteps_;
+    std::int64_t totalSteps_;
+    DecayKind decay_;
+    double power_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPTIM_LR_SCHEDULE_H

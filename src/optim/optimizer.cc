@@ -1,0 +1,29 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+namespace bertprof {
+
+float
+Optimizer::globalGradScale(const std::vector<Parameter *> &params)
+{
+    ScopedKernel k(profiler_, "opt.grad_l2_norm", OpKind::Reduction,
+                   Phase::Update, LayerScope::Optimizer,
+                   SubLayer::GradNorm);
+    double sum_sq = 0.0;
+    std::int64_t total = 0;
+    for (const Parameter *param : params) {
+        const double norm = param->grad.l2Norm();
+        sum_sq += norm * norm;
+        total += param->grad.numel();
+    }
+    k.setStats(elementwiseStats(total, 1, 0, 2));
+    const double global_norm = std::sqrt(sum_sq);
+    if (config_.maxGradNorm <= 0.0f || global_norm <= config_.maxGradNorm ||
+        global_norm == 0.0) {
+        return 1.0f;
+    }
+    return static_cast<float>(config_.maxGradNorm / global_norm);
+}
+
+} // namespace bertprof

@@ -1,0 +1,34 @@
+#include "optim/sgd.h"
+
+namespace bertprof {
+
+void
+Sgd::step(const std::vector<Parameter *> &params)
+{
+    ++steps_;
+    const float scale = globalGradScale(params);
+    for (Parameter *param : params) {
+        ScopedKernel k(profiler_, param->name + ".sgd",
+                       OpKind::Elementwise, Phase::Update,
+                       LayerScope::Optimizer, SubLayer::LambStage2);
+        const std::int64_t n = param->value.numel();
+        float *w = param->value.data();
+        const float *g = param->grad.data();
+        if (momentum_ > 0.0f) {
+            auto [it, inserted] =
+                velocity_.try_emplace(param, param->value.shape());
+            float *v = it->second.data();
+            for (std::int64_t i = 0; i < n; ++i) {
+                v[i] = momentum_ * v[i] + g[i] * scale;
+                w[i] -= config_.learningRate * v[i];
+            }
+            k.setStats(elementwiseStats(n, 3, 2, 4));
+        } else {
+            for (std::int64_t i = 0; i < n; ++i)
+                w[i] -= config_.learningRate * g[i] * scale;
+            k.setStats(elementwiseStats(n, 2, 1, 2));
+        }
+    }
+}
+
+} // namespace bertprof

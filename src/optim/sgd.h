@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Plain stochastic gradient descent with optional momentum — the
+ * simplest baseline optimizer, used by tests and comparisons.
+ */
+
+#ifndef BERTPROF_OPTIM_SGD_H
+#define BERTPROF_OPTIM_SGD_H
+
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+
+namespace bertprof {
+
+/** SGD with optional classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(OptimizerConfig config, float momentum = 0.0f,
+        Profiler *profiler = nullptr)
+        : Optimizer(config, profiler), momentum_(momentum)
+    {
+    }
+
+    void step(const std::vector<Parameter *> &params) override;
+
+  private:
+    float momentum_;
+    std::unordered_map<const Parameter *, Tensor> velocity_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPTIM_SGD_H

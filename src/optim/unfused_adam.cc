@@ -1,0 +1,92 @@
+#include "optim/unfused_adam.h"
+
+#include <cmath>
+
+namespace bertprof {
+
+void
+UnfusedAdam::step(const std::vector<Parameter *> &params)
+{
+    ++steps_;
+    const float scale = globalGradScale(params);
+    const float bc1 = static_cast<float>(
+        1.0 - std::pow(config_.beta1, static_cast<double>(steps_)));
+    const float bc2 = static_cast<float>(
+        1.0 - std::pow(config_.beta2, static_cast<double>(steps_)));
+
+    for (Parameter *param : params) {
+        auto [it, inserted] =
+            state_.try_emplace(param, param->value.shape());
+        State &st = it->second;
+        const Shape &shape = param->value.shape();
+        const std::int64_t n = param->value.numel();
+        const float wd = param->noDecay ? 0.0f : config_.weightDecay;
+
+        // Each lambda is one "kernel": a full pass over n elements
+        // with its own profiler record — no fusion anywhere.
+        auto unary = [&](const char *name, const Tensor &src, Tensor &dst,
+                         auto fn, SubLayer sub) {
+            ScopedKernel k(profiler_, param->name + ".uadam." + name,
+                           OpKind::Elementwise, Phase::Update,
+                           LayerScope::Optimizer, sub);
+            k.setStats(elementwiseStats(n, 1, 1, 1));
+            for (std::int64_t i = 0; i < n; ++i)
+                dst.at(i) = fn(src.at(i));
+        };
+        auto binary = [&](const char *name, const Tensor &a,
+                          const Tensor &b, Tensor &dst, auto fn,
+                          SubLayer sub) {
+            ScopedKernel k(profiler_, param->name + ".uadam." + name,
+                           OpKind::Elementwise, Phase::Update,
+                           LayerScope::Optimizer, sub);
+            k.setStats(elementwiseStats(n, 2, 1, 1));
+            for (std::int64_t i = 0; i < n; ++i)
+                dst.at(i) = fn(a.at(i), b.at(i));
+        };
+
+        Tensor gs(shape), t1(shape), t2(shape), u(shape);
+        const SubLayer s1 = SubLayer::LambStage1;
+        const SubLayer s2 = SubLayer::LambStage2;
+
+        // Moment updates (8 kernels).
+        unary("g_scale", param->grad, gs,
+              [&](float g) { return g * scale; }, s1);
+        unary("m_decay", st.m, t1,
+              [&](float m) { return m * config_.beta1; }, s1);
+        unary("g_m", gs, t2,
+              [&](float g) { return g * (1.0f - config_.beta1); }, s1);
+        binary("m_add", t1, t2, st.m,
+               [](float a, float b) { return a + b; }, s1);
+        unary("v_decay", st.v, t1,
+              [&](float v) { return v * config_.beta2; }, s1);
+        binary("g_sq", gs, gs, t2,
+               [](float a, float b) { return a * b; }, s1);
+        unary("g_sq_scale", t2, t2,
+              [&](float g) { return g * (1.0f - config_.beta2); }, s1);
+        binary("v_add", t1, t2, st.v,
+               [](float a, float b) { return a + b; }, s1);
+
+        // Direction (5 kernels).
+        unary("m_hat", st.m, t1, [&](float m) { return m / bc1; }, s1);
+        unary("v_hat", st.v, t2, [&](float v) { return v / bc2; }, s1);
+        unary("v_sqrt", t2, t2,
+              [](float v) { return std::sqrt(v); }, s1);
+        unary("v_eps", t2, t2,
+              [&](float v) { return v + config_.epsilon; }, s1);
+        binary("u_div", t1, t2, u,
+               [](float a, float b) { return a / b; }, s1);
+
+        // Weight decay + apply (3 kernels).
+        unary("w_wd", param->value, t1,
+              [&](float w) { return w * wd; }, s2);
+        binary("u_wd", u, t1, u, [](float a, float b) { return a + b; },
+               s2);
+        binary("w_apply", param->value, u, param->value,
+               [&](float w, float ui) {
+                   return w - config_.learningRate * ui;
+               },
+               s2);
+    }
+}
+
+} // namespace bertprof

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * UnfusedAdam: the same update rule as Adam, executed the way an
+ * eager framework without fused optimizers runs it — one separate
+ * pass over memory per elementary operation, each with its own
+ * profiler record and intermediate tensor. This is the real-execution
+ * counterpart of the paper's Fig. 12a unfused-Adam bar: numerically
+ * equivalent to Adam (up to fp rounding) but with ~16x the kernels
+ * and several times the memory traffic.
+ */
+
+#ifndef BERTPROF_OPTIM_UNFUSED_ADAM_H
+#define BERTPROF_OPTIM_UNFUSED_ADAM_H
+
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+
+namespace bertprof {
+
+/** Eager-mode Adam: every elementary op is its own kernel. */
+class UnfusedAdam : public Optimizer
+{
+  public:
+    explicit UnfusedAdam(OptimizerConfig config,
+                         Profiler *profiler = nullptr)
+        : Optimizer(config, profiler)
+    {
+    }
+
+    void step(const std::vector<Parameter *> &params) override;
+
+    /** Kernels this implementation launches per parameter tensor. */
+    static constexpr int kKernelsPerTensor = 16;
+
+  private:
+    struct State {
+        Tensor m;
+        Tensor v;
+        State(const Shape &shape) : m(shape), v(shape) {}
+    };
+    std::unordered_map<const Parameter *, State> state_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPTIM_UNFUSED_ADAM_H

@@ -1,0 +1,68 @@
+#include "perf/cost_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+double
+KernelCostModel::achievedBandwidth(std::int64_t bytes) const
+{
+    const double peak = spec_.memBandwidth * spec_.streamBwFraction;
+    const double b = static_cast<double>(bytes);
+    return peak * (b / (b + spec_.bwRampBytes));
+}
+
+KernelTime
+KernelCostModel::evaluate(const OpDesc &op) const
+{
+    KernelTime time;
+    time.overhead = spec_.kernelLaunchOverhead;
+
+    switch (op.kind) {
+      case OpKind::Gemm:
+      case OpKind::BatchedGemm: {
+        const double achieved = gemmModel_.achievedFlops(op.gemm, op.dtype);
+        time.compute = static_cast<double>(op.stats.flops) / achieved;
+        const std::int64_t bytes = op.stats.bytesTotal();
+        time.memory = bytes > 0 ? static_cast<double>(bytes) /
+                                      achievedBandwidth(bytes)
+                                : 0.0;
+        break;
+      }
+      case OpKind::Elementwise:
+      case OpKind::Reduction:
+      case OpKind::Gather: {
+        time.compute = static_cast<double>(op.stats.flops) /
+                       spec_.vectorFlops(op.dtype);
+        const std::int64_t bytes = op.stats.bytesTotal();
+        time.memory = bytes > 0 ? static_cast<double>(bytes) /
+                                      achievedBandwidth(bytes)
+                                : 0.0;
+        break;
+      }
+      case OpKind::Comm: {
+        time.link = spec_.linkLatency +
+                    static_cast<double>(op.commBytes) /
+                        spec_.linkBandwidth;
+        time.overhead = 0.0;
+        break;
+      }
+    }
+    return time;
+}
+
+double
+KernelCostModel::bandwidthDemand(const OpDesc &op) const
+{
+    const KernelTime time = evaluate(op);
+    const Seconds busy = std::max(time.compute, time.memory);
+    if (busy <= 0.0)
+        return 0.0;
+    const double achieved_bw =
+        static_cast<double>(op.stats.bytesTotal()) / busy;
+    return achieved_bw / (spec_.memBandwidth * spec_.streamBwFraction);
+}
+
+} // namespace bertprof

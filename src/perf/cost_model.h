@@ -1,0 +1,69 @@
+/**
+ * @file
+ * KernelCostModel: assigns a device time to every OpDesc via a
+ * roofline — max(compute time at modeled efficiency, memory time at
+ * achieved bandwidth) plus launch overhead. Communication ops use the
+ * link model. This is the step that turns the architecture-agnostic
+ * trace into the runtime breakdowns of the paper's figures.
+ */
+
+#ifndef BERTPROF_PERF_COST_MODEL_H
+#define BERTPROF_PERF_COST_MODEL_H
+
+#include "perf/device.h"
+#include "perf/gemm_model.h"
+#include "trace/op.h"
+
+namespace bertprof {
+
+/** Time decomposition of one kernel. */
+struct KernelTime {
+    Seconds compute = 0.0;  ///< FLOP-limited time
+    Seconds memory = 0.0;   ///< bandwidth-limited time
+    Seconds overhead = 0.0; ///< launch/dispatch overhead
+    Seconds link = 0.0;     ///< network time (Comm ops)
+
+    /** Roofline total: max(compute, memory) + overhead + link. */
+    Seconds
+    total() const
+    {
+        return (compute > memory ? compute : memory) + overhead + link;
+    }
+
+    /** True if the kernel is limited by memory bandwidth. */
+    bool memoryBound() const { return memory >= compute; }
+};
+
+/** Roofline-style cost model over a DeviceSpec. */
+class KernelCostModel
+{
+  public:
+    explicit KernelCostModel(const DeviceSpec &spec)
+        : spec_(spec), gemmModel_(spec)
+    {
+    }
+
+    /** Time decomposition for one op. */
+    KernelTime evaluate(const OpDesc &op) const;
+
+    /** Achieved bandwidth of a streaming kernel moving `bytes`. */
+    double achievedBandwidth(std::int64_t bytes) const;
+
+    /**
+     * Bandwidth demand of an op normalized to the best streaming
+     * bandwidth (the paper's Fig. 7 normalization): bytes moved per
+     * second of modeled runtime over the achievable peak.
+     */
+    double bandwidthDemand(const OpDesc &op) const;
+
+    const DeviceSpec &spec() const { return spec_; }
+    const GemmModel &gemmModel() const { return gemmModel_; }
+
+  private:
+    DeviceSpec spec_;
+    GemmModel gemmModel_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_PERF_COST_MODEL_H

@@ -1,0 +1,62 @@
+#include "perf/device.h"
+
+namespace bertprof {
+
+DeviceSpec
+mi100()
+{
+    return DeviceSpec{};
+}
+
+DeviceSpec
+mi100HalfBandwidth()
+{
+    DeviceSpec spec;
+    spec.name = "mi100-half-bw";
+    spec.memBandwidth /= 2.0;
+    return spec;
+}
+
+DeviceSpec
+a100Like()
+{
+    DeviceSpec spec;
+    spec.name = "a100-like";
+    spec.matrixFlopsFp32 = 19.5e12;  // no FP32 tensor path (TF32 aside)
+    spec.matrixFlopsFp16 = 312e12;
+    spec.vectorFlopsFp32 = 19.5e12;
+    spec.vectorFlopsFp16 = 39e12;
+    spec.memBandwidth = 2.0e12;
+    spec.computeUnits = 108; // SMs
+    spec.linkBandwidth = 300e9; // NVLink-class
+    return spec;
+}
+
+DeviceSpec
+mi250Like()
+{
+    DeviceSpec spec;
+    spec.name = "mi250-gcd-like";
+    spec.matrixFlopsFp32 = 47.9e12;
+    spec.matrixFlopsFp16 = 191.5e12;
+    spec.vectorFlopsFp32 = 23.95e12;
+    spec.vectorFlopsFp16 = 47.9e12;
+    spec.memBandwidth = 1.6e12;
+    spec.computeUnits = 110;
+    spec.linkBandwidth = 100e9; // Infinity Fabric-class
+    return spec;
+}
+
+DeviceSpec
+futureDoubleCompute()
+{
+    DeviceSpec spec;
+    spec.name = "future-2x-compute";
+    spec.matrixFlopsFp32 *= 2.0;
+    spec.matrixFlopsFp16 *= 2.0;
+    spec.vectorFlopsFp32 *= 2.0;
+    spec.vectorFlopsFp16 *= 2.0;
+    return spec;
+}
+
+} // namespace bertprof

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * DeviceSpec: the parameterization of a compute-intensive accelerator
+ * used by the analytical performance model. Defaults approximate an
+ * AMD Instinct MI100 (the paper's platform): public peak throughput
+ * and bandwidth figures plus a small set of achievable-fraction knobs
+ * that are calibrated once (documented in EXPERIMENTS.md) and shared
+ * by every experiment.
+ *
+ * The paper's takeaways depend only on op manifestation/size and the
+ * device's compute-to-bandwidth ratio (Sec. 7), which is exactly what
+ * this struct captures — so other accelerators can be modeled by
+ * swapping the numbers.
+ */
+
+#ifndef BERTPROF_PERF_DEVICE_H
+#define BERTPROF_PERF_DEVICE_H
+
+#include <string>
+
+#include "tensor/tensor.h"
+#include "util/units.h"
+
+namespace bertprof {
+
+/** Accelerator model parameters. */
+struct DeviceSpec {
+    std::string name = "mi100-like";
+
+    /** Peak matrix-engine FLOP/s by precision. */
+    double matrixFlopsFp32 = 46.1e12;
+    double matrixFlopsFp16 = 184.6e12;
+
+    /** Peak vector (SIMD) FLOP/s by precision. */
+    double vectorFlopsFp32 = 23.1e12;
+    double vectorFlopsFp16 = 46.1e12;
+
+    /** Peak DRAM bandwidth (HBM2 on MI100). */
+    double memBandwidth = 1.23e12;
+
+    /**
+     * Fraction of peak bandwidth large streaming kernels achieve
+     * relative to their *ideal* traffic (the "max achieved by any
+     * BERT operation" of the paper's Fig. 7 normalization). This is
+     * deliberately below raw STREAM numbers: the trace counts ideal
+     * bytes, while real kernels move extra traffic (masks, strides,
+     * partial lines).
+     */
+    double streamBwFraction = 0.50;
+
+    /** Per-kernel launch/dispatch overhead. */
+    Seconds kernelLaunchOverhead = 8e-6;
+
+    /** Compute units (MI100: 120 CUs). */
+    int computeUnits = 120;
+
+    /**
+     * Best-case fraction of matrix peak a well-shaped GEMM achieves
+     * (library + dataflow losses), by precision. FP16 GEMMs have
+     * more headroom to lose, so their achievable fraction is lower —
+     * this is what makes MP GEMM speedups ~2x rather than 4x.
+     */
+    double gemmPeakFractionFp32 = 0.85;
+    double gemmPeakFractionFp16 = 0.60;
+
+    /**
+     * GEMM K-depth at which the MAC pipeline reaches steady state;
+     * utilization ramps as k / (k + kSaturation).
+     */
+    double gemmKSaturation = 256.0;
+
+    /**
+     * Macro-tile edge (elements) needed to feed the matrix engine at
+     * full density; smaller tiles lose throughput quadratically.
+     * Devices without wide matrix engines (CPUs) should set this to
+     * a small value.
+     */
+    double gemmTileDensityNorm = 96.0;
+
+    /**
+     * Bytes at which a streaming kernel reaches full bandwidth;
+     * achieved bandwidth ramps as b / (b + rampBytes). Models the
+     * poor bandwidth of tiny kernels (e.g. per-tensor optimizer
+     * kernels on bias vectors).
+     */
+    double bwRampBytes = 4.0 * kMiB;
+
+    /** Host-to-device / inter-device link bandwidth (PCIe 4.0 x16). */
+    double linkBandwidth = 32e9;
+
+    /** Per-message link latency. */
+    Seconds linkLatency = 5e-6;
+
+    /** Matrix peak for the given precision. */
+    double
+    matrixFlops(DType dtype) const
+    {
+        return dtype == DType::F16 ? matrixFlopsFp16 : matrixFlopsFp32;
+    }
+
+    /** Vector peak for the given precision. */
+    double
+    vectorFlops(DType dtype) const
+    {
+        return dtype == DType::F16 ? vectorFlopsFp16 : vectorFlopsFp32;
+    }
+
+    /** Best-case GEMM fraction for the given precision. */
+    double
+    gemmPeakFraction(DType dtype) const
+    {
+        return dtype == DType::F16 ? gemmPeakFractionFp16
+                                   : gemmPeakFractionFp32;
+    }
+};
+
+/** The MI100-like default device. */
+DeviceSpec mi100();
+
+/** A bandwidth-starved variant (for roofline sensitivity studies). */
+DeviceSpec mi100HalfBandwidth();
+
+/** A compute-doubled future device (Sec. 7: compute scales faster). */
+DeviceSpec futureDoubleCompute();
+
+/**
+ * An NVIDIA-A100-like device (public specs: 19.5 TFLOP/s FP32,
+ * 312 TFLOP/s FP16 tensor, ~2.0 TB/s HBM2e) — Sec. 7 argues the
+ * breakdown extrapolates to devices like this via the
+ * compute/bandwidth ratio.
+ */
+DeviceSpec a100Like();
+
+/** An AMD-MI250X-GCD-like device (~1.6 TB/s and ~191 TF FP16/GCD). */
+DeviceSpec mi250Like();
+
+} // namespace bertprof
+
+#endif // BERTPROF_PERF_DEVICE_H

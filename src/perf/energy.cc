@@ -1,0 +1,47 @@
+#include "perf/energy.h"
+
+namespace bertprof {
+
+EnergyBreakdown
+EnergyModel::kernelEnergy(const TimedOp &timed) const
+{
+    EnergyBreakdown energy;
+    const OpDesc &op = timed.op;
+    const bool matrix =
+        op.kind == OpKind::Gemm || op.kind == OpKind::BatchedGemm;
+    const double pj_flop =
+        matrix ? spec_.pjPerMatrixFlop : spec_.pjPerVectorFlop;
+    energy.computeJoules =
+        static_cast<double>(op.stats.flops) * pj_flop * 1e-12;
+    energy.memoryJoules = static_cast<double>(op.stats.bytesTotal()) *
+                          spec_.pjPerExternalByte * 1e-12;
+    energy.staticJoules = spec_.staticWatts * timed.time.total();
+    return energy;
+}
+
+EnergyBreakdown
+EnergyModel::traceEnergy(const TimedTrace &timed) const
+{
+    EnergyBreakdown total;
+    for (const auto &op : timed.ops) {
+        const EnergyBreakdown e = kernelEnergy(op);
+        total.computeJoules += e.computeJoules;
+        total.memoryJoules += e.memoryJoules;
+        total.staticJoules += e.staticJoules;
+    }
+    return total;
+}
+
+EnergyBreakdown
+EnergyModel::nmcKernelEnergy(const OpDesc &op, Seconds nmc_seconds) const
+{
+    EnergyBreakdown energy;
+    energy.computeJoules = static_cast<double>(op.stats.flops) *
+                           spec_.pjPerVectorFlop * 1e-12;
+    energy.memoryJoules = static_cast<double>(op.stats.bytesTotal()) *
+                          spec_.pjPerNmcByte * 1e-12;
+    energy.staticJoules = spec_.staticWatts * nmc_seconds;
+    return energy;
+}
+
+} // namespace bertprof

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * First-order energy model: per-op dynamic energy from FLOPs and
+ * memory traffic plus static power over modeled time. Supports the
+ * paper's Sec. 6.2.1 claim that near-memory compute "improves
+ * performance *and energy efficiency*": NMC accesses skip the DRAM
+ * interface, so their per-byte energy is a fraction of an external
+ * HBM access.
+ */
+
+#ifndef BERTPROF_PERF_ENERGY_H
+#define BERTPROF_PERF_ENERGY_H
+
+#include "perf/executor.h"
+#include "trace/op.h"
+
+namespace bertprof {
+
+/** Energy coefficients (picojoules), defaults 7nm-accelerator-like. */
+struct EnergySpec {
+    /** pJ per FLOP on the matrix engines. */
+    double pjPerMatrixFlop = 0.4;
+    /** pJ per FLOP on the vector units. */
+    double pjPerVectorFlop = 1.2;
+    /** pJ per byte moved over the external HBM interface. */
+    double pjPerExternalByte = 56.0; // ~7 pJ/bit
+    /** pJ per byte accessed by an in-bank NMC ALU (no interface). */
+    double pjPerNmcByte = 18.0;
+    /** Static/leakage power of the accelerator package. */
+    double staticWatts = 90.0;
+};
+
+/** Joules split by source. */
+struct EnergyBreakdown {
+    double computeJoules = 0.0;
+    double memoryJoules = 0.0;
+    double staticJoules = 0.0;
+
+    double
+    total() const
+    {
+        return computeJoules + memoryJoules + staticJoules;
+    }
+};
+
+/** Evaluates trace energy under an EnergySpec. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergySpec spec = {}) : spec_(spec) {}
+
+    /** Dynamic + static energy of one timed kernel on the device. */
+    EnergyBreakdown kernelEnergy(const TimedOp &timed) const;
+
+    /** Energy of a whole timed trace. */
+    EnergyBreakdown traceEnergy(const TimedTrace &timed) const;
+
+    /**
+     * Energy of one offloadable kernel executed on NMC units in
+     * `nmc_seconds`: same FLOPs at vector cost, bytes at the cheaper
+     * in-bank rate, static power for the (shorter) duration.
+     */
+    EnergyBreakdown nmcKernelEnergy(const OpDesc &op,
+                                    Seconds nmc_seconds) const;
+
+    const EnergySpec &spec() const { return spec_; }
+
+  private:
+    EnergySpec spec_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_PERF_ENERGY_H

@@ -1,0 +1,89 @@
+#include "perf/executor.h"
+
+namespace bertprof {
+
+Seconds
+TimedTrace::totalSeconds() const
+{
+    Seconds total = 0.0;
+    for (const auto &timed : ops)
+        total += timed.time.total();
+    return total;
+}
+
+Seconds
+TimedTrace::sumWhere(
+    const std::function<bool(const TimedOp &)> &pred) const
+{
+    Seconds total = 0.0;
+    for (const auto &timed : ops)
+        if (pred(timed))
+            total += timed.time.total();
+    return total;
+}
+
+double
+TimedTrace::shareWhere(
+    const std::function<bool(const TimedOp &)> &pred) const
+{
+    const Seconds total = totalSeconds();
+    return total > 0.0 ? sumWhere(pred) / total : 0.0;
+}
+
+namespace {
+
+template <typename KeyFn>
+std::map<std::string, TraceAggregate>
+aggregateBy(const std::vector<TimedOp> &ops, KeyFn key_fn)
+{
+    std::map<std::string, TraceAggregate> agg;
+    for (const auto &timed : ops)
+        agg[key_fn(timed)].add(timed);
+    return agg;
+}
+
+} // namespace
+
+std::map<std::string, TraceAggregate>
+TimedTrace::byScope() const
+{
+    return aggregateBy(ops, [](const TimedOp &timed) {
+        return std::string(layerScopeName(timed.op.scope));
+    });
+}
+
+std::map<std::string, TraceAggregate>
+TimedTrace::bySubLayer() const
+{
+    return aggregateBy(ops, [](const TimedOp &timed) {
+        return std::string(subLayerName(timed.op.sub));
+    });
+}
+
+std::map<std::string, TraceAggregate>
+TimedTrace::byPhase() const
+{
+    return aggregateBy(ops, [](const TimedOp &timed) {
+        return std::string(phaseName(timed.op.phase));
+    });
+}
+
+std::map<std::string, TraceAggregate>
+TimedTrace::byKind() const
+{
+    return aggregateBy(ops, [](const TimedOp &timed) {
+        return std::string(opKindName(timed.op.kind));
+    });
+}
+
+TimedTrace
+TraceExecutor::execute(const OpTrace &trace) const
+{
+    TimedTrace timed;
+    timed.ops.reserve(trace.ops.size());
+    for (const auto &op : trace.ops)
+        timed.ops.push_back({op, costModel_.evaluate(op)});
+    return timed;
+}
+
+} // namespace bertprof

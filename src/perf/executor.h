@@ -1,0 +1,91 @@
+/**
+ * @file
+ * TraceExecutor: evaluates an OpTrace against a device model,
+ * producing a TimedTrace with per-kernel times and breakdown
+ * aggregations along the paper's axes (layer scope, sub-layer,
+ * phase, op kind).
+ */
+
+#ifndef BERTPROF_PERF_EXECUTOR_H
+#define BERTPROF_PERF_EXECUTOR_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perf/cost_model.h"
+#include "trace/op.h"
+
+namespace bertprof {
+
+/** One op plus its modeled time. */
+struct TimedOp {
+    OpDesc op;
+    KernelTime time;
+};
+
+/** Aggregate over a group of timed ops. */
+struct TraceAggregate {
+    Seconds seconds = 0.0;
+    KernelStats stats;
+    std::int64_t kernelCount = 0;
+
+    void
+    add(const TimedOp &timed)
+    {
+        seconds += timed.time.total();
+        stats += timed.op.stats;
+        ++kernelCount;
+    }
+};
+
+/** A fully timed iteration trace. */
+struct TimedTrace {
+    std::vector<TimedOp> ops;
+
+    /** Total modeled time. */
+    Seconds totalSeconds() const;
+
+    /** Number of kernels. */
+    std::size_t kernelCount() const { return ops.size(); }
+
+    /** Sum of time over ops matching a predicate. */
+    Seconds sumWhere(
+        const std::function<bool(const TimedOp &)> &pred) const;
+
+    /** Fraction of total time in ops matching a predicate. */
+    double shareWhere(
+        const std::function<bool(const TimedOp &)> &pred) const;
+
+    /** Aggregate by top-level layer scope (Fig. 3 axis). */
+    std::map<std::string, TraceAggregate> byScope() const;
+
+    /** Aggregate by sub-layer group (Fig. 4 axis). */
+    std::map<std::string, TraceAggregate> bySubLayer() const;
+
+    /** Aggregate by training phase. */
+    std::map<std::string, TraceAggregate> byPhase() const;
+
+    /** Aggregate by op kind (GEMM vs EW vs reduction ...). */
+    std::map<std::string, TraceAggregate> byKind() const;
+};
+
+/** Evaluates traces against a device model. */
+class TraceExecutor
+{
+  public:
+    explicit TraceExecutor(const DeviceSpec &spec) : costModel_(spec) {}
+
+    /** Time every op of the trace. */
+    TimedTrace execute(const OpTrace &trace) const;
+
+    const KernelCostModel &costModel() const { return costModel_; }
+
+  private:
+    KernelCostModel costModel_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_PERF_EXECUTOR_H

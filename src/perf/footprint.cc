@@ -1,0 +1,169 @@
+#include "perf/footprint.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace bertprof {
+
+namespace {
+
+/**
+ * Live activation bytes for one transformer layer's backward pass:
+ * ~10 [T, d] tensors (projections, residuals, norms, masks), two
+ * [T, d_ff] tensors (FC-1 output and GeLU output), and three
+ * [B*h, n, n] score-shaped tensors (probs, dropout mask, dropped).
+ */
+std::int64_t
+activationsPerLayer(const BertConfig &config)
+{
+    const std::int64_t t = config.tokens();
+    const std::int64_t scores =
+        config.batch * config.numHeads * config.seqLen * config.seqLen;
+    return (10 * t * config.dModel + 2 * t * config.dFf + 3 * scores) *
+           config.activationBytes();
+}
+
+std::int64_t
+workspaceBytes(const BertConfig &config)
+{
+    const std::int64_t scores =
+        config.batch * config.numHeads * config.seqLen * config.seqLen;
+    std::int64_t logits = 0;
+    if (config.taskHead == TaskHead::Pretrain)
+        logits = config.maskedTokens() * config.vocabSize;
+    return (scores + logits) * config.activationBytes();
+}
+
+} // namespace
+
+MemoryFootprint
+trainingFootprint(const BertConfig &config)
+{
+    MemoryFootprint fp;
+    const std::int64_t params = config.parameterCount();
+    const bool mixed = config.precision == Precision::Mixed;
+
+    // Weights and gradients at training precision; MP additionally
+    // keeps an FP32 master copy with the optimizer state.
+    fp.weights = params * config.activationBytes();
+    fp.gradients = params * config.activationBytes();
+    std::int64_t state_per_param = 0;
+    switch (config.optimizer) {
+      case OptimizerKind::Sgd:
+        state_per_param = 0;
+        break;
+      case OptimizerKind::Adam:
+      case OptimizerKind::Lamb:
+        state_per_param = 8; // FP32 m + v
+        break;
+    }
+    fp.optimizerState =
+        params * (state_per_param + (mixed ? 4 : 0)); // + master copy
+
+    const std::int64_t per_layer = activationsPerLayer(config);
+    if (config.checkpointEvery > 0) {
+        // Only sqrt-N style checkpoints plus one live segment.
+        const std::int64_t segments =
+            config.numLayers / config.checkpointEvery;
+        fp.activations = segments * config.tokens() * config.dModel *
+                             config.activationBytes() +
+                         config.checkpointEvery * per_layer;
+    } else {
+        fp.activations = config.numLayers * per_layer;
+    }
+    fp.workspace = workspaceBytes(config);
+    return fp;
+}
+
+MemoryFootprint
+inferenceFootprint(const BertConfig &config)
+{
+    MemoryFootprint fp;
+    fp.weights = config.parameterCount() * config.activationBytes();
+    // Working set only (nothing is saved for backprop): ping-pong
+    // [T, d] buffers, one [T, d_ff] intermediate, one score matrix.
+    const std::int64_t t = config.tokens();
+    const std::int64_t scores =
+        config.batch * config.numHeads * config.seqLen * config.seqLen;
+    fp.activations = (2 * t * config.dModel + t * config.dFf + scores) *
+                     config.activationBytes();
+    fp.workspace = workspaceBytes(config);
+    return fp;
+}
+
+MemoryFootprint
+tensorSlicedFootprint(const BertConfig &config, int ways)
+{
+    BP_REQUIRE(ways >= 1);
+    MemoryFootprint fp = trainingFootprint(config);
+    if (ways == 1)
+        return fp;
+
+    // Parameters: per-layer tensors sliced, shared tensors replicated.
+    std::int64_t sliced = 0, replicated = 0;
+    for (const auto &param : config.parameterTensors()) {
+        if (param.layerIndex >= 0)
+            sliced += param.numel;
+        else
+            replicated += param.numel;
+    }
+    const std::int64_t params_per_device = sliced / ways + replicated;
+    const double param_scale =
+        static_cast<double>(params_per_device) /
+        static_cast<double>(config.parameterCount());
+    fp.weights = static_cast<std::int64_t>(fp.weights * param_scale);
+    fp.gradients = static_cast<std::int64_t>(fp.gradients * param_scale);
+    fp.optimizerState =
+        static_cast<std::int64_t>(fp.optimizerState * param_scale);
+
+    // Activations: the [T, d] tensors are replicated; the per-head
+    // score tensors and the [T, d_ff] tensors are sliced.
+    const std::int64_t t = config.tokens();
+    const std::int64_t scores =
+        config.batch * config.numHeads * config.seqLen * config.seqLen;
+    const std::int64_t per_layer =
+        (10 * t * config.dModel + (2 * t * config.dFf + 3 * scores) / ways) *
+        config.activationBytes();
+    fp.activations = config.numLayers * per_layer;
+    fp.workspace = workspaceBytes(config) / ways;
+    return fp;
+}
+
+std::int64_t
+maxBatchThatFits(BertConfig config, std::int64_t capacity_bytes)
+{
+    auto fits = [&](std::int64_t batch) {
+        config.batch = batch;
+        return trainingFootprint(config).total() <= capacity_bytes;
+    };
+    if (!fits(1))
+        return 0;
+    std::int64_t lo = 1, hi = 2;
+    while (fits(hi) && hi < (1 << 20))
+        hi *= 2;
+    while (lo + 1 < hi) {
+        const std::int64_t mid = (lo + hi) / 2;
+        (fits(mid) ? lo : hi) = mid;
+    }
+    return lo;
+}
+
+std::string
+describeFootprint(const MemoryFootprint &footprint)
+{
+    std::ostringstream os;
+    os << "w " << formatBytes(static_cast<double>(footprint.weights))
+       << " + g " << formatBytes(static_cast<double>(footprint.gradients))
+       << " + opt "
+       << formatBytes(static_cast<double>(footprint.optimizerState))
+       << " + act "
+       << formatBytes(static_cast<double>(footprint.activations))
+       << " + ws "
+       << formatBytes(static_cast<double>(footprint.workspace)) << " = "
+       << formatBytes(static_cast<double>(footprint.total()));
+    return os.str();
+}
+
+} // namespace bertprof

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Device-memory footprint model: weights, gradients, optimizer state,
+ * and live activations for a BERT configuration. This quantifies the
+ * pressures behind two of the paper's topics — activation
+ * checkpointing (Sec. 4 trades recompute for activation memory) and
+ * model parallelism (Sec. 2.5: tensor slicing exists because larger
+ * models stop fitting on one device).
+ */
+
+#ifndef BERTPROF_PERF_FOOTPRINT_H
+#define BERTPROF_PERF_FOOTPRINT_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/bert_config.h"
+
+namespace bertprof {
+
+/** Bytes by category for one training replica. */
+struct MemoryFootprint {
+    std::int64_t weights = 0;        ///< model parameters
+    std::int64_t gradients = 0;      ///< parameter gradients
+    std::int64_t optimizerState = 0; ///< m/v (+FP32 master weights in MP)
+    std::int64_t activations = 0;    ///< live activations for backprop
+    std::int64_t workspace = 0;      ///< score matrices & scratch
+
+    std::int64_t
+    total() const
+    {
+        return weights + gradients + optimizerState + activations +
+               workspace;
+    }
+};
+
+/**
+ * Footprint of one training iteration on a single device.
+ * Honors precision (FP16 weights/grads + FP32 master copies under MP)
+ * and activation checkpointing (only sqrt-N checkpoints plus one
+ * segment stay live).
+ */
+MemoryFootprint trainingFootprint(const BertConfig &config);
+
+/** Footprint of a forward-only (inference) pass. */
+MemoryFootprint inferenceFootprint(const BertConfig &config);
+
+/**
+ * Per-device footprint under m-way tensor slicing: sliced weights,
+ * gradients, and optimizer state; replicated LN/embedding; full
+ * activations (every device sees all tokens).
+ */
+MemoryFootprint tensorSlicedFootprint(const BertConfig &config, int ways);
+
+/**
+ * Largest mini-batch B whose training footprint fits in
+ * `capacity_bytes` (0 if even B=1 does not fit).
+ */
+std::int64_t maxBatchThatFits(BertConfig config,
+                              std::int64_t capacity_bytes);
+
+/** Render like "w 1.2 GiB + g 1.2 GiB + opt 2.5 GiB + act 3.0 GiB". */
+std::string describeFootprint(const MemoryFootprint &footprint);
+
+} // namespace bertprof
+
+#endif // BERTPROF_PERF_FOOTPRINT_H

@@ -1,0 +1,85 @@
+#include "perf/gemm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+std::int64_t
+GemmModel::selectTile(std::int64_t dim)
+{
+    // Libraries pick the largest tile the problem can fill; below
+    // 3/4 of a tile edge they step down to the next power of two.
+    if (dim >= 96)
+        return 128;
+    if (dim >= 48)
+        return 64;
+    if (dim >= 24)
+        return 32;
+    return 16;
+}
+
+GemmEfficiency
+GemmModel::evaluate(const GemmDims &dims, DType dtype) const
+{
+    BP_REQUIRE(dims.m > 0 && dims.n > 0 && dims.k > 0 && dims.batch > 0);
+    GemmEfficiency eff;
+    eff.tileM = selectTile(dims.m);
+    eff.tileN = selectTile(dims.n);
+
+    const std::int64_t tiles_m = (dims.m + eff.tileM - 1) / eff.tileM;
+    const std::int64_t tiles_n = (dims.n + eff.tileN - 1) / eff.tileN;
+    eff.tiles = tiles_m * tiles_n * dims.batch;
+
+    // Split-K: libraries split deep-K tall/skinny GEMMs across CUs
+    // when there are too few output tiles to fill the device (e.g.
+    // weight-gradient GEMMs with K = n*B). Each doubling halves the
+    // per-split K and costs a small reduction penalty.
+    const std::int64_t cus = spec_.computeUnits;
+    std::int64_t k_split = 1;
+    double split_penalty = 1.0;
+    std::int64_t split_k = dims.k;
+    while (eff.tiles * k_split * 2 <= cus && split_k / 2 >= 128) {
+        k_split *= 2;
+        split_k /= 2;
+        split_penalty *= 0.95;
+    }
+    eff.tiles *= k_split;
+
+    // Wave quantization: the last wave may not fill every CU.
+    const std::int64_t waves = (eff.tiles + cus - 1) / cus;
+    eff.waveUtilization = static_cast<double>(eff.tiles) /
+                          static_cast<double>(waves * cus) * split_penalty;
+
+    // Padding: edge tiles do useless work.
+    eff.padUtilization =
+        static_cast<double>(dims.m * dims.n) /
+        static_cast<double>(tiles_m * eff.tileM * tiles_n * eff.tileN);
+
+    // Pipeline ramp with (per-split) K depth; small tiles saturate
+    // with less K but cannot feed the matrix engine densely.
+    const double k_sat = spec_.gemmKSaturation *
+                         (static_cast<double>(std::min(eff.tileM,
+                                                       eff.tileN)) /
+                          128.0);
+    eff.kUtilization = static_cast<double>(split_k) /
+                       (static_cast<double>(split_k) + k_sat);
+
+    // Compute density loss of small macro-tiles: a full tile keeps
+    // the MACs fully fed; smaller tiles lose reuse quadratically-ish.
+    const double tile_norm =
+        spec_.gemmTileDensityNorm * spec_.gemmTileDensityNorm;
+    eff.tilePeakFraction =
+        std::min(1.0, static_cast<double>(eff.tileM * eff.tileN) /
+                          tile_norm);
+
+    eff.efficiency = spec_.gemmPeakFraction(dtype) * eff.waveUtilization *
+                     eff.padUtilization * eff.kUtilization *
+                     eff.tilePeakFraction;
+    eff.achievedFlops = eff.efficiency * spec_.matrixFlops(dtype);
+    return eff;
+}
+
+} // namespace bertprof

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analytical GEMM throughput model: tile selection, wave quantization
+ * over the device's compute units, padding waste, and K-depth pipeline
+ * ramp. This is what makes "not all GEMMs equal" (the paper's
+ * Takeaway 6) fall out of the model: the small, skinny attention
+ * B-GEMMs select small tiles, under-fill waves, and never reach the
+ * MAC pipeline's steady state, while the big FC GEMMs do.
+ */
+
+#ifndef BERTPROF_PERF_GEMM_MODEL_H
+#define BERTPROF_PERF_GEMM_MODEL_H
+
+#include "perf/device.h"
+#include "trace/op.h"
+
+namespace bertprof {
+
+/** Diagnostic breakdown of a GEMM's modeled efficiency. */
+struct GemmEfficiency {
+    std::int64_t tileM = 0;    ///< selected macro-tile M
+    std::int64_t tileN = 0;    ///< selected macro-tile N
+    std::int64_t tiles = 0;    ///< total work-groups (incl. batch)
+    double waveUtilization = 0.0; ///< CU occupancy of the last wave
+    double padUtilization = 0.0;  ///< useful fraction of padded tiles
+    double kUtilization = 0.0;    ///< pipeline ramp vs. K depth
+    double tilePeakFraction = 0.0;///< density loss of small tiles
+    double efficiency = 0.0;      ///< product incl. library peak frac
+    double achievedFlops = 0.0;   ///< efficiency * matrix peak
+};
+
+/** Model the achieved throughput of one (batched) GEMM. */
+class GemmModel
+{
+  public:
+    explicit GemmModel(const DeviceSpec &spec) : spec_(spec) {}
+
+    /** Full efficiency breakdown for the given dims and precision. */
+    GemmEfficiency evaluate(const GemmDims &dims, DType dtype) const;
+
+    /** Achieved FLOP/s only. */
+    double
+    achievedFlops(const GemmDims &dims, DType dtype) const
+    {
+        return evaluate(dims, dtype).achievedFlops;
+    }
+
+    /** Pick the macro-tile edge for a matrix dimension. */
+    static std::int64_t selectTile(std::int64_t dim);
+
+  private:
+    DeviceSpec spec_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_PERF_GEMM_MODEL_H

@@ -1,0 +1,39 @@
+#include "perf/roofline.h"
+
+#include <algorithm>
+
+namespace bertprof {
+
+namespace {
+
+double
+enginePeak(const DeviceSpec &spec, OpKind kind, DType dtype)
+{
+    const bool matrix =
+        kind == OpKind::Gemm || kind == OpKind::BatchedGemm;
+    return matrix ? spec.matrixFlops(dtype) : spec.vectorFlops(dtype);
+}
+
+} // namespace
+
+double
+ridgePoint(const DeviceSpec &spec, OpKind kind, DType dtype)
+{
+    return enginePeak(spec, kind, dtype) / spec.memBandwidth;
+}
+
+bool
+memoryBoundAtPeak(const DeviceSpec &spec, const OpDesc &op)
+{
+    return op.opsPerByte() < ridgePoint(spec, op.kind, op.dtype);
+}
+
+double
+attainableFlops(const DeviceSpec &spec, OpKind kind, DType dtype,
+                double ops_per_byte)
+{
+    return std::min(enginePeak(spec, kind, dtype),
+                    ops_per_byte * spec.memBandwidth);
+}
+
+} // namespace bertprof

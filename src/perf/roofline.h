@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Roofline helpers: ridge points and boundedness classification
+ * (Sec. 2.6 of the paper — arithmetic intensity decides whether an
+ * op benefits from more compute or more bandwidth).
+ */
+
+#ifndef BERTPROF_PERF_ROOFLINE_H
+#define BERTPROF_PERF_ROOFLINE_H
+
+#include "perf/device.h"
+#include "trace/op.h"
+
+namespace bertprof {
+
+/**
+ * The ridge point (FLOP/byte) of the device for the given engine and
+ * precision: intensities below it are memory bound at peak.
+ */
+double ridgePoint(const DeviceSpec &spec, OpKind kind, DType dtype);
+
+/** True if the op's arithmetic intensity puts it below the ridge. */
+bool memoryBoundAtPeak(const DeviceSpec &spec, const OpDesc &op);
+
+/**
+ * Attainable FLOP/s at the given arithmetic intensity (the classic
+ * roofline: min(peak, intensity * bandwidth)).
+ */
+double attainableFlops(const DeviceSpec &spec, OpKind kind, DType dtype,
+                       double ops_per_byte);
+
+} // namespace bertprof
+
+#endif // BERTPROF_PERF_ROOFLINE_H

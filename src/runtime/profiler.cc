@@ -1,0 +1,86 @@
+#include "runtime/profiler.h"
+
+#include "util/table.h"
+
+namespace bertprof {
+
+Seconds
+Profiler::totalSeconds() const
+{
+    Seconds total = 0.0;
+    for (const auto &rec : records_)
+        total += rec.seconds;
+    return total;
+}
+
+std::map<std::string, ProfileAggregate>
+Profiler::byScope() const
+{
+    std::map<std::string, ProfileAggregate> agg;
+    for (const auto &rec : records_)
+        agg[layerScopeName(rec.scope)].add(rec);
+    return agg;
+}
+
+std::map<std::string, ProfileAggregate>
+Profiler::bySubLayer() const
+{
+    std::map<std::string, ProfileAggregate> agg;
+    for (const auto &rec : records_)
+        agg[subLayerName(rec.sub)].add(rec);
+    return agg;
+}
+
+std::map<std::string, ProfileAggregate>
+Profiler::byPhase() const
+{
+    std::map<std::string, ProfileAggregate> agg;
+    for (const auto &rec : records_)
+        agg[phaseName(rec.phase)].add(rec);
+    return agg;
+}
+
+Table
+Profiler::renderBreakdown(const std::map<std::string, ProfileAggregate> &agg,
+                          Seconds total_seconds, const std::string &title)
+{
+    Table table(title);
+    table.setHeader({"Group", "Kernels", "Time", "Share", "FLOPs",
+                     "Bytes", "FLOP/B"});
+    for (const auto &[name, a] : agg) {
+        table.addRow({name, std::to_string(a.kernelCount),
+                      formatSeconds(a.seconds),
+                      formatPercent(total_seconds > 0
+                                        ? a.seconds / total_seconds
+                                        : 0.0),
+                      formatFlops(static_cast<double>(a.stats.flops)),
+                      formatBytes(static_cast<double>(a.stats.bytesTotal())),
+                      std::to_string(a.stats.opsPerByte())});
+    }
+    return table;
+}
+
+ScopedKernel::ScopedKernel(Profiler *profiler, std::string name, OpKind kind,
+                           Phase phase, LayerScope scope, SubLayer sub)
+    : profiler_(profiler)
+{
+    record_.name = std::move(name);
+    record_.kind = kind;
+    record_.phase = phase;
+    record_.scope = scope;
+    record_.sub = sub;
+    if (profiler_)
+        start_ = std::chrono::steady_clock::now();
+}
+
+ScopedKernel::~ScopedKernel()
+{
+    if (!profiler_)
+        return;
+    const auto end = std::chrono::steady_clock::now();
+    record_.seconds =
+        std::chrono::duration<double>(end - start_).count();
+    profiler_->record(std::move(record_));
+}
+
+} // namespace bertprof

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CPU-side kernel profiler: wall-clock timing plus FLOP/byte stats for
+ * every kernel the substrate executes, tagged with the same taxonomy
+ * the analytical model uses (trace/taxonomy.h) so real and modeled
+ * breakdowns are directly comparable — the role rocProf plays in the
+ * paper's methodology.
+ */
+
+#ifndef BERTPROF_RUNTIME_PROFILER_H
+#define BERTPROF_RUNTIME_PROFILER_H
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ops/kernel_stats.h"
+#include "trace/taxonomy.h"
+#include "util/units.h"
+
+namespace bertprof {
+
+class Table;
+
+/** One profiled kernel invocation. */
+struct ProfileRecord {
+    std::string name;
+    OpKind kind = OpKind::Elementwise;
+    Phase phase = Phase::Fwd;
+    LayerScope scope = LayerScope::Transformer;
+    SubLayer sub = SubLayer::Other;
+    KernelStats stats;
+    Seconds seconds = 0.0;
+};
+
+/** Aggregate over a set of profile records. */
+struct ProfileAggregate {
+    Seconds seconds = 0.0;
+    KernelStats stats;
+    std::int64_t kernelCount = 0;
+
+    void
+    add(const ProfileRecord &rec)
+    {
+        seconds += rec.seconds;
+        stats += rec.stats;
+        ++kernelCount;
+    }
+};
+
+/** Collects kernel records and produces breakdown aggregates. */
+class Profiler
+{
+  public:
+    /** Append a finished record. */
+    void record(ProfileRecord rec) { records_.push_back(std::move(rec)); }
+
+    /** All records in execution order. */
+    const std::vector<ProfileRecord> &records() const { return records_; }
+
+    /** Discard all records. */
+    void clear() { records_.clear(); }
+
+    /** Total wall time across all records. */
+    Seconds totalSeconds() const;
+
+    /** Aggregate by top-level layer scope (Fig. 3 axis). */
+    std::map<std::string, ProfileAggregate> byScope() const;
+
+    /** Aggregate by transformer sub-layer group (Fig. 4 axis). */
+    std::map<std::string, ProfileAggregate> bySubLayer() const;
+
+    /** Aggregate by training phase. */
+    std::map<std::string, ProfileAggregate> byPhase() const;
+
+    /** Render a proportions table for any aggregation. */
+    static Table renderBreakdown(
+        const std::map<std::string, ProfileAggregate> &agg,
+        Seconds total_seconds, const std::string &title);
+
+  private:
+    std::vector<ProfileRecord> records_;
+};
+
+/**
+ * RAII timer: construct before running a kernel, call setStats() with
+ * the kernel's KernelStats, and the record lands in the profiler at
+ * scope exit. A null profiler makes it a no-op, so the substrate can
+ * run unprofiled with zero branching at call sites.
+ */
+class ScopedKernel
+{
+  public:
+    ScopedKernel(Profiler *profiler, std::string name, OpKind kind,
+                 Phase phase, LayerScope scope, SubLayer sub);
+    ~ScopedKernel();
+
+    ScopedKernel(const ScopedKernel &) = delete;
+    ScopedKernel &operator=(const ScopedKernel &) = delete;
+
+    /** Attach the kernel's FLOP/byte stats to the pending record. */
+    void setStats(const KernelStats &stats) { record_.stats = stats; }
+
+  private:
+    Profiler *profiler_;
+    ProfileRecord record_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_RUNTIME_PROFILER_H

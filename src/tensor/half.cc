@@ -1,0 +1,98 @@
+#include "tensor/half.h"
+
+#include <cstring>
+
+namespace bertprof {
+
+std::uint16_t
+Half::fromFloat(float value)
+{
+    std::uint32_t f;
+    std::memcpy(&f, &value, sizeof(f));
+
+    const std::uint32_t sign = (f >> 16) & 0x8000u;
+    const std::int32_t exponent =
+        static_cast<std::int32_t>((f >> 23) & 0xFF) - 127;
+    std::uint32_t mantissa = f & 0x007FFFFFu;
+
+    if (exponent == 128) {
+        // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+        if (mantissa)
+            return static_cast<std::uint16_t>(sign | 0x7E00u);
+        return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+
+    if (exponent > 15) {
+        // Overflow -> infinity.
+        return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+
+    if (exponent >= -14) {
+        // Normal half. Round mantissa from 23 to 10 bits (RNE).
+        std::uint32_t half_exp =
+            static_cast<std::uint32_t>(exponent + 15) << 10;
+        std::uint32_t half_man = mantissa >> 13;
+        std::uint32_t round_bits = mantissa & 0x1FFFu;
+        if (round_bits > 0x1000u ||
+            (round_bits == 0x1000u && (half_man & 1u))) {
+            // Carry may ripple into the exponent; that is correct
+            // behaviour (e.g. rounding 2047.9999 up).
+            return static_cast<std::uint16_t>(sign + half_exp + half_man + 1);
+        }
+        return static_cast<std::uint16_t>(sign | half_exp | half_man);
+    }
+
+    if (exponent >= -24) {
+        // Subnormal half.
+        mantissa |= 0x00800000u; // implicit leading one
+        int shift = -exponent - 14 + 13; // down to 10-bit subnormal
+        std::uint32_t half_man = mantissa >> shift;
+        std::uint32_t round_mask = (1u << shift) - 1;
+        std::uint32_t round_bits = mantissa & round_mask;
+        std::uint32_t halfway = 1u << (shift - 1);
+        if (round_bits > halfway ||
+            (round_bits == halfway && (half_man & 1u))) {
+            ++half_man;
+        }
+        return static_cast<std::uint16_t>(sign | half_man);
+    }
+
+    // Underflow -> signed zero.
+    return static_cast<std::uint16_t>(sign);
+}
+
+float
+Half::toFloat(std::uint16_t bits)
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u)
+                               << 16;
+    const std::uint32_t exponent = (bits >> 10) & 0x1Fu;
+    std::uint32_t mantissa = bits & 0x03FFu;
+
+    std::uint32_t f;
+    if (exponent == 0) {
+        if (mantissa == 0) {
+            f = sign; // signed zero
+        } else {
+            // Subnormal: normalize.
+            int e = -1;
+            do {
+                ++e;
+                mantissa <<= 1;
+            } while ((mantissa & 0x0400u) == 0);
+            mantissa &= 0x03FFu;
+            f = sign | static_cast<std::uint32_t>(127 - 15 - e) << 23 |
+                mantissa << 13;
+        }
+    } else if (exponent == 0x1F) {
+        f = sign | 0x7F800000u | (mantissa << 13); // Inf / NaN
+    } else {
+        f = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+    }
+
+    float out;
+    std::memcpy(&out, &f, sizeof(out));
+    return out;
+}
+
+} // namespace bertprof

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Software IEEE-754 binary16 ("half") conversion. The CPU substrate
+ * computes in float, but mixed-precision experiments need faithful
+ * FP16 rounding to reproduce reduced-precision storage behaviour
+ * (the paper's MP training keeps FWD/BWD data in FP16 and optimizer
+ * state in FP32).
+ */
+
+#ifndef BERTPROF_TENSOR_HALF_H
+#define BERTPROF_TENSOR_HALF_H
+
+#include <cstdint>
+
+namespace bertprof {
+
+/** Bit-accurate IEEE binary16 value stored as its 16-bit pattern. */
+class Half
+{
+  public:
+    Half() = default;
+
+    /** Convert from float with round-to-nearest-even. */
+    explicit Half(float value) : bits_(fromFloat(value)) {}
+
+    /** Convert back to float exactly. */
+    float toFloat() const { return toFloat(bits_); }
+
+    /** Raw bit pattern. */
+    std::uint16_t bits() const { return bits_; }
+
+    /** Build from a raw bit pattern. */
+    static Half
+    fromBits(std::uint16_t bits)
+    {
+        Half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /** float -> binary16 bits, round-to-nearest-even, with Inf/NaN. */
+    static std::uint16_t fromFloat(float value);
+
+    /** binary16 bits -> float, exact. */
+    static float toFloat(std::uint16_t bits);
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+/** Round a float through FP16 and back (simulates FP16 storage). */
+inline float
+roundToHalf(float value)
+{
+    return Half(value).toFloat();
+}
+
+} // namespace bertprof
+
+#endif // BERTPROF_TENSOR_HALF_H

@@ -1,0 +1,63 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims)
+{
+    for (auto d : dims_)
+        BP_REQUIRE(d >= 0);
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims))
+{
+    for (auto d : dims_)
+        BP_REQUIRE(d >= 0);
+}
+
+std::int64_t
+Shape::dim(int i) const
+{
+    int r = rank();
+    if (i < 0)
+        i += r;
+    BP_REQUIRE(i >= 0 && i < r);
+    return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t
+Shape::numel() const
+{
+    std::int64_t n = 1;
+    for (auto d : dims_)
+        n *= d;
+    return n;
+}
+
+std::vector<std::int64_t>
+Shape::strides() const
+{
+    std::vector<std::int64_t> s(dims_.size(), 1);
+    for (int i = rank() - 2; i >= 0; --i)
+        s[i] = s[i + 1] * dims_[i + 1];
+    return s;
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << dims_[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+} // namespace bertprof

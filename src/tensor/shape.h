@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shape: the dimension vector of a Tensor, with row-major stride
+ * helpers. Kept deliberately small; the ops layer works directly on
+ * flat float buffers plus Shape metadata.
+ */
+
+#ifndef BERTPROF_TENSOR_SHAPE_H
+#define BERTPROF_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace bertprof {
+
+/** Row-major tensor shape. An empty shape denotes a scalar. */
+class Shape
+{
+  public:
+    Shape() = default;
+
+    /** Construct from a dim list, e.g. Shape({2, 3, 4}). */
+    Shape(std::initializer_list<std::int64_t> dims);
+
+    /** Construct from a vector of dims. */
+    explicit Shape(std::vector<std::int64_t> dims);
+
+    /** Number of dimensions. */
+    int rank() const { return static_cast<int>(dims_.size()); }
+
+    /** Size of dimension i; negative i counts from the back. */
+    std::int64_t dim(int i) const;
+
+    /** Total number of elements (1 for a scalar). */
+    std::int64_t numel() const;
+
+    /** Row-major strides, one per dimension. */
+    std::vector<std::int64_t> strides() const;
+
+    /** The raw dimension vector. */
+    const std::vector<std::int64_t> &dims() const { return dims_; }
+
+    /** Render like "[2, 3, 4]". */
+    std::string toString() const;
+
+    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+  private:
+    std::vector<std::int64_t> dims_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_TENSOR_SHAPE_H

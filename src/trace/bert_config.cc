@@ -1,0 +1,242 @@
+#include "trace/bert_config.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+std::vector<ParamTensorDesc>
+BertConfig::parameterTensors() const
+{
+    std::vector<ParamTensorDesc> params;
+    auto add = [&](const std::string &name, std::int64_t numel,
+                   int layer = -1) {
+        params.push_back({name, numel, layer});
+    };
+
+    // Embedding layer.
+    add("embeddings.token", vocabSize * dModel);
+    add("embeddings.position", maxPositions * dModel);
+    add("embeddings.segment", typeVocab * dModel);
+    add("embeddings.ln.gamma", dModel);
+    add("embeddings.ln.beta", dModel);
+
+    // Transformer layers.
+    for (int l = 0; l < numLayers; ++l) {
+        std::ostringstream prefix;
+        prefix << "encoder." << l << '.';
+        const std::string p = prefix.str();
+        add(p + "attn.wq", dModel * dModel, l);
+        add(p + "attn.bq", dModel, l);
+        add(p + "attn.wk", dModel * dModel, l);
+        add(p + "attn.bk", dModel, l);
+        add(p + "attn.wv", dModel * dModel, l);
+        add(p + "attn.bv", dModel, l);
+        add(p + "attn.wo", dModel * dModel, l);
+        add(p + "attn.bo", dModel, l);
+        add(p + "attn.ln.gamma", dModel, l);
+        add(p + "attn.ln.beta", dModel, l);
+        add(p + "fc1.w", dFf * dModel, l);
+        add(p + "fc1.b", dFf, l);
+        add(p + "fc2.w", dModel * dFf, l);
+        add(p + "fc2.b", dModel, l);
+        add(p + "fc.ln.gamma", dModel, l);
+        add(p + "fc.ln.beta", dModel, l);
+    }
+
+    // Output heads depend on the task (fine-tuning replaces the
+    // pre-training heads with a simpler one, Sec. 7).
+    switch (taskHead) {
+      case TaskHead::Pretrain:
+        // Pooler + MLM transform + decoder bias (decoder weight is
+        // tied to the token embedding) + NSP classifier.
+        add("pooler.w", dModel * dModel);
+        add("pooler.b", dModel);
+        add("mlm.transform.w", dModel * dModel);
+        add("mlm.transform.b", dModel);
+        add("mlm.ln.gamma", dModel);
+        add("mlm.ln.beta", dModel);
+        add("mlm.decoder.bias", vocabSize);
+        add("nsp.w", 2 * dModel);
+        add("nsp.b", 2);
+        break;
+      case TaskHead::SequenceClassification:
+        add("pooler.w", dModel * dModel);
+        add("pooler.b", dModel);
+        add("classifier.w", numClasses * dModel);
+        add("classifier.b", numClasses);
+        break;
+      case TaskHead::SpanPrediction:
+        add("qa.w", 2 * dModel);
+        add("qa.b", 2);
+        break;
+    }
+    return params;
+}
+
+std::int64_t
+BertConfig::parameterCount() const
+{
+    std::int64_t total = 0;
+    for (const auto &p : parameterTensors())
+        total += p.numel;
+    return total;
+}
+
+std::string
+BertConfig::validate() const
+{
+    std::ostringstream os;
+    if (numLayers <= 0) {
+        os << "numLayers must be positive (got " << numLayers << ")";
+    } else if (dModel <= 0 || dFf <= 0) {
+        os << "hidden dims must be positive";
+    } else if (numHeads <= 0 || dModel % numHeads != 0) {
+        os << "numHeads (" << numHeads << ") must divide d_model ("
+           << dModel << ")";
+    } else if (batch <= 0 || seqLen <= 0) {
+        os << "batch and seqLen must be positive";
+    } else if (seqLen > maxPositions) {
+        os << "seqLen (" << seqLen << ") exceeds maxPositions ("
+           << maxPositions << ")";
+    } else if (maxPredictions < 0 || maxPredictions > seqLen) {
+        os << "maxPredictions (" << maxPredictions
+           << ") must be in [0, seqLen]";
+    } else if (vocabSize <= 4) {
+        os << "vocabSize must exceed the special-token count";
+    } else if (checkpointEvery < 0 ||
+               (checkpointEvery > 0 &&
+                numLayers % checkpointEvery != 0)) {
+        os << "checkpointEvery (" << checkpointEvery
+           << ") must divide numLayers (" << numLayers << ")";
+    } else if (taskHead == TaskHead::SequenceClassification &&
+               numClasses < 2) {
+        os << "numClasses must be >= 2";
+    } else if (gradAccumulationSteps < 1) {
+        os << "gradAccumulationSteps must be >= 1";
+    }
+    return os.str();
+}
+
+std::string
+BertConfig::tag() const
+{
+    std::ostringstream os;
+    os << (seqLen == 512 ? "Ph2" : "Ph1") << "-B" << batch << "-"
+       << (precision == Precision::Mixed ? "FP16" : "FP32");
+    return os.str();
+}
+
+BertConfig
+bertBase()
+{
+    BertConfig config;
+    config.name = "bert-base";
+    config.numLayers = 12;
+    config.dModel = 768;
+    config.numHeads = 12;
+    config.dFf = 3072;
+    return config;
+}
+
+BertConfig
+bertLarge()
+{
+    BertConfig config;
+    config.name = "bert-large";
+    config.numLayers = 24;
+    config.dModel = 1024;
+    config.numHeads = 16;
+    config.dFf = 4096;
+    return config;
+}
+
+BertConfig
+scalingC1()
+{
+    BertConfig config = bertLarge();
+    config.name = "C1";
+    config.dModel = 512;
+    config.numHeads = 8;
+    config.dFf = 2048;
+    return config;
+}
+
+BertConfig
+scalingC2()
+{
+    BertConfig config = bertLarge();
+    config.name = "C2";
+    return config;
+}
+
+BertConfig
+scalingC3()
+{
+    BertConfig config = bertLarge();
+    config.name = "C3";
+    config.dModel = 2048;
+    config.numHeads = 32;
+    config.dFf = 8192;
+    return config;
+}
+
+BertConfig
+withPhase1(BertConfig config, std::int64_t batch)
+{
+    config.seqLen = 128;
+    config.batch = batch;
+    config.maxPredictions = 20;
+    return config;
+}
+
+BertConfig
+withPhase2(BertConfig config, std::int64_t batch)
+{
+    config.seqLen = 512;
+    config.batch = batch;
+    config.maxPredictions = 80;
+    return config;
+}
+
+BertConfig
+gpt2MediumLike()
+{
+    // GPT-2 Medium: 24 decoder layers, d=1024, h=16 — structurally a
+    // BERT-Large with a causal mask and a pure-LM head.
+    BertConfig config = bertLarge();
+    config.name = "gpt2-medium-like";
+    config.vocabSize = 50257;
+    config.maxPositions = 1024;
+    config.typeVocab = 1;
+    config.seqLen = 1024;
+    config.batch = 4;
+    // Every position is a prediction target in causal LM.
+    config.maxPredictions = config.seqLen;
+    return config;
+}
+
+BertConfig
+withSquadFineTune(BertConfig config, std::int64_t batch)
+{
+    config.seqLen = 384;
+    config.batch = batch;
+    config.taskHead = TaskHead::SpanPrediction;
+    config.optimizer = OptimizerKind::Adam;
+    return config;
+}
+
+BertConfig
+withClassificationFineTune(BertConfig config, std::int64_t batch,
+                           std::int64_t num_classes)
+{
+    config.seqLen = 128;
+    config.batch = batch;
+    config.taskHead = TaskHead::SequenceClassification;
+    config.numClasses = num_classes;
+    config.optimizer = OptimizerKind::Adam;
+    return config;
+}
+
+} // namespace bertprof

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * BertConfig: the hyperparameters of Table 2a plus training options,
+ * with the paper's named presets (BERT Base/Large; the C1/C2/C3
+ * layer-size sweep of Fig. 9), and the enumeration of every parameter
+ * tensor in the model (which drives LAMB kernel counts and sizes).
+ */
+
+#ifndef BERTPROF_TRACE_BERT_CONFIG_H
+#define BERTPROF_TRACE_BERT_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/taxonomy.h"
+
+namespace bertprof {
+
+/** Which optimizer the update phase runs. */
+enum class OptimizerKind {
+    Lamb,
+    Adam,
+    Sgd,
+};
+
+/** Training numeric precision per the paper's FP32 / MP settings. */
+enum class Precision {
+    FP32,  ///< everything in FP32
+    Mixed, ///< FWD/BWD in FP16, optimizer state and update in FP32
+};
+
+/**
+ * Which output head sits on the encoder (Sec. 7: fine-tuning swaps
+ * the pre-training heads for a task head, usually a simpler one).
+ */
+enum class TaskHead {
+    Pretrain,               ///< masked-LM + next-sentence prediction
+    SequenceClassification, ///< pooler + classifier (GLUE-style)
+    SpanPrediction,         ///< per-token start/end logits (SQuAD)
+};
+
+/** One named parameter tensor of the model. */
+struct ParamTensorDesc {
+    std::string name;
+    std::int64_t numel = 0;
+    /** Transformer layer index, or -1 for embeddings/output. */
+    int layerIndex = -1;
+};
+
+/** Hyperparameters (Table 2a) and training options for one run. */
+struct BertConfig {
+    std::string name = "bert";
+
+    // -- Model architecture --
+    int numLayers = 24;          ///< N
+    std::int64_t dModel = 1024;  ///< d_model (hidden dim)
+    int numHeads = 16;           ///< h
+    std::int64_t dFf = 4096;     ///< d_ff (intermediate dim)
+    std::int64_t vocabSize = 30522;
+    std::int64_t maxPositions = 512;
+    std::int64_t typeVocab = 2;
+
+    // -- Input size --
+    std::int64_t batch = 32;     ///< B (mini-batch)
+    std::int64_t seqLen = 128;   ///< n (sequence length)
+    /** Masked-LM predictions per sequence (BERT uses ~15% of n). */
+    std::int64_t maxPredictions = 20;
+
+    // -- Training options --
+    Precision precision = Precision::FP32;
+    OptimizerKind optimizer = OptimizerKind::Lamb;
+    /** Recompute activations every `checkpointEvery` layers (0=off). */
+    int checkpointEvery = 0;
+    /** Output head (pre-training vs fine-tuning tasks). */
+    TaskHead taskHead = TaskHead::Pretrain;
+    /** Class count for SequenceClassification heads. */
+    std::int64_t numClasses = 2;
+    /**
+     * Micro-batches accumulated per optimizer step (Sec. 2.4: LAMB
+     * "updates model weights once every (few) iteration(s)"). The
+     * iteration trace contains this many FWD+BWD passes per update.
+     */
+    int gradAccumulationSteps = 1;
+
+    /** d_model / h. */
+    std::int64_t headDim() const { return dModel / numHeads; }
+
+    /** Tokens per iteration: B * n. */
+    std::int64_t tokens() const { return batch * seqLen; }
+
+    /** Masked positions per iteration: maxPredictions * B. */
+    std::int64_t maskedTokens() const { return maxPredictions * batch; }
+
+    /** Bytes per activation/weight element in FWD/BWD. */
+    std::int64_t activationBytes() const
+    {
+        return precision == Precision::Mixed ? 2 : 4;
+    }
+
+    /** Total trainable parameter count. */
+    std::int64_t parameterCount() const;
+
+    /** Every parameter tensor, in model order. */
+    std::vector<ParamTensorDesc> parameterTensors() const;
+
+    /** Short config tag like "Ph1-B32-FP32" (Fig. 3 labels). */
+    std::string tag() const;
+
+    /**
+     * Check the configuration for inconsistencies; returns an empty
+     * string if valid, else a human-readable description of the
+     * first problem (heads not dividing d_model, sequence longer
+     * than the position table, bad checkpoint interval, ...).
+     */
+    std::string validate() const;
+};
+
+/** BERT Base: N=12, d=768, h=12, d_ff=3072. */
+BertConfig bertBase();
+
+/** BERT Large: N=24, d=1024, h=16, d_ff=4096 (the paper's focus). */
+BertConfig bertLarge();
+
+/** Fig. 9 C1: half BERT-Large width (d=512, d_ff=2048, h=8). */
+BertConfig scalingC1();
+
+/** Fig. 9 C2: BERT-Large width. */
+BertConfig scalingC2();
+
+/** Fig. 9 C3: Megatron-like 2x BERT-Large width (d=2048, d_ff=8192). */
+BertConfig scalingC3();
+
+/** Pre-training Phase-1 input shape: n=128 with the given B. */
+BertConfig withPhase1(BertConfig config, std::int64_t batch = 32);
+
+/** Pre-training Phase-2 input shape: n=512 with the given B. */
+BertConfig withPhase2(BertConfig config, std::int64_t batch = 4);
+
+/**
+ * SQuAD-style fine-tuning setup (Sec. 7): n=384, span-prediction
+ * head, Adam optimizer.
+ */
+BertConfig withSquadFineTune(BertConfig config, std::int64_t batch = 8);
+
+/** GLUE-style fine-tuning: classification head, Adam optimizer. */
+BertConfig withClassificationFineTune(BertConfig config,
+                                      std::int64_t batch = 16,
+                                      std::int64_t num_classes = 2);
+
+/**
+ * GPT-2-Medium-like decoder configuration (Sec. 2.3: decoders match
+ * encoders during training — the causal mask only zeroes matrix
+ * elements, so the kernel trace is identical in shape).
+ */
+BertConfig gpt2MediumLike();
+
+} // namespace bertprof
+
+#endif // BERTPROF_TRACE_BERT_CONFIG_H

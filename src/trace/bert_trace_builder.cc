@@ -1,0 +1,784 @@
+#include "trace/bert_trace_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+namespace {
+
+/** Elements per chunk of a multi-tensor-apply optimizer kernel. */
+constexpr std::int64_t kMultiTensorChunkElems = 1 << 24;
+
+/** Append a (batched) GEMM op. */
+void
+emitGemm(OpTrace &trace, const BertConfig &cfg, std::string name,
+         Phase phase, LayerScope scope, SubLayer sub, int layer,
+         bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+         std::int64_t k, std::int64_t batch = 1)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.kind = batch > 1 ? OpKind::BatchedGemm : OpKind::Gemm;
+    op.phase = phase;
+    op.scope = scope;
+    op.sub = sub;
+    op.layerIndex = layer;
+    op.gemm = {trans_a, trans_b, m, n, k, batch};
+    op.dtype = cfg.precision == Precision::Mixed ? DType::F16 : DType::F32;
+    op.stats = gemmStats(m, n, k, batch, cfg.activationBytes());
+    trace.add(std::move(op));
+}
+
+/** Append an element-wise / reduction / gather op. */
+void
+emitEw(OpTrace &trace, const BertConfig &cfg, std::string name, OpKind kind,
+       Phase phase, LayerScope scope, SubLayer sub, int layer,
+       std::int64_t numel, std::int64_t reads, std::int64_t writes,
+       std::int64_t flops_per_elem, std::int64_t extra_bytes_read = 0,
+       bool fp32_override = false)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.kind = kind;
+    op.phase = phase;
+    op.scope = scope;
+    op.sub = sub;
+    op.layerIndex = layer;
+    op.numel = numel;
+    const bool fp16 = cfg.precision == Precision::Mixed && !fp32_override;
+    op.dtype = fp16 ? DType::F16 : DType::F32;
+    op.stats = elementwiseStats(numel, reads, writes, flops_per_elem,
+                                fp16 ? 2 : 4);
+    op.stats.bytesRead += extra_bytes_read;
+    trace.add(std::move(op));
+}
+
+/** Name helper: "enc{l}.{suffix}". */
+std::string
+layerName(int layer, const std::string &suffix)
+{
+    std::ostringstream os;
+    os << "enc" << layer << '.' << suffix;
+    return os.str();
+}
+
+/**
+ * One element-wise micro-op of an unfused optimizer implementation:
+ * how many same-sized tensors it reads/writes and its per-element
+ * arithmetic.
+ */
+struct OptimMicroOp {
+    const char *name;
+    int reads;
+    int writes;
+    int flops;
+    bool reduction = false;
+};
+
+/** Eager (unfused) Adam as a sequence of out-of-place EW kernels. */
+const OptimMicroOp kAdamUnfused[] = {
+    {"wd_scale", 1, 1, 1},   {"wd_add", 2, 1, 1},
+    {"m_scale", 1, 1, 1},    {"g_scale", 1, 1, 1},
+    {"m_add", 2, 1, 1},      {"v_scale", 1, 1, 1},
+    {"g_sq", 1, 1, 1},       {"g_sq_scale", 1, 1, 1},
+    {"v_add", 2, 1, 1},      {"denom_sqrt", 1, 1, 1},
+    {"denom_eps", 1, 1, 1},  {"upd_div", 2, 1, 1},
+    {"upd_lr", 1, 1, 1},     {"w_sub", 2, 1, 1},
+};
+
+/** Eager (unfused) LAMB: Adam's direction plus trust-ratio norms. */
+const OptimMicroOp kLambUnfused[] = {
+    {"m_scale", 1, 1, 1},    {"g_scale", 1, 1, 1},
+    {"m_add", 2, 1, 1},      {"v_scale", 1, 1, 1},
+    {"g_sq", 1, 1, 1},       {"g_sq_scale", 1, 1, 1},
+    {"v_add", 2, 1, 1},      {"denom_sqrt", 1, 1, 1},
+    {"denom_eps", 1, 1, 1},  {"upd_div", 2, 1, 1},
+    {"wd_scale", 1, 1, 1},   {"upd_wd", 2, 1, 1},
+    {"w_norm", 1, 0, 2, true},
+    {"u_norm", 1, 0, 2, true},
+    {"upd_trust", 1, 1, 1},  {"w_sub", 2, 1, 1},
+};
+
+} // namespace
+
+BertTraceBuilder::BertTraceBuilder(BertConfig config, TraceOptions options)
+    : config_(std::move(config)), options_(options)
+{
+    BP_REQUIRE(config_.dModel % config_.numHeads == 0);
+    BP_REQUIRE(config_.numLayers > 0);
+    BP_REQUIRE(config_.batch > 0 && config_.seqLen > 0);
+    BP_REQUIRE(config_.gradAccumulationSteps >= 1);
+    if (config_.checkpointEvery > 0)
+        BP_REQUIRE(config_.numLayers % config_.checkpointEvery == 0);
+}
+
+void
+BertTraceBuilder::emitLayerNormFwd(OpTrace &trace, const std::string &name,
+                                   int layer, std::int64_t rows,
+                                   std::int64_t cols, Phase phase,
+                                   LayerScope scope, SubLayer sub) const
+{
+    const std::int64_t numel = rows * cols;
+    if (!options_.unfuseLayerNorm) {
+        emitEw(trace, config_, name, OpKind::Reduction, phase, scope, sub,
+               layer, numel, 1, 1, 6);
+        return;
+    }
+    // Unfused LayerNorm (Fig. 12a): every intermediate round-trips
+    // through memory.
+    emitEw(trace, config_, name + ".mean", OpKind::Reduction, phase, scope,
+           sub, layer, numel, 1, 0, 1);
+    emitEw(trace, config_, name + ".center", OpKind::Elementwise, phase,
+           scope, sub, layer, numel, 1, 1, 1);
+    emitEw(trace, config_, name + ".square", OpKind::Elementwise, phase,
+           scope, sub, layer, numel, 1, 1, 1);
+    emitEw(trace, config_, name + ".var", OpKind::Reduction, phase, scope,
+           sub, layer, numel, 1, 0, 1);
+    emitEw(trace, config_, name + ".rstd_mul", OpKind::Elementwise, phase,
+           scope, sub, layer, numel, 1, 1, 1);
+    emitEw(trace, config_, name + ".gamma_mul", OpKind::Elementwise, phase,
+           scope, sub, layer, numel, 1, 1, 1);
+    emitEw(trace, config_, name + ".beta_add", OpKind::Elementwise, phase,
+           scope, sub, layer, numel, 1, 1, 1);
+}
+
+void
+BertTraceBuilder::emitDrRcLnFwd(OpTrace &trace, const std::string &prefix,
+                                int layer, std::int64_t rows,
+                                Phase phase) const
+{
+    const std::int64_t numel = rows * config_.dModel;
+    if (options_.fuseDrRcLn) {
+        emitEw(trace, config_, prefix + ".dr_rc_ln", OpKind::Reduction,
+               phase, LayerScope::Transformer, SubLayer::DrRcLn, layer,
+               numel, 2, 2, 8);
+        return;
+    }
+    // Dropout reads the sub-layer output, writes output + mask.
+    emitEw(trace, config_, prefix + ".dropout", OpKind::Elementwise, phase,
+           LayerScope::Transformer, SubLayer::DrRcLn, layer, numel, 1, 2,
+           2);
+    // Residual connection adds the sub-layer input.
+    emitEw(trace, config_, prefix + ".residual", OpKind::Elementwise, phase,
+           LayerScope::Transformer, SubLayer::DrRcLn, layer, numel, 2, 1,
+           1);
+    emitLayerNormFwd(trace, prefix + ".ln", layer, rows, config_.dModel,
+                     phase, LayerScope::Transformer, SubLayer::DrRcLn);
+}
+
+void
+BertTraceBuilder::emitDrRcLnBwd(OpTrace &trace, const std::string &prefix,
+                                int layer) const
+{
+    const std::int64_t numel = config_.tokens() * config_.dModel;
+    if (options_.fuseDrRcLn) {
+        emitEw(trace, config_, prefix + ".dr_rc_ln.bwd", OpKind::Reduction,
+               Phase::Bwd, LayerScope::Transformer, SubLayer::DrRcLn, layer,
+               numel, 3, 2, 10);
+        return;
+    }
+    emitEw(trace, config_, prefix + ".ln.bwd", OpKind::Reduction, Phase::Bwd,
+           LayerScope::Transformer, SubLayer::DrRcLn, layer, numel, 2, 1,
+           9);
+    emitEw(trace, config_, prefix + ".residual.bwd", OpKind::Elementwise,
+           Phase::Bwd, LayerScope::Transformer, SubLayer::DrRcLn, layer,
+           numel, 2, 1, 1);
+    emitEw(trace, config_, prefix + ".dropout.bwd", OpKind::Elementwise,
+           Phase::Bwd, LayerScope::Transformer, SubLayer::DrRcLn, layer,
+           numel, 2, 1, 1);
+}
+
+void
+BertTraceBuilder::emitEmbeddingFwd(OpTrace &trace) const
+{
+    const std::int64_t tokens = config_.tokens();
+    const std::int64_t numel = tokens * config_.dModel;
+    for (const char *table : {"token", "position", "segment"}) {
+        emitEw(trace, config_, std::string("emb.") + table + ".gather",
+               OpKind::Gather, Phase::Fwd, LayerScope::Embedding,
+               SubLayer::EmbeddingOps, -1, numel, 1, 1, 0);
+    }
+    emitEw(trace, config_, "emb.add_pos", OpKind::Elementwise, Phase::Fwd,
+           LayerScope::Embedding, SubLayer::EmbeddingOps, -1, numel, 2, 1,
+           1);
+    emitEw(trace, config_, "emb.add_seg", OpKind::Elementwise, Phase::Fwd,
+           LayerScope::Embedding, SubLayer::EmbeddingOps, -1, numel, 2, 1,
+           1);
+    emitLayerNormFwd(trace, "emb.ln", -1, tokens, config_.dModel,
+                     Phase::Fwd, LayerScope::Embedding,
+                     SubLayer::EmbeddingOps);
+    emitEw(trace, config_, "emb.dropout", OpKind::Elementwise, Phase::Fwd,
+           LayerScope::Embedding, SubLayer::EmbeddingOps, -1, numel, 1, 2,
+           2);
+}
+
+void
+BertTraceBuilder::emitEmbeddingBwd(OpTrace &trace) const
+{
+    const std::int64_t tokens = config_.tokens();
+    const std::int64_t numel = tokens * config_.dModel;
+    emitEw(trace, config_, "emb.dropout.bwd", OpKind::Elementwise,
+           Phase::Bwd, LayerScope::Embedding, SubLayer::EmbeddingOps, -1,
+           numel, 2, 1, 1);
+    emitEw(trace, config_, "emb.ln.bwd", OpKind::Reduction, Phase::Bwd,
+           LayerScope::Embedding, SubLayer::EmbeddingOps, -1, numel, 2, 1,
+           9);
+    for (const char *table : {"token", "position", "segment"}) {
+        emitEw(trace, config_, std::string("emb.") + table + ".scatter",
+               OpKind::Gather, Phase::Bwd, LayerScope::Embedding,
+               SubLayer::EmbeddingOps, -1, numel, 2, 1, 1);
+    }
+}
+
+void
+BertTraceBuilder::emitLayerFwd(OpTrace &trace, int layer, Phase phase) const
+{
+    const std::int64_t d = config_.dModel;
+    const std::int64_t f = config_.dFf;
+    const std::int64_t n = config_.seqLen;
+    const std::int64_t t = config_.tokens();
+    const std::int64_t dh = config_.headDim();
+    const std::int64_t bh = config_.batch * config_.numHeads;
+    const std::int64_t scores = bh * n * n;
+    const LayerScope scope = LayerScope::Transformer;
+
+    // -- Attention: linear projections (Table 2b "Linear", FWD) --
+    if (options_.fuseQkvGemm) {
+        emitGemm(trace, config_, layerName(layer, "attn.qkv.fwd"), phase,
+                 scope, SubLayer::AttnLinear, layer, false, true, 3 * d, t,
+                 d);
+        emitEw(trace, config_, layerName(layer, "attn.qkv.bias"),
+               OpKind::Elementwise, phase, scope, SubLayer::AttnLinear,
+               layer, 3 * t * d, 1, 1, 1);
+    } else {
+        for (const char *which : {"q", "k", "v"}) {
+            emitGemm(trace, config_,
+                     layerName(layer, std::string("attn.") + which +
+                               ".fwd"),
+                     phase, scope, SubLayer::AttnLinear, layer, false, true,
+                     d, t, d);
+            emitEw(trace, config_,
+                   layerName(layer, std::string("attn.") + which + ".bias"),
+                   OpKind::Elementwise, phase, scope, SubLayer::AttnLinear,
+                   layer, t * d, 1, 1, 1);
+        }
+    }
+
+    // -- Attention scores (Table 2b "Attn. Score", FWD): B*h small
+    //    GEMMs invoked as one batched-GEMM kernel --
+    emitGemm(trace, config_, layerName(layer, "attn.score.fwd"), phase,
+             scope, SubLayer::AttnBGemm, layer, false, true, n, n, dh, bh);
+
+    // -- Scale + Mask + Dropout + Softmax on the score matrix --
+    if (options_.fuseScaleMaskDrSm) {
+        emitEw(trace, config_, layerName(layer, "attn.smds.fused"),
+               OpKind::Reduction, phase, scope,
+               SubLayer::AttnScaleMaskDrSm, layer, scores, 1, 2, 7,
+               config_.batch * n * n * config_.activationBytes());
+    } else {
+        emitEw(trace, config_, layerName(layer, "attn.scale"),
+               OpKind::Elementwise, phase, scope,
+               SubLayer::AttnScaleMaskDrSm, layer, scores, 1, 1, 1);
+        emitEw(trace, config_, layerName(layer, "attn.mask"),
+               OpKind::Elementwise, phase, scope,
+               SubLayer::AttnScaleMaskDrSm, layer, scores, 1, 1, 1,
+               config_.batch * n * n * config_.activationBytes());
+        emitEw(trace, config_, layerName(layer, "attn.softmax"),
+               OpKind::Reduction, phase, scope,
+               SubLayer::AttnScaleMaskDrSm, layer, scores, 1, 1, 4);
+        emitEw(trace, config_, layerName(layer, "attn.dropout"),
+               OpKind::Elementwise, phase, scope,
+               SubLayer::AttnScaleMaskDrSm, layer, scores, 1, 2, 2);
+    }
+
+    // -- Attention output (Table 2b "Attn. O/p", FWD) --
+    emitGemm(trace, config_, layerName(layer, "attn.context.fwd"), phase,
+             scope, SubLayer::AttnBGemm, layer, false, false, dh, n, n, bh);
+
+    // -- Output projection (another "Linear" GEMM) --
+    emitGemm(trace, config_, layerName(layer, "attn.out.fwd"), phase, scope,
+             SubLayer::AttnLinear, layer, false, true, d, t, d);
+    emitEw(trace, config_, layerName(layer, "attn.out.bias"),
+           OpKind::Elementwise, phase, scope, SubLayer::AttnLinear, layer,
+           t * d, 1, 1, 1);
+
+    emitDrRcLnFwd(trace, layerName(layer, "attn"), layer, t, phase);
+
+    // -- Feed-forward: FC-1, GeLU, FC-2 (Table 2b "FC-1"/"FC-2") --
+    emitGemm(trace, config_, layerName(layer, "fc1.fwd"), phase, scope,
+             SubLayer::FcGemm, layer, false, true, f, t, d);
+    emitEw(trace, config_, layerName(layer, "fc1.bias"),
+           OpKind::Elementwise, phase, scope, SubLayer::FcGemm, layer,
+           t * f, 1, 1, 1);
+
+    if (options_.fuseGelu) {
+        emitEw(trace, config_, layerName(layer, "gelu.fused"),
+               OpKind::Elementwise, phase, scope, SubLayer::FcGelu, layer,
+               t * f, 1, 1, 5);
+    } else {
+        // Eq. 1 as separate EW kernels: x/sqrt(2), erf, 1+, x*, *0.5.
+        for (const char *step : {"div", "erf", "add", "mul", "scale"}) {
+            emitEw(trace, config_,
+                   layerName(layer, std::string("gelu.") + step),
+                   OpKind::Elementwise, phase, scope, SubLayer::FcGelu,
+                   layer, t * f, step == std::string("mul") ? 2 : 1, 1, 1);
+        }
+    }
+
+    emitGemm(trace, config_, layerName(layer, "fc2.fwd"), phase, scope,
+             SubLayer::FcGemm, layer, false, true, d, t, f);
+    emitEw(trace, config_, layerName(layer, "fc2.bias"),
+           OpKind::Elementwise, phase, scope, SubLayer::FcGemm, layer,
+           t * d, 1, 1, 1);
+
+    emitDrRcLnFwd(trace, layerName(layer, "fc"), layer, t, phase);
+}
+
+void
+BertTraceBuilder::emitLayerBwd(OpTrace &trace, int layer) const
+{
+    const std::int64_t d = config_.dModel;
+    const std::int64_t f = config_.dFf;
+    const std::int64_t n = config_.seqLen;
+    const std::int64_t t = config_.tokens();
+    const std::int64_t dh = config_.headDim();
+    const std::int64_t bh = config_.batch * config_.numHeads;
+    const std::int64_t scores = bh * n * n;
+    const LayerScope scope = LayerScope::Transformer;
+
+    // Reverse of the forward order.
+    emitDrRcLnBwd(trace, layerName(layer, "fc"), layer);
+
+    // FC-2 (Table 2b BWD rows): dgrad f x T x d, wgrad f x d x T.
+    emitEw(trace, config_, layerName(layer, "fc2.bias.bwd"),
+           OpKind::Reduction, Phase::Bwd, scope, SubLayer::FcGemm, layer,
+           t * d, 1, 0, 1);
+    emitGemm(trace, config_, layerName(layer, "fc2.dgrad"), Phase::Bwd,
+             scope, SubLayer::FcGemm, layer, false, false, f, t, d);
+    emitGemm(trace, config_, layerName(layer, "fc2.wgrad"), Phase::Bwd,
+             scope, SubLayer::FcGemm, layer, false, true, f, d, t);
+
+    if (options_.fuseGelu) {
+        emitEw(trace, config_, layerName(layer, "gelu.bwd.fused"),
+               OpKind::Elementwise, Phase::Bwd, scope, SubLayer::FcGelu,
+               layer, t * f, 2, 1, 8);
+    } else {
+        // Autograd of the 5 composed forward primitives: the CDF
+        // recompute, the PDF term, and the product-rule combination
+        // each round-trip through memory.
+        emitEw(trace, config_, layerName(layer, "gelu.bwd.cdf"),
+               OpKind::Elementwise, Phase::Bwd, scope, SubLayer::FcGelu,
+               layer, t * f, 1, 1, 3);
+        emitEw(trace, config_, layerName(layer, "gelu.bwd.pdf"),
+               OpKind::Elementwise, Phase::Bwd, scope, SubLayer::FcGelu,
+               layer, t * f, 1, 1, 3);
+        emitEw(trace, config_, layerName(layer, "gelu.bwd.combine"),
+               OpKind::Elementwise, Phase::Bwd, scope, SubLayer::FcGelu,
+               layer, t * f, 3, 1, 3);
+        emitEw(trace, config_, layerName(layer, "gelu.bwd.mul"),
+               OpKind::Elementwise, Phase::Bwd, scope, SubLayer::FcGelu,
+               layer, t * f, 2, 1, 1);
+    }
+
+    // FC-1: dgrad d x T x f, wgrad d x f x T.
+    emitEw(trace, config_, layerName(layer, "fc1.bias.bwd"),
+           OpKind::Reduction, Phase::Bwd, scope, SubLayer::FcGemm, layer,
+           t * f, 1, 0, 1);
+    emitGemm(trace, config_, layerName(layer, "fc1.dgrad"), Phase::Bwd,
+             scope, SubLayer::FcGemm, layer, false, false, d, t, f);
+    emitGemm(trace, config_, layerName(layer, "fc1.wgrad"), Phase::Bwd,
+             scope, SubLayer::FcGemm, layer, false, true, d, f, t);
+
+    emitDrRcLnBwd(trace, layerName(layer, "attn"), layer);
+
+    // Output projection linear.
+    emitEw(trace, config_, layerName(layer, "attn.out.bias.bwd"),
+           OpKind::Reduction, Phase::Bwd, scope, SubLayer::AttnLinear,
+           layer, t * d, 1, 0, 1);
+    emitGemm(trace, config_, layerName(layer, "attn.out.dgrad"), Phase::Bwd,
+             scope, SubLayer::AttnLinear, layer, false, false, d, t, d);
+    emitGemm(trace, config_, layerName(layer, "attn.out.wgrad"), Phase::Bwd,
+             scope, SubLayer::AttnLinear, layer, false, true, d, d, t);
+
+    // Attention output B-GEMM grads (Table 2b "Attn. O/p" BWD rows).
+    emitGemm(trace, config_, layerName(layer, "attn.context.dgrad_a"),
+             Phase::Bwd, scope, SubLayer::AttnBGemm, layer, false, true, n,
+             n, dh, bh);
+    emitGemm(trace, config_, layerName(layer, "attn.context.dgrad_v"),
+             Phase::Bwd, scope, SubLayer::AttnBGemm, layer, true, false, dh,
+             n, n, bh);
+
+    // Scale+Mask+DR+SM backward.
+    if (options_.fuseScaleMaskDrSm) {
+        emitEw(trace, config_, layerName(layer, "attn.smds.bwd.fused"),
+               OpKind::Reduction, Phase::Bwd, scope,
+               SubLayer::AttnScaleMaskDrSm, layer, scores, 3, 1, 7);
+    } else {
+        emitEw(trace, config_, layerName(layer, "attn.dropout.bwd"),
+               OpKind::Elementwise, Phase::Bwd, scope,
+               SubLayer::AttnScaleMaskDrSm, layer, scores, 2, 1, 1);
+        emitEw(trace, config_, layerName(layer, "attn.softmax.bwd"),
+               OpKind::Reduction, Phase::Bwd, scope,
+               SubLayer::AttnScaleMaskDrSm, layer, scores, 2, 1, 4);
+        emitEw(trace, config_, layerName(layer, "attn.scale.bwd"),
+               OpKind::Elementwise, Phase::Bwd, scope,
+               SubLayer::AttnScaleMaskDrSm, layer, scores, 1, 1, 1);
+    }
+
+    // Attention score B-GEMM grads (Table 2b "Attn. Score" BWD rows).
+    emitGemm(trace, config_, layerName(layer, "attn.score.dgrad_q"),
+             Phase::Bwd, scope, SubLayer::AttnBGemm, layer, false, false, n,
+             dh, n, bh);
+    emitGemm(trace, config_, layerName(layer, "attn.score.dgrad_k"),
+             Phase::Bwd, scope, SubLayer::AttnBGemm, layer, true, false, dh,
+             n, n, bh);
+
+    // Q/K/V projections.
+    if (options_.fuseQkvGemm) {
+        emitEw(trace, config_, layerName(layer, "attn.qkv.bias.bwd"),
+               OpKind::Reduction, Phase::Bwd, scope, SubLayer::AttnLinear,
+               layer, 3 * t * d, 1, 0, 1);
+        emitGemm(trace, config_, layerName(layer, "attn.qkv.dgrad"),
+                 Phase::Bwd, scope, SubLayer::AttnLinear, layer, false,
+                 false, d, t, 3 * d);
+        emitGemm(trace, config_, layerName(layer, "attn.qkv.wgrad"),
+                 Phase::Bwd, scope, SubLayer::AttnLinear, layer, false,
+                 true, 3 * d, d, t);
+    } else {
+        for (const char *which : {"v", "k", "q"}) {
+            const std::string base = std::string("attn.") + which;
+            emitEw(trace, config_, layerName(layer, base + ".bias.bwd"),
+                   OpKind::Reduction, Phase::Bwd, scope,
+                   SubLayer::AttnLinear, layer, t * d, 1, 0, 1);
+            emitGemm(trace, config_, layerName(layer, base + ".dgrad"),
+                     Phase::Bwd, scope, SubLayer::AttnLinear, layer, false,
+                     false, d, t, d);
+            emitGemm(trace, config_, layerName(layer, base + ".wgrad"),
+                     Phase::Bwd, scope, SubLayer::AttnLinear, layer, false,
+                     true, d, d, t);
+        }
+    }
+}
+
+void
+BertTraceBuilder::emitOutputFwd(OpTrace &trace) const
+{
+    const std::int64_t d = config_.dModel;
+    const std::int64_t v = config_.vocabSize;
+    const std::int64_t p = config_.maskedTokens();
+    const std::int64_t b = config_.batch;
+    const std::int64_t t = config_.tokens();
+    const LayerScope scope = LayerScope::Output;
+    const SubLayer sub = SubLayer::OutputOps;
+
+    // Fine-tuning heads (Sec. 7) are far simpler than pre-training's.
+    if (config_.taskHead == TaskHead::SequenceClassification) {
+        emitGemm(trace, config_, "pooler.fwd", Phase::Fwd, scope, sub, -1,
+                 false, true, d, b, d);
+        emitEw(trace, config_, "pooler.tanh", OpKind::Elementwise,
+               Phase::Fwd, scope, sub, -1, b * d, 1, 1, 4);
+        emitGemm(trace, config_, "classifier.fwd", Phase::Fwd, scope, sub,
+                 -1, false, true, config_.numClasses, b, d);
+        emitEw(trace, config_, "classifier.loss", OpKind::Reduction,
+               Phase::Fwd, scope, sub, -1, b * config_.numClasses, 1, 0,
+               6);
+        return;
+    }
+    if (config_.taskHead == TaskHead::SpanPrediction) {
+        emitGemm(trace, config_, "qa.fwd", Phase::Fwd, scope, sub, -1,
+                 false, true, 2, t, d);
+        emitEw(trace, config_, "qa.loss", OpKind::Reduction, Phase::Fwd,
+               scope, sub, -1, t * 2, 1, 0, 6);
+        return;
+    }
+
+    // Masked-LM head: gather masked positions (or keep every
+    // position, per options), transform, decode.
+    const std::int64_t rows = options_.denseMlmLogits ? t : p;
+    if (!options_.denseMlmLogits) {
+        emitEw(trace, config_, "mlm.gather", OpKind::Gather, Phase::Fwd,
+               scope, sub, -1, p * d, 1, 1, 0);
+    }
+    emitGemm(trace, config_, "mlm.transform.fwd", Phase::Fwd, scope, sub,
+             -1, false, true, d, rows, d);
+    emitEw(trace, config_, "mlm.transform.bias", OpKind::Elementwise,
+           Phase::Fwd, scope, sub, -1, rows * d, 1, 1, 1);
+    emitEw(trace, config_, "mlm.gelu", OpKind::Elementwise, Phase::Fwd,
+           scope, sub, -1, rows * d, 1, 1, 5);
+    emitEw(trace, config_, "mlm.ln", OpKind::Reduction, Phase::Fwd, scope,
+           sub, -1, rows * d, 1, 1, 6);
+    emitGemm(trace, config_, "mlm.decoder.fwd", Phase::Fwd, scope, sub, -1,
+             false, true, v, rows, d);
+    emitEw(trace, config_, "mlm.decoder.bias", OpKind::Elementwise,
+           Phase::Fwd, scope, sub, -1, rows * v, 1, 1, 1);
+    emitEw(trace, config_, "mlm.loss", OpKind::Reduction, Phase::Fwd, scope,
+           sub, -1, rows * v, 1, 0, 6);
+
+    // Next-sentence-prediction head on the pooled [CLS] token.
+    emitGemm(trace, config_, "pooler.fwd", Phase::Fwd, scope, sub, -1,
+             false, true, d, b, d);
+    emitEw(trace, config_, "pooler.tanh", OpKind::Elementwise, Phase::Fwd,
+           scope, sub, -1, b * d, 1, 1, 4);
+    emitGemm(trace, config_, "nsp.fwd", Phase::Fwd, scope, sub, -1, false,
+             true, 2, b, d);
+    emitEw(trace, config_, "nsp.loss", OpKind::Reduction, Phase::Fwd, scope,
+           sub, -1, b * 2, 1, 0, 6);
+}
+
+void
+BertTraceBuilder::emitOutputBwd(OpTrace &trace) const
+{
+    const std::int64_t d = config_.dModel;
+    const std::int64_t v = config_.vocabSize;
+    const std::int64_t p = config_.maskedTokens();
+    const std::int64_t b = config_.batch;
+    const std::int64_t t = config_.tokens();
+    const LayerScope scope = LayerScope::Output;
+    const SubLayer sub = SubLayer::OutputOps;
+
+    if (config_.taskHead == TaskHead::SequenceClassification) {
+        emitEw(trace, config_, "classifier.loss.bwd", OpKind::Elementwise,
+               Phase::Bwd, scope, sub, -1, b * config_.numClasses, 1, 1,
+               2);
+        emitGemm(trace, config_, "classifier.dgrad", Phase::Bwd, scope,
+                 sub, -1, false, false, d, b, config_.numClasses);
+        emitGemm(trace, config_, "classifier.wgrad", Phase::Bwd, scope,
+                 sub, -1, false, true, config_.numClasses, d, b);
+        emitEw(trace, config_, "pooler.tanh.bwd", OpKind::Elementwise,
+               Phase::Bwd, scope, sub, -1, b * d, 2, 1, 3);
+        emitGemm(trace, config_, "pooler.dgrad", Phase::Bwd, scope, sub,
+                 -1, false, false, d, b, d);
+        emitGemm(trace, config_, "pooler.wgrad", Phase::Bwd, scope, sub,
+                 -1, false, true, d, d, b);
+        return;
+    }
+    if (config_.taskHead == TaskHead::SpanPrediction) {
+        emitEw(trace, config_, "qa.loss.bwd", OpKind::Elementwise,
+               Phase::Bwd, scope, sub, -1, t * 2, 1, 1, 2);
+        emitGemm(trace, config_, "qa.dgrad", Phase::Bwd, scope, sub, -1,
+                 false, false, d, t, 2);
+        emitGemm(trace, config_, "qa.wgrad", Phase::Bwd, scope, sub, -1,
+                 false, true, 2, d, t);
+        return;
+    }
+
+    // NSP head backward.
+    emitEw(trace, config_, "nsp.loss.bwd", OpKind::Elementwise, Phase::Bwd,
+           scope, sub, -1, b * 2, 1, 1, 2);
+    emitGemm(trace, config_, "nsp.dgrad", Phase::Bwd, scope, sub, -1, false,
+             false, d, b, 2);
+    emitGemm(trace, config_, "nsp.wgrad", Phase::Bwd, scope, sub, -1, false,
+             true, 2, d, b);
+    emitEw(trace, config_, "pooler.tanh.bwd", OpKind::Elementwise,
+           Phase::Bwd, scope, sub, -1, b * d, 2, 1, 3);
+    emitGemm(trace, config_, "pooler.dgrad", Phase::Bwd, scope, sub, -1,
+             false, false, d, b, d);
+    emitGemm(trace, config_, "pooler.wgrad", Phase::Bwd, scope, sub, -1,
+             false, true, d, d, b);
+
+    // Masked-LM head backward.
+    const std::int64_t rows = options_.denseMlmLogits ? t : p;
+    emitEw(trace, config_, "mlm.loss.bwd", OpKind::Elementwise, Phase::Bwd,
+           scope, sub, -1, rows * v, 1, 1, 2);
+    emitEw(trace, config_, "mlm.decoder.bias.bwd", OpKind::Reduction,
+           Phase::Bwd, scope, sub, -1, rows * v, 1, 0, 1);
+    emitGemm(trace, config_, "mlm.decoder.dgrad", Phase::Bwd, scope, sub,
+             -1, false, false, d, rows, v);
+    emitGemm(trace, config_, "mlm.decoder.wgrad", Phase::Bwd, scope, sub,
+             -1, false, true, v, d, rows);
+    emitEw(trace, config_, "mlm.ln.bwd", OpKind::Reduction, Phase::Bwd,
+           scope, sub, -1, rows * d, 2, 1, 9);
+    emitEw(trace, config_, "mlm.gelu.bwd", OpKind::Elementwise, Phase::Bwd,
+           scope, sub, -1, rows * d, 2, 1, 8);
+    emitEw(trace, config_, "mlm.transform.bias.bwd", OpKind::Reduction,
+           Phase::Bwd, scope, sub, -1, rows * d, 1, 0, 1);
+    emitGemm(trace, config_, "mlm.transform.dgrad", Phase::Bwd, scope, sub,
+             -1, false, false, d, rows, d);
+    emitGemm(trace, config_, "mlm.transform.wgrad", Phase::Bwd, scope, sub,
+             -1, false, true, d, d, rows);
+    if (!options_.denseMlmLogits) {
+        emitEw(trace, config_, "mlm.scatter", OpKind::Gather, Phase::Bwd,
+               scope, sub, -1, p * d, 2, 1, 1);
+    }
+}
+
+void
+BertTraceBuilder::emitOptimizer(OpTrace &trace) const
+{
+    if (config_.optimizer == OptimizerKind::Sgd) {
+        for (const auto &param : config_.parameterTensors()) {
+            emitEw(trace, config_, param.name + ".sgd", OpKind::Elementwise,
+                   Phase::Update, LayerScope::Optimizer,
+                   SubLayer::LambStage2, param.layerIndex, param.numel, 2,
+                   1, 2, 0, /*fp32_override=*/true);
+        }
+        return;
+    }
+
+    const bool is_lamb = config_.optimizer == OptimizerKind::Lamb;
+    const auto params = config_.parameterTensors();
+
+    // LAMB first reduces the global L2 norm over every gradient,
+    // serializing the update against the entire backprop (Sec. 3.2.3).
+    if (is_lamb) {
+        emitEw(trace, config_, "opt.grad_l2_norm", OpKind::Reduction,
+               Phase::Update, LayerScope::Optimizer, SubLayer::GradNorm, -1,
+               config_.parameterCount(), 1, 0, 2, 0,
+               /*fp32_override=*/true);
+    }
+
+    switch (options_.optimizerFusion) {
+      case OptimizerFusion::Unfused: {
+        const OptimMicroOp *micro_ops =
+            is_lamb ? kLambUnfused : kAdamUnfused;
+        const std::size_t count = is_lamb
+                                      ? std::size(kLambUnfused)
+                                      : std::size(kAdamUnfused);
+        for (const auto &param : params) {
+            for (std::size_t i = 0; i < count; ++i) {
+                const auto &mop = micro_ops[i];
+                emitEw(trace, config_,
+                       param.name + ".opt." + mop.name,
+                       mop.reduction ? OpKind::Reduction
+                                     : OpKind::Elementwise,
+                       Phase::Update, LayerScope::Optimizer,
+                       i < count / 2 ? SubLayer::LambStage1
+                                     : SubLayer::LambStage2,
+                       param.layerIndex, param.numel, mop.reads,
+                       mop.writes, mop.flops, 0, /*fp32_override=*/true);
+            }
+        }
+        break;
+      }
+      case OptimizerFusion::PerTensorStages: {
+        // The paper's default [62]: two fused kernels per tensor.
+        // Stage 1 reads w, g, m, v (4x model size) and writes m, v,
+        // and the update direction; stage 2 applies the update.
+        for (const auto &param : params) {
+            emitEw(trace, config_, param.name + ".opt.stage1",
+                   OpKind::Elementwise, Phase::Update,
+                   LayerScope::Optimizer, SubLayer::LambStage1,
+                   param.layerIndex, param.numel, 4, 3, is_lamb ? 14 : 12,
+                   0, /*fp32_override=*/true);
+            emitEw(trace, config_, param.name + ".opt.stage2",
+                   OpKind::Elementwise, Phase::Update,
+                   LayerScope::Optimizer, SubLayer::LambStage2,
+                   param.layerIndex, param.numel, 2, 1, 2, 0,
+                   /*fp32_override=*/true);
+        }
+        break;
+      }
+      case OptimizerFusion::MultiTensor: {
+        // Apex-style multi-tensor apply: the whole model is processed
+        // in large chunks regardless of tensor boundaries.
+        const std::int64_t total = config_.parameterCount();
+        std::int64_t remaining = total;
+        int chunk_index = 0;
+        while (remaining > 0) {
+            const std::int64_t elems =
+                std::min(remaining, kMultiTensorChunkElems);
+            std::ostringstream name;
+            name << "opt.multi_tensor.chunk" << chunk_index++;
+            if (is_lamb) {
+                emitEw(trace, config_, name.str() + ".stage1",
+                       OpKind::Elementwise, Phase::Update,
+                       LayerScope::Optimizer, SubLayer::LambStage1, -1,
+                       elems, 4, 3, 14, 0, /*fp32_override=*/true);
+                emitEw(trace, config_, name.str() + ".stage2",
+                       OpKind::Elementwise, Phase::Update,
+                       LayerScope::Optimizer, SubLayer::LambStage2, -1,
+                       elems, 2, 1, 2, 0, /*fp32_override=*/true);
+            } else {
+                emitEw(trace, config_, name.str(), OpKind::Elementwise,
+                       Phase::Update, LayerScope::Optimizer,
+                       SubLayer::LambStage1, -1, elems, 4, 3, 12, 0,
+                       /*fp32_override=*/true);
+            }
+            remaining -= elems;
+        }
+        break;
+      }
+    }
+}
+
+OpTrace
+BertTraceBuilder::buildForward() const
+{
+    OpTrace trace;
+    emitEmbeddingFwd(trace);
+    for (int l = 0; l < config_.numLayers; ++l)
+        emitLayerFwd(trace, l, Phase::Fwd);
+    emitOutputFwd(trace);
+    return trace;
+}
+
+OpTrace
+BertTraceBuilder::buildBackward() const
+{
+    OpTrace trace;
+    emitOutputBwd(trace);
+    if (config_.checkpointEvery > 0) {
+        // Activation checkpointing (Sec. 4): activations are saved
+        // only at segment boundaries; before backpropagating a
+        // segment its forward is re-executed from the checkpoint.
+        const int seg = config_.checkpointEvery;
+        for (int start = config_.numLayers - seg; start >= 0;
+             start -= seg) {
+            for (int l = start; l < start + seg; ++l)
+                emitLayerFwd(trace, l, Phase::Recompute);
+            for (int l = start + seg - 1; l >= start; --l)
+                emitLayerBwd(trace, l);
+        }
+    } else {
+        for (int l = config_.numLayers - 1; l >= 0; --l)
+            emitLayerBwd(trace, l);
+    }
+    emitEmbeddingBwd(trace);
+    return trace;
+}
+
+OpTrace
+BertTraceBuilder::buildUpdate() const
+{
+    OpTrace trace;
+    emitOptimizer(trace);
+    return trace;
+}
+
+OpTrace
+BertTraceBuilder::buildIteration() const
+{
+    OpTrace trace;
+    for (int micro = 0; micro < config_.gradAccumulationSteps; ++micro) {
+        trace.append(buildForward());
+        trace.append(buildBackward());
+    }
+    trace.append(buildUpdate());
+    return trace;
+}
+
+OpTrace
+BertTraceBuilder::buildInference() const
+{
+    // Inference skips dropout and the training-only output heads but
+    // keeps the same GEMM manifestations (Sec. 7 of the paper).
+    BertConfig cfg = config_;
+    BertTraceBuilder fwd_only(cfg, options_);
+    OpTrace full = fwd_only.buildForward();
+    OpTrace trace;
+    for (auto &op : full.ops) {
+        if (op.name.find("dropout") != std::string::npos)
+            continue;
+        if (op.name.find(".loss") != std::string::npos)
+            continue;
+        trace.add(op);
+    }
+    return trace;
+}
+
+} // namespace bertprof

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * BertTraceBuilder: emits the complete, ordered kernel trace of one
+ * BERT pre-training iteration — forward, backward, and optimizer
+ * update — with the exact GEMM manifestations and sizes of the
+ * paper's Table 2b and all the non-GEMM kernels of Sec. 3.2.3. The
+ * trace is architecture-agnostic; src/perf turns it into time.
+ */
+
+#ifndef BERTPROF_TRACE_BERT_TRACE_BUILDER_H
+#define BERTPROF_TRACE_BERT_TRACE_BUILDER_H
+
+#include "trace/bert_config.h"
+#include "trace/op.h"
+#include "trace/trace_options.h"
+
+namespace bertprof {
+
+/** Builds kernel traces for a given BERT configuration. */
+class BertTraceBuilder
+{
+  public:
+    explicit BertTraceBuilder(BertConfig config, TraceOptions options = {});
+
+    /** The full training iteration: FWD + BWD (+recompute) + update. */
+    OpTrace buildIteration() const;
+
+    /** Forward pass only (embedding + N layers + output heads). */
+    OpTrace buildForward() const;
+
+    /** Backward pass only (with recompute segments if configured). */
+    OpTrace buildBackward() const;
+
+    /** Optimizer update phase only. */
+    OpTrace buildUpdate() const;
+
+    /** An inference pass: forward only, no dropout-state writes. */
+    OpTrace buildInference() const;
+
+    /** The configuration the builder was constructed with. */
+    const BertConfig &config() const { return config_; }
+
+    /** The kernel-mapping options in effect. */
+    const TraceOptions &options() const { return options_; }
+
+  private:
+    /** Append the embedding layer's forward kernels. */
+    void emitEmbeddingFwd(OpTrace &trace) const;
+    /** Append the embedding layer's backward kernels. */
+    void emitEmbeddingBwd(OpTrace &trace) const;
+    /** Append transformer layer `layer`'s forward kernels. */
+    void emitLayerFwd(OpTrace &trace, int layer, Phase phase) const;
+    /** Append transformer layer `layer`'s backward kernels. */
+    void emitLayerBwd(OpTrace &trace, int layer) const;
+    /** Append the output-head (MLM + NSP) forward kernels. */
+    void emitOutputFwd(OpTrace &trace) const;
+    /** Append the output-head backward kernels. */
+    void emitOutputBwd(OpTrace &trace) const;
+    /** Append the optimizer update kernels for every param tensor. */
+    void emitOptimizer(OpTrace &trace) const;
+
+    /** Append the DR+RC+LN block (forward). */
+    void emitDrRcLnFwd(OpTrace &trace, const std::string &prefix, int layer,
+                       std::int64_t rows, Phase phase) const;
+    /** Append the DR+RC+LN block (backward). */
+    void emitDrRcLnBwd(OpTrace &trace, const std::string &prefix,
+                       int layer) const;
+    /** Append a LayerNorm forward (fused or unfused per options). */
+    void emitLayerNormFwd(OpTrace &trace, const std::string &name,
+                          int layer, std::int64_t rows, std::int64_t cols,
+                          Phase phase, LayerScope scope, SubLayer sub) const;
+
+    BertConfig config_;
+    TraceOptions options_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_TRACE_BERT_TRACE_BUILDER_H

@@ -1,0 +1,42 @@
+#include "trace/op.h"
+
+#include <sstream>
+
+namespace bertprof {
+
+std::string
+GemmDims::label() const
+{
+    std::ostringstream os;
+    os << (transA ? "T" : "N") << (transB ? "T" : "N") << "," << m << ","
+       << n << "," << k;
+    if (batch > 1)
+        os << ",[" << batch << "]";
+    return os.str();
+}
+
+std::int64_t
+OpTrace::totalFlops() const
+{
+    std::int64_t total = 0;
+    for (const auto &op : ops)
+        total += op.stats.flops;
+    return total;
+}
+
+std::int64_t
+OpTrace::totalBytes() const
+{
+    std::int64_t total = 0;
+    for (const auto &op : ops)
+        total += op.stats.bytesTotal();
+    return total;
+}
+
+void
+OpTrace::append(const OpTrace &other)
+{
+    ops.insert(ops.end(), other.ops.begin(), other.ops.end());
+}
+
+} // namespace bertprof

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * OpDesc and OpTrace: the architecture-agnostic record of every kernel
+ * in a BERT training iteration. An OpDesc carries exactly what the
+ * paper's methodology needs — manifestation (GEMM vs element-wise vs
+ * reduction), size (GEMM dims / element counts), precision, and the
+ * FLOP/byte accounting that determines arithmetic intensity. Device-
+ * specific cost comes later (src/perf), so a single trace can be
+ * evaluated against any device model.
+ */
+
+#ifndef BERTPROF_TRACE_OP_H
+#define BERTPROF_TRACE_OP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ops/kernel_stats.h"
+#include "tensor/tensor.h"
+#include "trace/taxonomy.h"
+
+namespace bertprof {
+
+/** Dimensions of a (possibly batched, possibly transposed) GEMM. */
+struct GemmDims {
+    bool transA = false;
+    bool transB = false;
+    std::int64_t m = 0;
+    std::int64_t n = 0;
+    std::int64_t k = 0;
+    std::int64_t batch = 1;
+
+    /** FLOPs of the batched GEMM (2*M*N*K*batch). */
+    std::int64_t flops() const { return 2 * m * n * k * batch; }
+
+    /** Label in the paper's Fig. 6 format: "T,N,M,N,K,[batch]". */
+    std::string label() const;
+};
+
+/** One kernel invocation in the iteration trace. */
+struct OpDesc {
+    /** Human-readable kernel name, e.g. "linear_q.fwd". */
+    std::string name;
+    /** What kind of kernel this is (selects the cost model). */
+    OpKind kind = OpKind::Elementwise;
+    /** Training phase. */
+    Phase phase = Phase::Fwd;
+    /** Top-level scope for Fig. 3-style breakdowns. */
+    LayerScope scope = LayerScope::Transformer;
+    /** Sub-layer group for Fig. 4-style breakdowns. */
+    SubLayer sub = SubLayer::Other;
+    /** Transformer layer index, or -1 when not applicable. */
+    int layerIndex = -1;
+    /** GEMM dims; only meaningful for Gemm/BatchedGemm kinds. */
+    GemmDims gemm;
+    /** Element count for EW/reduction kernels. */
+    std::int64_t numel = 0;
+    /** Storage precision the kernel operates at. */
+    DType dtype = DType::F32;
+    /** FLOP/byte accounting. */
+    KernelStats stats;
+    /** Bytes moved over the network (Comm kind only). */
+    std::int64_t commBytes = 0;
+
+    /** Arithmetic intensity (FLOP/byte). */
+    double opsPerByte() const { return stats.opsPerByte(); }
+};
+
+/** An ordered sequence of kernels forming one training iteration. */
+struct OpTrace {
+    std::vector<OpDesc> ops;
+
+    /** Number of kernels. */
+    std::size_t size() const { return ops.size(); }
+
+    /** Sum of FLOPs over all kernels. */
+    std::int64_t totalFlops() const;
+
+    /** Sum of bytes moved over all kernels. */
+    std::int64_t totalBytes() const;
+
+    /** Append an op. */
+    void add(OpDesc op) { ops.push_back(std::move(op)); }
+
+    /** Append every op of another trace. */
+    void append(const OpTrace &other);
+
+    /** Kernels matching a predicate. */
+    template <typename Pred>
+    std::vector<const OpDesc *>
+    select(Pred pred) const
+    {
+        std::vector<const OpDesc *> out;
+        for (const auto &op : ops)
+            if (pred(op))
+                out.push_back(&op);
+        return out;
+    }
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_TRACE_OP_H

@@ -1,0 +1,66 @@
+#include "trace/taxonomy.h"
+
+namespace bertprof {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Fwd: return "FWD";
+      case Phase::Bwd: return "BWD";
+      case Phase::Recompute: return "RECOMP";
+      case Phase::Update: return "UPDATE";
+      case Phase::Comm: return "COMM";
+    }
+    return "?";
+}
+
+const char *
+layerScopeName(LayerScope scope)
+{
+    switch (scope) {
+      case LayerScope::Embedding: return "Embedding";
+      case LayerScope::Transformer: return "Transformer";
+      case LayerScope::Output: return "Output";
+      case LayerScope::Optimizer: return "Optimizer";
+      case LayerScope::Network: return "Network";
+    }
+    return "?";
+}
+
+const char *
+subLayerName(SubLayer sub)
+{
+    switch (sub) {
+      case SubLayer::AttnLinear: return "Attn Linear";
+      case SubLayer::AttnBGemm: return "Attn B-GEMM";
+      case SubLayer::AttnScaleMaskDrSm: return "Scale+Mask+DR+SM";
+      case SubLayer::FcGemm: return "FC GEMM";
+      case SubLayer::FcGelu: return "GeLU";
+      case SubLayer::DrRcLn: return "DR+RC+LN";
+      case SubLayer::EmbeddingOps: return "Embedding ops";
+      case SubLayer::OutputOps: return "Output ops";
+      case SubLayer::LambStage1: return "LAMB stage 1";
+      case SubLayer::LambStage2: return "LAMB stage 2";
+      case SubLayer::GradNorm: return "Grad L2 norm";
+      case SubLayer::AllReduce: return "AllReduce";
+      case SubLayer::Other: return "Other";
+    }
+    return "?";
+}
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Gemm: return "GEMM";
+      case OpKind::BatchedGemm: return "B-GEMM";
+      case OpKind::Elementwise: return "EW";
+      case OpKind::Reduction: return "Reduce";
+      case OpKind::Gather: return "Gather";
+      case OpKind::Comm: return "Comm";
+    }
+    return "?";
+}
+
+} // namespace bertprof

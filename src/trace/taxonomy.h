@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The breakdown taxonomy of the paper: every kernel in a BERT
+ * training iteration is tagged with a training phase, a top-level
+ * layer scope (Fig. 3's categories), and a transformer sub-layer
+ * group (Fig. 4's categories). Both the CPU profiler and the
+ * analytical device model aggregate along these axes, so the figures
+ * they produce are directly comparable.
+ */
+
+#ifndef BERTPROF_TRACE_TAXONOMY_H
+#define BERTPROF_TRACE_TAXONOMY_H
+
+namespace bertprof {
+
+/** Which part of a training iteration a kernel belongs to. */
+enum class Phase {
+    Fwd,       ///< forward pass
+    Bwd,       ///< backprop (activation + weight gradients)
+    Recompute, ///< forward recomputation under activation checkpointing
+    Update,    ///< optimizer (LAMB/Adam) weight update
+    Comm,      ///< inter-device communication (AllReduce)
+};
+
+/** Top-level layer scope: the categories of the paper's Fig. 3. */
+enum class LayerScope {
+    Embedding,   ///< input embedding layer
+    Transformer, ///< the N transformer encoder layers
+    Output,      ///< MLM + NSP output/classification layers
+    Optimizer,   ///< LAMB / Adam update kernels
+    Network,     ///< communication (multi-device only)
+};
+
+/**
+ * Sub-layer groups within (and around) a transformer layer: the
+ * categories of the paper's Fig. 4 plus the optimizer stages of
+ * Fig. 7.
+ */
+enum class SubLayer {
+    AttnLinear,       ///< Q/K/V/output linear-projection GEMMs
+    AttnBGemm,        ///< attention score + attention output B-GEMMs
+    AttnScaleMaskDrSm,///< scale, mask, dropout, softmax EW kernels
+    FcGemm,           ///< FC-1 / FC-2 GEMMs (+ their grad GEMMs)
+    FcGelu,           ///< GeLU activation kernels
+    DrRcLn,           ///< dropout + residual connection + layernorm
+    EmbeddingOps,     ///< embedding gathers/scatters + their LN/DR
+    OutputOps,        ///< output-head GEMMs and losses
+    LambStage1,       ///< LAMB stage 1 (update direction + trust ratio)
+    LambStage2,       ///< LAMB stage 2 (apply update)
+    GradNorm,         ///< global gradient L2 norm reduction
+    AllReduce,        ///< gradient/activation AllReduce
+    Other,            ///< anything not in the paper's groups
+};
+
+/** Kind of kernel; decides which cost model applies. */
+enum class OpKind {
+    Gemm,        ///< single GEMM
+    BatchedGemm, ///< batched GEMM (B*h small GEMMs)
+    Elementwise, ///< pure element-wise streaming kernel
+    Reduction,   ///< row/column/global reduction
+    Gather,      ///< embedding gather / scatter
+    Comm,        ///< network transfer
+};
+
+/** Short display names used by reports. */
+const char *phaseName(Phase phase);
+const char *layerScopeName(LayerScope scope);
+const char *subLayerName(SubLayer sub);
+const char *opKindName(OpKind kind);
+
+} // namespace bertprof
+
+#endif // BERTPROF_TRACE_TAXONOMY_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * TraceOptions: software-level execution variants the paper studies —
+ * kernel fusion of the memory-bound groups (Sec. 6.1.1), GEMM fusion
+ * of the attention linear projections (Sec. 6.1.2), and fused vs.
+ * unfused optimizer execution (Fig. 12a).
+ */
+
+#ifndef BERTPROF_TRACE_TRACE_OPTIONS_H
+#define BERTPROF_TRACE_TRACE_OPTIONS_H
+
+namespace bertprof {
+
+/** How optimizer element-wise work maps onto kernels. */
+enum class OptimizerFusion {
+    /**
+     * One kernel per tensor per element-wise operation (eager
+     * PyTorch): hundreds of tiny kernels, every intermediate spilled
+     * to memory.
+     */
+    Unfused,
+    /**
+     * Two fused kernels (stage 1 / stage 2) per parameter tensor —
+     * the paper's default LAMB implementation [62].
+     */
+    PerTensorStages,
+    /**
+     * Multi-tensor apply: stage kernels batched over all tensors in
+     * large chunks (apex-style FusedAdam/FusedLAMB).
+     */
+    MultiTensor,
+};
+
+/** Kernel-mapping choices for one trace. */
+struct TraceOptions {
+    /** Emit GeLU as one fused kernel instead of 5 EW kernels. */
+    bool fuseGelu = false;
+    /** Emit scale+mask+dropout+softmax as one fused kernel. */
+    bool fuseScaleMaskDrSm = false;
+    /** Emit dropout+residual+layernorm as one fused kernel. */
+    bool fuseDrRcLn = false;
+    /** Fuse the Q/K/V projections into one 3*d_model GEMM. */
+    bool fuseQkvGemm = false;
+    /**
+     * Emit LayerNorm as ~8 unfused EW/reduction kernels instead of
+     * one fused kernel (Fig. 12a's unfused LayerNorm).
+     */
+    bool unfuseLayerNorm = false;
+    /** Optimizer kernel mapping. */
+    OptimizerFusion optimizerFusion = OptimizerFusion::PerTensorStages;
+    /**
+     * Compute masked-LM logits over every position instead of
+     * gathering the ~15% masked ones first. Several production BERT
+     * stacks do this (it avoids a gather/scatter); it makes the
+     * output layer several times more expensive — the likely source
+     * of the paper's 3-7% output-layer share vs the ~1.5% a gathered
+     * implementation shows.
+     */
+    bool denseMlmLogits = false;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_TRACE_TRACE_OPTIONS_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal CSV writer so benchmark harnesses can dump machine-readable
+ * series next to the human-readable tables.
+ */
+
+#ifndef BERTPROF_UTIL_CSV_H
+#define BERTPROF_UTIL_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bertprof {
+
+/**
+ * Accumulates rows and writes RFC-4180-style CSV (quotes cells that
+ * contain commas, quotes, or newlines).
+ */
+class CsvWriter
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render all rows as CSV text. */
+    std::string render() const;
+
+    /** Write the CSV text to a file; returns false on I/O error. */
+    bool writeFile(const std::string &path) const;
+
+    /** Escape a single cell per RFC 4180. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_UTIL_CSV_H

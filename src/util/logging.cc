@@ -1,0 +1,73 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <exception>
+
+namespace bertprof {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Info;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(globalLevel))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+namespace detail {
+
+LogStream::LogStream(LogLevel level, Action action, const char *file,
+                     int line)
+    : level_(level), action_(action)
+{
+    if (action_ != Action::Log)
+        stream_ << file << ":" << line << ": ";
+}
+
+LogStream::~LogStream()
+{
+    switch (action_) {
+      case Action::Log:
+        logMessage(level_, stream_.str());
+        break;
+      case Action::Fatal:
+        std::fprintf(stderr, "[FATAL] %s\n", stream_.str().c_str());
+        std::exit(1);
+      case Action::Panic:
+        std::fprintf(stderr, "[PANIC] %s\n", stream_.str().c_str());
+        std::abort();
+    }
+}
+
+} // namespace detail
+
+} // namespace bertprof

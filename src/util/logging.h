@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the bertprof library.
+ *
+ * Follows the gem5 convention: fatal() is for user error (bad
+ * configuration, invalid arguments) and exits cleanly; panic() is for
+ * internal invariant violations (library bugs) and aborts.
+ */
+
+#ifndef BERTPROF_UTIL_LOGGING_H
+#define BERTPROF_UTIL_LOGGING_H
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bertprof {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/** Global minimum level that is actually emitted (default: Info). */
+LogLevel logLevel();
+
+/** Set the global minimum log level. */
+void setLogLevel(LogLevel level);
+
+/** Emit a message at the given level to stderr (if enabled). */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+/**
+ * Stream-style message builder used by the LOG/FATAL/PANIC macros.
+ * Accumulates into a string and dispatches on destruction.
+ */
+class LogStream
+{
+  public:
+    enum class Action { Log, Fatal, Panic };
+
+    LogStream(LogLevel level, Action action, const char *file, int line);
+    ~LogStream();
+
+    LogStream(const LogStream &) = delete;
+    LogStream &operator=(const LogStream &) = delete;
+
+    template <typename T>
+    LogStream &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    Action action_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+} // namespace bertprof
+
+/** Log an informational message: BP_LOG(Info) << "x = " << x; */
+#define BP_LOG(level)                                                        \
+    ::bertprof::detail::LogStream(::bertprof::LogLevel::level,               \
+                                  ::bertprof::detail::LogStream::Action::Log,\
+                                  __FILE__, __LINE__)
+
+/** Report a user error (bad config / arguments) and exit(1). */
+#define BP_FATAL()                                                           \
+    ::bertprof::detail::LogStream(                                           \
+        ::bertprof::LogLevel::Error,                                         \
+        ::bertprof::detail::LogStream::Action::Fatal, __FILE__, __LINE__)
+
+/** Report an internal bug and abort(). */
+#define BP_PANIC()                                                           \
+    ::bertprof::detail::LogStream(                                           \
+        ::bertprof::LogLevel::Error,                                         \
+        ::bertprof::detail::LogStream::Action::Panic, __FILE__, __LINE__)
+
+/** Internal invariant check; aborts with a message when violated. */
+#define BP_ASSERT(cond)                                                      \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            BP_PANIC() << "assertion failed: " #cond;                        \
+        }                                                                    \
+    } while (0)
+
+/** User-facing precondition check; exits with a message when violated. */
+#define BP_REQUIRE(cond)                                                     \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            BP_FATAL() << "requirement failed: " #cond;                      \
+        }                                                                    \
+    } while (0)
+
+#endif // BERTPROF_UTIL_LOGGING_H

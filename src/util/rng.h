@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic random-number utilities for synthetic data generation,
+ * weight initialization, and dropout masks. Everything is seeded so
+ * tests and experiments are reproducible.
+ */
+
+#ifndef BERTPROF_UTIL_RNG_H
+#define BERTPROF_UTIL_RNG_H
+
+#include <cstdint>
+#include <random>
+
+namespace bertprof {
+
+/**
+ * Thin deterministic wrapper around std::mt19937_64 with the sampling
+ * helpers the library needs.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed (default fixed for repro). */
+    explicit Rng(std::uint64_t seed = 0x5eed1234abcdULL) : engine_(seed) {}
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniform(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Gaussian with the given mean and standard deviation. */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /** Bernoulli trial with probability p of true. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /** Access the underlying engine (for std::shuffle etc.). */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_UTIL_RNG_H

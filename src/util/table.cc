@@ -1,0 +1,96 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    BP_REQUIRE(header_.empty() || row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::size_t
+Table::rowCount() const
+{
+    std::size_t n = 0;
+    for (const auto &row : rows_)
+        if (!row.empty())
+            ++n;
+    return n;
+}
+
+std::string
+Table::render() const
+{
+    // Compute per-column widths across the header and all rows.
+    std::vector<std::size_t> widths;
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    std::ostringstream os;
+    auto emitSeparator = [&]() {
+        os << '+';
+        for (std::size_t w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        os << '|';
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < row.size() ? row[i] : "";
+            os << ' ' << cell << std::string(widths[i] - cell.size(), ' ')
+               << " |";
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    emitSeparator();
+    if (!header_.empty()) {
+        emitRow(header_);
+        emitSeparator();
+    }
+    for (const auto &row : rows_) {
+        if (row.empty())
+            emitSeparator();
+        else
+            emitRow(row);
+    }
+    emitSeparator();
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    os << render();
+}
+
+} // namespace bertprof

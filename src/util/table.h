@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fixed-width ASCII table renderer used by the benchmark harnesses to
+ * print the rows/series of each paper figure and table.
+ */
+
+#ifndef BERTPROF_UTIL_TABLE_H
+#define BERTPROF_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bertprof {
+
+/**
+ * A simple column-aligned table. Add a header once, then rows; cells
+ * are pre-rendered strings (use util/units.h helpers for numbers).
+ */
+class Table
+{
+  public:
+    /** Construct a table with an optional title printed above it. */
+    explicit Table(std::string title = "");
+
+    /** Set the header row; resets column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Number of data rows added so far (separators excluded). */
+    std::size_t rowCount() const;
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    // Separator rows are represented as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_UTIL_TABLE_H

@@ -1,0 +1,81 @@
+#include "util/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace bertprof {
+
+namespace {
+
+/** Scale a value into the largest unit <= value and render it. */
+std::string
+scaled(double value, double base, const char *const *suffixes,
+       int suffix_count, const char *final_suffix)
+{
+    double v = value;
+    int idx = 0;
+    while (std::fabs(v) >= base && idx < suffix_count - 1) {
+        v /= base;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s%s", v, suffixes[idx],
+                  final_suffix);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *suffixes[] = {"", "Ki", "Mi", "Gi", "Ti", "Pi"};
+    return scaled(bytes, 1024.0, suffixes, 6, "B");
+}
+
+std::string
+formatFlops(double flops)
+{
+    static const char *suffixes[] = {"", "K", "M", "G", "T", "P"};
+    return scaled(flops, 1000.0, suffixes, 6, "FLOP");
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    else if (seconds >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+    else if (seconds >= 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f ns", seconds * 1e9);
+    return buf;
+}
+
+std::string
+formatFlopRate(double flops_per_sec)
+{
+    static const char *suffixes[] = {"", "K", "M", "G", "T", "P"};
+    return scaled(flops_per_sec, 1000.0, suffixes, 6, "FLOP/s");
+}
+
+std::string
+formatByteRate(double bytes_per_sec)
+{
+    static const char *suffixes[] = {"", "K", "M", "G", "T", "P"};
+    return scaled(bytes_per_sec, 1000.0, suffixes, 6, "B/s");
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace bertprof

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit helpers and human-readable formatting for FLOPs, bytes, time,
+ * and rates. Used pervasively in reports and benchmarks.
+ */
+
+#ifndef BERTPROF_UTIL_UNITS_H
+#define BERTPROF_UTIL_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace bertprof {
+
+/** Count of floating-point operations. */
+using Flops = std::int64_t;
+
+/** Count of bytes. */
+using Bytes = std::int64_t;
+
+/** Duration in seconds (double keeps the math simple). */
+using Seconds = double;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+constexpr Bytes kGiB = 1024 * kMiB;
+
+/** Format a byte count, e.g. "1.25 GiB". */
+std::string formatBytes(double bytes);
+
+/** Format an op count, e.g. "34.4 GFLOP". */
+std::string formatFlops(double flops);
+
+/** Format a duration, e.g. "12.3 ms". */
+std::string formatSeconds(double seconds);
+
+/** Format a rate in ops/s, e.g. "23.1 TFLOP/s". */
+std::string formatFlopRate(double flops_per_sec);
+
+/** Format a rate in bytes/s, e.g. "1.23 TB/s". */
+std::string formatByteRate(double bytes_per_sec);
+
+/** Format a fraction as a percentage, e.g. "42.0%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+} // namespace bertprof
+
+#endif // BERTPROF_UTIL_UNITS_H

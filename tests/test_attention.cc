@@ -1,0 +1,205 @@
+/** Tests for multi-head attention: math and gradients. */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "ops/gemm.h"
+#include "ops/softmax.h"
+#include "test_helpers.h"
+
+namespace bertprof {
+namespace {
+
+struct AttentionFixture : public ::testing::Test {
+    static constexpr std::int64_t kBatch = 2;
+    static constexpr std::int64_t kSeq = 4;
+    static constexpr std::int64_t kDim = 8;
+    static constexpr int kHeads = 2;
+
+    NnRuntime rt; // dropout defaults to 0 for determinism
+    MultiHeadAttention attn{"attn", kDim, kHeads, &rt};
+    Tensor x{Shape({kBatch * kSeq, kDim})};
+    Tensor mask{Shape({kSeq, kSeq})};
+
+    void
+    SetUp() override
+    {
+        Rng rng(3);
+        attn.initialize(rng, 0.3f);
+        x.fillNormal(rng);
+    }
+};
+
+TEST_F(AttentionFixture, OutputShape)
+{
+    Tensor y = attn.forward(x, mask, kBatch, kSeq);
+    EXPECT_EQ(y.shape(), Shape({kBatch * kSeq, kDim}));
+}
+
+TEST_F(AttentionFixture, RowsAreConvexCombinationsWhenValuesConstant)
+{
+    // If every token has the same value projection input, attention's
+    // weighted sum must reproduce it regardless of the scores.
+    Tensor same(Shape({kBatch * kSeq, kDim}));
+    Rng rng(4);
+    std::vector<float> row(kDim);
+    for (auto &v : row)
+        v = static_cast<float>(rng.normal());
+    for (std::int64_t t = 0; t < kBatch * kSeq; ++t)
+        for (std::int64_t c = 0; c < kDim; ++c)
+            same.at(t * kDim + c) = row[static_cast<std::size_t>(c)];
+
+    Tensor y = attn.forward(same, mask, kBatch, kSeq);
+    // All output rows must be identical.
+    for (std::int64_t t = 1; t < kBatch * kSeq; ++t)
+        for (std::int64_t c = 0; c < kDim; ++c)
+            EXPECT_NEAR(y.at(t * kDim + c), y.at(c), 1e-4f);
+}
+
+TEST_F(AttentionFixture, MaskBlocksAttention)
+{
+    // A strong negative mask on column 0 must make outputs
+    // independent of token 0's value content.
+    Tensor blocking(Shape({kSeq, kSeq}));
+    for (std::int64_t i = 0; i < kSeq; ++i)
+        blocking.at(i * kSeq + 0) = -1e9f;
+
+    Tensor y1 = attn.forward(x, blocking, kBatch, kSeq);
+    Tensor x2 = x.clone();
+    for (std::int64_t c = 0; c < kDim; ++c)
+        x2.at(0 * kDim + c) += 5.0f; // perturb token 0 of sequence 0
+
+    // Token 0's own query changes its own output row, so compare
+    // only rows 1..n-1 of sequence 0 (they can't see token 0).
+    Tensor y2 = attn.forward(x2, blocking, kBatch, kSeq);
+    for (std::int64_t t = 1; t < kSeq; ++t)
+        for (std::int64_t c = 0; c < kDim; ++c)
+            EXPECT_NEAR(y1.at(t * kDim + c), y2.at(t * kDim + c), 1e-3f);
+}
+
+TEST_F(AttentionFixture, InputGradientMatchesFiniteDifference)
+{
+    auto loss = [&]() {
+        Tensor y = attn.forward(x, mask, kBatch, kSeq);
+        double total = 0.0;
+        for (std::int64_t i = 0; i < y.numel(); ++i)
+            total += static_cast<double>(y.at(i)) * (0.1 * (i % 3) - 0.1);
+        return total;
+    };
+    Tensor y = attn.forward(x, mask, kBatch, kSeq);
+    Tensor dout(y.shape());
+    for (std::int64_t i = 0; i < dout.numel(); ++i)
+        dout.at(i) = static_cast<float>(0.1 * (i % 3) - 0.1);
+    attn.zeroGrad();
+    Tensor dx = attn.backward(dout);
+    testing::expectGradientsMatch(x, loss, dx, 1e-3, 2e-2);
+}
+
+TEST_F(AttentionFixture, WeightGradientsMatchFiniteDifference)
+{
+    auto loss = [&]() {
+        Tensor y = attn.forward(x, mask, kBatch, kSeq);
+        double total = 0.0;
+        for (std::int64_t i = 0; i < y.numel(); ++i)
+            total += static_cast<double>(y.at(i)) * (0.1 * (i % 3) - 0.1);
+        return total;
+    };
+    Tensor y = attn.forward(x, mask, kBatch, kSeq);
+    Tensor dout(y.shape());
+    for (std::int64_t i = 0; i < dout.numel(); ++i)
+        dout.at(i) = static_cast<float>(0.1 * (i % 3) - 0.1);
+    attn.zeroGrad();
+    attn.backward(dout);
+
+    auto params = attn.parameters();
+    // Spot-check a weight and bias from each projection (full sweep
+    // over 4 d^2 weights is slow; sample the first 16 of each).
+    for (Parameter *param : params) {
+        Tensor analytic_sample(Shape({16}));
+        Tensor value_view(Shape({16}));
+        const std::int64_t count = std::min<std::int64_t>(
+            16, param->value.numel());
+        for (std::int64_t i = 0; i < count; ++i) {
+            const float saved = param->value.at(i);
+            const double eps = 1e-3;
+            param->value.at(i) = static_cast<float>(saved + eps);
+            const double up = loss();
+            param->value.at(i) = static_cast<float>(saved - eps);
+            const double down = loss();
+            param->value.at(i) = saved;
+            const double numeric = (up - down) / (2.0 * eps);
+            EXPECT_NEAR(param->grad.at(i), numeric,
+                        2e-2 * std::max(1.0, std::fabs(numeric)))
+                << param->name << " index " << i;
+        }
+        (void)analytic_sample;
+        (void)value_view;
+    }
+}
+
+TEST_F(AttentionFixture, SingleHeadMatchesManualAttention)
+{
+    // With h=1 the module must equal the textbook computation.
+    MultiHeadAttention single("single", kDim, 1, &rt);
+    Rng rng(9);
+    single.initialize(rng, 0.3f);
+    Tensor y = single.forward(x, mask, kBatch, kSeq);
+
+    // Manual: q = x Wq^T + bq etc.; scores = q k^T / sqrt(d); softmax;
+    // out = (probs v) Wo^T + bo, per sequence.
+    auto params = single.parameters();
+    const Tensor &wq = params[0]->value, &bq = params[1]->value;
+    const Tensor &wk = params[2]->value, &bk = params[3]->value;
+    const Tensor &wv = params[4]->value, &bv = params[5]->value;
+    const Tensor &wo = params[6]->value, &bo = params[7]->value;
+
+    auto project = [&](const Tensor &w, const Tensor &b) {
+        Tensor out(Shape({kBatch * kSeq, kDim}));
+        gemm(x, w, out, false, true);
+        for (std::int64_t r = 0; r < kBatch * kSeq; ++r)
+            for (std::int64_t c = 0; c < kDim; ++c)
+                out.at(r, c) += b.at(c);
+        return out;
+    };
+    Tensor q = project(wq, bq), k = project(wk, bk), v = project(wv, bv);
+
+    Tensor expected(Shape({kBatch * kSeq, kDim}));
+    for (std::int64_t s = 0; s < kBatch; ++s) {
+        Tensor scores(Shape({kSeq, kSeq}));
+        for (std::int64_t i = 0; i < kSeq; ++i)
+            for (std::int64_t j = 0; j < kSeq; ++j) {
+                double acc = 0.0;
+                for (std::int64_t c = 0; c < kDim; ++c)
+                    acc += static_cast<double>(
+                               q.at((s * kSeq + i) * kDim + c)) *
+                           k.at((s * kSeq + j) * kDim + c);
+                scores.at(i, j) = static_cast<float>(
+                    acc / std::sqrt(static_cast<double>(kDim)));
+            }
+        Tensor probs(scores.shape());
+        softmaxForward(scores, probs);
+        for (std::int64_t i = 0; i < kSeq; ++i)
+            for (std::int64_t c = 0; c < kDim; ++c) {
+                double acc = 0.0;
+                for (std::int64_t j = 0; j < kSeq; ++j)
+                    acc += static_cast<double>(probs.at(i, j)) *
+                           v.at((s * kSeq + j) * kDim + c);
+                expected.at((s * kSeq + i) * kDim + c) =
+                    static_cast<float>(acc);
+            }
+    }
+    // Apply output projection.
+    Tensor projected(Shape({kBatch * kSeq, kDim}));
+    gemm(expected, wo, projected, false, true);
+    for (std::int64_t r = 0; r < kBatch * kSeq; ++r)
+        for (std::int64_t c = 0; c < kDim; ++c)
+            projected.at(r, c) += bo.at(c);
+
+    EXPECT_LT(maxAbsDiff(y, projected), 1e-4f);
+}
+
+} // namespace
+} // namespace bertprof

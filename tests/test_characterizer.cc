@@ -1,0 +1,164 @@
+/** Tests for the Characterizer facade: the paper's headline shape
+ *  agreements as assertions. */
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "core/report.h"
+
+namespace bertprof {
+namespace {
+
+class CharacterizerTest : public ::testing::Test
+{
+  protected:
+    Characterizer characterizer_{mi100()};
+};
+
+TEST_F(CharacterizerTest, ScopeSharesSumToOne)
+{
+    const auto result = characterizer_.run(withPhase1(bertLarge(), 8));
+    double total = 0.0;
+    for (const auto &[name, agg] : result.byScope)
+        total += agg.seconds;
+    EXPECT_NEAR(total, result.totalSeconds, 1e-9 * result.totalSeconds);
+}
+
+TEST_F(CharacterizerTest, TransformerLayersDominate)
+{
+    // Obs. 1: transformer layers dominate (68-85% in the paper).
+    for (std::int64_t batch : {4L, 16L, 32L}) {
+        const auto result =
+            characterizer_.run(withPhase1(bertLarge(), batch));
+        EXPECT_GT(result.scopeShare("Transformer"), 0.6);
+        EXPECT_GT(result.scopeShare("Transformer"),
+                  result.scopeShare("Optimizer"));
+    }
+}
+
+TEST_F(CharacterizerTest, LambIsSecondHighestContributor)
+{
+    const auto result = characterizer_.run(withPhase1(bertLarge(), 32));
+    const double lamb = result.scopeShare("Optimizer");
+    EXPECT_GT(lamb, result.scopeShare("Output"));
+    EXPECT_GT(lamb, result.scopeShare("Embedding"));
+    EXPECT_GT(lamb, 0.05);
+    EXPECT_LT(lamb, 0.15);
+}
+
+TEST_F(CharacterizerTest, LambShareGrowsAsTokensShrink)
+{
+    // Takeaway 1: 7-10% at B32 rising toward 25% at B4.
+    const double b32 = characterizer_.run(withPhase1(bertLarge(), 32))
+                           .scopeShare("Optimizer");
+    const double b4 = characterizer_.run(withPhase1(bertLarge(), 4))
+                          .scopeShare("Optimizer");
+    EXPECT_GT(b4, 2.0 * b32);
+}
+
+TEST_F(CharacterizerTest, LambShareGrowsUnderMixedPrecision)
+{
+    // Takeaway 2.
+    BertConfig mp = withPhase1(bertLarge(), 32);
+    mp.precision = Precision::Mixed;
+    const double fp32 = characterizer_.run(withPhase1(bertLarge(), 32))
+                            .scopeShare("Optimizer");
+    const double mixed = characterizer_.run(mp).scopeShare("Optimizer");
+    EXPECT_GT(mixed, 1.5 * fp32);
+}
+
+TEST_F(CharacterizerTest, MixedPrecisionSpeedsUpIteration)
+{
+    BertConfig mp = withPhase1(bertLarge(), 32);
+    mp.precision = Precision::Mixed;
+    const double fp32 =
+        characterizer_.run(withPhase1(bertLarge(), 32)).totalSeconds;
+    const double mixed = characterizer_.run(mp).totalSeconds;
+    EXPECT_GT(fp32 / mixed, 1.5);
+    EXPECT_LT(fp32 / mixed, 3.0);
+}
+
+TEST_F(CharacterizerTest, GemmShareDropsUnderMixedPrecision)
+{
+    // Takeaway 3.
+    BertConfig mp = withPhase1(bertLarge(), 32);
+    mp.precision = Precision::Mixed;
+    EXPECT_LT(characterizer_.run(mp).gemmShare(),
+              characterizer_.run(withPhase1(bertLarge(), 32))
+                  .gemmShare());
+}
+
+TEST_F(CharacterizerTest, AttentionShareGrowsQuadraticallyWithN)
+{
+    // Takeaway 10: n=512 at matched tokens raises the attention-op
+    // share substantially.
+    const auto n128 = characterizer_.run(withPhase1(bertLarge(), 16));
+    const auto n512 = characterizer_.run(withPhase2(bertLarge(), 4));
+    const double a128 = n128.subLayerShare("Attn B-GEMM") +
+                        n128.subLayerShare("Scale+Mask+DR+SM");
+    const double a512 = n512.subLayerShare("Attn B-GEMM") +
+                        n512.subLayerShare("Scale+Mask+DR+SM");
+    EXPECT_GT(a512, 1.5 * a128);
+}
+
+TEST_F(CharacterizerTest, GemmAndLambShareGrowWithLayerWidth)
+{
+    // Takeaway 11 (C2 -> C3).
+    const auto c2 = characterizer_.run(withPhase1(scalingC2(), 16));
+    const auto c3 = characterizer_.run(withPhase1(scalingC3(), 16));
+    EXPECT_GT(c3.gemmShare(), c2.gemmShare());
+    EXPECT_GT(c3.scopeShare("Optimizer"), c2.scopeShare("Optimizer"));
+}
+
+TEST_F(CharacterizerTest, LayerCountScalesLinearly)
+{
+    // Obs. 4.
+    BertConfig n12 = withPhase1(bertLarge(), 8);
+    n12.numLayers = 12;
+    BertConfig n24 = withPhase1(bertLarge(), 8);
+    const double t12 = characterizer_.run(n12).totalSeconds;
+    const double t24 = characterizer_.run(n24).totalSeconds;
+    EXPECT_NEAR(t24 / t12, 2.0, 0.25);
+}
+
+TEST_F(CharacterizerTest, CheckpointingAddsKernelsAndTime)
+{
+    BertConfig ckpt = withPhase1(bertLarge(), 32);
+    ckpt.checkpointEvery = 6;
+    const auto base = characterizer_.run(withPhase1(bertLarge(), 32));
+    const auto with = characterizer_.run(ckpt);
+    const double kernel_growth =
+        static_cast<double>(with.kernelCount) / base.kernelCount;
+    const double time_growth = with.totalSeconds / base.totalSeconds;
+    EXPECT_GT(kernel_growth, 1.2);
+    EXPECT_LT(kernel_growth, 1.45);
+    EXPECT_GT(time_growth, 1.15);
+    EXPECT_LT(time_growth, 1.45);
+    // LAMB's absolute time is unchanged; its share drops.
+    EXPECT_LT(with.scopeShare("Optimizer"),
+              base.scopeShare("Optimizer"));
+}
+
+TEST_F(CharacterizerTest, ReportsRenderNonEmpty)
+{
+    const auto result = characterizer_.run(withPhase1(bertLarge(), 4));
+    Table scope = breakdownTable(result.byScope, result.totalSeconds,
+                                 "scopes");
+    EXPECT_GE(scope.rowCount(), 4u);
+    Table gemms = gemmIntensityTable(result, characterizer_.spec(), 0);
+    EXPECT_EQ(gemms.rowCount(), 8u); // 6 linear/FC + 2 B-GEMMs (fwd)
+    const auto row = scopeShareRow(result, {"Transformer", "Optimizer"});
+    EXPECT_EQ(row.size(), 3u);
+}
+
+TEST_F(CharacterizerTest, InferenceTraceHasNoOptimizerShare)
+{
+    BertTraceBuilder builder(withPhase1(bertLarge(), 1));
+    const auto result = characterizer_.runTrace(
+        withPhase1(bertLarge(), 1), builder.buildInference());
+    EXPECT_EQ(result.scopeShare("Optimizer"), 0.0);
+    EXPECT_GT(result.scopeShare("Transformer"), 0.8);
+}
+
+} // namespace
+} // namespace bertprof

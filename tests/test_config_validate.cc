@@ -1,0 +1,113 @@
+/** Tests for BertConfig::validate and the task/decoder presets. */
+
+#include <gtest/gtest.h>
+
+#include "trace/bert_config.h"
+#include "trace/bert_trace_builder.h"
+
+namespace bertprof {
+namespace {
+
+TEST(ConfigValidate, PresetsAreValid)
+{
+    EXPECT_EQ(bertBase().validate(), "");
+    EXPECT_EQ(bertLarge().validate(), "");
+    EXPECT_EQ(scalingC1().validate(), "");
+    EXPECT_EQ(scalingC3().validate(), "");
+    EXPECT_EQ(gpt2MediumLike().validate(), "");
+    EXPECT_EQ(withSquadFineTune(bertLarge()).validate(), "");
+    EXPECT_EQ(withClassificationFineTune(bertLarge()).validate(), "");
+}
+
+TEST(ConfigValidate, CatchesHeadMismatch)
+{
+    BertConfig config = bertLarge();
+    config.numHeads = 7;
+    EXPECT_NE(config.validate().find("numHeads"), std::string::npos);
+}
+
+TEST(ConfigValidate, CatchesSeqLenBeyondPositions)
+{
+    BertConfig config = bertLarge();
+    config.seqLen = 1024; // maxPositions is 512
+    EXPECT_NE(config.validate().find("maxPositions"), std::string::npos);
+}
+
+TEST(ConfigValidate, CatchesBadCheckpointInterval)
+{
+    BertConfig config = bertLarge();
+    config.checkpointEvery = 5;
+    EXPECT_NE(config.validate().find("checkpointEvery"),
+              std::string::npos);
+}
+
+TEST(ConfigValidate, CatchesNonPositiveDims)
+{
+    BertConfig config = bertLarge();
+    config.numLayers = 0;
+    EXPECT_FALSE(config.validate().empty());
+    config = bertLarge();
+    config.batch = 0;
+    EXPECT_FALSE(config.validate().empty());
+    config = bertLarge();
+    config.maxPredictions = config.seqLen + 1;
+    EXPECT_FALSE(config.validate().empty());
+}
+
+TEST(ConfigValidate, CatchesTooFewClasses)
+{
+    BertConfig config = withClassificationFineTune(bertLarge(), 8, 1);
+    EXPECT_NE(config.validate().find("numClasses"), std::string::npos);
+}
+
+TEST(Gpt2Preset, DecoderTrainingTraceMatchesEncoderShapes)
+{
+    // Sec. 2.3: the causal mask only zeroes score elements — the
+    // training kernel trace of a decoder is shape-identical to an
+    // encoder of the same size. Compare GPT-2-Medium-like against a
+    // BERT-Large resized to the same input.
+    BertConfig gpt = gpt2MediumLike();
+    BertConfig bert = bertLarge();
+    bert.seqLen = gpt.seqLen;
+    bert.maxPositions = gpt.maxPositions;
+    bert.batch = gpt.batch;
+
+    BertTraceBuilder gpt_builder(gpt);
+    BertTraceBuilder bert_builder(bert);
+    const OpTrace a = gpt_builder.buildForward();
+    const OpTrace b = bert_builder.buildForward();
+
+    auto layer_gemms = [](const OpTrace &trace) {
+        std::vector<std::string> out;
+        for (const auto &op : trace.ops)
+            if (op.scope == LayerScope::Transformer &&
+                (op.kind == OpKind::Gemm ||
+                 op.kind == OpKind::BatchedGemm))
+                out.push_back(op.name + ":" + op.gemm.label());
+        return out;
+    };
+    EXPECT_EQ(layer_gemms(a), layer_gemms(b));
+}
+
+TEST(Gpt2Preset, LmHeadIsHeavierThanMaskedLm)
+{
+    // Causal LM predicts every position: the output layer grows.
+    BertTraceBuilder gpt(gpt2MediumLike());
+    std::int64_t lm_flops = 0;
+    for (const auto &op : gpt.buildForward().ops)
+        if (op.scope == LayerScope::Output)
+            lm_flops += op.stats.flops;
+    BertConfig bert = bertLarge();
+    bert.seqLen = 512;
+    bert.batch = 4;
+    bert.maxPredictions = 80;
+    BertTraceBuilder mlm(bert);
+    std::int64_t mlm_flops = 0;
+    for (const auto &op : mlm.buildForward().ops)
+        if (op.scope == LayerScope::Output)
+            mlm_flops += op.stats.flops;
+    EXPECT_GT(lm_flops, 5 * mlm_flops);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,133 @@
+/** Small coverage-gap tests: weight tying, trace taxonomy coverage,
+ *  Phase-2 shapes, and remaining utility paths. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/bert_pretrainer.h"
+#include "test_helpers.h"
+#include "trace/bert_trace_builder.h"
+#include "util/rng.h"
+
+namespace bertprof {
+namespace {
+
+using testing::tinyBertConfig;
+
+TEST(WeightTying, MlmDecoderGradFlowsIntoTokenEmbedding)
+{
+    // The MLM decoder weight is tied to the token embedding table:
+    // its weight gradient must land in tokenEmbedding().grad in
+    // addition to the embedding scatter contribution.
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    rt.dropoutP = 0.0f;
+    BertPretrainer trainer(config, &rt);
+    Rng init(3);
+    trainer.initialize(init);
+    SyntheticDataset dataset(config, 4);
+    const PretrainBatch batch = dataset.nextBatch();
+
+    trainer.zeroGrad();
+    trainer.forwardBackward(batch);
+
+    // Rows for vocabulary ids that never appear as *input tokens*
+    // still receive gradient through the decoder (softmax pushes
+    // down every logit). Find such an id.
+    std::set<std::int64_t> used(batch.tokenIds.begin(),
+                                batch.tokenIds.end());
+    std::int64_t unused_id = -1;
+    for (std::int64_t v = 4; v < config.vocabSize; ++v) {
+        if (!used.count(v)) {
+            unused_id = v;
+            break;
+        }
+    }
+    ASSERT_GE(unused_id, 0);
+    Parameter &table = trainer.model().tokenEmbedding();
+    double row_norm = 0.0;
+    for (std::int64_t c = 0; c < config.dModel; ++c) {
+        const float g = table.grad.at(unused_id * config.dModel + c);
+        row_norm += static_cast<double>(g) * g;
+    }
+    EXPECT_GT(row_norm, 0.0)
+        << "tied decoder gradient missing for unused token row";
+}
+
+TEST(TraceCoverage, PretrainIterationTouchesEverySubLayerGroup)
+{
+    BertTraceBuilder builder(withPhase1(bertLarge(), 8));
+    const OpTrace trace = builder.buildIteration();
+    std::set<SubLayer> seen;
+    for (const auto &op : trace.ops)
+        seen.insert(op.sub);
+    for (SubLayer sub :
+         {SubLayer::AttnLinear, SubLayer::AttnBGemm,
+          SubLayer::AttnScaleMaskDrSm, SubLayer::FcGemm,
+          SubLayer::FcGelu, SubLayer::DrRcLn, SubLayer::EmbeddingOps,
+          SubLayer::OutputOps, SubLayer::LambStage1,
+          SubLayer::LambStage2, SubLayer::GradNorm}) {
+        EXPECT_TRUE(seen.count(sub)) << subLayerName(sub);
+    }
+    // AllReduce only appears in distributed traces.
+    EXPECT_FALSE(seen.count(SubLayer::AllReduce));
+}
+
+TEST(TraceCoverage, Phase2ShapesScaleWithSequenceLength)
+{
+    const BertConfig ph2 = withPhase2(bertLarge(), 4);
+    BertTraceBuilder builder(ph2);
+    const OpTrace trace = builder.buildForward();
+    for (const auto &op : trace.ops) {
+        if (op.name == "enc0.attn.score.fwd") {
+            EXPECT_EQ(op.gemm.m, 512);
+            EXPECT_EQ(op.gemm.n, 512);
+            EXPECT_EQ(op.gemm.batch, 4 * 16);
+        }
+        if (op.name == "enc0.fc1.fwd") {
+            EXPECT_EQ(op.gemm.n, ph2.tokens());
+        }
+    }
+}
+
+TEST(OpTraceSelect, FiltersByPredicate)
+{
+    BertTraceBuilder builder(withPhase1(bertLarge(), 4));
+    const OpTrace trace = builder.buildIteration();
+    const auto gemms = trace.select([](const OpDesc &op) {
+        return op.kind == OpKind::Gemm;
+    });
+    EXPECT_FALSE(gemms.empty());
+    for (const OpDesc *op : gemms)
+        EXPECT_EQ(op->kind, OpKind::Gemm);
+    const auto none = trace.select(
+        [](const OpDesc &op) { return op.layerIndex > 10000; });
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(TensorFill, UniformStaysInRange)
+{
+    Rng rng(9);
+    Tensor t(Shape({10000}));
+    t.fillUniform(rng, -2.0f, 3.0f);
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        EXPECT_GE(t.at(i), -2.0f);
+        EXPECT_LT(t.at(i), 3.0f);
+    }
+    // Mean near the midpoint of the range.
+    EXPECT_NEAR(t.sum() / t.numel(), 0.5, 0.1);
+}
+
+TEST(GemmDimsLabel, MatchesPaperFormat)
+{
+    GemmDims dims{true, false, 64, 128, 256, 1};
+    EXPECT_EQ(dims.label(), "TN,64,128,256");
+    dims.batch = 512;
+    EXPECT_EQ(dims.label(), "TN,64,128,256,[512]");
+    EXPECT_EQ(dims.flops(), 2LL * 64 * 128 * 256 * 512);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,119 @@
+/** Tests for the synthetic masked-LM dataset. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "test_helpers.h"
+
+namespace bertprof {
+namespace {
+
+using testing::tinyBertConfig;
+
+class SyntheticTest : public ::testing::Test
+{
+  protected:
+    BertConfig config_ = tinyBertConfig();
+    SyntheticDataset dataset_{config_, 42};
+};
+
+TEST_F(SyntheticTest, BatchHasExpectedSizes)
+{
+    const PretrainBatch batch = dataset_.nextBatch();
+    EXPECT_EQ(batch.tokenIds.size(),
+              static_cast<std::size_t>(config_.tokens()));
+    EXPECT_EQ(batch.segmentIds.size(), batch.tokenIds.size());
+    EXPECT_EQ(batch.mlmPositions.size(),
+              static_cast<std::size_t>(config_.maskedTokens()));
+    EXPECT_EQ(batch.mlmLabels.size(), batch.mlmPositions.size());
+    EXPECT_EQ(batch.nspLabels.size(),
+              static_cast<std::size_t>(config_.batch));
+}
+
+TEST_F(SyntheticTest, TokenIdsWithinVocab)
+{
+    const PretrainBatch batch = dataset_.nextBatch();
+    for (auto id : batch.tokenIds) {
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, config_.vocabSize);
+    }
+    for (auto label : batch.mlmLabels) {
+        EXPECT_GE(label, 3); // labels are regular tokens
+        EXPECT_LT(label, config_.vocabSize);
+    }
+}
+
+TEST_F(SyntheticTest, MaskedPositionsAreMaskTokens)
+{
+    const PretrainBatch batch = dataset_.nextBatch();
+    for (auto pos : batch.mlmPositions) {
+        ASSERT_GE(pos, 0);
+        ASSERT_LT(pos, config_.tokens());
+        EXPECT_EQ(batch.tokenIds[static_cast<std::size_t>(pos)],
+                  dataset_.maskId());
+    }
+}
+
+TEST_F(SyntheticTest, MaskedPositionsUniquePerBatch)
+{
+    const PretrainBatch batch = dataset_.nextBatch();
+    std::set<std::int64_t> unique(batch.mlmPositions.begin(),
+                                  batch.mlmPositions.end());
+    EXPECT_EQ(unique.size(), batch.mlmPositions.size());
+}
+
+TEST_F(SyntheticTest, SequencesStartWithClsAndContainSep)
+{
+    const PretrainBatch batch = dataset_.nextBatch();
+    for (std::int64_t s = 0; s < config_.batch; ++s) {
+        const std::size_t base =
+            static_cast<std::size_t>(s * config_.seqLen);
+        EXPECT_EQ(batch.tokenIds[base], dataset_.clsId());
+        EXPECT_EQ(batch.tokenIds[base + static_cast<std::size_t>(
+                                            config_.seqLen / 2)],
+                  dataset_.sepId());
+    }
+}
+
+TEST_F(SyntheticTest, SegmentsFlipAtMidpoint)
+{
+    const PretrainBatch batch = dataset_.nextBatch();
+    for (std::int64_t s = 0; s < config_.batch; ++s) {
+        const std::size_t base =
+            static_cast<std::size_t>(s * config_.seqLen);
+        EXPECT_EQ(batch.segmentIds[base + 1], 0);
+        EXPECT_EQ(batch.segmentIds[base + static_cast<std::size_t>(
+                                              config_.seqLen) -
+                                   1],
+                  1);
+    }
+}
+
+TEST_F(SyntheticTest, NspLabelsAreBinary)
+{
+    const PretrainBatch batch = dataset_.nextBatch();
+    for (auto label : batch.nspLabels)
+        EXPECT_TRUE(label == 0 || label == 1);
+}
+
+TEST_F(SyntheticTest, DeterministicForSameSeed)
+{
+    SyntheticDataset a(config_, 7), b(config_, 7);
+    const PretrainBatch ba = a.nextBatch();
+    const PretrainBatch bb = b.nextBatch();
+    EXPECT_EQ(ba.tokenIds, bb.tokenIds);
+    EXPECT_EQ(ba.mlmPositions, bb.mlmPositions);
+    EXPECT_EQ(ba.nspLabels, bb.nspLabels);
+}
+
+TEST_F(SyntheticTest, SuccessiveBatchesDiffer)
+{
+    const PretrainBatch first = dataset_.nextBatch();
+    const PretrainBatch second = dataset_.nextBatch();
+    EXPECT_NE(first.tokenIds, second.tokenIds);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,208 @@
+/** Tests for the multi-device models (comm, DP, tensor slicing). */
+
+#include <gtest/gtest.h>
+
+#include "dist/comm_model.h"
+#include "dist/data_parallel.h"
+#include "dist/tensor_slicing.h"
+#include "trace/bert_trace_builder.h"
+
+namespace bertprof {
+namespace {
+
+TEST(CommModel, SingleDeviceIsFree)
+{
+    CommModel comm(32e9, 5e-6);
+    EXPECT_EQ(comm.allReduceTime(1 << 30, 1), 0.0);
+    EXPECT_EQ(comm.allReduceTime(0, 8), 0.0);
+}
+
+TEST(CommModel, SimpleModelDividesBytesByBandwidth)
+{
+    CommModel comm(32e9, 0.0, AllReduceAlgo::Simple);
+    EXPECT_NEAR(comm.allReduceTime(32'000'000'000LL, 128), 1.0, 1e-9);
+}
+
+TEST(CommModel, RingApproachesTwiceBytesOverBandwidth)
+{
+    CommModel comm(32e9, 0.0, AllReduceAlgo::Ring);
+    const Seconds t128 = comm.allReduceTime(32'000'000'000LL, 128);
+    EXPECT_NEAR(t128, 2.0 * 127.0 / 128.0, 1e-6);
+    // Two devices: exactly bytes / bw.
+    EXPECT_NEAR(comm.allReduceTime(32'000'000'000LL, 2), 1.0, 1e-6);
+}
+
+TEST(CommModel, RingLatencyScalesWithDeviceCount)
+{
+    CommModel comm(1e18, 1e-6, AllReduceAlgo::Ring);
+    EXPECT_NEAR(comm.allReduceTime(8, 8), 2.0 * 7.0 * 1e-6, 1e-12);
+}
+
+TEST(CommModel, TransferTime)
+{
+    CommModel comm(10e9, 1e-6);
+    EXPECT_NEAR(comm.transferTime(10'000'000'000LL), 1.0 + 1e-6, 1e-9);
+}
+
+class DistFixture : public ::testing::Test
+{
+  protected:
+    DeviceSpec spec_ = mi100();
+    CommModel comm_{spec_, AllReduceAlgo::Ring};
+    DataParallelModel dp_{spec_, comm_};
+    TensorSlicingModel ts_{spec_, comm_};
+    BertConfig config_ = withPhase1(bertLarge(), 16);
+};
+
+TEST_F(DistFixture, SingleDeviceDpMatchesSingleGpu)
+{
+    const auto profile = dp_.evaluate(config_, 1, true);
+    EXPECT_EQ(profile.exposedCommSeconds, 0.0);
+    EXPECT_EQ(profile.totalCommSeconds, 0.0);
+    EXPECT_GT(profile.computeSeconds, 0.0);
+}
+
+TEST_F(DistFixture, OverlapHidesMostCommunication)
+{
+    // Obs. 5 / Fig. 11 D2 vs D1.
+    const auto d1 = dp_.evaluate(config_, 128, false);
+    const auto d2 = dp_.evaluate(config_, 128, true);
+    EXPECT_LT(d2.exposedCommSeconds, 0.35 * d1.exposedCommSeconds);
+    EXPECT_NEAR(d2.computeSeconds, d1.computeSeconds, 1e-9);
+    // D1's exposed communication is substantial (paper ~19%).
+    const double d1_comm_share =
+        d1.exposedCommSeconds / d1.totalSeconds();
+    EXPECT_GT(d1_comm_share, 0.10);
+    EXPECT_LT(d1_comm_share, 0.35);
+}
+
+TEST_F(DistFixture, DpComputeMatchesSingleDeviceTrace)
+{
+    const auto single = dp_.evaluate(config_, 1, true);
+    const auto d128 = dp_.evaluate(config_, 128, true);
+    EXPECT_NEAR(single.computeSeconds, d128.computeSeconds, 1e-9);
+}
+
+TEST_F(DistFixture, MixedPrecisionShrinksDpCommunication)
+{
+    BertConfig mp = config_;
+    mp.precision = Precision::Mixed;
+    const auto fp32 = dp_.evaluate(config_, 128, false);
+    const auto fp16 = dp_.evaluate(mp, 128, false);
+    EXPECT_LT(fp16.totalCommSeconds, 0.6 * fp32.totalCommSeconds);
+}
+
+TEST_F(DistFixture, TensorSlicingEmitsFourAllReducesPerLayer)
+{
+    const OpTrace trace =
+        TensorSlicingModel::buildSlicedTrace(config_, 2);
+    std::int64_t comm_ops = 0;
+    for (const auto &op : trace.ops)
+        comm_ops += op.kind == OpKind::Comm ? 1 : 0;
+    EXPECT_EQ(comm_ops, 4 * config_.numLayers);
+}
+
+TEST_F(DistFixture, TensorSlicingSplitsGemmWork)
+{
+    const OpTrace full =
+        TensorSlicingModel::buildSlicedTrace(config_, 1);
+    const OpTrace sliced =
+        TensorSlicingModel::buildSlicedTrace(config_, 8);
+    auto transformer_gemm_flops = [](const OpTrace &trace) {
+        std::int64_t total = 0;
+        for (const auto &op : trace.ops)
+            if (op.scope == LayerScope::Transformer &&
+                (op.kind == OpKind::Gemm ||
+                 op.kind == OpKind::BatchedGemm))
+                total += op.stats.flops;
+        return total;
+    };
+    // Per-device GEMM work is exactly 1/8 of the full model's.
+    EXPECT_EQ(transformer_gemm_flops(sliced),
+              transformer_gemm_flops(full) / 8);
+}
+
+TEST_F(DistFixture, TensorSlicingSplitsOptimizer)
+{
+    const OpTrace full =
+        TensorSlicingModel::buildSlicedTrace(config_, 1);
+    const OpTrace sliced =
+        TensorSlicingModel::buildSlicedTrace(config_, 4);
+    auto update_bytes = [](const OpTrace &trace) {
+        std::int64_t total = 0;
+        for (const auto &op : trace.ops)
+            if (op.phase == Phase::Update)
+                total += op.stats.bytesTotal();
+        return total;
+    };
+    EXPECT_EQ(update_bytes(sliced), update_bytes(full) / 4);
+}
+
+TEST_F(DistFixture, TensorSlicingKeepsDrRcLnReplicated)
+{
+    const OpTrace full =
+        TensorSlicingModel::buildSlicedTrace(config_, 1);
+    const OpTrace sliced =
+        TensorSlicingModel::buildSlicedTrace(config_, 8);
+    auto drrcln_bytes = [](const OpTrace &trace) {
+        std::int64_t total = 0;
+        for (const auto &op : trace.ops)
+            if (op.sub == SubLayer::DrRcLn)
+                total += op.stats.bytesTotal();
+        return total;
+    };
+    EXPECT_EQ(drrcln_bytes(sliced), drrcln_bytes(full));
+}
+
+TEST_F(DistFixture, TensorSlicingCommShareGrowsWithWays)
+{
+    // Takeaway 13 (T1 vs T2 uses larger B for 8-way, as the paper).
+    const auto t1 = ts_.evaluate(withPhase1(bertLarge(), 16), 2);
+    BertConfig b64 = withPhase1(bertLarge(), 64);
+    const auto t2 = ts_.evaluate(b64, 8);
+    const double share1 = t1.exposedCommSeconds / t1.timed.totalSeconds();
+    const double share2 = t2.exposedCommSeconds / t2.timed.totalSeconds();
+    EXPECT_GT(share1, 0.03);
+    EXPECT_GT(share2, 1.5 * share1);
+}
+
+TEST_F(DistFixture, TensorSlicingLambShareShrinksWithWays)
+{
+    // Takeaway 12.
+    const auto t1 = ts_.evaluate(config_, 2);
+    const auto t8 = ts_.evaluate(config_, 8);
+    auto lamb_share = [](const DistributedProfile &profile) {
+        const auto scopes = profile.timed.byScope();
+        auto it = scopes.find("Optimizer");
+        return it == scopes.end()
+                   ? 0.0
+                   : it->second.seconds / profile.timed.totalSeconds();
+    };
+    EXPECT_GT(lamb_share(t1), lamb_share(t8));
+}
+
+TEST_F(DistFixture, TensorSlicingOneWayIsIdentity)
+{
+    BertTraceBuilder builder(config_);
+    const OpTrace direct = builder.buildIteration();
+    const OpTrace sliced =
+        TensorSlicingModel::buildSlicedTrace(config_, 1);
+    EXPECT_EQ(direct.size(), sliced.size());
+    EXPECT_EQ(direct.totalFlops(), sliced.totalFlops());
+}
+
+TEST_F(DistFixture, AllReduceOpsCarryActivationBytes)
+{
+    const OpTrace sliced =
+        TensorSlicingModel::buildSlicedTrace(config_, 2);
+    const std::int64_t expected =
+        config_.tokens() * config_.dModel * config_.activationBytes();
+    for (const auto &op : sliced.ops) {
+        if (op.kind == OpKind::Comm) {
+            EXPECT_EQ(op.commBytes, expected);
+        }
+    }
+}
+
+} // namespace
+} // namespace bertprof

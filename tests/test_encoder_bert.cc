@@ -1,0 +1,207 @@
+/** Tests for the encoder layer, BertModel, and pre-training heads. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/bert_pretrainer.h"
+#include "nn/encoder_layer.h"
+#include "test_helpers.h"
+
+namespace bertprof {
+namespace {
+
+using testing::tinyBertConfig;
+
+TEST(EncoderLayer, ForwardShapeAndFiniteness)
+{
+    NnRuntime rt;
+    EncoderLayer layer("enc", 16, 2, 32, &rt);
+    Rng rng(1);
+    layer.initialize(rng);
+    Tensor x(Shape({2 * 4, 16}));
+    x.fillNormal(rng);
+    Tensor mask(Shape({4, 4}));
+    Tensor y = layer.forward(x, mask, 2, 4);
+    EXPECT_EQ(y.shape(), x.shape());
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_TRUE(std::isfinite(y.at(i)));
+}
+
+TEST(EncoderLayer, OutputIsLayerNormalized)
+{
+    NnRuntime rt;
+    EncoderLayer layer("enc", 16, 2, 32, &rt);
+    Rng rng(2);
+    layer.initialize(rng);
+    Tensor x(Shape({4, 16}));
+    x.fillNormal(rng);
+    Tensor mask(Shape({2, 2}));
+    Tensor y = layer.forward(x, mask, 2, 2);
+    // With default gamma=1 beta=0 every row has ~zero mean, unit var.
+    for (std::int64_t r = 0; r < 4; ++r) {
+        double mu = 0.0;
+        for (std::int64_t c = 0; c < 16; ++c)
+            mu += y.at(r, c);
+        EXPECT_NEAR(mu / 16.0, 0.0, 1e-4);
+    }
+}
+
+TEST(EncoderLayer, InputGradientMatchesFiniteDifference)
+{
+    NnRuntime rt;
+    EncoderLayer layer("enc", 8, 2, 16, &rt);
+    Rng rng(3);
+    layer.initialize(rng, 0.4f);
+    Tensor x(Shape({4, 8}));
+    x.fillNormal(rng);
+    Tensor mask(Shape({4, 4}));
+
+    auto loss = [&]() {
+        Tensor y = layer.forward(x, mask, 1, 4);
+        double total = 0.0;
+        for (std::int64_t i = 0; i < y.numel(); ++i)
+            total += static_cast<double>(y.at(i)) * (0.2 * (i % 3) - 0.2);
+        return total;
+    };
+    Tensor y = layer.forward(x, mask, 1, 4);
+    Tensor dout(y.shape());
+    for (std::int64_t i = 0; i < dout.numel(); ++i)
+        dout.at(i) = static_cast<float>(0.2 * (i % 3) - 0.2);
+    layer.zeroGrad();
+    Tensor dx = layer.backward(dout);
+    testing::expectGradientsMatch(x, loss, dx, 1e-3, 3e-2);
+}
+
+TEST(BertModel, ParameterCountMatchesConfigFormula)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertModel model(config, &rt);
+    EXPECT_EQ(model.parameterCount(),
+              config.parameterCount() -
+                  // Model-side params exclude the output heads
+                  // (pooler, MLM transform/LN/bias, NSP).
+                  (config.dModel * config.dModel + config.dModel +
+                   config.dModel * config.dModel + config.dModel +
+                   2 * config.dModel + config.vocabSize +
+                   2 * config.dModel + 2));
+}
+
+TEST(BertModel, ForwardShapeAndDeterminism)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertModel model(config, &rt);
+    Rng rng(4);
+    model.initialize(rng);
+
+    std::vector<std::int64_t> tokens(
+        static_cast<std::size_t>(config.tokens()));
+    std::vector<std::int64_t> segments(tokens.size(), 0);
+    for (std::size_t i = 0; i < tokens.size(); ++i)
+        tokens[i] = static_cast<std::int64_t>(i) % config.vocabSize;
+
+    Tensor h1 = model.forward(tokens, segments);
+    Tensor h2 = model.forward(tokens, segments);
+    EXPECT_EQ(h1.shape(), Shape({config.tokens(), config.dModel}));
+    EXPECT_LT(maxAbsDiff(h1, h2), 1e-7f);
+}
+
+TEST(BertModel, BackwardPopulatesEmbeddingGradients)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertModel model(config, &rt);
+    Rng rng(5);
+    model.initialize(rng);
+
+    std::vector<std::int64_t> tokens(
+        static_cast<std::size_t>(config.tokens()), 5);
+    std::vector<std::int64_t> segments(tokens.size(), 1);
+    Tensor h = model.forward(tokens, segments);
+    Tensor dh(h.shape());
+    dh.fill(1e-2f);
+    model.zeroGrad();
+    model.backward(dh);
+    EXPECT_GT(model.tokenEmbedding().grad.l2Norm(), 0.0);
+}
+
+TEST(BertPretrainer, LossesAreFiniteAndPositive)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertPretrainer trainer(config, &rt);
+    Rng rng(6);
+    trainer.initialize(rng);
+
+    PretrainBatch batch;
+    batch.tokenIds.resize(static_cast<std::size_t>(config.tokens()));
+    batch.segmentIds.resize(batch.tokenIds.size(), 0);
+    for (std::size_t i = 0; i < batch.tokenIds.size(); ++i)
+        batch.tokenIds[i] = static_cast<std::int64_t>(i * 7 + 3) %
+                            config.vocabSize;
+    batch.mlmPositions = {1, 5, 20};
+    batch.mlmLabels = {4, 9, 17};
+    batch.nspLabels = {0, 1};
+
+    trainer.zeroGrad();
+    const auto result = trainer.forwardBackward(batch);
+    EXPECT_TRUE(std::isfinite(result.mlmLoss));
+    EXPECT_TRUE(std::isfinite(result.nspLoss));
+    EXPECT_GT(result.mlmLoss, 0.0);
+    EXPECT_GT(result.nspLoss, 0.0);
+    // An untrained model's MLM loss should be near log(vocab).
+    EXPECT_NEAR(result.mlmLoss, std::log(config.vocabSize), 1.5);
+}
+
+TEST(BertPretrainer, GradientsFlowToEveryParameter)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    rt.dropoutP = 0.0f;
+    BertPretrainer trainer(config, &rt);
+    Rng rng(7);
+    trainer.initialize(rng);
+
+    PretrainBatch batch;
+    batch.tokenIds.resize(static_cast<std::size_t>(config.tokens()));
+    batch.segmentIds.resize(batch.tokenIds.size(), 0);
+    for (std::size_t i = 0; i < batch.tokenIds.size(); ++i)
+        batch.tokenIds[i] = static_cast<std::int64_t>(i * 5 + 1) %
+                            config.vocabSize;
+    batch.mlmPositions = {2, 9, 30};
+    batch.mlmLabels = {1, 2, 3};
+    batch.nspLabels = {1, 0};
+
+    trainer.zeroGrad();
+    trainer.forwardBackward(batch);
+    int zero_grads = 0;
+    for (Parameter *param : trainer.parameters())
+        if (param->grad.l2Norm() == 0.0)
+            ++zero_grads;
+    // Position/segment embeddings for unused rows legitimately have
+    // zero rows but nonzero overall; allow no fully-zero tensors.
+    EXPECT_EQ(zero_grads, 0);
+}
+
+TEST(BertPretrainer, ParameterCountMatchesConfig)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertPretrainer trainer(config, &rt);
+    EXPECT_EQ(trainer.parameterCount(), config.parameterCount());
+}
+
+TEST(BertPretrainer, BertLargeParameterCountIsAbout334M)
+{
+    // The paper quotes "110-340 million parameters" for BERT; the
+    // Large preset must land in the canonical ~334-345M band (the
+    // decoder is tied to the token embedding).
+    const std::int64_t count = bertLarge().parameterCount();
+    EXPECT_GT(count, 330'000'000);
+    EXPECT_LT(count, 345'000'000);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,133 @@
+/** Tests for the energy model and the hierarchical network model. */
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "dist/comm_model.h"
+#include "dist/hierarchical_comm.h"
+#include "nmc/nmc_model.h"
+#include "perf/energy.h"
+
+namespace bertprof {
+namespace {
+
+TEST(EnergyModel, GemmKernelsPayComputeEnergy)
+{
+    EnergyModel energy;
+    TimedOp timed;
+    timed.op.kind = OpKind::Gemm;
+    timed.op.stats = gemmStats(1024, 1024, 1024);
+    timed.time.compute = 1e-4;
+    const auto e = energy.kernelEnergy(timed);
+    EXPECT_GT(e.computeJoules, 0.0);
+    EXPECT_GT(e.memoryJoules, 0.0);
+    EXPECT_NEAR(e.staticJoules, 90.0 * timed.time.total(), 1e-9);
+}
+
+TEST(EnergyModel, ElementwiseKernelsAreMemoryEnergyDominated)
+{
+    EnergyModel energy;
+    TimedOp timed;
+    timed.op.kind = OpKind::Elementwise;
+    timed.op.stats = elementwiseStats(1 << 22, 2, 1, 1);
+    const auto e = energy.kernelEnergy(timed);
+    EXPECT_GT(e.memoryJoules, 5.0 * e.computeJoules);
+}
+
+TEST(EnergyModel, TraceEnergyIsSumOfKernels)
+{
+    Characterizer characterizer(mi100());
+    const auto result = characterizer.run(withPhase1(bertLarge(), 4));
+    EnergyModel energy;
+    const auto total = energy.traceEnergy(result.timed);
+    double manual = 0.0;
+    for (const auto &timed : result.timed.ops)
+        manual += energy.kernelEnergy(timed).total();
+    EXPECT_NEAR(total.total(), manual, manual * 1e-9);
+    EXPECT_GT(total.total(), 0.0);
+}
+
+TEST(EnergyModel, NmcBeatsGpuOnMemoryEnergyForLamb)
+{
+    // The Sec. 6.2.1 energy-efficiency claim: same bytes at the
+    // cheaper in-bank rate, less static energy (shorter runtime).
+    EnergyModel energy;
+    NmcModel nmc(hbm2BankNmc());
+    OpDesc lamb_op;
+    lamb_op.kind = OpKind::Elementwise;
+    lamb_op.stats = elementwiseStats(1 << 24, 4, 3, 14);
+    TimedOp gpu_timed;
+    gpu_timed.op = lamb_op;
+    gpu_timed.time.memory = 1e-3;
+    const auto gpu = energy.kernelEnergy(gpu_timed);
+    const auto offloaded =
+        energy.nmcKernelEnergy(lamb_op, nmc.timeFor(lamb_op));
+    EXPECT_LT(offloaded.memoryJoules, 0.5 * gpu.memoryJoules);
+    EXPECT_LT(offloaded.total(), gpu.total());
+}
+
+TEST(EnergyModel, MixedPrecisionIterationUsesLessEnergy)
+{
+    Characterizer characterizer(mi100());
+    EnergyModel energy;
+    BertConfig fp32 = withPhase1(bertLarge(), 8);
+    BertConfig mp = fp32;
+    mp.precision = Precision::Mixed;
+    const auto e32 = energy.traceEnergy(characterizer.run(fp32).timed);
+    const auto e16 = energy.traceEnergy(characterizer.run(mp).timed);
+    EXPECT_LT(e16.total(), e32.total());
+}
+
+TEST(HierarchicalComm, SingleNodeMatchesPureIntraRing)
+{
+    HierarchicalCommModel hier(200e9, 25e9, 8, 0.0);
+    const std::int64_t bytes = 1 << 30;
+    // 8 devices in one node: inter phase is free.
+    EXPECT_EQ(hier.interNodeTime(bytes, 8), 0.0);
+    const double expected =
+        2.0 * (7.0 / 8.0) * static_cast<double>(bytes) / 200e9;
+    EXPECT_NEAR(hier.allReduceTime(bytes, 8), expected, 1e-9);
+}
+
+TEST(HierarchicalComm, SlowInterLinkDominatesAtScale)
+{
+    HierarchicalCommModel hier(400e9, 25e9, 8, 0.0);
+    const std::int64_t bytes = 1 << 30;
+    const Seconds t64 = hier.allReduceTime(bytes, 64);
+    EXPECT_GT(hier.interNodeTime(bytes, 64),
+              hier.intraNodeTime(bytes, 64));
+    // More nodes -> more inter time, monotonically.
+    EXPECT_GT(hier.allReduceTime(bytes, 128), t64);
+}
+
+TEST(HierarchicalComm, FasterIntraLinkHelpsOnlyIntraPhase)
+{
+    const std::int64_t bytes = 1 << 28;
+    HierarchicalCommModel slow(100e9, 25e9, 8, 0.0);
+    HierarchicalCommModel fast(400e9, 25e9, 8, 0.0);
+    EXPECT_EQ(slow.interNodeTime(bytes, 64),
+              fast.interNodeTime(bytes, 64));
+    EXPECT_GT(slow.intraNodeTime(bytes, 64),
+              fast.intraNodeTime(bytes, 64));
+}
+
+TEST(HierarchicalComm, TrendsMatchFlatRingQualitatively)
+{
+    // Sec. 5.2's robustness claim: the "cost grows with devices"
+    // trend holds for both flat and hierarchical networks.
+    CommModel flat(25e9, 0.0, AllReduceAlgo::Ring);
+    HierarchicalCommModel hier(200e9, 25e9, 8, 0.0);
+    const std::int64_t bytes = 1 << 28;
+    Seconds prev_flat = 0.0, prev_hier = 0.0;
+    for (int devices : {8, 16, 32, 64}) {
+        const Seconds f = flat.allReduceTime(bytes, devices);
+        const Seconds h = hier.allReduceTime(bytes, devices);
+        EXPECT_GE(f, prev_flat);
+        EXPECT_GE(h, prev_hier);
+        prev_flat = f;
+        prev_hier = h;
+    }
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,104 @@
+/**
+ * Failure-injection tests: API misuse must fail loudly (BP_REQUIRE
+ * exits with a diagnostic) instead of corrupting results. Uses gtest
+ * death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "ops/elementwise.h"
+#include "ops/gemm.h"
+#include "ops/layernorm.h"
+#include "trace/bert_trace_builder.h"
+#include "util/rng.h"
+
+namespace bertprof {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, GemmRejectsMismatchedInnerDims)
+{
+    Tensor a(Shape({2, 3})), b(Shape({4, 5})), c(Shape({2, 5}));
+    EXPECT_EXIT(gemm(a, b, c), ::testing::ExitedWithCode(1),
+                "requirement failed");
+}
+
+TEST(DeathTest, GemmRejectsWrongOutputShape)
+{
+    Tensor a(Shape({2, 3})), b(Shape({3, 5})), c(Shape({2, 4}));
+    EXPECT_EXIT(gemm(a, b, c), ::testing::ExitedWithCode(1),
+                "requirement failed");
+}
+
+TEST(DeathTest, BatchedGemmRejectsBatchMismatch)
+{
+    Tensor a(Shape({2, 3, 4})), b(Shape({3, 4, 5})), c(Shape({2, 3, 5}));
+    EXPECT_EXIT(batchedGemm(a, b, c), ::testing::ExitedWithCode(1),
+                "requirement failed");
+}
+
+TEST(DeathTest, AddForwardRejectsShapeMismatch)
+{
+    Tensor a(Shape({4})), b(Shape({5})), out(Shape({4}));
+    EXPECT_EXIT(addForward(a, b, out), ::testing::ExitedWithCode(1),
+                "requirement failed");
+}
+
+TEST(DeathTest, LayerNormRejectsWrongGammaLength)
+{
+    Tensor in(Shape({2, 8})), gamma(Shape({4})), beta(Shape({4}));
+    Tensor out(in.shape()), mean(Shape({2})), rstd(Shape({2}));
+    EXPECT_EXIT(layerNormForward(in, gamma, beta, out, mean, rstd),
+                ::testing::ExitedWithCode(1), "requirement failed");
+}
+
+TEST(DeathTest, LinearBackwardBeforeForwardRejected)
+{
+    NnRuntime rt;
+    Linear layer("fc", 4, 3, &rt);
+    Tensor dout(Shape({2, 3}));
+    EXPECT_EXIT(layer.backward(dout), ::testing::ExitedWithCode(1),
+                "requirement failed");
+}
+
+TEST(DeathTest, LinearForwardRejectsWrongInputWidth)
+{
+    NnRuntime rt;
+    Linear layer("fc", 4, 3, &rt);
+    Tensor x(Shape({2, 5}));
+    EXPECT_EXIT(layer.forward(x), ::testing::ExitedWithCode(1),
+                "requirement failed");
+}
+
+TEST(DeathTest, TraceBuilderRejectsIndivisibleHeads)
+{
+    BertConfig config = withPhase1(bertLarge(), 4);
+    config.numHeads = 7; // 1024 % 7 != 0
+    EXPECT_EXIT(BertTraceBuilder builder(config),
+                ::testing::ExitedWithCode(1), "requirement failed");
+}
+
+TEST(DeathTest, TraceBuilderRejectsBadCheckpointInterval)
+{
+    BertConfig config = withPhase1(bertLarge(), 4);
+    config.checkpointEvery = 7; // 24 % 7 != 0
+    EXPECT_EXIT(BertTraceBuilder builder(config),
+                ::testing::ExitedWithCode(1), "requirement failed");
+}
+
+TEST(DeathTest, ShapeRejectsNegativeDims)
+{
+    EXPECT_EXIT(Shape({2, -3}), ::testing::ExitedWithCode(1),
+                "requirement failed");
+}
+
+TEST(DeathTest, TensorRejectsWrongInitializerSize)
+{
+    EXPECT_EXIT(Tensor(Shape({3}), {1.0f, 2.0f}),
+                ::testing::ExitedWithCode(1), "requirement failed");
+}
+
+} // namespace
+} // namespace bertprof

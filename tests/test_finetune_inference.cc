@@ -1,0 +1,143 @@
+/**
+ * Tests for the Sec. 7 extensions: fine-tuning task heads and the
+ * inference trace, validating the paper's discussion claims — the
+ * transformer layers still dominate fine-tuning, the output layer
+ * becomes negligible, and inference drops backprop and LAMB while
+ * keeping the same GEMM manifestations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "trace/bert_trace_builder.h"
+
+namespace bertprof {
+namespace {
+
+TEST(FineTune, SquadHeadHasFarFewerParamsThanPretrainHeads)
+{
+    const BertConfig pretrain = withPhase1(bertLarge(), 8);
+    const BertConfig squad = withSquadFineTune(bertLarge(), 8);
+    // Encoder params identical; only the head differs.
+    const std::int64_t head_pretrain =
+        pretrain.parameterCount() - squad.parameterCount();
+    EXPECT_GT(head_pretrain, 1'000'000); // MLM transform + pooler + bias
+}
+
+TEST(FineTune, SquadUsesAdamAndSpanHead)
+{
+    const BertConfig squad = withSquadFineTune(bertLarge(), 8);
+    EXPECT_EQ(squad.optimizer, OptimizerKind::Adam);
+    EXPECT_EQ(squad.taskHead, TaskHead::SpanPrediction);
+    EXPECT_EQ(squad.seqLen, 384);
+}
+
+TEST(FineTune, OutputLayerIsNegligible)
+{
+    // Sec. 7: "the output layer of SQuAD ... a negligible component".
+    Characterizer characterizer(mi100());
+    const auto result =
+        characterizer.run(withSquadFineTune(bertLarge(), 8));
+    EXPECT_LT(result.scopeShare("Output"), 0.01);
+    EXPECT_GT(result.scopeShare("Transformer"), 0.8);
+}
+
+TEST(FineTune, TransformerBreakdownMatchesPretraining)
+{
+    // Sec. 7: the transformer-internal breakdown carries over.
+    Characterizer characterizer(mi100());
+    const auto pretrain =
+        characterizer.run(withPhase1(bertLarge(), 8));
+    BertConfig ft_config = withClassificationFineTune(bertLarge(), 8);
+    const auto finetune = characterizer.run(ft_config);
+    for (const char *group : {"FC GEMM", "GeLU", "Attn Linear"}) {
+        const double a = pretrain.subLayerShare(group) /
+                         pretrain.scopeShare("Transformer");
+        const double b = finetune.subLayerShare(group) /
+                         finetune.scopeShare("Transformer");
+        EXPECT_NEAR(a, b, 0.05) << group;
+    }
+}
+
+TEST(FineTune, ClassificationHeadEmitsClassifierGemm)
+{
+    BertTraceBuilder builder(
+        withClassificationFineTune(bertLarge(), 16, 5));
+    bool found = false;
+    for (const auto &op : builder.buildForward().ops) {
+        if (op.name == "classifier.fwd") {
+            found = true;
+            EXPECT_EQ(op.gemm.m, 5);
+            EXPECT_EQ(op.gemm.n, 16);
+            EXPECT_EQ(op.gemm.k, 1024);
+        }
+        EXPECT_EQ(op.name.find("mlm."), std::string::npos);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(FineTune, SpanHeadOperatesOnAllTokens)
+{
+    const BertConfig squad = withSquadFineTune(bertLarge(), 8);
+    BertTraceBuilder builder(squad);
+    for (const auto &op : builder.buildForward().ops) {
+        if (op.name == "qa.fwd") {
+            EXPECT_EQ(op.gemm.m, 2);
+            EXPECT_EQ(op.gemm.n, squad.tokens());
+            return;
+        }
+    }
+    FAIL() << "qa.fwd not emitted";
+}
+
+TEST(FineTune, UpdatePhaseShrinksWithSimplerHead)
+{
+    const auto pretrain_update =
+        BertTraceBuilder(withPhase1(bertLarge(), 8)).buildUpdate();
+    const auto squad_update =
+        BertTraceBuilder(withSquadFineTune(bertLarge(), 8)).buildUpdate();
+    EXPECT_LT(squad_update.totalBytes(), pretrain_update.totalBytes());
+}
+
+TEST(Inference, NoBackwardOrUpdateKernels)
+{
+    BertTraceBuilder builder(withPhase1(bertLarge(), 1));
+    const OpTrace inference = builder.buildInference();
+    for (const auto &op : inference.ops) {
+        EXPECT_NE(op.phase, Phase::Bwd) << op.name;
+        EXPECT_NE(op.phase, Phase::Update) << op.name;
+    }
+}
+
+TEST(Inference, SameGemmManifestationsAsTraining)
+{
+    // Sec. 7 / Takeaway 5: inference at B=1 still runs matrix-matrix
+    // ops with the same shapes as the training forward pass.
+    BertTraceBuilder builder(withPhase1(bertLarge(), 1));
+    const OpTrace inference = builder.buildInference();
+    const OpTrace forward = builder.buildForward();
+    std::vector<std::string> inf_gemms, fwd_gemms;
+    for (const auto &op : inference.ops)
+        if (op.kind == OpKind::Gemm || op.kind == OpKind::BatchedGemm)
+            inf_gemms.push_back(op.name + ":" + op.gemm.label());
+    for (const auto &op : forward.ops)
+        if (op.kind == OpKind::Gemm || op.kind == OpKind::BatchedGemm)
+            fwd_gemms.push_back(op.name + ":" + op.gemm.label());
+    EXPECT_EQ(inf_gemms, fwd_gemms);
+}
+
+TEST(Inference, BreakdownSimilarToForwardShareOfTraining)
+{
+    Characterizer characterizer(mi100());
+    const BertConfig config = withPhase1(bertLarge(), 8);
+    BertTraceBuilder builder(config);
+    const auto inference =
+        characterizer.runTrace(config, builder.buildInference());
+    const auto training = characterizer.run(config);
+    // GEMM share of inference tracks the training forward pass.
+    EXPECT_NEAR(inference.gemmShare(), training.gemmShare(), 0.15);
+    EXPECT_EQ(inference.scopeShare("Optimizer"), 0.0);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,137 @@
+/** Tests for the memory-footprint model. */
+
+#include <gtest/gtest.h>
+
+#include "perf/footprint.h"
+
+namespace bertprof {
+namespace {
+
+TEST(Footprint, Fp32TrainingCategoriesScaleWithParams)
+{
+    const BertConfig config = withPhase1(bertLarge(), 32);
+    const MemoryFootprint fp = trainingFootprint(config);
+    const std::int64_t params = config.parameterCount();
+    EXPECT_EQ(fp.weights, params * 4);
+    EXPECT_EQ(fp.gradients, params * 4);
+    EXPECT_EQ(fp.optimizerState, params * 8); // LAMB m + v
+    EXPECT_GT(fp.activations, 0);
+}
+
+TEST(Footprint, MixedPrecisionAddsMasterCopyButHalvesWeights)
+{
+    BertConfig fp32 = withPhase1(bertLarge(), 32);
+    BertConfig mp = fp32;
+    mp.precision = Precision::Mixed;
+    const auto a = trainingFootprint(fp32);
+    const auto b = trainingFootprint(mp);
+    EXPECT_EQ(b.weights, a.weights / 2);
+    EXPECT_EQ(b.gradients, a.gradients / 2);
+    EXPECT_GT(b.optimizerState, a.optimizerState); // + FP32 master
+    EXPECT_LT(b.activations, a.activations);       // FP16 activations
+}
+
+TEST(Footprint, BertLargeTrainingIsTensOfGiB)
+{
+    // Sanity: BERT-Large Ph1-B32 FP32 training famously does not fit
+    // small GPUs; expect > 10 GiB and < 100 GiB.
+    const auto fp = trainingFootprint(withPhase1(bertLarge(), 32));
+    EXPECT_GT(fp.total(), 10LL * 1024 * 1024 * 1024);
+    EXPECT_LT(fp.total(), 100LL * 1024 * 1024 * 1024);
+}
+
+TEST(Footprint, CheckpointingCutsActivationsOnly)
+{
+    BertConfig base = withPhase1(bertLarge(), 32);
+    BertConfig ckpt = base;
+    ckpt.checkpointEvery = 6;
+    const auto a = trainingFootprint(base);
+    const auto b = trainingFootprint(ckpt);
+    EXPECT_LT(b.activations, a.activations / 2);
+    EXPECT_EQ(b.weights, a.weights);
+    EXPECT_EQ(b.optimizerState, a.optimizerState);
+}
+
+TEST(Footprint, ActivationsScaleLinearlyWithBatch)
+{
+    const auto b8 = trainingFootprint(withPhase1(bertLarge(), 8));
+    const auto b16 = trainingFootprint(withPhase1(bertLarge(), 16));
+    EXPECT_EQ(b16.activations, 2 * b8.activations);
+    EXPECT_EQ(b16.weights, b8.weights);
+}
+
+TEST(Footprint, ActivationsScaleSuperlinearlyWithSeqLen)
+{
+    // Score matrices are quadratic in n.
+    BertConfig n128 = withPhase1(bertLarge(), 8);
+    BertConfig n512 = n128;
+    n512.seqLen = 512;
+    const auto a = trainingFootprint(n128);
+    const auto b = trainingFootprint(n512);
+    EXPECT_GT(b.activations, 4 * a.activations);
+}
+
+TEST(Footprint, InferenceIsMuchSmallerThanTraining)
+{
+    const BertConfig config = withPhase1(bertLarge(), 8);
+    const auto train = trainingFootprint(config);
+    const auto infer = inferenceFootprint(config);
+    EXPECT_LT(infer.total(), train.total() / 3);
+    EXPECT_EQ(infer.gradients, 0);
+    EXPECT_EQ(infer.optimizerState, 0);
+}
+
+TEST(Footprint, TensorSlicingDividesParameterMemory)
+{
+    const BertConfig config = withPhase1(bertLarge(), 32);
+    const auto full = tensorSlicedFootprint(config, 1);
+    const auto sliced = tensorSlicedFootprint(config, 8);
+    EXPECT_LT(sliced.weights, full.weights / 4);
+    EXPECT_LT(sliced.optimizerState, full.optimizerState / 4);
+    // Activations shrink less (the [T, d] tensors are replicated).
+    EXPECT_GT(sliced.activations, full.activations / 8);
+    EXPECT_LT(sliced.activations, full.activations);
+}
+
+TEST(Footprint, MaxBatchMonotoneInCapacity)
+{
+    const BertConfig config = withPhase1(bertLarge(), 1);
+    const std::int64_t b16 =
+        maxBatchThatFits(config, 16LL * 1024 * 1024 * 1024);
+    const std::int64_t b32 =
+        maxBatchThatFits(config, 32LL * 1024 * 1024 * 1024);
+    const std::int64_t b64 =
+        maxBatchThatFits(config, 64LL * 1024 * 1024 * 1024);
+    EXPECT_LE(b16, b32);
+    EXPECT_LE(b32, b64);
+    EXPECT_GT(b64, 0);
+}
+
+TEST(Footprint, MaxBatchZeroWhenModelAloneDoesNotFit)
+{
+    // 1 GiB cannot even hold BERT-Large's optimizer state.
+    EXPECT_EQ(maxBatchThatFits(withPhase1(bertLarge(), 1),
+                               1LL * 1024 * 1024 * 1024),
+              0);
+}
+
+TEST(Footprint, CheckpointingEnablesLargerBatch)
+{
+    BertConfig base = withPhase1(bertLarge(), 1);
+    BertConfig ckpt = base;
+    ckpt.checkpointEvery = 6;
+    const std::int64_t capacity = 32LL * 1024 * 1024 * 1024; // MI100
+    EXPECT_GT(maxBatchThatFits(ckpt, capacity),
+              maxBatchThatFits(base, capacity));
+}
+
+TEST(Footprint, DescribeMentionsEveryCategory)
+{
+    const auto fp = trainingFootprint(withPhase1(bertLarge(), 8));
+    const std::string text = describeFootprint(fp);
+    for (const char *token : {"w ", "g ", "opt ", "act ", "ws ", "= "})
+        EXPECT_NE(text.find(token), std::string::npos) << token;
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,157 @@
+/**
+ * Tests for the GEMM kernels: parameterized over transpose modes and
+ * sizes against a naive reference, batched consistency, alpha/beta
+ * semantics, and stats accounting.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "ops/gemm.h"
+#include "util/rng.h"
+
+namespace bertprof {
+namespace {
+
+/** Naive reference: C = alpha * op(A) op(B) + beta * C. */
+void
+referenceGemm(const Tensor &a, const Tensor &b, Tensor &c, bool trans_a,
+              bool trans_b, float alpha, float beta)
+{
+    const std::int64_t m = trans_a ? a.shape().dim(1) : a.shape().dim(0);
+    const std::int64_t k = trans_a ? a.shape().dim(0) : a.shape().dim(1);
+    const std::int64_t n = trans_b ? b.shape().dim(0) : b.shape().dim(1);
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::int64_t p = 0; p < k; ++p) {
+                const float av = trans_a ? a.at(p, i) : a.at(i, p);
+                const float bv = trans_b ? b.at(j, p) : b.at(p, j);
+                acc += static_cast<double>(av) * bv;
+            }
+            c.at(i, j) = alpha * static_cast<float>(acc) +
+                         beta * c.at(i, j);
+        }
+    }
+}
+
+using GemmCase = std::tuple<int, int, int, bool, bool>;
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase>
+{
+};
+
+TEST_P(GemmParamTest, MatchesNaiveReference)
+{
+    const auto [m, n, k, trans_a, trans_b] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(m * 131 + n * 17 + k));
+    Tensor a(trans_a ? Shape({k, m}) : Shape({m, k}));
+    Tensor b(trans_b ? Shape({n, k}) : Shape({k, n}));
+    a.fillNormal(rng);
+    b.fillNormal(rng);
+
+    Tensor c(Shape({m, n})), ref(Shape({m, n}));
+    gemm(a, b, c, trans_a, trans_b);
+    referenceGemm(a, b, ref, trans_a, trans_b, 1.0f, 0.0f);
+    EXPECT_LT(maxAbsDiff(c, ref), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposeAndSizeCombos, GemmParamTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, false, false}, GemmCase{3, 5, 7, false, false},
+        GemmCase{3, 5, 7, true, false}, GemmCase{3, 5, 7, false, true},
+        GemmCase{3, 5, 7, true, true}, GemmCase{16, 16, 16, false, false},
+        GemmCase{33, 65, 17, false, true},
+        GemmCase{65, 33, 129, true, false},
+        GemmCase{128, 1, 64, false, false},
+        GemmCase{1, 128, 64, true, true}));
+
+TEST(Gemm, AlphaScalesProduct)
+{
+    Tensor a(Shape({2, 2}), {1, 2, 3, 4});
+    Tensor b(Shape({2, 2}), {1, 0, 0, 1});
+    Tensor c(Shape({2, 2}));
+    gemm(a, b, c, false, false, 2.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 8.0f);
+}
+
+TEST(Gemm, BetaAccumulatesIntoC)
+{
+    Tensor a(Shape({2, 2}), {1, 0, 0, 1});
+    Tensor b(Shape({2, 2}), {5, 6, 7, 8});
+    Tensor c(Shape({2, 2}), {1, 1, 1, 1});
+    gemm(a, b, c, false, false, 1.0f, 1.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 6.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 7.0f);
+}
+
+TEST(Gemm, StatsCountFlopsAndBytes)
+{
+    Tensor a(Shape({4, 8})), b(Shape({8, 2})), c(Shape({4, 2}));
+    const KernelStats stats = gemm(a, b, c);
+    EXPECT_EQ(stats.flops, 2 * 4 * 2 * 8);
+    EXPECT_EQ(stats.bytesRead, (4 * 8 + 8 * 2) * 4);
+    EXPECT_EQ(stats.bytesWritten, 4 * 2 * 4);
+}
+
+TEST(BatchedGemm, MatchesPerBatchGemm)
+{
+    Rng rng(5);
+    const std::int64_t batch = 6, m = 9, n = 7, k = 11;
+    Tensor a(Shape({batch, m, k})), b(Shape({batch, k, n}));
+    a.fillNormal(rng);
+    b.fillNormal(rng);
+    Tensor c(Shape({batch, m, n}));
+    batchedGemm(a, b, c);
+
+    for (std::int64_t g = 0; g < batch; ++g) {
+        Tensor ag(Shape({m, k})), bg(Shape({k, n})), cg(Shape({m, n}));
+        for (std::int64_t i = 0; i < m * k; ++i)
+            ag.at(i) = a.at(g * m * k + i);
+        for (std::int64_t i = 0; i < k * n; ++i)
+            bg.at(i) = b.at(g * k * n + i);
+        gemm(ag, bg, cg);
+        for (std::int64_t i = 0; i < m * n; ++i)
+            EXPECT_NEAR(c.at(g * m * n + i), cg.at(i), 1e-4f);
+    }
+}
+
+TEST(BatchedGemm, TransposedOperands)
+{
+    Rng rng(9);
+    const std::int64_t batch = 3, m = 4, n = 5, k = 6;
+    Tensor a(Shape({batch, k, m})), b(Shape({batch, n, k}));
+    a.fillNormal(rng);
+    b.fillNormal(rng);
+    Tensor c(Shape({batch, m, n}));
+    batchedGemm(a, b, c, true, true);
+
+    // Check one element against a hand computation.
+    double acc = 0.0;
+    const std::int64_t g = 2, i = 1, j = 3;
+    for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a.at(g * k * m + p * m + i)) *
+               b.at(g * n * k + j * k + p);
+    EXPECT_NEAR(c.at(g * m * n + i * n + j), acc, 1e-4);
+}
+
+TEST(BatchedGemm, StatsScaleWithBatch)
+{
+    Tensor a(Shape({5, 2, 3})), b(Shape({5, 3, 4})), c(Shape({5, 2, 4}));
+    const KernelStats stats = batchedGemm(a, b, c);
+    EXPECT_EQ(stats.flops, 2 * 2 * 4 * 3 * 5);
+}
+
+TEST(GemmStats, Fp16HalvesBytes)
+{
+    const KernelStats s32 = gemmStats(8, 8, 8, 1, 4);
+    const KernelStats s16 = gemmStats(8, 8, 8, 1, 2);
+    EXPECT_EQ(s32.flops, s16.flops);
+    EXPECT_EQ(s32.bytesTotal(), 2 * s16.bytesTotal());
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,155 @@
+/** Tests for dynamic loss scaling and scaled training steps. */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/bert_pretrainer.h"
+#include "optim/grad_scaler.h"
+#include "optim/lamb.h"
+#include "test_helpers.h"
+
+namespace bertprof {
+namespace {
+
+Parameter
+paramWithGrad(float grad_value)
+{
+    Parameter param("w", Shape({4}));
+    param.grad.fill(grad_value);
+    return param;
+}
+
+TEST(GradScaler, UnscaleDividesByScale)
+{
+    GradScaler scaler(8.0f);
+    Parameter p = paramWithGrad(16.0f);
+    std::vector<Parameter *> params{&p};
+    EXPECT_TRUE(scaler.unscale(params));
+    EXPECT_FLOAT_EQ(p.grad.at(0), 2.0f);
+}
+
+TEST(GradScaler, OverflowZerosGradsAndBacksOff)
+{
+    GradScaler scaler(1024.0f);
+    Parameter p = paramWithGrad(1.0f);
+    p.grad.at(2) = std::numeric_limits<float>::infinity();
+    std::vector<Parameter *> params{&p};
+    EXPECT_FALSE(scaler.unscale(params));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(p.grad.at(i), 0.0f);
+    scaler.update(false);
+    EXPECT_FLOAT_EQ(scaler.scale(), 512.0f);
+    EXPECT_EQ(scaler.skippedSteps(), 1);
+}
+
+TEST(GradScaler, NanAlsoDetected)
+{
+    GradScaler scaler;
+    Parameter p = paramWithGrad(std::nanf(""));
+    std::vector<Parameter *> params{&p};
+    EXPECT_FALSE(scaler.unscale(params));
+}
+
+TEST(GradScaler, GrowsAfterStableInterval)
+{
+    GradScaler scaler(2.0f, 2.0f, 0.5f, /*growth_interval=*/3);
+    for (int i = 0; i < 3; ++i)
+        scaler.update(true);
+    EXPECT_FLOAT_EQ(scaler.scale(), 4.0f);
+    // Streak resets after growth.
+    scaler.update(true);
+    EXPECT_FLOAT_EQ(scaler.scale(), 4.0f);
+}
+
+TEST(GradScaler, BackoffClampsAtOne)
+{
+    GradScaler scaler(1.5f);
+    scaler.update(false);
+    EXPECT_FLOAT_EQ(scaler.scale(), 1.0f);
+    scaler.update(false);
+    EXPECT_FLOAT_EQ(scaler.scale(), 1.0f);
+}
+
+TEST(GradScaler, ScaledStepEqualsUnscaledStep)
+{
+    // forwardBackward(scale) followed by unscale must leave exactly
+    // the gradients an unscaled pass produces.
+    const BertConfig config = testing::tinyBertConfig();
+    NnRuntime rt;
+    rt.dropoutP = 0.0f;
+
+    BertPretrainer plain(config, &rt);
+    BertPretrainer scaled(config, &rt);
+    Rng init_a(1), init_b(1);
+    plain.initialize(init_a);
+    scaled.initialize(init_b);
+
+    SyntheticDataset data_a(config, 9), data_b(config, 9);
+    const PretrainBatch batch_a = data_a.nextBatch();
+    const PretrainBatch batch_b = data_b.nextBatch();
+
+    plain.zeroGrad();
+    plain.forwardBackward(batch_a);
+
+    scaled.zeroGrad();
+    scaled.forwardBackward(batch_b, /*loss_scale=*/1024.0f);
+    GradScaler scaler(1024.0f);
+    auto scaled_params = scaled.parameters();
+    ASSERT_TRUE(scaler.unscale(scaled_params));
+
+    auto plain_params = plain.parameters();
+    ASSERT_EQ(plain_params.size(), scaled_params.size());
+    for (std::size_t i = 0; i < plain_params.size(); ++i) {
+        const float diff = maxAbsDiff(plain_params[i]->grad,
+                                      scaled_params[i]->grad);
+        const float magnitude = plain_params[i]->grad.absMax();
+        EXPECT_LE(diff, 1e-5f + 1e-3f * magnitude)
+            << plain_params[i]->name;
+    }
+}
+
+TEST(GradScaler, TrainingLoopSkipsOverflowSteps)
+{
+    // Inject an overflow every few steps; training must survive and
+    // still reduce the loss.
+    const BertConfig config = testing::tinyBertConfig();
+    NnRuntime rt;
+    rt.dropoutP = 0.0f;
+    BertPretrainer trainer(config, &rt);
+    Rng init(2);
+    trainer.initialize(init);
+    SyntheticDataset dataset(config, 10);
+    OptimizerConfig opt_config;
+    opt_config.learningRate = 5e-3f;
+    opt_config.weightDecay = 0.0f;
+    Lamb lamb(opt_config);
+    GradScaler scaler(256.0f, 2.0f, 0.5f, 100);
+    auto params = trainer.parameters();
+
+    double first = 0.0, last = 0.0;
+    const int iters = 32;
+    for (int it = 0; it < iters; ++it) {
+        trainer.zeroGrad();
+        const auto result =
+            trainer.forwardBackward(dataset.nextBatch(), scaler.scale());
+        if (it % 10 == 3) // simulated FP16 overflow
+            params[0]->grad.at(0) =
+                std::numeric_limits<float>::infinity();
+        const bool finite = scaler.unscale(params);
+        scaler.update(finite);
+        if (finite)
+            lamb.step(params);
+        if (it < 8)
+            first += result.totalLoss();
+        if (it >= iters - 8)
+            last += result.totalLoss();
+    }
+    EXPECT_GT(scaler.skippedSteps(), 0);
+    EXPECT_LT(last, first);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,111 @@
+/** Tests for the software binary16 type, including full-domain sweeps. */
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "tensor/half.h"
+
+namespace bertprof {
+namespace {
+
+TEST(Half, ExactSmallValues)
+{
+    EXPECT_EQ(Half(0.0f).toFloat(), 0.0f);
+    EXPECT_EQ(Half(1.0f).toFloat(), 1.0f);
+    EXPECT_EQ(Half(-2.0f).toFloat(), -2.0f);
+    EXPECT_EQ(Half(0.5f).toFloat(), 0.5f);
+    EXPECT_EQ(Half(1024.0f).toFloat(), 1024.0f);
+}
+
+TEST(Half, KnownBitPatterns)
+{
+    EXPECT_EQ(Half(1.0f).bits(), 0x3C00u);
+    EXPECT_EQ(Half(-1.0f).bits(), 0xBC00u);
+    EXPECT_EQ(Half(65504.0f).bits(), 0x7BFFu); // max finite half
+    EXPECT_EQ(Half(6.103515625e-05f).bits(), 0x0400u); // min normal
+}
+
+TEST(Half, OverflowBecomesInfinity)
+{
+    EXPECT_EQ(Half(70000.0f).bits(), 0x7C00u);
+    EXPECT_EQ(Half(-70000.0f).bits(), 0xFC00u);
+    EXPECT_TRUE(std::isinf(Half(1e10f).toFloat()));
+}
+
+TEST(Half, UnderflowBecomesSignedZero)
+{
+    EXPECT_EQ(Half(1e-10f).bits(), 0x0000u);
+    EXPECT_EQ(Half(-1e-10f).bits(), 0x8000u);
+}
+
+TEST(Half, SubnormalsRepresentable)
+{
+    // Smallest positive subnormal half = 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(Half(tiny).bits(), 0x0001u);
+    EXPECT_EQ(Half::fromBits(0x0001).toFloat(), tiny);
+}
+
+TEST(Half, NanPreserved)
+{
+    const float nan = std::nanf("");
+    EXPECT_TRUE(std::isnan(Half(nan).toFloat()));
+}
+
+TEST(Half, InfinityPreserved)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(std::isinf(Half(inf).toFloat()));
+    EXPECT_TRUE(std::isinf(Half(-inf).toFloat()));
+    EXPECT_LT(Half(-inf).toFloat(), 0.0f);
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and the next half;
+    // RNE rounds to the even mantissa (1.0).
+    const float halfway = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(Half(halfway).bits(), 0x3C00u);
+    // 1 + 3*2^-11 is halfway between odd and even; rounds up to even.
+    const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+    EXPECT_EQ(Half(halfway2).bits(), 0x3C02u);
+}
+
+TEST(Half, RoundTripEveryFiniteHalfExactly)
+{
+    // Property: float(h) -> half must reproduce h for all 63488
+    // finite half patterns (and both zeros).
+    for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+        const std::uint16_t h = static_cast<std::uint16_t>(bits);
+        const std::uint32_t exponent = (h >> 10) & 0x1Fu;
+        if (exponent == 0x1F)
+            continue; // Inf/NaN handled separately
+        const float f = Half::toFloat(h);
+        EXPECT_EQ(Half::fromFloat(f), h) << "pattern " << bits;
+    }
+}
+
+TEST(Half, MonotonicOnSamples)
+{
+    // Rounding must preserve (non-strict) order.
+    float prev_rounded = roundToHalf(-65000.0f);
+    for (float x = -65000.0f; x <= 65000.0f; x += 333.77f) {
+        const float r = roundToHalf(x);
+        EXPECT_GE(r, prev_rounded);
+        prev_rounded = r;
+    }
+}
+
+TEST(Half, RelativeErrorBounded)
+{
+    // For normal range, relative error of rounding <= 2^-11.
+    for (float x : {0.001f, 0.37f, 1.7f, 123.456f, 6000.0f, 60000.0f}) {
+        const float r = roundToHalf(x);
+        EXPECT_LE(std::fabs(r - x) / x, std::ldexp(1.0f, -11));
+    }
+}
+
+} // namespace
+} // namespace bertprof

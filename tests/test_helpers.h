@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared test utilities: central finite-difference gradient checking
+ * against the substrate's analytic backward passes, and tiny model
+ * configurations.
+ */
+
+#ifndef BERTPROF_TESTS_TEST_HELPERS_H
+#define BERTPROF_TESTS_TEST_HELPERS_H
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+#include "trace/bert_config.h"
+
+namespace bertprof {
+namespace testing {
+
+/**
+ * Check an analytic gradient against central finite differences.
+ *
+ * @param params The tensor being differentiated (perturbed in place).
+ * @param loss A scalar function of the current tensor contents.
+ * @param analytic The gradient to verify, same shape as params.
+ * @param eps Perturbation step.
+ * @param tol Max allowed |analytic - numeric| (absolute+relative mix).
+ */
+inline void
+expectGradientsMatch(Tensor &params,
+                     const std::function<double()> &loss,
+                     const Tensor &analytic, double eps = 1e-3,
+                     double tol = 2e-2)
+{
+    ASSERT_EQ(params.shape(), analytic.shape());
+    for (std::int64_t i = 0; i < params.numel(); ++i) {
+        const float saved = params.at(i);
+        params.at(i) = static_cast<float>(saved + eps);
+        const double up = loss();
+        params.at(i) = static_cast<float>(saved - eps);
+        const double down = loss();
+        params.at(i) = saved;
+        const double numeric = (up - down) / (2.0 * eps);
+        const double a = analytic.at(i);
+        const double scale = std::max({1.0, std::fabs(a),
+                                       std::fabs(numeric)});
+        EXPECT_NEAR(a, numeric, tol * scale)
+            << "gradient mismatch at flat index " << i;
+    }
+}
+
+/** A deliberately tiny BERT config for CPU-speed tests. */
+inline BertConfig
+tinyBertConfig()
+{
+    BertConfig config;
+    config.name = "bert-test-tiny";
+    config.numLayers = 2;
+    config.dModel = 32;
+    config.numHeads = 4;
+    config.dFf = 64;
+    config.vocabSize = 97;
+    config.maxPositions = 32;
+    config.typeVocab = 2;
+    config.batch = 2;
+    config.seqLen = 16;
+    config.maxPredictions = 3;
+    return config;
+}
+
+} // namespace testing
+} // namespace bertprof
+
+#endif // BERTPROF_TESTS_TEST_HELPERS_H

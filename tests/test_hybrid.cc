@@ -1,0 +1,71 @@
+/** Tests for the hybrid (TS x DP) parallelism model. */
+
+#include <gtest/gtest.h>
+
+#include "dist/hybrid.h"
+
+namespace bertprof {
+namespace {
+
+class HybridFixture : public ::testing::Test
+{
+  protected:
+    DeviceSpec spec_ = mi100();
+    CommModel comm_{spec_, AllReduceAlgo::Ring};
+    HybridModel hybrid_{spec_, comm_};
+    TensorSlicingModel ts_{spec_, comm_};
+    BertConfig config_ = withPhase1(bertLarge(), 16);
+};
+
+TEST_F(HybridFixture, SingleReplicaEqualsPureTensorSlicing)
+{
+    const auto hybrid = hybrid_.evaluate(config_, 2, 1);
+    const auto ts = ts_.evaluate(config_, 2);
+    EXPECT_NEAR(hybrid.timed.totalSeconds(), ts.timed.totalSeconds(),
+                1e-12);
+    EXPECT_NEAR(hybrid.exposedCommSeconds, ts.exposedCommSeconds, 1e-12);
+}
+
+TEST_F(HybridFixture, SingleSliceEqualsDataParallelStructure)
+{
+    // ts_ways=1: compute equals a plain iteration; DP comm added.
+    const auto hybrid = hybrid_.evaluate(config_, 1, 8);
+    EXPECT_GT(hybrid.exposedCommSeconds, 0.0);
+    const auto pure_ts = ts_.evaluate(config_, 1);
+    EXPECT_GT(hybrid.timed.totalSeconds(), pure_ts.timed.totalSeconds());
+}
+
+TEST_F(HybridFixture, SlicingShrinksTheDpExchange)
+{
+    // The DP all-reduce covers 1/M of the model, so deeper slicing
+    // means less DP traffic per device.
+    const auto ts2 = hybrid_.evaluate(config_, 2, 8);
+    const auto ts8 = hybrid_.evaluate(config_, 8, 8);
+    const Seconds dp2 =
+        ts2.totalCommSeconds - ts_.evaluate(config_, 2).totalCommSeconds;
+    const Seconds dp8 =
+        ts8.totalCommSeconds - ts_.evaluate(config_, 8).totalCommSeconds;
+    EXPECT_LT(dp8, 0.5 * dp2);
+}
+
+TEST_F(HybridFixture, DpTailMostlyOverlapsWithBackprop)
+{
+    const auto hybrid = hybrid_.evaluate(config_, 2, 8);
+    const auto ts = ts_.evaluate(config_, 2);
+    const Seconds dp_total =
+        hybrid.totalCommSeconds - ts.totalCommSeconds;
+    const Seconds dp_exposed =
+        hybrid.exposedCommSeconds - ts.exposedCommSeconds;
+    EXPECT_LT(dp_exposed, 0.6 * dp_total);
+}
+
+TEST_F(HybridFixture, NetworkScopeAppearsInBreakdown)
+{
+    const auto hybrid = hybrid_.evaluate(config_, 2, 8);
+    const auto scopes = hybrid.timed.byScope();
+    ASSERT_TRUE(scopes.count("Network"));
+    EXPECT_GT(scopes.at("Network").seconds, 0.0);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,58 @@
+/** Tests for the learning-rate schedules. */
+
+#include <gtest/gtest.h>
+
+#include "optim/lr_schedule.h"
+
+namespace bertprof {
+namespace {
+
+TEST(LrSchedule, LinearWarmupReachesPeak)
+{
+    LrSchedule schedule(1.0f, 10, 100, DecayKind::None);
+    EXPECT_NEAR(schedule.at(0), 0.1f, 1e-6f);
+    EXPECT_NEAR(schedule.at(4), 0.5f, 1e-6f);
+    EXPECT_NEAR(schedule.at(9), 1.0f, 1e-6f);
+    EXPECT_FLOAT_EQ(schedule.at(50), 1.0f);
+}
+
+TEST(LrSchedule, LinearDecayHitsZeroAtTotal)
+{
+    LrSchedule schedule(2.0f, 10, 110, DecayKind::Linear);
+    EXPECT_NEAR(schedule.at(10), 2.0f, 1e-6f);
+    EXPECT_NEAR(schedule.at(60), 1.0f, 1e-6f);
+    EXPECT_NEAR(schedule.at(110), 0.0f, 1e-6f);
+    // Past the end: clamped at zero.
+    EXPECT_NEAR(schedule.at(500), 0.0f, 1e-6f);
+}
+
+TEST(LrSchedule, PolynomialDecay)
+{
+    LrSchedule schedule(1.0f, 0, 100, DecayKind::Polynomial, 2.0);
+    EXPECT_NEAR(schedule.at(50), 0.25f, 1e-5f);
+    EXPECT_NEAR(schedule.at(100), 0.0f, 1e-6f);
+}
+
+TEST(LrSchedule, NoWarmupStartsAtPeak)
+{
+    LrSchedule schedule(0.5f, 0, 100, DecayKind::None);
+    EXPECT_FLOAT_EQ(schedule.at(0), 0.5f);
+}
+
+TEST(LrSchedule, MonotoneUpThenDown)
+{
+    LrSchedule schedule(1.0f, 20, 200, DecayKind::Linear);
+    for (int s = 1; s < 20; ++s)
+        EXPECT_GE(schedule.at(s), schedule.at(s - 1));
+    for (int s = 21; s <= 200; ++s)
+        EXPECT_LE(schedule.at(s), schedule.at(s - 1));
+}
+
+TEST(LrSchedule, NegativeStepClamped)
+{
+    LrSchedule schedule(1.0f, 10, 100, DecayKind::Linear);
+    EXPECT_FLOAT_EQ(schedule.at(-5), schedule.at(0));
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,141 @@
+/**
+ * Shape-level validation of the analytical model against the real CPU
+ * substrate: when the DeviceSpec is set to CPU-like ratios, the
+ * modeled breakdown of the tiny configuration must agree with the
+ * *measured* CPU profile on the coarse structure — which group
+ * dominates, and roughly how much of the time is GEMM work. This is
+ * the same extrapolate-by-ratio argument the paper makes in Sec. 7.
+ */
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "data/synthetic.h"
+#include "nn/bert_pretrainer.h"
+#include "optim/lamb.h"
+#include "test_helpers.h"
+
+namespace bertprof {
+namespace {
+
+using testing::tinyBertConfig;
+
+/** A spec with scalar-CPU-like compute/bandwidth ratios. */
+DeviceSpec
+cpuLikeSpec()
+{
+    DeviceSpec spec;
+    spec.name = "scalar-cpu-like";
+    // Single-core scalar throughput vs cache/DRAM bandwidth.
+    spec.matrixFlopsFp32 = 4e9;
+    spec.matrixFlopsFp16 = 4e9;
+    spec.vectorFlopsFp32 = 2e9;
+    spec.vectorFlopsFp16 = 2e9;
+    spec.memBandwidth = 12e9;
+    spec.streamBwFraction = 0.6;
+    spec.kernelLaunchOverhead = 1e-7; // a function call, not a launch
+    spec.computeUnits = 1;
+    spec.gemmPeakFractionFp32 = 0.9;
+    spec.gemmPeakFractionFp16 = 0.9;
+    spec.bwRampBytes = 4096;
+    // No wide matrix engine: small tiles run at full scalar density
+    // and there is no deep MAC pipeline to fill.
+    spec.gemmTileDensityNorm = 8.0;
+    spec.gemmKSaturation = 4.0;
+    return spec;
+}
+
+struct MeasuredProfile {
+    std::map<std::string, Seconds> bySubLayer;
+    Seconds gemmSeconds = 0.0;
+    Seconds totalSeconds = 0.0;
+};
+
+MeasuredProfile
+measureSubstrate(const BertConfig &config)
+{
+    NnRuntime rt;
+    Profiler profiler;
+    rt.profiler = &profiler;
+    rt.dropoutP = 0.0f;
+    BertPretrainer trainer(config, &rt);
+    Rng init(55);
+    trainer.initialize(init);
+    SyntheticDataset dataset(config, 56);
+    OptimizerConfig opt_config;
+    Lamb lamb(opt_config, &profiler);
+    // Warm up once (allocator effects), then measure one iteration —
+    // the paper's own methodology.
+    for (int warm = 0; warm < 2; ++warm) {
+        if (warm == 1)
+            profiler.clear();
+        trainer.zeroGrad();
+        trainer.forwardBackward(dataset.nextBatch());
+        lamb.step(trainer.parameters());
+    }
+
+    MeasuredProfile measured;
+    measured.totalSeconds = profiler.totalSeconds();
+    for (const auto &[name, agg] : profiler.bySubLayer())
+        measured.bySubLayer[name] = agg.seconds;
+    for (const auto &rec : profiler.records())
+        if (rec.kind == OpKind::Gemm || rec.kind == OpKind::BatchedGemm)
+            measured.gemmSeconds += rec.seconds;
+    return measured;
+}
+
+TEST(ModelVsSubstrate, DominantSubLayerGroupAgrees)
+{
+    BertConfig config = tinyBertConfig();
+    // Widen the FC layer so GEMM work clearly dominates (as in the
+    // real model; the test config is otherwise tiny).
+    config.dFf = 4 * config.dModel;
+    const MeasuredProfile measured = measureSubstrate(config);
+
+    Characterizer characterizer(cpuLikeSpec());
+    const auto modeled = characterizer.run(config);
+
+    auto argmax = [](const std::map<std::string, Seconds> &groups) {
+        std::string best;
+        Seconds best_s = -1.0;
+        for (const auto &[name, s] : groups) {
+            if (name.rfind("LAMB", 0) == 0 || name == "Grad L2 norm" ||
+                name == "Embedding ops" || name == "Output ops")
+                continue; // compare transformer-internal groups
+            if (s > best_s) {
+                best = name;
+                best_s = s;
+            }
+        }
+        return best;
+    };
+    std::map<std::string, Seconds> modeled_groups;
+    for (const auto &[name, agg] : modeled.bySubLayer)
+        modeled_groups[name] = agg.seconds;
+
+    EXPECT_EQ(argmax(measured.bySubLayer), argmax(modeled_groups));
+    EXPECT_EQ(argmax(measured.bySubLayer), "FC GEMM");
+}
+
+TEST(ModelVsSubstrate, GemmShareAgreesCoarsely)
+{
+    BertConfig config = tinyBertConfig();
+    config.dFf = 4 * config.dModel;
+    const MeasuredProfile measured = measureSubstrate(config);
+    const double measured_share =
+        measured.gemmSeconds / measured.totalSeconds;
+
+    Characterizer characterizer(cpuLikeSpec());
+    const double modeled_share = characterizer.run(config).gemmShare();
+    // Coarse agreement: same half of the spectrum, within 25 points.
+    EXPECT_NEAR(modeled_share, measured_share, 0.25);
+    EXPECT_GT(measured_share, 0.4);
+    EXPECT_GT(modeled_share, 0.4);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,127 @@
+/** Tests for the near-memory-compute model. */
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "nmc/dram.h"
+#include "nmc/nmc_model.h"
+
+namespace bertprof {
+namespace {
+
+TEST(DramSpec, AggregateBandwidthExceedsExternal)
+{
+    const DramSpec dram = hbm2BankNmc();
+    EXPECT_GT(dram.internalBandwidth(), 2.0 * dram.externalBandwidth);
+    EXPECT_EQ(dram.totalBanks(), dram.channels * dram.banksPerChannel);
+}
+
+TEST(DramSpec, SharedAluDesignHasLessThroughput)
+{
+    EXPECT_LT(hbm2SharedAluNmc().internalBandwidth(),
+              hbm2BankNmc().internalBandwidth());
+}
+
+TEST(NmcModel, OnlyStreamingOpsOffloadable)
+{
+    OpDesc ew;
+    ew.kind = OpKind::Elementwise;
+    EXPECT_TRUE(NmcModel::offloadable(ew));
+    OpDesc red;
+    red.kind = OpKind::Reduction;
+    EXPECT_TRUE(NmcModel::offloadable(red));
+    OpDesc gemm_op;
+    gemm_op.kind = OpKind::Gemm;
+    EXPECT_FALSE(NmcModel::offloadable(gemm_op));
+    OpDesc comm;
+    comm.kind = OpKind::Comm;
+    EXPECT_FALSE(NmcModel::offloadable(comm));
+}
+
+TEST(NmcModel, TimeScalesWithBytes)
+{
+    NmcModel nmc(hbm2BankNmc());
+    OpDesc small;
+    small.kind = OpKind::Elementwise;
+    small.stats = elementwiseStats(1 << 20, 4, 3, 2);
+    OpDesc large;
+    large.kind = OpKind::Elementwise;
+    large.stats = elementwiseStats(1 << 26, 4, 3, 2);
+    EXPECT_GT(nmc.timeFor(large), 10.0 * nmc.timeFor(small));
+}
+
+TEST(NmcModel, StreamingStaysBandwidthBound)
+{
+    // LAMB-like arithmetic (14 flops/elem) must not be ALU-limited.
+    const DramSpec dram = hbm2BankNmc();
+    NmcModel nmc(dram);
+    OpDesc op;
+    op.kind = OpKind::Elementwise;
+    op.stats = elementwiseStats(1 << 26, 4, 3, 14);
+    const Seconds stream_time =
+        static_cast<double>(op.stats.bytesTotal()) /
+        dram.internalBandwidth();
+    EXPECT_NEAR(nmc.timeFor(op), stream_time + dram.commandOverhead,
+                stream_time * 0.01);
+}
+
+class NmcOffloadTest : public ::testing::Test
+{
+  protected:
+    Characterizer characterizer_{mi100()};
+    NmcOffloadEvaluator evaluator_{hbm2BankNmc(), mi100()};
+};
+
+TEST_F(NmcOffloadTest, LambSpeedupNearPaperValue)
+{
+    const auto result = characterizer_.run(withPhase1(bertLarge(), 32));
+    const auto offload = evaluator_.evaluate(result.timed);
+    // Paper: ~3.8x vs the optimistic GPU bound.
+    EXPECT_GT(offload.optimizerSpeedup(), 2.5);
+    EXPECT_LT(offload.optimizerSpeedup(), 5.5);
+}
+
+TEST_F(NmcOffloadTest, EndToEndGainWithinPaperBand)
+{
+    // Paper: 5-22% across configurations.
+    const auto b32 = evaluator_.evaluate(
+        characterizer_.run(withPhase1(bertLarge(), 32)).timed);
+    EXPECT_GT(b32.endToEndImprovement(), 0.03);
+    EXPECT_LT(b32.endToEndImprovement(), 0.12);
+
+    BertConfig mp = withPhase1(bertLarge(), 32);
+    mp.precision = Precision::Mixed;
+    const auto b32mp = evaluator_.evaluate(characterizer_.run(mp).timed);
+    EXPECT_GT(b32mp.endToEndImprovement(), b32.endToEndImprovement());
+    EXPECT_LT(b32mp.endToEndImprovement(), 0.30);
+}
+
+TEST_F(NmcOffloadTest, GainBoundedByOptimizerShare)
+{
+    const auto result = characterizer_.run(withPhase1(bertLarge(), 4));
+    const auto offload = evaluator_.evaluate(result.timed);
+    EXPECT_LT(offload.endToEndImprovement(),
+              result.scopeShare("Optimizer"));
+    EXPECT_GT(offload.endToEndImprovement(), 0.0);
+}
+
+TEST_F(NmcOffloadTest, NonUpdateTimeUnchanged)
+{
+    const auto result = characterizer_.run(withPhase1(bertLarge(), 8));
+    const auto offload = evaluator_.evaluate(result.timed);
+    const Seconds non_update =
+        result.totalSeconds - offload.gpuModeledSeconds;
+    EXPECT_NEAR(offload.iterationNmcSeconds - offload.nmcSeconds,
+                non_update, 1e-9);
+}
+
+TEST_F(NmcOffloadTest, SharedAluDesignIsSlower)
+{
+    NmcOffloadEvaluator shared(hbm2SharedAluNmc(), mi100());
+    const auto result = characterizer_.run(withPhase1(bertLarge(), 32));
+    EXPECT_GT(shared.evaluate(result.timed).nmcSeconds,
+              evaluator_.evaluate(result.timed).nmcSeconds);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,196 @@
+/** Tests for variable-length batches and per-sequence padding masks. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/attention.h"
+#include "nn/bert_pretrainer.h"
+#include "ops/elementwise.h"
+#include "optim/lamb.h"
+#include "test_helpers.h"
+
+namespace bertprof {
+namespace {
+
+using testing::tinyBertConfig;
+
+TEST(BatchMaskAdd, AppliesPerSequenceMask)
+{
+    // 2 sequences, 2 heads, n=2.
+    Tensor scores(Shape({4, 2, 2}));
+    scores.fill(1.0f);
+    Tensor mask(Shape({2, 2, 2}));
+    mask.at(0 * 4 + 1) = -5.0f; // sequence 0, (0,1)
+    mask.at(1 * 4 + 2) = -7.0f; // sequence 1, (1,0)
+    Tensor out(scores.shape());
+    batchMaskAddForward(scores, mask, 2, out);
+    // Heads 0 and 1 belong to sequence 0.
+    EXPECT_FLOAT_EQ(out.at(0 * 4 + 1), -4.0f);
+    EXPECT_FLOAT_EQ(out.at(1 * 4 + 1), -4.0f);
+    // Heads 2 and 3 belong to sequence 1.
+    EXPECT_FLOAT_EQ(out.at(2 * 4 + 2), -6.0f);
+    EXPECT_FLOAT_EQ(out.at(3 * 4 + 2), -6.0f);
+    // Unmasked entries pass through.
+    EXPECT_FLOAT_EQ(out.at(0), 1.0f);
+}
+
+TEST(BatchMaskAdd, RejectsBadGrouping)
+{
+    Tensor scores(Shape({4, 2, 2})), mask(Shape({3, 2, 2}));
+    Tensor out(scores.shape());
+    EXPECT_EXIT(batchMaskAddForward(scores, mask, 2, out),
+                ::testing::ExitedWithCode(1), "requirement failed");
+}
+
+TEST(PaddingMask, PaddedTokensDoNotAffectRealOutputs)
+{
+    // Two identical sequences except one has garbage in its padded
+    // tail; with the padding mask their real-position outputs match.
+    const std::int64_t batch = 2, seq = 8, dim = 16;
+    NnRuntime rt;
+    MultiHeadAttention attn("attn", dim, 2, &rt);
+    Rng rng(5);
+    attn.initialize(rng);
+
+    Tensor x(Shape({batch * seq, dim}));
+    x.fillNormal(rng);
+    // Make sequence 1 = sequence 0 but corrupt its last 3 positions.
+    for (std::int64_t t = 0; t < seq; ++t)
+        for (std::int64_t c = 0; c < dim; ++c)
+            x.at((seq + t) * dim + c) = x.at(t * dim + c);
+    for (std::int64_t t = 5; t < seq; ++t)
+        for (std::int64_t c = 0; c < dim; ++c)
+            x.at((seq + t) * dim + c) += 42.0f;
+
+    // Mask positions >= 5 for both sequences.
+    Tensor mask(Shape({batch, seq, seq}));
+    for (std::int64_t b = 0; b < batch; ++b)
+        for (std::int64_t i = 0; i < seq; ++i)
+            for (std::int64_t j = 5; j < seq; ++j)
+                mask.at((b * seq + i) * seq + j) = -1e9f;
+
+    Tensor y = attn.forward(x, mask, batch, seq);
+    for (std::int64_t t = 0; t < 5; ++t)
+        for (std::int64_t c = 0; c < dim; ++c)
+            EXPECT_NEAR(y.at(t * dim + c), y.at((seq + t) * dim + c),
+                        1e-4f)
+                << "t=" << t << " c=" << c;
+}
+
+TEST(PaddingMask, BertModelMaskShapesSwitch)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertModel model(config, &rt);
+    Rng rng(6);
+    model.initialize(rng);
+
+    std::vector<std::int64_t> tokens(
+        static_cast<std::size_t>(config.tokens()), 7);
+    std::vector<std::int64_t> segments(tokens.size(), 0);
+
+    std::vector<std::int64_t> lengths(
+        static_cast<std::size_t>(config.batch), config.seqLen / 2);
+    model.setPaddingMask(lengths);
+    Tensor h1 = model.forward(tokens, segments);
+    model.clearPaddingMask();
+    Tensor h2 = model.forward(tokens, segments);
+    EXPECT_EQ(h1.shape(), h2.shape());
+    // With half the positions masked, the outputs must differ.
+    EXPECT_GT(maxAbsDiff(h1, h2), 1e-4f);
+}
+
+TEST(PaddingMask, SetPaddingMaskRejectsBadLengths)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertModel model(config, &rt);
+    std::vector<std::int64_t> too_long(
+        static_cast<std::size_t>(config.batch), config.seqLen + 1);
+    EXPECT_EXIT(model.setPaddingMask(too_long),
+                ::testing::ExitedWithCode(1), "requirement failed");
+}
+
+TEST(PaddedBatch, ShapesAndContentsAreConsistent)
+{
+    const BertConfig config = tinyBertConfig();
+    SyntheticDataset dataset(config, 77);
+    const PretrainBatch batch = dataset.nextPaddedBatch();
+    ASSERT_EQ(batch.seqLengths.size(),
+              static_cast<std::size_t>(config.batch));
+    for (std::int64_t s = 0; s < config.batch; ++s) {
+        const std::int64_t len =
+            batch.seqLengths[static_cast<std::size_t>(s)];
+        EXPECT_GE(len, config.seqLen / 2);
+        EXPECT_LE(len, config.seqLen);
+        // Tail is [PAD].
+        for (std::int64_t t = len; t < config.seqLen; ++t)
+            EXPECT_EQ(batch.tokenIds[static_cast<std::size_t>(
+                          s * config.seqLen + t)],
+                      dataset.padId());
+    }
+    // Every masked position lives inside its sequence's real content.
+    for (std::size_t i = 0; i < batch.mlmPositions.size(); ++i) {
+        const std::int64_t pos = batch.mlmPositions[i];
+        const std::int64_t s = pos / config.seqLen;
+        const std::int64_t t = pos % config.seqLen;
+        EXPECT_LT(t, batch.seqLengths[static_cast<std::size_t>(s)]);
+    }
+}
+
+TEST(PaddingMask, FullLengthMaskEqualsNoMask)
+{
+    // lengths == seqLen must behave exactly like the dense mask.
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertModel model(config, &rt);
+    Rng rng(7);
+    model.initialize(rng);
+    std::vector<std::int64_t> tokens(
+        static_cast<std::size_t>(config.tokens()), 9);
+    std::vector<std::int64_t> segments(tokens.size(), 0);
+
+    model.clearPaddingMask();
+    Tensor dense = model.forward(tokens, segments);
+    std::vector<std::int64_t> full(
+        static_cast<std::size_t>(config.batch), config.seqLen);
+    model.setPaddingMask(full);
+    Tensor masked = model.forward(tokens, segments);
+    EXPECT_LT(maxAbsDiff(dense, masked), 1e-6f);
+}
+
+TEST(PaddedBatch, TrainingWithPaddingReducesLoss)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    rt.dropoutP = 0.0f;
+    BertPretrainer trainer(config, &rt);
+    Rng init(88);
+    trainer.initialize(init);
+    SyntheticDataset dataset(config, 78);
+    OptimizerConfig opt_config;
+    opt_config.learningRate = 5e-3f;
+    opt_config.weightDecay = 0.0f;
+    Lamb lamb(opt_config);
+    auto params = trainer.parameters();
+
+    double first = 0.0, last = 0.0;
+    const int iters = 20;
+    for (int it = 0; it < iters; ++it) {
+        trainer.zeroGrad();
+        const auto result =
+            trainer.forwardBackward(dataset.nextPaddedBatch());
+        EXPECT_TRUE(std::isfinite(result.totalLoss()));
+        if (it < 5)
+            first += result.totalLoss();
+        if (it >= iters - 5)
+            last += result.totalLoss();
+        lamb.step(params);
+    }
+    EXPECT_LT(last, first);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,203 @@
+/**
+ * The paper's numbered observations and takeaways as one consolidated
+ * test suite — every claim of Table 1 (and the five Obs.) re-derived
+ * from this library's models and asserted. Companion to
+ * bench_table1_takeaways (which prints; this enforces).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "dist/comm_model.h"
+#include "dist/data_parallel.h"
+#include "dist/tensor_slicing.h"
+#include "perf/cost_model.h"
+#include "perf/roofline.h"
+#include "trace/bert_trace_builder.h"
+
+namespace bertprof {
+namespace {
+
+class PaperTakeaways : public ::testing::Test
+{
+  protected:
+    DeviceSpec spec_ = mi100();
+    Characterizer characterizer_{spec_};
+    CharacterizationResult
+    run(const BertConfig &config, TraceOptions options = {})
+    {
+        return characterizer_.run(config, options);
+    }
+};
+
+TEST_F(PaperTakeaways, Obs1TransformerLayersDominate)
+{
+    for (std::int64_t batch : {4L, 32L}) {
+        const auto result = run(withPhase1(bertLarge(), batch));
+        EXPECT_GT(result.scopeShare("Transformer"), 0.65);
+        EXPECT_LT(result.scopeShare("Embedding"), 0.02);
+    }
+}
+
+TEST_F(PaperTakeaways, Takeaway1LambSecondHighestAndGrowsWithFewerTokens)
+{
+    const auto b32 = run(withPhase1(bertLarge(), 32));
+    EXPECT_GT(b32.scopeShare("Optimizer"), b32.scopeShare("Output"));
+    EXPECT_GT(b32.scopeShare("Optimizer"), b32.scopeShare("Embedding"));
+    const auto b4 = run(withPhase1(bertLarge(), 4));
+    EXPECT_GT(b4.scopeShare("Optimizer"), 0.2);
+}
+
+TEST_F(PaperTakeaways, Takeaway2LambGrowsWithMixedPrecision)
+{
+    BertConfig mp = withPhase1(bertLarge(), 32);
+    mp.precision = Precision::Mixed;
+    EXPECT_GT(run(mp).scopeShare("Optimizer"),
+              run(withPhase1(bertLarge(), 32)).scopeShare("Optimizer"));
+}
+
+TEST_F(PaperTakeaways, Obs2Takeaway3LinearFcDominateAndShrinkUnderMp)
+{
+    const auto fp32 = run(withPhase1(bertLarge(), 32));
+    const double linear_fc_32 = fp32.subLayerShare("Attn Linear") +
+                                fp32.subLayerShare("FC GEMM");
+    EXPECT_GT(linear_fc_32, 0.5);
+    BertConfig mp_cfg = withPhase1(bertLarge(), 32);
+    mp_cfg.precision = Precision::Mixed;
+    const auto mp = run(mp_cfg);
+    EXPECT_LT(mp.subLayerShare("Attn Linear") +
+                  mp.subLayerShare("FC GEMM"),
+              linear_fc_32);
+}
+
+TEST_F(PaperTakeaways, Takeaway4AttentionOpsAreSmall)
+{
+    const auto result = run(withPhase1(bertLarge(), 32));
+    EXPECT_LT(result.subLayerShare("Attn B-GEMM") +
+                  result.subLayerShare("Scale+Mask+DR+SM"),
+              0.15);
+}
+
+TEST_F(PaperTakeaways, Takeaway5BatchOfOneIsStillMatrixMatrix)
+{
+    BertTraceBuilder builder(withPhase1(bertLarge(), 1));
+    for (const auto &op : builder.buildForward().ops) {
+        if (op.scope != LayerScope::Transformer)
+            continue;
+        if (op.kind == OpKind::Gemm || op.kind == OpKind::BatchedGemm) {
+            EXPECT_GT(op.gemm.m, 1);
+            EXPECT_GT(op.gemm.n, 1);
+        }
+    }
+}
+
+TEST_F(PaperTakeaways, Takeaway6AttentionBGemmsAreBandwidthHungry)
+{
+    KernelCostModel cost(spec_);
+    const auto result = run(withPhase1(bertLarge(), 32));
+    double bgemm_demand = 0.0, fc_demand = 0.0;
+    int bgemm_n = 0, fc_n = 0;
+    for (const auto &timed : result.timed.ops) {
+        if (timed.op.layerIndex != 0)
+            continue;
+        if (timed.op.kind == OpKind::BatchedGemm) {
+            bgemm_demand += cost.bandwidthDemand(timed.op);
+            ++bgemm_n;
+        } else if (timed.op.kind == OpKind::Gemm &&
+                   timed.op.sub == SubLayer::FcGemm) {
+            fc_demand += cost.bandwidthDemand(timed.op);
+            ++fc_n;
+        }
+    }
+    EXPECT_GT(bgemm_demand / bgemm_n, 2.5 * (fc_demand / fc_n));
+}
+
+TEST_F(PaperTakeaways, Takeaway7LambReadsFourTimesModel)
+{
+    const BertConfig config = withPhase1(bertLarge(), 32);
+    BertTraceBuilder builder(config);
+    std::int64_t stage1_reads = 0;
+    for (const auto &op : builder.buildUpdate().ops)
+        if (op.sub == SubLayer::LambStage1)
+            stage1_reads += op.stats.bytesRead;
+    EXPECT_EQ(stage1_reads, 4 * config.parameterCount() * 4);
+}
+
+TEST_F(PaperTakeaways, Takeaways8And9MemoryBoundOpsLargeAndGrowWithMp)
+{
+    auto non_gemm_share = [](const CharacterizationResult &result) {
+        return 1.0 - result.gemmShare();
+    };
+    const auto fp32 = run(withPhase1(bertLarge(), 32));
+    EXPECT_GT(non_gemm_share(fp32), 0.25);
+    BertConfig mp_cfg = withPhase1(bertLarge(), 32);
+    mp_cfg.precision = Precision::Mixed;
+    EXPECT_GT(non_gemm_share(run(mp_cfg)), non_gemm_share(fp32));
+    // And each of those groups is individually memory bound at peak.
+    BertTraceBuilder builder(withPhase1(bertLarge(), 32));
+    for (const auto &op : builder.buildUpdate().ops)
+        EXPECT_TRUE(memoryBoundAtPeak(spec_, op)) << op.name;
+}
+
+TEST_F(PaperTakeaways, Obs3Takeaway10InputSizeEffects)
+{
+    // B affects layers proportionally; n raises attention share.
+    const auto b8 = run(withPhase1(bertLarge(), 8));
+    const auto b32 = run(withPhase1(bertLarge(), 32));
+    EXPECT_NEAR(b8.subLayerShare("FC GEMM"),
+                b32.subLayerShare("FC GEMM"), 0.08);
+    const auto ph2 = run(withPhase2(bertLarge(), 4));
+    EXPECT_GT(ph2.subLayerShare("Attn B-GEMM"),
+              1.5 * b32.subLayerShare("Attn B-GEMM"));
+}
+
+TEST_F(PaperTakeaways, Obs4Takeaway11ModelSizeEffects)
+{
+    // Layer count: linear runtime, stable breakdown.
+    BertConfig n12 = withPhase1(bertLarge(), 8);
+    n12.numLayers = 12;
+    const auto shallow = run(n12);
+    const auto deep = run(withPhase1(bertLarge(), 8));
+    EXPECT_NEAR(deep.totalSeconds / shallow.totalSeconds, 2.0, 0.3);
+    // Width: GEMM and LAMB shares grow C2 -> C3.
+    const auto c2 = run(withPhase1(scalingC2(), 16));
+    const auto c3 = run(withPhase1(scalingC3(), 16));
+    EXPECT_GT(c3.gemmShare(), c2.gemmShare());
+    EXPECT_GT(c3.scopeShare("Optimizer"), c2.scopeShare("Optimizer"));
+}
+
+TEST_F(PaperTakeaways, Obs5DataParallelOverlapsCommunication)
+{
+    const CommModel comm(spec_, AllReduceAlgo::Ring);
+    DataParallelModel dp(spec_, comm);
+    const auto d2 = dp.evaluate(withPhase1(bertLarge(), 16), 128, true);
+    EXPECT_LT(d2.exposedCommSeconds, 0.25 * d2.totalCommSeconds);
+}
+
+TEST_F(PaperTakeaways, Takeaways12And13TensorSlicingScaling)
+{
+    const CommModel comm(spec_, AllReduceAlgo::Ring);
+    TensorSlicingModel ts(spec_, comm);
+    const auto t1 = ts.evaluate(withPhase1(bertLarge(), 16), 2);
+    const auto t2 = ts.evaluate(withPhase1(bertLarge(), 64), 8);
+    auto lamb_share = [](const DistributedProfile &profile) {
+        auto scopes = profile.timed.byScope();
+        return scopes.at("Optimizer").seconds /
+               profile.timed.totalSeconds();
+    };
+    EXPECT_LT(lamb_share(t2), lamb_share(t1));
+    EXPECT_GT(t2.exposedCommSeconds / t2.timed.totalSeconds(),
+              t1.exposedCommSeconds / t1.timed.totalSeconds());
+}
+
+TEST_F(PaperTakeaways, DenseMlmPutsOutputLayerInPaperBand)
+{
+    TraceOptions dense;
+    dense.denseMlmLogits = true;
+    const auto result = run(withPhase1(bertLarge(), 32), dense);
+    EXPECT_GT(result.scopeShare("Output"), 0.03);
+    EXPECT_LT(result.scopeShare("Output"), 0.08);
+}
+
+} // namespace
+} // namespace bertprof

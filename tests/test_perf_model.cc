@@ -1,0 +1,299 @@
+/** Tests for the analytical device model (GEMM model, cost model,
+ *  roofline, executor). */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "perf/cost_model.h"
+#include "perf/executor.h"
+#include "perf/gemm_model.h"
+#include "perf/roofline.h"
+#include "trace/bert_trace_builder.h"
+
+namespace bertprof {
+namespace {
+
+TEST(GemmModel, TileSelection)
+{
+    EXPECT_EQ(GemmModel::selectTile(4096), 128);
+    EXPECT_EQ(GemmModel::selectTile(128), 128);
+    EXPECT_EQ(GemmModel::selectTile(96), 128);
+    EXPECT_EQ(GemmModel::selectTile(64), 64);
+    EXPECT_EQ(GemmModel::selectTile(33), 32);
+    EXPECT_EQ(GemmModel::selectTile(8), 16);
+}
+
+TEST(GemmModel, EfficiencyBoundedByPeakFraction)
+{
+    const DeviceSpec spec = mi100();
+    GemmModel model(spec);
+    for (std::int64_t m : {64, 128, 1024, 4096}) {
+        const auto eff = model.evaluate({false, false, m, 4096, 1024, 1},
+                                        DType::F32);
+        EXPECT_LE(eff.efficiency, spec.gemmPeakFractionFp32);
+        EXPECT_GT(eff.efficiency, 0.0);
+    }
+}
+
+TEST(GemmModel, BigFcGemmBeatsSmallAttentionBGemm)
+{
+    GemmModel model(mi100());
+    const auto fc =
+        model.evaluate({false, true, 4096, 4096, 1024, 1}, DType::F32);
+    const auto attn =
+        model.evaluate({false, true, 128, 128, 64, 512}, DType::F32);
+    EXPECT_GT(fc.efficiency, 2.0 * attn.efficiency);
+}
+
+TEST(GemmModel, SplitKRescuesTallSkinnyGemms)
+{
+    // A weight-gradient-like GEMM (few tiles, deep K) must not be
+    // crushed by wave quantization.
+    GemmModel model(mi100());
+    const auto wgrad =
+        model.evaluate({false, true, 1024, 128, 8192, 1}, DType::F32);
+    EXPECT_GT(wgrad.efficiency, 0.15);
+}
+
+TEST(GemmModel, Fp16FasterThanFp32ButLessThan4x)
+{
+    GemmModel model(mi100());
+    const GemmDims dims{false, true, 4096, 4096, 1024, 1};
+    const double f32 = model.achievedFlops(dims, DType::F32);
+    const double f16 = model.achievedFlops(dims, DType::F16);
+    EXPECT_GT(f16 / f32, 1.5);
+    EXPECT_LT(f16 / f32, 4.0);
+}
+
+TEST(GemmModel, DeeperKImprovesUtilization)
+{
+    GemmModel model(mi100());
+    const auto shallow =
+        model.evaluate({false, false, 1024, 4096, 64, 1}, DType::F32);
+    const auto deep =
+        model.evaluate({false, false, 1024, 4096, 2048, 1}, DType::F32);
+    EXPECT_GT(deep.kUtilization, shallow.kUtilization);
+}
+
+TEST(CostModel, ElementwiseOpsAreMemoryBound)
+{
+    KernelCostModel cost(mi100());
+    OpDesc op;
+    op.kind = OpKind::Elementwise;
+    op.numel = 1 << 22;
+    op.stats = elementwiseStats(op.numel, 2, 1, 1);
+    const KernelTime time = cost.evaluate(op);
+    EXPECT_TRUE(time.memoryBound());
+    EXPECT_GT(time.total(), 0.0);
+}
+
+TEST(CostModel, BigFcGemmIsComputeBound)
+{
+    KernelCostModel cost(mi100());
+    OpDesc op;
+    op.kind = OpKind::Gemm;
+    op.gemm = {false, true, 4096, 4096, 1024, 1};
+    op.stats = gemmStats(4096, 4096, 1024);
+    EXPECT_FALSE(cost.evaluate(op).memoryBound());
+}
+
+TEST(CostModel, LaunchOverheadDominatesTinyKernels)
+{
+    const DeviceSpec spec = mi100();
+    KernelCostModel cost(spec);
+    OpDesc op;
+    op.kind = OpKind::Elementwise;
+    op.numel = 16;
+    op.stats = elementwiseStats(op.numel, 2, 1, 1);
+    const KernelTime time = cost.evaluate(op);
+    EXPECT_GT(spec.kernelLaunchOverhead,
+              std::max(time.compute, time.memory));
+}
+
+TEST(CostModel, AchievedBandwidthRampsWithSize)
+{
+    KernelCostModel cost(mi100());
+    EXPECT_LT(cost.achievedBandwidth(4096),
+              cost.achievedBandwidth(1 << 20));
+    EXPECT_LT(cost.achievedBandwidth(1 << 20),
+              cost.achievedBandwidth(1 << 30));
+    // Asymptote: streamBwFraction of peak.
+    const DeviceSpec spec = mi100();
+    EXPECT_NEAR(cost.achievedBandwidth(1LL << 40),
+                spec.memBandwidth * spec.streamBwFraction,
+                spec.memBandwidth * 0.01);
+}
+
+TEST(CostModel, CommOpsUseTheLink)
+{
+    const DeviceSpec spec = mi100();
+    KernelCostModel cost(spec);
+    OpDesc op;
+    op.kind = OpKind::Comm;
+    op.commBytes = 1 << 30;
+    const KernelTime time = cost.evaluate(op);
+    EXPECT_NEAR(time.link,
+                spec.linkLatency +
+                    static_cast<double>(1 << 30) / spec.linkBandwidth,
+                1e-9);
+    EXPECT_EQ(time.compute, 0.0);
+}
+
+TEST(CostModel, BandwidthDemandHigherForAttentionBGemms)
+{
+    KernelCostModel cost(mi100());
+    OpDesc attn;
+    attn.kind = OpKind::BatchedGemm;
+    attn.gemm = {false, true, 128, 128, 64, 512};
+    attn.stats = gemmStats(128, 128, 64, 512);
+    OpDesc fc;
+    fc.kind = OpKind::Gemm;
+    fc.gemm = {false, true, 4096, 4096, 1024, 1};
+    fc.stats = gemmStats(4096, 4096, 1024);
+    EXPECT_GT(cost.bandwidthDemand(attn), 2.0 * cost.bandwidthDemand(fc));
+}
+
+TEST(Roofline, RidgePointMatchesDefinition)
+{
+    const DeviceSpec spec = mi100();
+    EXPECT_DOUBLE_EQ(ridgePoint(spec, OpKind::Gemm, DType::F32),
+                     spec.matrixFlopsFp32 / spec.memBandwidth);
+    EXPECT_DOUBLE_EQ(ridgePoint(spec, OpKind::Elementwise, DType::F16),
+                     spec.vectorFlopsFp16 / spec.memBandwidth);
+}
+
+TEST(Roofline, AttainableFlopsSaturatesAtPeak)
+{
+    const DeviceSpec spec = mi100();
+    EXPECT_DOUBLE_EQ(
+        attainableFlops(spec, OpKind::Gemm, DType::F32, 1e9),
+        spec.matrixFlopsFp32);
+    EXPECT_DOUBLE_EQ(
+        attainableFlops(spec, OpKind::Elementwise, DType::F32, 0.1),
+        0.1 * spec.memBandwidth);
+}
+
+TEST(Roofline, ClassifiesBertOps)
+{
+    const DeviceSpec spec = mi100();
+    BertTraceBuilder builder(withPhase1(bertLarge(), 32));
+    const OpTrace trace = builder.buildIteration();
+    for (const auto &op : trace.ops) {
+        if (op.sub == SubLayer::FcGelu || op.sub == SubLayer::DrRcLn ||
+            op.sub == SubLayer::LambStage1 ||
+            op.sub == SubLayer::LambStage2) {
+            EXPECT_TRUE(memoryBoundAtPeak(spec, op)) << op.name;
+        }
+        if (op.sub == SubLayer::FcGemm && op.kind == OpKind::Gemm) {
+            EXPECT_FALSE(memoryBoundAtPeak(spec, op)) << op.name;
+        }
+    }
+}
+
+TEST(Executor, TotalEqualsSumOfParts)
+{
+    TraceExecutor executor(mi100());
+    BertTraceBuilder builder(withPhase1(bertLarge(), 4));
+    const TimedTrace timed = executor.execute(builder.buildIteration());
+    Seconds sum = 0.0;
+    for (const auto &t : timed.ops)
+        sum += t.time.total();
+    EXPECT_DOUBLE_EQ(sum, timed.totalSeconds());
+    EXPECT_EQ(timed.kernelCount(), builder.buildIteration().size());
+}
+
+TEST(Executor, AggregationsPartitionTotal)
+{
+    TraceExecutor executor(mi100());
+    BertTraceBuilder builder(withPhase1(bertLarge(), 4));
+    const TimedTrace timed = executor.execute(builder.buildIteration());
+    for (const auto &agg :
+         {timed.byScope(), timed.bySubLayer(), timed.byPhase(),
+          timed.byKind()}) {
+        Seconds total = 0.0;
+        std::int64_t kernels = 0;
+        for (const auto &[name, a] : agg) {
+            total += a.seconds;
+            kernels += a.kernelCount;
+        }
+        EXPECT_NEAR(total, timed.totalSeconds(),
+                    1e-9 * timed.totalSeconds());
+        EXPECT_EQ(kernels,
+                  static_cast<std::int64_t>(timed.kernelCount()));
+    }
+}
+
+TEST(Executor, ShareWhereIsConsistent)
+{
+    TraceExecutor executor(mi100());
+    BertTraceBuilder builder(withPhase1(bertLarge(), 4));
+    const TimedTrace timed = executor.execute(builder.buildIteration());
+    const double gemm_share = timed.shareWhere([](const TimedOp &t) {
+        return t.op.kind == OpKind::Gemm ||
+               t.op.kind == OpKind::BatchedGemm;
+    });
+    const double other = timed.shareWhere([](const TimedOp &t) {
+        return t.op.kind != OpKind::Gemm &&
+               t.op.kind != OpKind::BatchedGemm;
+    });
+    EXPECT_NEAR(gemm_share + other, 1.0, 1e-9);
+}
+
+TEST(DevicePresets, VariantsChangeTheRightKnobs)
+{
+    EXPECT_LT(mi100HalfBandwidth().memBandwidth, mi100().memBandwidth);
+    EXPECT_GT(futureDoubleCompute().matrixFlopsFp32,
+              mi100().matrixFlopsFp32);
+    EXPECT_EQ(futureDoubleCompute().memBandwidth, mi100().memBandwidth);
+}
+
+TEST(DevicePresets, CommercialDevicesHaveSaneRatios)
+{
+    // The Sec. 7 extrapolation quantity is the compute/bandwidth
+    // ridge; A100's FP16 ridge is the steepest of the three.
+    const double mi100_ridge =
+        ridgePoint(mi100(), OpKind::Gemm, DType::F16);
+    const double a100_ridge =
+        ridgePoint(a100Like(), OpKind::Gemm, DType::F16);
+    const double mi250_ridge =
+        ridgePoint(mi250Like(), OpKind::Gemm, DType::F16);
+    EXPECT_GT(a100_ridge, mi100_ridge);
+    EXPECT_GT(a100_ridge, mi250_ridge);
+
+    // And the paper's claim: the MP breakdown on an A100-like device
+    // shifts further toward memory-bound work than on MI100-like.
+    BertConfig mp = withPhase1(bertLarge(), 32);
+    mp.precision = Precision::Mixed;
+    BertTraceBuilder builder(mp);
+    const OpTrace trace = builder.buildIteration();
+    auto gemm_share = [&](const DeviceSpec &spec) {
+        TraceExecutor executor(spec);
+        const TimedTrace timed = executor.execute(trace);
+        return timed.shareWhere([](const TimedOp &t) {
+            return t.op.kind == OpKind::Gemm ||
+                   t.op.kind == OpKind::BatchedGemm;
+        });
+    };
+    EXPECT_LT(gemm_share(a100Like()), gemm_share(mi100()));
+}
+
+TEST(DevicePresets, MemoryBoundShareGrowsOnFutureDevice)
+{
+    // Sec. 7: compute scales faster than memory, so memory-bound ops
+    // grow in share on future devices.
+    BertTraceBuilder builder(withPhase1(bertLarge(), 32));
+    const OpTrace trace = builder.buildIteration();
+    auto ew_share = [&](const DeviceSpec &spec) {
+        TraceExecutor executor(spec);
+        const TimedTrace timed = executor.execute(trace);
+        return timed.shareWhere([](const TimedOp &t) {
+            return t.op.kind == OpKind::Elementwise ||
+                   t.op.kind == OpKind::Reduction;
+        });
+    };
+    EXPECT_GT(ew_share(futureDoubleCompute()), ew_share(mi100()));
+}
+
+} // namespace
+} // namespace bertprof

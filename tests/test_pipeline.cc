@@ -1,0 +1,93 @@
+/** Tests for the pipeline-parallelism model. */
+
+#include <gtest/gtest.h>
+
+#include "dist/pipeline.h"
+
+namespace bertprof {
+namespace {
+
+class PipelineFixture : public ::testing::Test
+{
+  protected:
+    DeviceSpec spec_ = mi100();
+    CommModel comm_{spec_, AllReduceAlgo::Ring};
+    PipelineModel pipeline_{spec_, comm_};
+    BertConfig config_ = withPhase1(bertLarge(), 32);
+};
+
+TEST_F(PipelineFixture, SingleStageMatchesSingleDevice)
+{
+    const auto profile = pipeline_.evaluate(config_, 1, 1);
+    EXPECT_EQ(profile.bubbleFraction, 0.0);
+    EXPECT_EQ(profile.commSeconds, 0.0);
+    EXPECT_GT(profile.totalSeconds, 0.0);
+}
+
+TEST_F(PipelineFixture, BubbleFractionMatchesFormula)
+{
+    const auto profile = pipeline_.evaluate(config_, 4, 8);
+    EXPECT_DOUBLE_EQ(profile.bubbleFraction, 3.0 / 11.0);
+}
+
+TEST_F(PipelineFixture, MoreMicroBatchesShrinkBubbleButLoseEfficiency)
+{
+    const auto coarse = pipeline_.evaluate(config_, 4, 4);
+    const auto fine = pipeline_.evaluate(config_, 4, 16);
+    EXPECT_LT(fine.bubbleFraction, coarse.bubbleFraction);
+    // The flip side (and why micro-batch choice is a real tradeoff):
+    // smaller micro-batches run less efficient GEMMs and pay more
+    // launch overhead, so total per-stage compute grows.
+    EXPECT_GT(fine.stageSeconds, coarse.stageSeconds);
+}
+
+TEST_F(PipelineFixture, MoreStagesCutPerDeviceComputeButAddBubble)
+{
+    const auto s2 = pipeline_.evaluate(config_, 2, 8);
+    const auto s8 = pipeline_.evaluate(config_, 8, 8);
+    // Per-stage (per-slot) work shrinks with stages...
+    EXPECT_LT(s8.stageSeconds, s2.stageSeconds);
+    // ...but the bubble grows.
+    EXPECT_GT(s8.bubbleFraction, s2.bubbleFraction);
+}
+
+TEST_F(PipelineFixture, UpdateWorkSplitsAcrossStages)
+{
+    const auto s1 = pipeline_.evaluate(config_, 1, 8);
+    const auto s4 = pipeline_.evaluate(config_, 4, 8);
+    EXPECT_NEAR(s4.updateSeconds, s1.updateSeconds / 4.0,
+                0.05 * s1.updateSeconds);
+}
+
+TEST_F(PipelineFixture, CommScalesWithBoundariesAndMicroBatches)
+{
+    const auto a = pipeline_.evaluate(config_, 2, 4);
+    const auto b = pipeline_.evaluate(config_, 4, 4);
+    EXPECT_NEAR(b.commSeconds / a.commSeconds, 3.0, 0.01);
+    const auto c = pipeline_.evaluate(config_, 2, 8);
+    // Same per-micro bytes but twice the micro-batches of half size:
+    // per-hop bytes halve, count doubles -> roughly equal total.
+    EXPECT_NEAR(c.commSeconds, a.commSeconds, 0.1 * a.commSeconds);
+}
+
+TEST_F(PipelineFixture, RejectsIndivisibleSplits)
+{
+    EXPECT_EXIT(pipeline_.evaluate(config_, 5, 4),
+                ::testing::ExitedWithCode(1), "requirement failed");
+    EXPECT_EXIT(pipeline_.evaluate(config_, 4, 5),
+                ::testing::ExitedWithCode(1), "requirement failed");
+}
+
+TEST_F(PipelineFixture, DeepPipelineFasterPerDeviceThanSingle)
+{
+    // 8 stages with micro-batches large enough to keep GEMMs
+    // efficient: wall time well under the single-device iteration
+    // (that's the point of pipelining).
+    BertConfig big = withPhase1(bertLarge(), 64);
+    const auto single = pipeline_.evaluate(big, 1, 1);
+    const auto piped = pipeline_.evaluate(big, 8, 8);
+    EXPECT_LT(piped.totalSeconds, 0.45 * single.totalSeconds);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,106 @@
+/** Tests for the runtime profiler. */
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "runtime/profiler.h"
+#include "util/table.h"
+
+namespace bertprof {
+namespace {
+
+TEST(Profiler, ScopedKernelRecordsOnDestruction)
+{
+    Profiler profiler;
+    {
+        ScopedKernel k(&profiler, "k1", OpKind::Gemm, Phase::Fwd,
+                       LayerScope::Transformer, SubLayer::FcGemm);
+        k.setStats(gemmStats(4, 4, 4));
+    }
+    ASSERT_EQ(profiler.records().size(), 1u);
+    const auto &rec = profiler.records()[0];
+    EXPECT_EQ(rec.name, "k1");
+    EXPECT_EQ(rec.kind, OpKind::Gemm);
+    EXPECT_EQ(rec.stats.flops, 2 * 4 * 4 * 4);
+    EXPECT_GE(rec.seconds, 0.0);
+}
+
+TEST(Profiler, NullProfilerIsNoOp)
+{
+    ScopedKernel k(nullptr, "ignored", OpKind::Elementwise, Phase::Bwd,
+                   LayerScope::Output, SubLayer::Other);
+    k.setStats(elementwiseStats(8));
+    // Nothing to assert beyond "does not crash".
+}
+
+TEST(Profiler, TimesAreMonotonicallyPositive)
+{
+    Profiler profiler;
+    {
+        ScopedKernel k(&profiler, "sleepy", OpKind::Elementwise,
+                       Phase::Fwd, LayerScope::Transformer,
+                       SubLayer::Other);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GE(profiler.records()[0].seconds, 0.001);
+    EXPECT_GE(profiler.totalSeconds(), 0.001);
+}
+
+TEST(Profiler, AggregatesByTaxonomy)
+{
+    Profiler profiler;
+    auto emit = [&](const char *name, Phase phase, LayerScope scope,
+                    SubLayer sub) {
+        ScopedKernel k(&profiler, name, OpKind::Elementwise, phase, scope,
+                       sub);
+        k.setStats(elementwiseStats(100));
+    };
+    emit("a", Phase::Fwd, LayerScope::Transformer, SubLayer::FcGelu);
+    emit("b", Phase::Bwd, LayerScope::Transformer, SubLayer::FcGelu);
+    emit("c", Phase::Update, LayerScope::Optimizer,
+         SubLayer::LambStage1);
+
+    const auto by_scope = profiler.byScope();
+    EXPECT_EQ(by_scope.at("Transformer").kernelCount, 2);
+    EXPECT_EQ(by_scope.at("Optimizer").kernelCount, 1);
+
+    const auto by_phase = profiler.byPhase();
+    EXPECT_EQ(by_phase.at("FWD").kernelCount, 1);
+    EXPECT_EQ(by_phase.at("BWD").kernelCount, 1);
+    EXPECT_EQ(by_phase.at("UPDATE").kernelCount, 1);
+
+    const auto by_sub = profiler.bySubLayer();
+    EXPECT_EQ(by_sub.at("GeLU").stats.flops, 200);
+}
+
+TEST(Profiler, ClearResetsRecords)
+{
+    Profiler profiler;
+    {
+        ScopedKernel k(&profiler, "x", OpKind::Elementwise, Phase::Fwd,
+                       LayerScope::Embedding, SubLayer::EmbeddingOps);
+    }
+    EXPECT_EQ(profiler.records().size(), 1u);
+    profiler.clear();
+    EXPECT_TRUE(profiler.records().empty());
+    EXPECT_EQ(profiler.totalSeconds(), 0.0);
+}
+
+TEST(Profiler, RenderBreakdownHasOneRowPerGroup)
+{
+    Profiler profiler;
+    for (int i = 0; i < 3; ++i) {
+        ScopedKernel k(&profiler, "k", OpKind::Elementwise, Phase::Fwd,
+                       i == 0 ? LayerScope::Embedding
+                              : LayerScope::Transformer,
+                       SubLayer::Other);
+        k.setStats(elementwiseStats(10));
+    }
+    const Table table = Profiler::renderBreakdown(
+        profiler.byScope(), profiler.totalSeconds(), "test");
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+} // namespace
+} // namespace bertprof

@@ -1,0 +1,226 @@
+/**
+ * Property sweeps: randomized and grid-parameterized invariants over
+ * the device model, footprint model, and characterizer — the "for all
+ * inputs" guarantees the point tests cannot give.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "dist/tensor_slicing.h"
+#include "perf/footprint.h"
+#include "perf/gemm_model.h"
+#include "perf/roofline.h"
+#include "util/rng.h"
+
+namespace bertprof {
+namespace {
+
+TEST(GemmModelFuzz, EfficiencyAlwaysInBounds)
+{
+    const DeviceSpec spec = mi100();
+    GemmModel model(spec);
+    Rng rng(123);
+    for (int trial = 0; trial < 2000; ++trial) {
+        GemmDims dims;
+        dims.m = rng.uniformInt(1, 8192);
+        dims.n = rng.uniformInt(1, 8192);
+        dims.k = rng.uniformInt(1, 8192);
+        dims.batch = rng.uniformInt(1, 1024);
+        for (DType dtype : {DType::F32, DType::F16}) {
+            const auto eff = model.evaluate(dims, dtype);
+            EXPECT_GT(eff.efficiency, 0.0) << dims.label();
+            EXPECT_LE(eff.efficiency, spec.gemmPeakFraction(dtype))
+                << dims.label();
+            EXPECT_LE(eff.achievedFlops, spec.matrixFlops(dtype));
+            EXPECT_LE(eff.waveUtilization, 1.0);
+            EXPECT_LE(eff.padUtilization, 1.0);
+            EXPECT_LE(eff.kUtilization, 1.0);
+        }
+    }
+}
+
+TEST(GemmModelFuzz, TimeNeverNegativeOrNan)
+{
+    KernelCostModel cost(mi100());
+    Rng rng(321);
+    for (int trial = 0; trial < 2000; ++trial) {
+        OpDesc op;
+        const int kind = static_cast<int>(rng.uniformInt(0, 4));
+        op.kind = static_cast<OpKind>(kind);
+        if (op.kind == OpKind::Gemm || op.kind == OpKind::BatchedGemm) {
+            op.gemm.m = rng.uniformInt(1, 4096);
+            op.gemm.n = rng.uniformInt(1, 4096);
+            op.gemm.k = rng.uniformInt(1, 4096);
+            op.gemm.batch =
+                op.kind == OpKind::BatchedGemm ? rng.uniformInt(2, 512)
+                                               : 1;
+            op.stats = gemmStats(op.gemm.m, op.gemm.n, op.gemm.k,
+                                 op.gemm.batch);
+        } else if (op.kind == OpKind::Comm) {
+            op.commBytes = rng.uniformInt(0, 1 << 30);
+        } else {
+            op.numel = rng.uniformInt(0, 1 << 26);
+            op.stats = elementwiseStats(op.numel, rng.uniformInt(1, 4),
+                                        rng.uniformInt(0, 3),
+                                        rng.uniformInt(0, 16));
+        }
+        const KernelTime time = cost.evaluate(op);
+        EXPECT_TRUE(std::isfinite(time.total())) << op.name;
+        EXPECT_GE(time.total(), 0.0);
+        EXPECT_GE(time.compute, 0.0);
+        EXPECT_GE(time.memory, 0.0);
+    }
+}
+
+TEST(GemmModelFuzz, MoreWorkNeverFinishesFasterAtFixedShapeClass)
+{
+    // Scaling batch count must scale time (weak monotonicity).
+    KernelCostModel cost(mi100());
+    Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        OpDesc op;
+        op.kind = OpKind::BatchedGemm;
+        op.gemm.m = rng.uniformInt(16, 256);
+        op.gemm.n = rng.uniformInt(16, 256);
+        op.gemm.k = rng.uniformInt(16, 256);
+        op.gemm.batch = rng.uniformInt(1, 64);
+        op.stats = gemmStats(op.gemm.m, op.gemm.n, op.gemm.k,
+                             op.gemm.batch);
+        OpDesc bigger = op;
+        bigger.gemm.batch *= 4;
+        bigger.stats = gemmStats(op.gemm.m, op.gemm.n, op.gemm.k,
+                                 bigger.gemm.batch);
+        EXPECT_GE(cost.evaluate(bigger).total(),
+                  cost.evaluate(op).total());
+    }
+}
+
+TEST(FootprintFuzz, TotalsArePositiveAndAdditive)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 300; ++trial) {
+        BertConfig config = bertBase();
+        config.numLayers = static_cast<int>(rng.uniformInt(1, 48));
+        config.dModel = 64 * rng.uniformInt(1, 32);
+        config.numHeads = 8;
+        while (config.dModel % config.numHeads != 0)
+            ++config.dModel;
+        config.dFf = config.dModel * 4;
+        config.batch = rng.uniformInt(1, 64);
+        config.seqLen = 32 * rng.uniformInt(1, 16);
+        config.maxPositions = 512;
+        if (config.seqLen > config.maxPositions)
+            config.seqLen = 512;
+        config.maxPredictions =
+            std::max<std::int64_t>(1, config.seqLen / 8);
+        const auto fp = trainingFootprint(config);
+        EXPECT_GT(fp.total(), 0);
+        EXPECT_EQ(fp.total(), fp.weights + fp.gradients +
+                                  fp.optimizerState + fp.activations +
+                                  fp.workspace);
+        EXPECT_LE(inferenceFootprint(config).total(), fp.total());
+    }
+}
+
+// ---- Characterizer invariants over a config grid ----
+
+using GridCase = std::tuple<Precision, OptimizerKind, TaskHead>;
+
+class CharacterizerGrid : public ::testing::TestWithParam<GridCase>
+{
+};
+
+TEST_P(CharacterizerGrid, SharesArePartitionAndTimesFinite)
+{
+    const auto [precision, optimizer, head] = GetParam();
+    BertConfig config = withPhase1(bertLarge(), 8);
+    config.precision = precision;
+    config.optimizer = optimizer;
+    config.taskHead = head;
+    ASSERT_EQ(config.validate(), "");
+
+    Characterizer characterizer(mi100());
+    const auto result = characterizer.run(config);
+    EXPECT_TRUE(std::isfinite(result.totalSeconds));
+    EXPECT_GT(result.totalSeconds, 0.0);
+
+    double scope_total = 0.0;
+    for (const auto &[name, agg] : result.byScope) {
+        EXPECT_GE(agg.seconds, 0.0);
+        scope_total += agg.seconds;
+    }
+    EXPECT_NEAR(scope_total, result.totalSeconds,
+                1e-9 * result.totalSeconds);
+    EXPECT_GT(result.scopeShare("Transformer"), 0.5);
+    EXPECT_GT(result.gemmShare(), 0.2);
+    EXPECT_LT(result.gemmShare(), 0.95);
+}
+
+TEST_P(CharacterizerGrid, MixedPrecisionNeverSlower)
+{
+    const auto [precision, optimizer, head] = GetParam();
+    if (precision == Precision::Mixed)
+        GTEST_SKIP() << "comparison baseline case";
+    BertConfig fp32 = withPhase1(bertLarge(), 8);
+    fp32.optimizer = optimizer;
+    fp32.taskHead = head;
+    BertConfig mp = fp32;
+    mp.precision = Precision::Mixed;
+    Characterizer characterizer(mi100());
+    EXPECT_LT(characterizer.run(mp).totalSeconds,
+              characterizer.run(fp32).totalSeconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionOptimizerHead, CharacterizerGrid,
+    ::testing::Combine(
+        ::testing::Values(Precision::FP32, Precision::Mixed),
+        ::testing::Values(OptimizerKind::Lamb, OptimizerKind::Adam,
+                          OptimizerKind::Sgd),
+        ::testing::Values(TaskHead::Pretrain,
+                          TaskHead::SequenceClassification,
+                          TaskHead::SpanPrediction)));
+
+// ---- Tensor-slicing invariants vs fusion options ----
+
+class SlicingWithFusion
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>>
+{
+};
+
+TEST_P(SlicingWithFusion, SlicedGemmWorkIsExactlyOneNth)
+{
+    const auto [fuse_qkv, fuse_gelu, fuse_smds] = GetParam();
+    TraceOptions options;
+    options.fuseQkvGemm = fuse_qkv;
+    options.fuseGelu = fuse_gelu;
+    options.fuseScaleMaskDrSm = fuse_smds;
+    const BertConfig config = withPhase1(bertLarge(), 8);
+
+    auto gemm_flops = [&](int ways) {
+        std::int64_t total = 0;
+        for (const auto &op : TensorSlicingModel::buildSlicedTrace(
+                 config, ways, options)
+                 .ops) {
+            if (op.scope == LayerScope::Transformer &&
+                (op.kind == OpKind::Gemm ||
+                 op.kind == OpKind::BatchedGemm))
+                total += op.stats.flops;
+        }
+        return total;
+    };
+    EXPECT_EQ(gemm_flops(4), gemm_flops(1) / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FusionCombos, SlicingWithFusion,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool()));
+
+} // namespace
+} // namespace bertprof

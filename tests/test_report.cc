@@ -1,0 +1,117 @@
+/** Tests for the report builders (breakdowns, top kernels, roofline
+ *  scatter, GEMM intensity). */
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "core/report.h"
+#include "test_helpers.h"
+
+namespace bertprof {
+namespace {
+
+CharacterizationResult
+smallResult()
+{
+    Characterizer characterizer(mi100());
+    return characterizer.run(withPhase1(testing::tinyBertConfig(), 2));
+}
+
+TEST(Report, BreakdownTableHasRowPerGroup)
+{
+    const auto result = smallResult();
+    Table table =
+        breakdownTable(result.byScope, result.totalSeconds, "scopes");
+    EXPECT_EQ(table.rowCount(), result.byScope.size());
+}
+
+TEST(Report, AggregateTotalMatchesIterationTime)
+{
+    const auto result = smallResult();
+    EXPECT_NEAR(aggregateTotal(result.byScope), result.totalSeconds,
+                1e-12);
+}
+
+TEST(Report, TopKernelsGroupsLayersTogether)
+{
+    const auto result = smallResult();
+    Table table = topKernelsTable(result.timed, 50);
+    const std::string text = table.render();
+    // Per-layer indices are canonicalized: "enc*." appears, "enc0."
+    // does not.
+    EXPECT_NE(text.find("enc*."), std::string::npos);
+    EXPECT_EQ(text.find("enc0."), std::string::npos);
+}
+
+TEST(Report, TopKernelsRespectsK)
+{
+    const auto result = smallResult();
+    EXPECT_EQ(topKernelsTable(result.timed, 5).rowCount(), 5u);
+    EXPECT_LE(topKernelsTable(result.timed, 500).rowCount(), 500u);
+}
+
+TEST(Report, TopKernelsSortedByTime)
+{
+    // The first row must carry the largest share; shares must be
+    // non-increasing. Parse the Share column loosely.
+    const auto result = smallResult();
+    const std::string text = topKernelsTable(result.timed, 10).render();
+    double prev = 1e9;
+    int rows = 0;
+    for (std::size_t i = 1; i < text.size(); ++i) {
+        if (text[i] != '%')
+            continue;
+        std::size_t start = i;
+        while (start > 0 && (std::isdigit(static_cast<unsigned char>(
+                                 text[start - 1])) ||
+                             text[start - 1] == '.'))
+            --start;
+        if (start == i)
+            continue;
+        const double share = std::atof(text.c_str() + start);
+        EXPECT_LE(share, prev + 1e-9);
+        prev = share;
+        ++rows;
+    }
+    EXPECT_GE(rows, 5);
+}
+
+TEST(Report, RooflineScatterSkipsZeroFlopOps)
+{
+    const auto result = smallResult();
+    const CsvWriter csv =
+        rooflineScatterCsv(result.timed, mi100());
+    const std::string text = csv.render();
+    // Gathers move bytes but do no FLOPs; they must be absent.
+    EXPECT_EQ(text.find("emb.token.gather"), std::string::npos);
+    EXPECT_NE(text.find("fc1.fwd"), std::string::npos);
+}
+
+TEST(Report, RooflineScatterAchievedNeverAbovePeak)
+{
+    const auto result = smallResult();
+    const std::string text =
+        rooflineScatterCsv(result.timed, mi100()).render();
+    // Column order: ..., achieved, attainable, peak.
+    std::istringstream lines(text);
+    std::string line;
+    std::getline(lines, line); // header
+    while (std::getline(lines, line)) {
+        // Split last three comma-separated fields.
+        const std::size_t c3 = line.rfind(',');
+        const std::size_t c2 = line.rfind(',', c3 - 1);
+        const std::size_t c1 = line.rfind(',', c2 - 1);
+        const double achieved = std::atof(line.c_str() + c1 + 1);
+        const double attainable = std::atof(line.c_str() + c2 + 1);
+        const double peak = std::atof(line.c_str() + c3 + 1);
+        EXPECT_LE(achieved, peak * 1.0001) << line;
+        EXPECT_LE(attainable, peak * 1.0001) << line;
+    }
+}
+
+} // namespace
+} // namespace bertprof

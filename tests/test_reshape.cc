@@ -1,0 +1,69 @@
+/** Tests for transpose and head split/merge layout kernels. */
+
+#include <gtest/gtest.h>
+
+#include "ops/reshape.h"
+#include "util/rng.h"
+
+namespace bertprof {
+namespace {
+
+TEST(Transpose2d, Basic)
+{
+    Tensor in(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+    Tensor out(Shape({3, 2}));
+    transpose2d(in, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1), 4.0f);
+    EXPECT_FLOAT_EQ(out.at(2, 1), 6.0f);
+}
+
+TEST(Transpose2d, DoubleTransposeIsIdentity)
+{
+    Rng rng(1);
+    Tensor in(Shape({5, 7}));
+    in.fillNormal(rng);
+    Tensor t(Shape({7, 5})), back(Shape({5, 7}));
+    transpose2d(in, t);
+    transpose2d(t, back);
+    EXPECT_LT(maxAbsDiff(in, back), 1e-7f);
+}
+
+TEST(SplitHeads, LayoutMatchesDefinition)
+{
+    // batch=1, seq=2, heads=2, d_model=4 (dh=2).
+    Tensor in(Shape({2, 4}), {0, 1, 2, 3, 10, 11, 12, 13});
+    Tensor out(Shape({2, 2, 2}));
+    splitHeads(in, 1, 2, 2, out);
+    // Head 0 gets cols 0..1; head 1 gets cols 2..3.
+    EXPECT_FLOAT_EQ(out.at(0 * 4 + 0 * 2 + 0), 0.0f);  // h0 t0 j0
+    EXPECT_FLOAT_EQ(out.at(0 * 4 + 1 * 2 + 1), 11.0f); // h0 t1 j1
+    EXPECT_FLOAT_EQ(out.at(1 * 4 + 0 * 2 + 0), 2.0f);  // h1 t0 j0
+    EXPECT_FLOAT_EQ(out.at(1 * 4 + 1 * 2 + 1), 13.0f); // h1 t1 j1
+}
+
+TEST(SplitMergeHeads, RoundTrip)
+{
+    Rng rng(2);
+    const std::int64_t batch = 3, seq = 5, heads = 4, d = 16;
+    Tensor in(Shape({batch * seq, d}));
+    in.fillNormal(rng);
+    Tensor split(Shape({batch * heads, seq, d / heads}));
+    splitHeads(in, batch, seq, heads, split);
+    Tensor merged(in.shape());
+    mergeHeads(split, batch, seq, heads, merged);
+    EXPECT_LT(maxAbsDiff(in, merged), 1e-7f);
+}
+
+TEST(SplitHeads, StatsArePureTraffic)
+{
+    Tensor in(Shape({4, 8}));
+    Tensor out(Shape({4, 2, 4}));
+    const KernelStats stats = splitHeads(in, 2, 2, 2, out);
+    EXPECT_EQ(stats.flops, 0);
+    EXPECT_EQ(stats.bytesRead, 32 * 4);
+    EXPECT_EQ(stats.bytesWritten, 32 * 4);
+}
+
+} // namespace
+} // namespace bertprof

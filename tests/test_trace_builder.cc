@@ -1,0 +1,431 @@
+/**
+ * Tests for the BERT trace builder: exact Table 2b shapes, kernel
+ * counts, FLOP accounting, checkpointing, fusion variants, and
+ * parameterized invariants across configurations.
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/bert_trace_builder.h"
+
+namespace bertprof {
+namespace {
+
+/** Find the single op whose name ends with `suffix` in layer 0. */
+const OpDesc &
+findLayer0(const OpTrace &trace, const std::string &suffix)
+{
+    const OpDesc *found = nullptr;
+    for (const auto &op : trace.ops) {
+        if (op.layerIndex != 0)
+            continue;
+        if (op.name.size() >= suffix.size() &&
+            op.name.compare(op.name.size() - suffix.size(), suffix.size(),
+                            suffix) == 0) {
+            EXPECT_EQ(found, nullptr) << "duplicate " << suffix;
+            found = &op;
+        }
+    }
+    EXPECT_NE(found, nullptr) << "missing " << suffix;
+    return *found;
+}
+
+TEST(TraceBuilder, Table2bForwardShapes)
+{
+    const BertConfig c = withPhase1(bertLarge(), 32);
+    BertTraceBuilder builder(c);
+    const OpTrace trace = builder.buildIteration();
+    const std::int64_t d = c.dModel, t = c.tokens(), f = c.dFf;
+    const std::int64_t n = c.seqLen, dh = c.headDim();
+    const std::int64_t bh = c.batch * c.numHeads;
+
+    // Linear: d_model x n*B x d_model.
+    const auto &q = findLayer0(trace, "attn.q.fwd");
+    EXPECT_EQ(q.gemm.m, d);
+    EXPECT_EQ(q.gemm.n, t);
+    EXPECT_EQ(q.gemm.k, d);
+    // Attn Score: n x n x d/h, batch B*h.
+    const auto &score = findLayer0(trace, "attn.score.fwd");
+    EXPECT_EQ(score.gemm.m, n);
+    EXPECT_EQ(score.gemm.n, n);
+    EXPECT_EQ(score.gemm.k, dh);
+    EXPECT_EQ(score.gemm.batch, bh);
+    // Attn O/p: d/h x n x n, batch B*h.
+    const auto &ctx = findLayer0(trace, "attn.context.fwd");
+    EXPECT_EQ(ctx.gemm.m, dh);
+    EXPECT_EQ(ctx.gemm.n, n);
+    EXPECT_EQ(ctx.gemm.k, n);
+    EXPECT_EQ(ctx.gemm.batch, bh);
+    // FC-1: d_ff x n*B x d_model; FC-2: d_model x n*B x d_ff.
+    const auto &fc1 = findLayer0(trace, "fc1.fwd");
+    EXPECT_EQ(fc1.gemm.m, f);
+    EXPECT_EQ(fc1.gemm.n, t);
+    EXPECT_EQ(fc1.gemm.k, d);
+    const auto &fc2 = findLayer0(trace, "fc2.fwd");
+    EXPECT_EQ(fc2.gemm.m, d);
+    EXPECT_EQ(fc2.gemm.n, t);
+    EXPECT_EQ(fc2.gemm.k, f);
+}
+
+TEST(TraceBuilder, Table2bBackwardShapes)
+{
+    const BertConfig c = withPhase1(bertLarge(), 32);
+    BertTraceBuilder builder(c);
+    const OpTrace trace = builder.buildIteration();
+    const std::int64_t d = c.dModel, t = c.tokens(), f = c.dFf;
+
+    // Linear BWD grad-activation d x n*B x d; grad-weight d x d x n*B.
+    const auto &dgrad = findLayer0(trace, "attn.q.dgrad");
+    EXPECT_EQ(dgrad.gemm.m, d);
+    EXPECT_EQ(dgrad.gemm.n, t);
+    EXPECT_EQ(dgrad.gemm.k, d);
+    const auto &wgrad = findLayer0(trace, "attn.q.wgrad");
+    EXPECT_EQ(wgrad.gemm.m, d);
+    EXPECT_EQ(wgrad.gemm.n, d);
+    EXPECT_EQ(wgrad.gemm.k, t);
+    // FC-1 BWD: d x n*B x d_ff and d x d_ff x n*B.
+    const auto &fc1_d = findLayer0(trace, "fc1.dgrad");
+    EXPECT_EQ(fc1_d.gemm.m, d);
+    EXPECT_EQ(fc1_d.gemm.n, t);
+    EXPECT_EQ(fc1_d.gemm.k, f);
+    const auto &fc1_w = findLayer0(trace, "fc1.wgrad");
+    EXPECT_EQ(fc1_w.gemm.m, d);
+    EXPECT_EQ(fc1_w.gemm.n, f);
+    EXPECT_EQ(fc1_w.gemm.k, t);
+}
+
+TEST(TraceBuilder, EveryGemmHasTwoBackwardGemms)
+{
+    BertTraceBuilder builder(withPhase1(bertLarge(), 8));
+    const OpTrace trace = builder.buildIteration();
+    std::int64_t fwd_gemms = 0, bwd_gemms = 0;
+    for (const auto &op : trace.ops) {
+        if (op.kind != OpKind::Gemm && op.kind != OpKind::BatchedGemm)
+            continue;
+        if (op.scope != LayerScope::Transformer)
+            continue;
+        if (op.phase == Phase::Fwd)
+            ++fwd_gemms;
+        else if (op.phase == Phase::Bwd)
+            ++bwd_gemms;
+    }
+    EXPECT_EQ(bwd_gemms, 2 * fwd_gemms);
+}
+
+TEST(TraceBuilder, BackwardGemmFlopsAreTwiceForward)
+{
+    BertTraceBuilder builder(withPhase1(bertLarge(), 8));
+    const OpTrace trace = builder.buildIteration();
+    std::int64_t fwd = 0, bwd = 0;
+    for (const auto &op : trace.ops) {
+        if (op.scope != LayerScope::Transformer)
+            continue;
+        if (op.kind != OpKind::Gemm && op.kind != OpKind::BatchedGemm)
+            continue;
+        if (op.phase == Phase::Fwd)
+            fwd += op.stats.flops;
+        else
+            bwd += op.stats.flops;
+    }
+    EXPECT_EQ(bwd, 2 * fwd);
+}
+
+TEST(TraceBuilder, LambStage1ReadsFourTimesModelSize)
+{
+    const BertConfig c = withPhase1(bertLarge(), 32);
+    BertTraceBuilder builder(c);
+    const OpTrace update = builder.buildUpdate();
+    std::int64_t stage1_read = 0;
+    for (const auto &op : update.ops)
+        if (op.sub == SubLayer::LambStage1)
+            stage1_read += op.stats.bytesRead;
+    EXPECT_EQ(stage1_read, c.parameterCount() * 4 * 4);
+}
+
+TEST(TraceBuilder, LambKernelsAreFp32EvenUnderMixedPrecision)
+{
+    BertConfig c = withPhase1(bertLarge(), 32);
+    c.precision = Precision::Mixed;
+    BertTraceBuilder builder(c);
+    for (const auto &op : builder.buildUpdate().ops)
+        EXPECT_EQ(op.dtype, DType::F32) << op.name;
+    // ... while forward GEMMs are FP16.
+    for (const auto &op : builder.buildForward().ops) {
+        if (op.kind == OpKind::Gemm) {
+            EXPECT_EQ(op.dtype, DType::F16) << op.name;
+        }
+    }
+}
+
+TEST(TraceBuilder, LambUpdateHasGradNormBeforeAnyStage)
+{
+    BertTraceBuilder builder(withPhase1(bertLarge(), 32));
+    const OpTrace update = builder.buildUpdate();
+    ASSERT_FALSE(update.ops.empty());
+    EXPECT_EQ(update.ops.front().sub, SubLayer::GradNorm);
+}
+
+TEST(TraceBuilder, AdamUpdateHasNoGradNorm)
+{
+    BertConfig c = withPhase1(bertLarge(), 32);
+    c.optimizer = OptimizerKind::Adam;
+    BertTraceBuilder builder(c);
+    for (const auto &op : builder.buildUpdate().ops)
+        EXPECT_NE(op.sub, SubLayer::GradNorm);
+}
+
+TEST(TraceBuilder, CheckpointingAddsRecomputeKernels)
+{
+    BertConfig base = withPhase1(bertLarge(), 32);
+    BertConfig ckpt = base;
+    ckpt.checkpointEvery = 6;
+    const auto base_trace = BertTraceBuilder(base).buildIteration();
+    const auto ckpt_trace = BertTraceBuilder(ckpt).buildIteration();
+
+    std::int64_t recompute = 0;
+    for (const auto &op : ckpt_trace.ops)
+        recompute += op.phase == Phase::Recompute ? 1 : 0;
+    EXPECT_GT(recompute, 0);
+    // Every layer's forward is re-emitted exactly once.
+    std::int64_t fwd_per_layer = 0;
+    for (const auto &op : base_trace.ops)
+        if (op.layerIndex == 0 && op.phase == Phase::Fwd)
+            ++fwd_per_layer;
+    EXPECT_EQ(recompute, fwd_per_layer * ckpt.numLayers);
+    // Kernel count grows by roughly a third (paper: ~+33%).
+    const double growth =
+        static_cast<double>(ckpt_trace.size()) / base_trace.size();
+    EXPECT_GT(growth, 1.2);
+    EXPECT_LT(growth, 1.45);
+}
+
+TEST(TraceBuilder, FusionOptionsReduceKernelCounts)
+{
+    const BertConfig c = withPhase1(bertLarge(), 8);
+    const auto plain = BertTraceBuilder(c).buildIteration();
+
+    TraceOptions fuse_gelu;
+    fuse_gelu.fuseGelu = true;
+    const auto gelu_fused = BertTraceBuilder(c, fuse_gelu).buildIteration();
+    // 5 fwd + 4 bwd kernels collapse to 1 + 1 per layer.
+    EXPECT_EQ(plain.size() - gelu_fused.size(),
+              static_cast<std::size_t>(7 * c.numLayers));
+
+    TraceOptions fuse_qkv;
+    fuse_qkv.fuseQkvGemm = true;
+    const auto qkv_fused = BertTraceBuilder(c, fuse_qkv).buildIteration();
+    EXPECT_LT(qkv_fused.size(), plain.size());
+
+    TraceOptions fuse_smds;
+    fuse_smds.fuseScaleMaskDrSm = true;
+    const auto smds = BertTraceBuilder(c, fuse_smds).buildIteration();
+    EXPECT_LT(smds.size(), plain.size());
+
+    TraceOptions unfuse_ln;
+    unfuse_ln.unfuseLayerNorm = true;
+    const auto ln = BertTraceBuilder(c, unfuse_ln).buildIteration();
+    EXPECT_GT(ln.size(), plain.size());
+}
+
+TEST(TraceBuilder, QkvFusionPreservesGemmFlops)
+{
+    const BertConfig c = withPhase1(bertLarge(), 8);
+    auto gemm_flops = [](const OpTrace &trace) {
+        std::int64_t total = 0;
+        for (const auto &op : trace.ops)
+            if (op.kind == OpKind::Gemm ||
+                op.kind == OpKind::BatchedGemm)
+                total += op.stats.flops;
+        return total;
+    };
+    TraceOptions fuse;
+    fuse.fuseQkvGemm = true;
+    EXPECT_EQ(gemm_flops(BertTraceBuilder(c).buildIteration()),
+              gemm_flops(BertTraceBuilder(c, fuse).buildIteration()));
+}
+
+TEST(TraceBuilder, MultiTensorOptimizerPreservesTraffic)
+{
+    const BertConfig c = withPhase1(bertLarge(), 8);
+    TraceOptions per_tensor;
+    TraceOptions multi;
+    multi.optimizerFusion = OptimizerFusion::MultiTensor;
+    const auto a = BertTraceBuilder(c, per_tensor).buildUpdate();
+    const auto b = BertTraceBuilder(c, multi).buildUpdate();
+    EXPECT_EQ(a.totalBytes(), b.totalBytes());
+    EXPECT_GT(a.size(), b.size());
+}
+
+TEST(TraceBuilder, InferenceTraceHasNoDropoutOrLoss)
+{
+    BertTraceBuilder builder(withPhase1(bertLarge(), 1));
+    const OpTrace inference = builder.buildInference();
+    for (const auto &op : inference.ops) {
+        EXPECT_EQ(op.name.find("dropout"), std::string::npos);
+        EXPECT_EQ(op.name.find(".loss"), std::string::npos);
+        EXPECT_EQ(op.phase, Phase::Fwd);
+    }
+}
+
+TEST(TraceBuilder, BatchOfOneStillProducesMatrixOps)
+{
+    // Takeaway 5: unlike RNNs, B=1 does not create matrix-vector ops.
+    BertTraceBuilder builder(withPhase1(bertLarge(), 1));
+    for (const auto &op : builder.buildForward().ops) {
+        if (op.kind != OpKind::Gemm && op.kind != OpKind::BatchedGemm)
+            continue;
+        if (op.scope != LayerScope::Transformer)
+            continue;
+        EXPECT_GT(op.gemm.m, 1) << op.name;
+        EXPECT_GT(op.gemm.n, 1) << op.name;
+        EXPECT_GT(op.gemm.k, 1) << op.name;
+    }
+}
+
+TEST(TraceBuilder, ForwardGemmFlopsMatchClosedForm)
+{
+    // Closed form per layer (FWD): 4 linear GEMMs of 2*T*d^2, FC-1
+    // and FC-2 of 2*T*d*f each, and two B-GEMMs of 2*n^2*(d/h)*B*h.
+    const BertConfig c = withPhase1(bertLarge(), 16);
+    const std::int64_t t = c.tokens(), d = c.dModel, f = c.dFf;
+    const std::int64_t per_layer =
+        4 * 2 * t * d * d + 2 * (2 * t * d * f) +
+        2 * (2 * c.seqLen * c.seqLen * c.headDim() * c.batch *
+             c.numHeads);
+    const std::int64_t expected = per_layer * c.numLayers;
+
+    std::int64_t measured = 0;
+    for (const auto &op : BertTraceBuilder(c).buildForward().ops)
+        if (op.scope == LayerScope::Transformer &&
+            (op.kind == OpKind::Gemm || op.kind == OpKind::BatchedGemm))
+            measured += op.stats.flops;
+    EXPECT_EQ(measured, expected);
+}
+
+TEST(TraceBuilder, TotalIterationFlopsHaveNoSurprises)
+{
+    // Iteration GEMM flops = 3x forward (fwd + 2 grad GEMMs per GEMM)
+    // for the transformer scope.
+    const BertConfig c = withPhase1(bertLarge(), 8);
+    BertTraceBuilder builder(c);
+    auto gemm_flops = [](const OpTrace &trace) {
+        std::int64_t total = 0;
+        for (const auto &op : trace.ops)
+            if (op.scope == LayerScope::Transformer &&
+                (op.kind == OpKind::Gemm ||
+                 op.kind == OpKind::BatchedGemm))
+                total += op.stats.flops;
+        return total;
+    };
+    EXPECT_EQ(gemm_flops(builder.buildIteration()),
+              3 * gemm_flops(builder.buildForward()));
+}
+
+// ---- Parameterized invariants across configurations ----
+
+struct ConfigCase {
+    const char *name;
+    BertConfig config;
+};
+
+class TraceInvariants : public ::testing::TestWithParam<ConfigCase>
+{
+};
+
+TEST_P(TraceInvariants, KernelCountIndependentOfInputSize)
+{
+    // Kernel count depends only on layer count and options, not B/n.
+    BertConfig a = GetParam().config;
+    BertConfig b = a;
+    b.batch = a.batch * 2;
+    EXPECT_EQ(BertTraceBuilder(a).buildIteration().size(),
+              BertTraceBuilder(b).buildIteration().size());
+}
+
+TEST_P(TraceInvariants, FlopsScaleLinearlyWithBatch)
+{
+    BertConfig a = GetParam().config;
+    BertConfig b = a;
+    b.batch = a.batch * 2;
+    std::int64_t fwd_a = 0, fwd_b = 0;
+    for (const auto &op : BertTraceBuilder(a).buildForward().ops)
+        if (op.scope == LayerScope::Transformer)
+            fwd_a += op.stats.flops;
+    for (const auto &op : BertTraceBuilder(b).buildForward().ops)
+        if (op.scope == LayerScope::Transformer)
+            fwd_b += op.stats.flops;
+    EXPECT_EQ(fwd_b, 2 * fwd_a);
+}
+
+TEST_P(TraceInvariants, UpdateWorkIndependentOfBatch)
+{
+    BertConfig a = GetParam().config;
+    BertConfig b = a;
+    b.batch = a.batch * 4;
+    EXPECT_EQ(BertTraceBuilder(a).buildUpdate().totalBytes(),
+              BertTraceBuilder(b).buildUpdate().totalBytes());
+}
+
+TEST_P(TraceInvariants, EveryOpHasConsistentTags)
+{
+    const auto trace =
+        BertTraceBuilder(GetParam().config).buildIteration();
+    for (const auto &op : trace.ops) {
+        EXPECT_FALSE(op.name.empty());
+        EXPECT_GE(op.stats.bytesTotal(), 0);
+        if (op.kind == OpKind::Gemm || op.kind == OpKind::BatchedGemm) {
+            EXPECT_GT(op.gemm.m, 0) << op.name;
+            EXPECT_EQ(op.stats.flops, op.gemm.flops()) << op.name;
+        }
+        if (op.scope == LayerScope::Optimizer) {
+            EXPECT_EQ(op.phase, Phase::Update) << op.name;
+        }
+    }
+}
+
+TEST_P(TraceInvariants, AttentionScoreWorkScalesQuadraticallyWithN)
+{
+    BertConfig a = GetParam().config;
+    BertConfig b = a;
+    b.seqLen = a.seqLen * 2;
+    auto score_flops = [](const BertConfig &config) {
+        std::int64_t total = 0;
+        for (const auto &op :
+             BertTraceBuilder(config).buildForward().ops) {
+            if (op.sub == SubLayer::AttnBGemm ||
+                op.sub == SubLayer::AttnScaleMaskDrSm) {
+                total += op.stats.flops;
+            }
+        }
+        return total;
+    };
+    // Doubling n quadruples score-matrix work but only doubles the
+    // d/h-dim factor of the B-GEMMs -> between 2x and 4x, close to 4x
+    // for the EW part. Check the score EW kernels exactly.
+    std::int64_t ew_a = 0, ew_b = 0;
+    for (const auto &op : BertTraceBuilder(a).buildForward().ops)
+        if (op.sub == SubLayer::AttnScaleMaskDrSm)
+            ew_a += op.numel;
+    for (const auto &op : BertTraceBuilder(b).buildForward().ops)
+        if (op.sub == SubLayer::AttnScaleMaskDrSm)
+            ew_b += op.numel;
+    EXPECT_EQ(ew_b, 4 * ew_a);
+    EXPECT_GT(score_flops(b), 2 * score_flops(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, TraceInvariants,
+    ::testing::Values(
+        ConfigCase{"base_b4", withPhase1(bertBase(), 4)},
+        ConfigCase{"large_b8", withPhase1(bertLarge(), 8)},
+        ConfigCase{"c1_b4", withPhase1(scalingC1(), 4)},
+        ConfigCase{"c3_b2", withPhase1(scalingC3(), 2)}),
+    [](const ::testing::TestParamInfo<ConfigCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace bertprof

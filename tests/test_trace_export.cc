@@ -1,0 +1,103 @@
+/** Tests for the trace export (CSV and Chrome trace JSON). */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "core/trace_export.h"
+#include "test_helpers.h"
+
+namespace bertprof {
+namespace {
+
+TimedTrace
+smallTimedTrace()
+{
+    Characterizer characterizer(mi100());
+    return characterizer.run(withPhase1(testing::tinyBertConfig(), 2))
+        .timed;
+}
+
+TEST(TraceExport, CsvHasOneRowPerKernel)
+{
+    const TimedTrace timed = smallTimedTrace();
+    const CsvWriter csv = traceToCsv(timed);
+    const std::string text = csv.render();
+    // Header + one line per kernel.
+    const auto lines =
+        static_cast<std::size_t>(std::count(text.begin(), text.end(),
+                                            '\n'));
+    EXPECT_EQ(lines, timed.ops.size() + 1);
+    EXPECT_NE(text.find("ops_per_byte"), std::string::npos);
+}
+
+TEST(TraceExport, CsvContainsDimsAndTimes)
+{
+    const TimedTrace timed = smallTimedTrace();
+    const std::string text = traceToCsv(timed).render();
+    EXPECT_NE(text.find("enc0.fc1.fwd"), std::string::npos);
+    EXPECT_NE(text.find("UPDATE"), std::string::npos);
+    EXPECT_NE(text.find("NT,"), std::string::npos); // GEMM dims label
+}
+
+TEST(TraceExport, CsvRoundTripsThroughFile)
+{
+    const TimedTrace timed = smallTimedTrace();
+    const std::string path = ::testing::TempDir() + "bp_trace_test.csv";
+    ASSERT_TRUE(writeTraceCsv(timed, path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), traceToCsv(timed).render());
+    std::remove(path.c_str());
+}
+
+TEST(TraceExport, ChromeJsonIsWellFormedEnough)
+{
+    const TimedTrace timed = smallTimedTrace();
+    const std::string json = traceToChromeJson(timed);
+    EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+    EXPECT_EQ(json.back(), '}');
+    // One complete event per kernel.
+    std::size_t events = 0;
+    for (std::size_t pos = 0;
+         (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos;
+         ++pos)
+        ++events;
+    EXPECT_EQ(events, timed.ops.size());
+    // Balanced braces.
+    const auto opens = std::count(json.begin(), json.end(), '{');
+    const auto closes = std::count(json.begin(), json.end(), '}');
+    EXPECT_EQ(opens, closes);
+}
+
+TEST(TraceExport, ChromeJsonTimestampsAreMonotone)
+{
+    const TimedTrace timed = smallTimedTrace();
+    const std::string json = traceToChromeJson(timed);
+    double prev = -1.0;
+    for (std::size_t pos = 0;
+         (pos = json.find("\"ts\":", pos)) != std::string::npos;
+         ++pos) {
+        const double ts = std::atof(json.c_str() + pos + 5);
+        EXPECT_GE(ts, prev);
+        prev = ts;
+    }
+}
+
+TEST(TraceExport, ChromeJsonSeparatesPhasesIntoTracks)
+{
+    const TimedTrace timed = smallTimedTrace();
+    const std::string json = traceToChromeJson(timed);
+    EXPECT_NE(json.find("\"tid\":0"), std::string::npos); // FWD
+    EXPECT_NE(json.find("\"tid\":2"), std::string::npos); // BWD
+    EXPECT_NE(json.find("\"tid\":3"), std::string::npos); // UPDATE
+}
+
+} // namespace
+} // namespace bertprof

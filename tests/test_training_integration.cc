@@ -1,0 +1,188 @@
+/**
+ * End-to-end substrate integration: a tiny BERT must actually learn
+ * on synthetic masked-LM data with each optimizer, and the profiler
+ * must produce a sane breakdown of the real execution.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/bert_pretrainer.h"
+#include "optim/adam.h"
+#include "optim/lamb.h"
+#include "test_helpers.h"
+
+namespace bertprof {
+namespace {
+
+using testing::tinyBertConfig;
+
+/** Train for `iters` iterations; returns (first, last) window means. */
+std::pair<double, double>
+trainLossTrend(Optimizer &optimizer, BertPretrainer &trainer,
+               SyntheticDataset &dataset, int iters)
+{
+    auto params = trainer.parameters();
+    std::vector<double> losses;
+    for (int it = 0; it < iters; ++it) {
+        const PretrainBatch batch = dataset.nextBatch();
+        trainer.zeroGrad();
+        const auto result = trainer.forwardBackward(batch);
+        optimizer.step(params);
+        losses.push_back(result.totalLoss());
+    }
+    const int window = iters / 4;
+    double first = 0.0, last = 0.0;
+    for (int i = 0; i < window; ++i) {
+        first += losses[static_cast<std::size_t>(i)];
+        last += losses[losses.size() - 1 - static_cast<std::size_t>(i)];
+    }
+    return {first / window, last / window};
+}
+
+TEST(TrainingIntegration, LambReducesLoss)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    rt.dropoutP = 0.0f;
+    BertPretrainer trainer(config, &rt);
+    Rng init(21);
+    trainer.initialize(init);
+    SyntheticDataset dataset(config, 99);
+
+    OptimizerConfig opt_config;
+    opt_config.learningRate = 5e-3f;
+    opt_config.weightDecay = 0.0f;
+    Lamb lamb(opt_config);
+    const auto [first, last] = trainLossTrend(lamb, trainer, dataset, 24);
+    EXPECT_LT(last, first) << "LAMB failed to reduce training loss";
+}
+
+TEST(TrainingIntegration, AdamReducesLoss)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    rt.dropoutP = 0.0f;
+    BertPretrainer trainer(config, &rt);
+    Rng init(22);
+    trainer.initialize(init);
+    SyntheticDataset dataset(config, 100);
+
+    OptimizerConfig opt_config;
+    opt_config.learningRate = 2e-3f;
+    opt_config.weightDecay = 0.0f;
+    Adam adam(opt_config);
+    const auto [first, last] = trainLossTrend(adam, trainer, dataset, 24);
+    EXPECT_LT(last, first) << "Adam failed to reduce training loss";
+}
+
+TEST(TrainingIntegration, LossStaysFiniteWithDropout)
+{
+    BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    rt.dropoutP = 0.1f;
+    BertPretrainer trainer(config, &rt);
+    Rng init(23);
+    trainer.initialize(init);
+    SyntheticDataset dataset(config, 101);
+    OptimizerConfig opt_config;
+    opt_config.learningRate = 1e-3f;
+    Lamb lamb(opt_config);
+    auto params = trainer.parameters();
+    for (int it = 0; it < 6; ++it) {
+        trainer.zeroGrad();
+        const auto result = trainer.forwardBackward(dataset.nextBatch());
+        EXPECT_TRUE(std::isfinite(result.totalLoss()));
+        lamb.step(params);
+    }
+}
+
+TEST(TrainingIntegration, ProfiledBreakdownCoversAllScopes)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    Profiler profiler;
+    rt.profiler = &profiler;
+    rt.dropoutP = 0.0f;
+    BertPretrainer trainer(config, &rt);
+    Rng init(24);
+    trainer.initialize(init);
+    SyntheticDataset dataset(config, 102);
+
+    OptimizerConfig opt_config;
+    Lamb lamb(opt_config, &profiler);
+    trainer.zeroGrad();
+    trainer.forwardBackward(dataset.nextBatch());
+    lamb.step(trainer.parameters());
+
+    const auto scopes = profiler.byScope();
+    EXPECT_TRUE(scopes.count("Transformer"));
+    EXPECT_TRUE(scopes.count("Embedding"));
+    EXPECT_TRUE(scopes.count("Output"));
+    EXPECT_TRUE(scopes.count("Optimizer"));
+    EXPECT_GT(profiler.totalSeconds(), 0.0);
+
+    // The transformer layers dominate even the real CPU execution
+    // (the headline structure of the paper's Fig. 3).
+    const Seconds total = profiler.totalSeconds();
+    EXPECT_GT(scopes.at("Transformer").seconds / total, 0.3);
+}
+
+TEST(TrainingIntegration, ProfiledPhasesIncludeFwdBwdUpdate)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    Profiler profiler;
+    rt.profiler = &profiler;
+    BertPretrainer trainer(config, &rt);
+    Rng init(25);
+    trainer.initialize(init);
+    SyntheticDataset dataset(config, 103);
+    OptimizerConfig opt_config;
+    Lamb lamb(opt_config, &profiler);
+    trainer.zeroGrad();
+    trainer.forwardBackward(dataset.nextBatch());
+    lamb.step(trainer.parameters());
+
+    const auto phases = profiler.byPhase();
+    EXPECT_TRUE(phases.count("FWD"));
+    EXPECT_TRUE(phases.count("BWD"));
+    EXPECT_TRUE(phases.count("UPDATE"));
+}
+
+TEST(TrainingIntegration, MlmAccuracyImprovesOnFixedBatch)
+{
+    // Overfit a single batch: prediction accuracy on the masked
+    // positions must rise well above chance.
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    rt.dropoutP = 0.0f;
+    BertPretrainer trainer(config, &rt);
+    Rng init(26);
+    trainer.initialize(init);
+    SyntheticDataset dataset(config, 104);
+    const PretrainBatch batch = dataset.nextBatch();
+
+    OptimizerConfig opt_config;
+    opt_config.learningRate = 1e-2f;
+    opt_config.weightDecay = 0.0f;
+    Lamb lamb(opt_config);
+    auto params = trainer.parameters();
+
+    double first_loss = 0.0, last_loss = 0.0;
+    for (int it = 0; it < 100; ++it) {
+        trainer.zeroGrad();
+        const auto result = trainer.forwardBackward(batch);
+        if (it == 0)
+            first_loss = result.mlmLoss;
+        last_loss = result.mlmLoss;
+        lamb.step(params);
+    }
+    EXPECT_LT(last_loss, first_loss * 0.8)
+        << "failed to overfit one batch";
+}
+
+} // namespace
+} // namespace bertprof

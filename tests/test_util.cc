@@ -1,0 +1,181 @@
+/** Tests for util: units formatting, Table, CSV, Rng, logging. */
+
+#include <csignal>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace bertprof {
+namespace {
+
+TEST(Units, FormatBytesUsesBinaryPrefixes)
+{
+    EXPECT_EQ(formatBytes(512), "512.00 B");
+    EXPECT_EQ(formatBytes(1024), "1.00 KiB");
+    EXPECT_EQ(formatBytes(1.25 * 1024 * 1024 * 1024), "1.25 GiB");
+}
+
+TEST(Units, FormatFlopsUsesDecimalPrefixes)
+{
+    EXPECT_EQ(formatFlops(999), "999.00 FLOP");
+    EXPECT_EQ(formatFlops(34.36e9), "34.36 GFLOP");
+    EXPECT_EQ(formatFlops(1.5e12), "1.50 TFLOP");
+}
+
+TEST(Units, FormatSecondsPicksScale)
+{
+    EXPECT_EQ(formatSeconds(2.5), "2.500 s");
+    EXPECT_EQ(formatSeconds(0.0125), "12.500 ms");
+    EXPECT_EQ(formatSeconds(3.2e-6), "3.200 us");
+    EXPECT_EQ(formatSeconds(5e-9), "5.000 ns");
+}
+
+TEST(Units, FormatRates)
+{
+    EXPECT_EQ(formatFlopRate(46.1e12), "46.10 TFLOP/s");
+    EXPECT_EQ(formatByteRate(1.23e12), "1.23 TB/s");
+}
+
+TEST(Units, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.5), "50.0%");
+    EXPECT_EQ(formatPercent(0.073, 2), "7.30%");
+}
+
+TEST(Table, RendersHeaderAndRowsAligned)
+{
+    Table table("Title");
+    table.setHeader({"A", "Long column"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "2"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("| A      |"), std::string::npos);
+    EXPECT_NE(out.find("| longer |"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, SeparatorRowsAreNotCounted)
+{
+    Table table;
+    table.setHeader({"A"});
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    EXPECT_EQ(table.rowCount(), 2u);
+    // Three content-bounding separators plus the explicit one.
+    const std::string out = table.render();
+    int separators = 0;
+    for (std::size_t pos = 0; (pos = out.find("+--", pos)) !=
+                              std::string::npos;
+         ++pos) {
+        ++separators;
+    }
+    EXPECT_EQ(separators, 4);
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, RendersHeaderAndRows)
+{
+    CsvWriter csv;
+    csv.setHeader({"x", "y"});
+    csv.addRow({"1", "2"});
+    csv.addRow({"a,b", "3"});
+    EXPECT_EQ(csv.render(), "x,y\n1,2\n\"a,b\",3\n");
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.uniform() != b.uniform();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntWithinBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(5, 9);
+        EXPECT_GE(v, 5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, NormalHasRequestedMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sum_sq = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        const double v = rng.normal(2.0, 3.0);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / trials;
+    const double var = sum_sq / trials - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Logging, LevelGate)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    // Below-threshold messages are dropped silently (smoke test).
+    logMessage(LogLevel::Debug, "should not appear");
+    setLogLevel(saved);
+}
+
+TEST(Logging, StreamMacroDoesNotCrash)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Error); // suppress output during the test
+    BP_LOG(Info) << "value = " << 42 << " and " << 3.14;
+    setLogLevel(saved);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_EXIT({ BP_PANIC() << "internal bug"; },
+                ::testing::KilledBySignal(SIGABRT), "internal bug");
+}
+
+TEST(LoggingDeath, AssertAbortsOnFalse)
+{
+    EXPECT_EXIT({ BP_ASSERT(1 == 2); },
+                ::testing::KilledBySignal(SIGABRT), "assertion failed");
+}
+
+} // namespace
+} // namespace bertprof

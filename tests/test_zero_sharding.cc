@@ -1,0 +1,93 @@
+/** Tests for the ZeRO-style sharded-optimizer DP model. */
+
+#include <gtest/gtest.h>
+
+#include "dist/data_parallel.h"
+#include "dist/zero_sharding.h"
+
+namespace bertprof {
+namespace {
+
+class ZeroFixture : public ::testing::Test
+{
+  protected:
+    DeviceSpec spec_ = mi100();
+    CommModel comm_{spec_, AllReduceAlgo::Ring};
+    ZeroShardingModel zero_{spec_, comm_};
+    DataParallelModel dp_{spec_, comm_};
+    BertConfig config_ = withPhase1(bertLarge(), 16);
+};
+
+TEST_F(ZeroFixture, SingleDeviceIsPlainTraining)
+{
+    const auto profile = zero_.evaluate(config_, 1);
+    EXPECT_EQ(profile.exposedCommSeconds, 0.0);
+    EXPECT_EQ(profile.totalCommSeconds, 0.0);
+}
+
+TEST_F(ZeroFixture, OptimizerWorkShrinksWithDevices)
+{
+    const auto single = zero_.evaluate(config_, 1);
+    const auto sharded = zero_.evaluate(config_, 16);
+    auto update_time = [](const DistributedProfile &profile) {
+        const auto phases = profile.timed.byPhase();
+        auto it = phases.find("UPDATE");
+        return it == phases.end() ? 0.0 : it->second.seconds;
+    };
+    // Traffic shrinks 16x but per-tensor launch overhead does not,
+    // so the time reduction saturates well short of 16x.
+    EXPECT_LT(update_time(sharded), 0.55 * update_time(single));
+}
+
+TEST_F(ZeroFixture, GradNormStaysFullSize)
+{
+    // The paper's caveat: LAMB's global norm still touches every
+    // gradient, so the GradNorm reduction does not shrink.
+    const auto single = zero_.evaluate(config_, 1);
+    const auto sharded = zero_.evaluate(config_, 16);
+    auto norm_bytes = [](const DistributedProfile &profile) {
+        std::int64_t total = 0;
+        for (const auto &timed : profile.timed.ops)
+            if (timed.op.sub == SubLayer::GradNorm)
+                total += timed.op.stats.bytesTotal();
+        return total;
+    };
+    EXPECT_EQ(norm_bytes(single), norm_bytes(sharded));
+}
+
+TEST_F(ZeroFixture, ShardCollectiveIsHalfARingAllReduce)
+{
+    const std::int64_t bytes = 1 << 30;
+    const Seconds half = zero_.shardCollectiveTime(bytes, 8);
+    CommModel ring(spec_, AllReduceAlgo::Ring);
+    EXPECT_NEAR(2.0 * half, ring.allReduceTime(bytes, 8), 1e-4);
+}
+
+TEST_F(ZeroFixture, FasterThanSerialDpForLargeModels)
+{
+    // ZeRO hides the reduce-scatter; serial DP exposes a full
+    // all-reduce. Per-device iteration should be faster than D1.
+    const auto zero = zero_.evaluate(config_, 64);
+    const auto d1 = dp_.evaluate(config_, 64, /*overlap=*/false);
+    EXPECT_LT(zero.timed.totalSeconds(), d1.timed.totalSeconds());
+}
+
+TEST_F(ZeroFixture, ExposedCommIncludesAllGather)
+{
+    const auto profile = zero_.evaluate(config_, 16);
+    const std::int64_t grad_bytes =
+        config_.parameterCount() * config_.activationBytes();
+    EXPECT_GE(profile.exposedCommSeconds,
+              zero_.shardCollectiveTime(grad_bytes, 16));
+}
+
+TEST_F(ZeroFixture, NetworkOpAppearsInBreakdown)
+{
+    const auto profile = zero_.evaluate(config_, 16);
+    const auto scopes = profile.timed.byScope();
+    ASSERT_TRUE(scopes.count("Network"));
+    EXPECT_GT(scopes.at("Network").seconds, 0.0);
+}
+
+} // namespace
+} // namespace bertprof
