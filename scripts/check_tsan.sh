@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the tree under ThreadSanitizer and run the tier-1 test suite
+# with the thread pool forced wide, so races in src/runtime and the
+# parallelized ops surface even on small machines.
+#
+# Usage: scripts/check_tsan.sh [ctest-label-regex]
+#   With no argument the full suite runs; pass e.g. "parallel" to
+#   restrict to the runtime/ops parallelism tests for a quick check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+LABEL="${1:-}"
+
+cmake -B "${BUILD_DIR}" -S . -DBERTPROF_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# Force real parallelism regardless of the host's core count: races
+# only exist when multiple workers touch the kernels.
+export BERTPROF_NUM_THREADS=8
+export TSAN_OPTIONS="halt_on_error=0 exitcode=66"
+
+if [[ -n "${LABEL}" ]]; then
+    ctest --test-dir "${BUILD_DIR}" -L "${LABEL}" --output-on-failure
+else
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure
+fi
+echo "ThreadSanitizer run clean."

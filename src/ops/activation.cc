@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/parallel_for.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -18,11 +19,14 @@ geluForward(const Tensor &in, Tensor &out)
 {
     BP_REQUIRE(in.shape() == out.shape());
     const std::int64_t n = in.numel();
-    for (std::int64_t i = 0; i < n; ++i) {
-        const double x = in.data()[i];
-        out.data()[i] =
-            static_cast<float>(x * 0.5 * (1.0 + std::erf(x * kInvSqrt2)));
-    }
+    parallelFor(0, n, kElementwiseGrain, [&](std::int64_t lo,
+                                             std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+            const double x = in.data()[i];
+            out.data()[i] = static_cast<float>(
+                x * 0.5 * (1.0 + std::erf(x * kInvSqrt2)));
+        }
+    });
     // The paper decomposes unfused GeLU into ~5 EW ops (mul, add,
     // div, erf, mul); we count the fused arithmetic here.
     return elementwiseStats(n, 1, 1, 5, dtypeBytes(in.dtype()));
@@ -33,13 +37,16 @@ geluBackward(const Tensor &in, const Tensor &dout, Tensor &din)
 {
     BP_REQUIRE(in.shape() == dout.shape() && in.shape() == din.shape());
     const std::int64_t n = in.numel();
-    for (std::int64_t i = 0; i < n; ++i) {
-        const double x = in.data()[i];
-        const double cdf = 0.5 * (1.0 + std::erf(x * kInvSqrt2));
-        const double pdf = kInvSqrt2Pi * std::exp(-0.5 * x * x);
-        din.data()[i] =
-            static_cast<float>(dout.data()[i] * (cdf + x * pdf));
-    }
+    parallelFor(0, n, kElementwiseGrain, [&](std::int64_t lo,
+                                             std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+            const double x = in.data()[i];
+            const double cdf = 0.5 * (1.0 + std::erf(x * kInvSqrt2));
+            const double pdf = kInvSqrt2Pi * std::exp(-0.5 * x * x);
+            din.data()[i] =
+                static_cast<float>(dout.data()[i] * (cdf + x * pdf));
+        }
+    });
     return elementwiseStats(n, 2, 1, 8, dtypeBytes(in.dtype()));
 }
 
@@ -48,8 +55,12 @@ reluForward(const Tensor &in, Tensor &out)
 {
     BP_REQUIRE(in.shape() == out.shape());
     const std::int64_t n = in.numel();
-    for (std::int64_t i = 0; i < n; ++i)
-        out.data()[i] = in.data()[i] > 0.0f ? in.data()[i] : 0.0f;
+    parallelFor(0, n, kElementwiseGrain,
+                [&](std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i)
+                        out.data()[i] =
+                            in.data()[i] > 0.0f ? in.data()[i] : 0.0f;
+                });
     return elementwiseStats(n, 1, 1, 1, dtypeBytes(in.dtype()));
 }
 
@@ -58,8 +69,12 @@ reluBackward(const Tensor &in, const Tensor &dout, Tensor &din)
 {
     BP_REQUIRE(in.shape() == dout.shape() && in.shape() == din.shape());
     const std::int64_t n = in.numel();
-    for (std::int64_t i = 0; i < n; ++i)
-        din.data()[i] = in.data()[i] > 0.0f ? dout.data()[i] : 0.0f;
+    parallelFor(0, n, kElementwiseGrain,
+                [&](std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i)
+                        din.data()[i] =
+                            in.data()[i] > 0.0f ? dout.data()[i] : 0.0f;
+                });
     return elementwiseStats(n, 2, 1, 1, dtypeBytes(in.dtype()));
 }
 
@@ -68,8 +83,11 @@ tanhForward(const Tensor &in, Tensor &out)
 {
     BP_REQUIRE(in.shape() == out.shape());
     const std::int64_t n = in.numel();
-    for (std::int64_t i = 0; i < n; ++i)
-        out.data()[i] = std::tanh(in.data()[i]);
+    parallelFor(0, n, kElementwiseGrain,
+                [&](std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i)
+                        out.data()[i] = std::tanh(in.data()[i]);
+                });
     return elementwiseStats(n, 1, 1, 4, dtypeBytes(in.dtype()));
 }
 
@@ -78,10 +96,13 @@ tanhBackward(const Tensor &out, const Tensor &dout, Tensor &din)
 {
     BP_REQUIRE(out.shape() == dout.shape() && out.shape() == din.shape());
     const std::int64_t n = out.numel();
-    for (std::int64_t i = 0; i < n; ++i) {
-        const float y = out.data()[i];
-        din.data()[i] = dout.data()[i] * (1.0f - y * y);
-    }
+    parallelFor(0, n, kElementwiseGrain,
+                [&](std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i) {
+                        const float y = out.data()[i];
+                        din.data()[i] = dout.data()[i] * (1.0f - y * y);
+                    }
+                });
     return elementwiseStats(n, 2, 1, 3, dtypeBytes(out.dtype()));
 }
 

@@ -1,5 +1,6 @@
 #include "ops/elementwise.h"
 
+#include "runtime/parallel_for.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -9,8 +10,11 @@ addForward(const Tensor &a, const Tensor &b, Tensor &out)
 {
     BP_REQUIRE(a.shape() == b.shape() && a.shape() == out.shape());
     const std::int64_t n = a.numel();
-    for (std::int64_t i = 0; i < n; ++i)
-        out.data()[i] = a.data()[i] + b.data()[i];
+    parallelFor(0, n, kElementwiseGrain,
+                [&](std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i)
+                        out.data()[i] = a.data()[i] + b.data()[i];
+                });
     return elementwiseStats(n, 2, 1, 1, dtypeBytes(a.dtype()));
 }
 
@@ -19,8 +23,11 @@ mulForward(const Tensor &a, const Tensor &b, Tensor &out)
 {
     BP_REQUIRE(a.shape() == b.shape() && a.shape() == out.shape());
     const std::int64_t n = a.numel();
-    for (std::int64_t i = 0; i < n; ++i)
-        out.data()[i] = a.data()[i] * b.data()[i];
+    parallelFor(0, n, kElementwiseGrain,
+                [&](std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i)
+                        out.data()[i] = a.data()[i] * b.data()[i];
+                });
     return elementwiseStats(n, 2, 1, 1, dtypeBytes(a.dtype()));
 }
 
@@ -29,8 +36,11 @@ scaleForward(const Tensor &a, float scalar, Tensor &out)
 {
     BP_REQUIRE(a.shape() == out.shape());
     const std::int64_t n = a.numel();
-    for (std::int64_t i = 0; i < n; ++i)
-        out.data()[i] = a.data()[i] * scalar;
+    parallelFor(0, n, kElementwiseGrain,
+                [&](std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i)
+                        out.data()[i] = a.data()[i] * scalar;
+                });
     return elementwiseStats(n, 1, 1, 1, dtypeBytes(a.dtype()));
 }
 
@@ -39,8 +49,11 @@ accumulate(Tensor &a, const Tensor &b)
 {
     BP_REQUIRE(a.shape() == b.shape());
     const std::int64_t n = a.numel();
-    for (std::int64_t i = 0; i < n; ++i)
-        a.data()[i] += b.data()[i];
+    parallelFor(0, n, kElementwiseGrain,
+                [&](std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i)
+                        a.data()[i] += b.data()[i];
+                });
     return elementwiseStats(n, 2, 1, 1, dtypeBytes(a.dtype()));
 }
 
@@ -52,10 +65,13 @@ biasForward(const Tensor &in, const Tensor &bias, Tensor &out)
     const std::int64_t cols = bias.shape().dim(0);
     BP_REQUIRE(in.numel() % cols == 0);
     const std::int64_t rows = in.numel() / cols;
-    for (std::int64_t r = 0; r < rows; ++r)
-        for (std::int64_t c = 0; c < cols; ++c)
-            out.data()[r * cols + c] = in.data()[r * cols + c] +
-                                       bias.data()[c];
+    parallelFor(0, rows, rowGrain(cols),
+                [&](std::int64_t r_lo, std::int64_t r_hi) {
+                    for (std::int64_t r = r_lo; r < r_hi; ++r)
+                        for (std::int64_t c = 0; c < cols; ++c)
+                            out.data()[r * cols + c] =
+                                in.data()[r * cols + c] + bias.data()[c];
+                });
     KernelStats s = elementwiseStats(in.numel(), 1, 1, 1,
                                      dtypeBytes(in.dtype()));
     s.bytesRead += bias.storageBytes();
@@ -70,9 +86,16 @@ biasBackward(const Tensor &dout, Tensor &dbias)
     BP_REQUIRE(dout.numel() % cols == 0);
     const std::int64_t rows = dout.numel() / cols;
     dbias.fill(0.0f);
-    for (std::int64_t r = 0; r < rows; ++r)
-        for (std::int64_t c = 0; c < cols; ++c)
-            dbias.data()[c] += dout.data()[r * cols + c];
+    // Parallel over columns, serial over the row (reduction) axis:
+    // each dbias[c] accumulates rows in the same ascending order as
+    // the serial loop, so the result is bitwise identical for any
+    // thread count.
+    parallelFor(0, cols, 64,
+                [&](std::int64_t c_lo, std::int64_t c_hi) {
+                    for (std::int64_t c = c_lo; c < c_hi; ++c)
+                        for (std::int64_t r = 0; r < rows; ++r)
+                            dbias.data()[c] += dout.data()[r * cols + c];
+                });
     KernelStats s = elementwiseStats(dout.numel(), 1, 0, 1,
                                      dtypeBytes(dout.dtype()));
     s.bytesWritten += dbias.storageBytes();
@@ -93,13 +116,17 @@ batchMaskAddForward(const Tensor &a, const Tensor &mask,
     BP_REQUIRE(mask.shape().dim(2) == a.shape().dim(2));
     const std::int64_t per_group = a.shape().dim(1) * a.shape().dim(2);
 
-    for (std::int64_t g = 0; g < groups; ++g) {
-        const float *m = mask.data() + (g / heads) * per_group;
-        const float *src = a.data() + g * per_group;
-        float *dst = out.data() + g * per_group;
-        for (std::int64_t i = 0; i < per_group; ++i)
-            dst[i] = src[i] + m[i];
-    }
+    parallelFor(0, groups, rowGrain(per_group),
+                [&](std::int64_t g_lo, std::int64_t g_hi) {
+                    for (std::int64_t g = g_lo; g < g_hi; ++g) {
+                        const float *m =
+                            mask.data() + (g / heads) * per_group;
+                        const float *src = a.data() + g * per_group;
+                        float *dst = out.data() + g * per_group;
+                        for (std::int64_t i = 0; i < per_group; ++i)
+                            dst[i] = src[i] + m[i];
+                    }
+                });
     KernelStats s = elementwiseStats(a.numel(), 1, 1, 1,
                                      dtypeBytes(a.dtype()));
     s.bytesRead += mask.storageBytes();
@@ -113,10 +140,13 @@ maskAddForward(const Tensor &a, const Tensor &mask, Tensor &out)
     const std::int64_t mask_n = mask.numel();
     BP_REQUIRE(mask_n > 0 && a.numel() % mask_n == 0);
     const std::int64_t groups = a.numel() / mask_n;
-    for (std::int64_t g = 0; g < groups; ++g)
-        for (std::int64_t i = 0; i < mask_n; ++i)
-            out.data()[g * mask_n + i] = a.data()[g * mask_n + i] +
-                                         mask.data()[i];
+    parallelFor(0, groups, rowGrain(mask_n),
+                [&](std::int64_t g_lo, std::int64_t g_hi) {
+                    for (std::int64_t g = g_lo; g < g_hi; ++g)
+                        for (std::int64_t i = 0; i < mask_n; ++i)
+                            out.data()[g * mask_n + i] =
+                                a.data()[g * mask_n + i] + mask.data()[i];
+                });
     KernelStats s = elementwiseStats(a.numel(), 1, 1, 1,
                                      dtypeBytes(a.dtype()));
     s.bytesRead += mask.storageBytes();

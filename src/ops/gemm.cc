@@ -2,21 +2,30 @@
 
 #include <algorithm>
 
+#include "runtime/parallel_for.h"
 #include "util/logging.h"
 
 namespace bertprof {
 
 namespace {
 
+/** Chunk granularity over the M dimension: rows are heavyweight (n*k
+ * MACs each), so chunk finely and let the chunk cap bound overhead. */
+constexpr std::int64_t kGemmRowGrain = 4;
+
 /**
  * Core MxNxK kernel on raw pointers with row-major storage and
- * logical transposes handled via strides. Blocked on K and N to keep
- * the working set cache resident.
+ * logical transposes handled via strides, restricted to output rows
+ * [row_begin, row_end). Blocked on K and N to keep the working set
+ * cache resident. Each output row's accumulation order is independent
+ * of the row range, so row-partitioned parallel execution is bitwise
+ * identical to one serial call over [0, m).
  */
 void
-gemmKernel(const float *a, const float *b, float *c, std::int64_t m,
-           std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
-           float alpha, float beta)
+gemmKernelRows(const float *a, const float *b, float *c, std::int64_t m,
+               std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
+               float alpha, float beta, std::int64_t row_begin,
+               std::int64_t row_end)
 {
     // Element (i, p) of op(A): A is MxK or (transposed) KxM.
     const std::int64_t a_rs = trans_a ? 1 : k; // row stride
@@ -24,7 +33,7 @@ gemmKernel(const float *a, const float *b, float *c, std::int64_t m,
     const std::int64_t b_rs = trans_b ? 1 : n;
     const std::int64_t b_cs = trans_b ? k : 1;
 
-    for (std::int64_t i = 0; i < m * n; ++i)
+    for (std::int64_t i = row_begin * n; i < row_end * n; ++i)
         c[i] = beta == 0.0f ? 0.0f : c[i] * beta;
 
     constexpr std::int64_t kBlockK = 64;
@@ -33,7 +42,7 @@ gemmKernel(const float *a, const float *b, float *c, std::int64_t m,
         const std::int64_t p1 = std::min(p0 + kBlockK, k);
         for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
             const std::int64_t j1 = std::min(j0 + kBlockN, n);
-            for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t i = row_begin; i < row_end; ++i) {
                 float *crow = c + i * n;
                 for (std::int64_t p = p0; p < p1; ++p) {
                     const float av = alpha * a[i * a_rs + p * a_cs];
@@ -61,8 +70,12 @@ gemm(const Tensor &a, const Tensor &b, Tensor &c, bool trans_a, bool trans_b,
     BP_REQUIRE(k == kb);
     BP_REQUIRE(c.shape().dim(0) == m && c.shape().dim(1) == n);
 
-    gemmKernel(a.data(), b.data(), c.data(), m, n, k, trans_a, trans_b,
-               alpha, beta);
+    parallelFor(0, m, kGemmRowGrain,
+                [&](std::int64_t row_begin, std::int64_t row_end) {
+                    gemmKernelRows(a.data(), b.data(), c.data(), m, n, k,
+                                   trans_a, trans_b, alpha, beta, row_begin,
+                                   row_end);
+                });
     return gemmStats(m, n, k, 1, dtypeBytes(a.dtype()));
 }
 
@@ -85,11 +98,20 @@ batchedGemm(const Tensor &a, const Tensor &b, Tensor &c, bool trans_a,
     const std::int64_t a_step = a.shape().dim(1) * a.shape().dim(2);
     const std::int64_t b_step = b.shape().dim(1) * b.shape().dim(2);
     const std::int64_t c_step = m * n;
-    for (std::int64_t g = 0; g < batch; ++g) {
-        gemmKernel(a.data() + g * a_step, b.data() + g * b_step,
-                   c.data() + g * c_step, m, n, k, trans_a, trans_b, alpha,
-                   beta);
-    }
+    // The B*h attention GEMMs are embarrassingly parallel over the
+    // batch dimension; chunk over rows too so a few large batches
+    // still spread across every lane.
+    parallelFor2d(batch, m, 1, kGemmRowGrain,
+                  [&](std::int64_t g_begin, std::int64_t g_end,
+                      std::int64_t row_begin, std::int64_t row_end) {
+                      for (std::int64_t g = g_begin; g < g_end; ++g) {
+                          gemmKernelRows(a.data() + g * a_step,
+                                         b.data() + g * b_step,
+                                         c.data() + g * c_step, m, n, k,
+                                         trans_a, trans_b, alpha, beta,
+                                         row_begin, row_end);
+                      }
+                  });
     return gemmStats(m, n, k, batch, dtypeBytes(a.dtype()));
 }
 

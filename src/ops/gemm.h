@@ -2,8 +2,12 @@
  * @file
  * General matrix multiply (GEMM) and batched GEMM on Tensors. These
  * are the kernels the paper's Table 2b shapes manifest as. The
- * implementation is a cache-blocked triple loop: correct and fast
- * enough for the tiny-model substrate tests, not a BLAS replacement.
+ * implementation is a cache-blocked triple loop parallelized over
+ * output rows (and the batch dimension for batchedGemm) via
+ * runtime/parallel_for.h: correct and fast enough for the tiny-model
+ * substrate tests, not a BLAS replacement. Output is bitwise
+ * identical for every thread count (rows partition the output; each
+ * row's accumulation order is fixed).
  */
 
 #ifndef BERTPROF_OPS_GEMM_H

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/parallel_for.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -17,27 +18,34 @@ layerNormForward(const Tensor &in, const Tensor &gamma, const Tensor &beta,
     const std::int64_t rows = in.numel() / cols;
     BP_REQUIRE(mean.numel() == rows && rstd.numel() == rows);
 
-    for (std::int64_t r = 0; r < rows; ++r) {
-        const float *x = in.data() + r * cols;
-        float *y = out.data() + r * cols;
-        double mu = 0.0;
-        for (std::int64_t c = 0; c < cols; ++c)
-            mu += x[c];
-        mu /= static_cast<double>(cols);
-        double var = 0.0;
-        for (std::int64_t c = 0; c < cols; ++c) {
-            const double d = x[c] - mu;
-            var += d * d;
+    // Rows are fully independent: statistics and normalization for a
+    // row touch only that row, so row-partitioned execution is
+    // bitwise identical to the serial loop.
+    parallelFor(0, rows, rowGrain(cols), [&](std::int64_t r_lo,
+                                             std::int64_t r_hi) {
+        for (std::int64_t r = r_lo; r < r_hi; ++r) {
+            const float *x = in.data() + r * cols;
+            float *y = out.data() + r * cols;
+            double mu = 0.0;
+            for (std::int64_t c = 0; c < cols; ++c)
+                mu += x[c];
+            mu /= static_cast<double>(cols);
+            double var = 0.0;
+            for (std::int64_t c = 0; c < cols; ++c) {
+                const double d = x[c] - mu;
+                var += d * d;
+            }
+            var /= static_cast<double>(cols);
+            const double rs = 1.0 / std::sqrt(var + eps);
+            mean.data()[r] = static_cast<float>(mu);
+            rstd.data()[r] = static_cast<float>(rs);
+            for (std::int64_t c = 0; c < cols; ++c) {
+                y[c] = static_cast<float>((x[c] - mu) * rs) *
+                           gamma.data()[c] +
+                       beta.data()[c];
+            }
         }
-        var /= static_cast<double>(cols);
-        const double rs = 1.0 / std::sqrt(var + eps);
-        mean.data()[r] = static_cast<float>(mu);
-        rstd.data()[r] = static_cast<float>(rs);
-        for (std::int64_t c = 0; c < cols; ++c) {
-            y[c] = static_cast<float>((x[c] - mu) * rs) * gamma.data()[c] +
-                   beta.data()[c];
-        }
-    }
+    });
     KernelStats s = elementwiseStats(in.numel(), 1, 1, 6,
                                      dtypeBytes(in.dtype()));
     s.bytesRead += gamma.storageBytes() + beta.storageBytes();
@@ -59,33 +67,60 @@ layerNormBackward(const Tensor &in, const Tensor &gamma, const Tensor &mean,
 
     dgamma.fill(0.0f);
     dbeta.fill(0.0f);
-    for (std::int64_t r = 0; r < rows; ++r) {
-        const float *x = in.data() + r * cols;
-        const float *dy = dout.data() + r * cols;
-        float *dx = din.data() + r * cols;
-        const double mu = mean.data()[r];
-        const double rs = rstd.data()[r];
+    // Pass 1 — din, parallel over rows. Each row's reductions
+    // (sum_gdy, sum_gdy_xhat) stay inside the row, so partitioning
+    // rows does not change any accumulation order.
+    parallelFor(0, rows, rowGrain(cols), [&](std::int64_t r_lo,
+                                             std::int64_t r_hi) {
+        for (std::int64_t r = r_lo; r < r_hi; ++r) {
+            const float *x = in.data() + r * cols;
+            const float *dy = dout.data() + r * cols;
+            float *dx = din.data() + r * cols;
+            const double mu = mean.data()[r];
+            const double rs = rstd.data()[r];
 
-        // xhat = (x - mu) * rs; din follows the standard LN backward:
-        // dx = rs/C * (C*g*dy - sum(g*dy) - xhat * sum(g*dy*xhat))
-        double sum_gdy = 0.0;
-        double sum_gdy_xhat = 0.0;
-        for (std::int64_t c = 0; c < cols; ++c) {
-            const double xhat = (x[c] - mu) * rs;
-            const double gdy = static_cast<double>(gamma.data()[c]) * dy[c];
-            sum_gdy += gdy;
-            sum_gdy_xhat += gdy * xhat;
-            dgamma.data()[c] += static_cast<float>(dy[c] * xhat);
-            dbeta.data()[c] += dy[c];
+            // xhat = (x - mu) * rs; din follows the standard LN
+            // backward:
+            // dx = rs/C * (C*g*dy - sum(g*dy) - xhat * sum(g*dy*xhat))
+            double sum_gdy = 0.0;
+            double sum_gdy_xhat = 0.0;
+            for (std::int64_t c = 0; c < cols; ++c) {
+                const double xhat = (x[c] - mu) * rs;
+                const double gdy =
+                    static_cast<double>(gamma.data()[c]) * dy[c];
+                sum_gdy += gdy;
+                sum_gdy_xhat += gdy * xhat;
+            }
+            const double inv_c = 1.0 / static_cast<double>(cols);
+            for (std::int64_t c = 0; c < cols; ++c) {
+                const double xhat = (x[c] - mu) * rs;
+                const double gdy =
+                    static_cast<double>(gamma.data()[c]) * dy[c];
+                dx[c] = static_cast<float>(
+                    rs * (gdy - inv_c * (sum_gdy + xhat * sum_gdy_xhat)));
+            }
         }
-        const double inv_c = 1.0 / static_cast<double>(cols);
-        for (std::int64_t c = 0; c < cols; ++c) {
-            const double xhat = (x[c] - mu) * rs;
-            const double gdy = static_cast<double>(gamma.data()[c]) * dy[c];
-            dx[c] = static_cast<float>(
-                rs * (gdy - inv_c * (sum_gdy + xhat * sum_gdy_xhat)));
+    });
+    // Pass 2 — dgamma/dbeta, parallel over columns with the row
+    // (reduction) axis kept serial in ascending order: bitwise
+    // identical to the serial interleaved loop for any thread count.
+    parallelFor(0, cols, 64, [&](std::int64_t c_lo, std::int64_t c_hi) {
+        for (std::int64_t c = c_lo; c < c_hi; ++c) {
+            float dg = 0.0f;
+            float db = 0.0f;
+            for (std::int64_t r = 0; r < rows; ++r) {
+                const double mu = mean.data()[r];
+                const double rs = rstd.data()[r];
+                const float xv = in.data()[r * cols + c];
+                const float dyv = dout.data()[r * cols + c];
+                const double xhat = (xv - mu) * rs;
+                dg += static_cast<float>(dyv * xhat);
+                db += dyv;
+            }
+            dgamma.data()[c] = dg;
+            dbeta.data()[c] = db;
         }
-    }
+    });
     KernelStats s = elementwiseStats(in.numel(), 2, 1, 9,
                                      dtypeBytes(in.dtype()));
     s.bytesRead += gamma.storageBytes() + mean.storageBytes() +

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/parallel_for.h"
+
 namespace bertprof {
 
 void
@@ -33,18 +35,24 @@ Adam::step(const std::vector<Parameter *> &params)
                            OpKind::Elementwise, Phase::Update,
                            LayerScope::Optimizer, SubLayer::LambStage1);
             k.setStats(elementwiseStats(n, 4, 3, 12));
-            for (std::int64_t i = 0; i < n; ++i) {
-                const float gi = g[i] * scale;
-                m[i] = config_.beta1 * m[i] +
-                       (1.0f - config_.beta1) * gi;
-                v[i] = config_.beta2 * v[i] +
-                       (1.0f - config_.beta2) * gi * gi;
-                const double mhat = m[i] / bc1;
-                const double vhat = v[i] / bc2;
-                u[i] = static_cast<float>(
-                           mhat / (std::sqrt(vhat) + config_.epsilon)) +
-                       wd * w[i];
-            }
+            // Every element's m/v/u update is independent, so the
+            // parallel result is bitwise identical to serial.
+            parallelFor(0, n, kElementwiseGrain, [&](std::int64_t lo,
+                                                     std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) {
+                    const float gi = g[i] * scale;
+                    m[i] = config_.beta1 * m[i] +
+                           (1.0f - config_.beta1) * gi;
+                    v[i] = config_.beta2 * v[i] +
+                           (1.0f - config_.beta2) * gi * gi;
+                    const double mhat = m[i] / bc1;
+                    const double vhat = v[i] / bc2;
+                    u[i] = static_cast<float>(
+                               mhat /
+                               (std::sqrt(vhat) + config_.epsilon)) +
+                           wd * w[i];
+                }
+            });
         }
         // Stage 2: apply the update.
         {
@@ -52,8 +60,11 @@ Adam::step(const std::vector<Parameter *> &params)
                            OpKind::Elementwise, Phase::Update,
                            LayerScope::Optimizer, SubLayer::LambStage2);
             k.setStats(elementwiseStats(n, 2, 1, 2));
-            for (std::int64_t i = 0; i < n; ++i)
-                w[i] -= config_.learningRate * u[i];
+            parallelFor(0, n, kElementwiseGrain,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                            for (std::int64_t i = lo; i < hi; ++i)
+                                w[i] -= config_.learningRate * u[i];
+                        });
         }
     }
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/parallel_for.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -41,20 +42,43 @@ Lamb::step(const std::vector<Parameter *> &params)
                            OpKind::Elementwise, Phase::Update,
                            LayerScope::Optimizer, SubLayer::LambStage1);
             k.setStats(elementwiseStats(n, 4, 3, 14));
-            for (std::int64_t i = 0; i < n; ++i) {
-                const float gi = g[i] * scale;
-                m[i] = config_.beta1 * m[i] +
-                       (1.0f - config_.beta1) * gi;
-                v[i] = config_.beta2 * v[i] +
-                       (1.0f - config_.beta2) * gi * gi;
-                const double mhat = m[i] / bc1;
-                const double vhat = v[i] / bc2;
-                u[i] = static_cast<float>(
-                           mhat / (std::sqrt(vhat) + config_.epsilon)) +
-                       wd * w[i];
-                w_sq += static_cast<double>(w[i]) * w[i];
-                u_sq += static_cast<double>(u[i]) * u[i];
-            }
+            // Element-wise moment/direction updates parallelize with
+            // bitwise-identical results; the two norm reductions use
+            // ordered chunk merging (runtime/parallel_for.h), so any
+            // parallel thread count produces the same bits and one
+            // thread reproduces the sequential accumulation exactly.
+            parallelFor(0, n, kElementwiseGrain, [&](std::int64_t lo,
+                                                     std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) {
+                    const float gi = g[i] * scale;
+                    m[i] = config_.beta1 * m[i] +
+                           (1.0f - config_.beta1) * gi;
+                    v[i] = config_.beta2 * v[i] +
+                           (1.0f - config_.beta2) * gi * gi;
+                    const double mhat = m[i] / bc1;
+                    const double vhat = v[i] / bc2;
+                    u[i] = static_cast<float>(
+                               mhat /
+                               (std::sqrt(vhat) + config_.epsilon)) +
+                           wd * w[i];
+                }
+            });
+            w_sq = parallelReduceOrdered(
+                0, n, kElementwiseGrain,
+                [&](std::int64_t lo, std::int64_t hi) {
+                    double acc = 0.0;
+                    for (std::int64_t i = lo; i < hi; ++i)
+                        acc += static_cast<double>(w[i]) * w[i];
+                    return acc;
+                });
+            u_sq = parallelReduceOrdered(
+                0, n, kElementwiseGrain,
+                [&](std::int64_t lo, std::int64_t hi) {
+                    double acc = 0.0;
+                    for (std::int64_t i = lo; i < hi; ++i)
+                        acc += static_cast<double>(u[i]) * u[i];
+                    return acc;
+                });
         }
 
         // Trust ratio: ||w|| / ||update||, defaulting to 1 when
@@ -73,8 +97,11 @@ Lamb::step(const std::vector<Parameter *> &params)
             k.setStats(elementwiseStats(n, 2, 1, 2));
             const float step_size = static_cast<float>(
                 config_.learningRate * trust);
-            for (std::int64_t i = 0; i < n; ++i)
-                w[i] -= step_size * u[i];
+            parallelFor(0, n, kElementwiseGrain,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                            for (std::int64_t i = lo; i < hi; ++i)
+                                w[i] -= step_size * u[i];
+                        });
         }
     }
 }

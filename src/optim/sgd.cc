@@ -1,5 +1,7 @@
 #include "optim/sgd.h"
 
+#include "runtime/parallel_for.h"
+
 namespace bertprof {
 
 void
@@ -18,14 +20,21 @@ Sgd::step(const std::vector<Parameter *> &params)
             auto [it, inserted] =
                 velocity_.try_emplace(param, param->value.shape());
             float *v = it->second.data();
-            for (std::int64_t i = 0; i < n; ++i) {
-                v[i] = momentum_ * v[i] + g[i] * scale;
-                w[i] -= config_.learningRate * v[i];
-            }
+            parallelFor(0, n, kElementwiseGrain,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                            for (std::int64_t i = lo; i < hi; ++i) {
+                                v[i] = momentum_ * v[i] + g[i] * scale;
+                                w[i] -= config_.learningRate * v[i];
+                            }
+                        });
             k.setStats(elementwiseStats(n, 3, 2, 4));
         } else {
-            for (std::int64_t i = 0; i < n; ++i)
-                w[i] -= config_.learningRate * g[i] * scale;
+            parallelFor(0, n, kElementwiseGrain,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                            for (std::int64_t i = lo; i < hi; ++i)
+                                w[i] -= config_.learningRate * g[i] *
+                                        scale;
+                        });
             k.setStats(elementwiseStats(n, 2, 1, 2));
         }
     }

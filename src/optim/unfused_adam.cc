@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/parallel_for.h"
+
 namespace bertprof {
 
 void
@@ -30,8 +32,11 @@ UnfusedAdam::step(const std::vector<Parameter *> &params)
                            OpKind::Elementwise, Phase::Update,
                            LayerScope::Optimizer, sub);
             k.setStats(elementwiseStats(n, 1, 1, 1));
-            for (std::int64_t i = 0; i < n; ++i)
-                dst.at(i) = fn(src.at(i));
+            parallelFor(0, n, kElementwiseGrain,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                            for (std::int64_t i = lo; i < hi; ++i)
+                                dst.at(i) = fn(src.at(i));
+                        });
         };
         auto binary = [&](const char *name, const Tensor &a,
                           const Tensor &b, Tensor &dst, auto fn,
@@ -40,8 +45,11 @@ UnfusedAdam::step(const std::vector<Parameter *> &params)
                            OpKind::Elementwise, Phase::Update,
                            LayerScope::Optimizer, sub);
             k.setStats(elementwiseStats(n, 2, 1, 1));
-            for (std::int64_t i = 0; i < n; ++i)
-                dst.at(i) = fn(a.at(i), b.at(i));
+            parallelFor(0, n, kElementwiseGrain,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                            for (std::int64_t i = lo; i < hi; ++i)
+                                dst.at(i) = fn(a.at(i), b.at(i));
+                        });
         };
 
         Tensor gs(shape), t1(shape), t2(shape), u(shape);

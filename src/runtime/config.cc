@@ -1,0 +1,56 @@
+#include "runtime/config.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "runtime/thread_pool.h"
+#include "util/logging.h"
+
+namespace bertprof {
+
+namespace {
+
+// 0 means "no override"; read/written from multiple threads in tests.
+std::atomic<int> g_override{0};
+
+// The environment is re-read on every query; warn about a bad value
+// only once per process instead of on each pool resize/lookup.
+std::atomic<bool> g_warned_bad_env{false};
+
+int
+threadsFromEnvironment()
+{
+    const char *env = std::getenv("BERTPROF_NUM_THREADS");
+    if (env && *env) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v >= 1 && v <= 1024)
+            return static_cast<int>(v);
+        if (!g_warned_bad_env.exchange(true))
+            BP_LOG(Warn) << "ignoring invalid BERTPROF_NUM_THREADS=\"" << env
+                         << "\" (want an integer in [1, 1024])";
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+int
+configuredNumThreads()
+{
+    const int override_threads = g_override.load(std::memory_order_acquire);
+    if (override_threads > 0)
+        return override_threads;
+    return threadsFromEnvironment();
+}
+
+void
+setNumThreads(int n)
+{
+    g_override.store(n >= 1 ? n : 0, std::memory_order_release);
+    ThreadPool::instance().resize(configuredNumThreads());
+}
+
+} // namespace bertprof

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Runtime configuration for the parallel execution engine. Thread
+ * count resolution order: programmatic override (setNumThreads) >
+ * BERTPROF_NUM_THREADS environment variable > hardware concurrency.
+ * A count of 1 selects the pure serial path, which executes exactly
+ * the same instruction sequence as the pre-runtime substrate.
+ */
+
+#ifndef BERTPROF_RUNTIME_CONFIG_H
+#define BERTPROF_RUNTIME_CONFIG_H
+
+namespace bertprof {
+
+/**
+ * Number of execution lanes the runtime should use (always >= 1).
+ * Resolved once per change: an explicit setNumThreads() override wins,
+ * then BERTPROF_NUM_THREADS, then std::thread::hardware_concurrency().
+ */
+int configuredNumThreads();
+
+/**
+ * Override the thread count programmatically (benches and tests
+ * sweep this). Resizes the live pool if one exists; n < 1 clears the
+ * override and re-resolves from the environment.
+ */
+void setNumThreads(int n);
+
+} // namespace bertprof
+
+#endif // BERTPROF_RUNTIME_CONFIG_H

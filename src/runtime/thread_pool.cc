@@ -1,0 +1,229 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "runtime/config.h"
+#include "util/logging.h"
+
+namespace bertprof {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+} // namespace
+
+/**
+ * One run() invocation. Task indices [0, count) are pre-split into
+ * contiguous per-lane ranges; lanes pop from the front of their own
+ * range and steal from the back of a victim's, so stolen work is the
+ * work the owner would reach last.
+ */
+struct ThreadPool::Region {
+    struct Lane {
+        std::mutex mutex;
+        std::int64_t next = 0; ///< front of the remaining range
+        std::int64_t end = 0;  ///< one past the back
+    };
+
+    const std::function<void(std::int64_t)> *fn = nullptr;
+    std::vector<std::unique_ptr<Lane>> lanes;
+    std::atomic<std::int64_t> pending{0}; ///< tasks not yet finished
+    std::atomic<bool> cancelled{false};   ///< set after the first error
+    int visitors = 0; ///< attached workers, guarded by pool mutex_
+    std::mutex error_mutex;
+    std::exception_ptr error;
+};
+
+ThreadPool &
+ThreadPool::instance()
+{
+    static ThreadPool pool(configuredNumThreads());
+    return pool;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    num_threads_ = num_threads >= 1 ? num_threads : 1;
+    spawnWorkers();
+}
+
+ThreadPool::~ThreadPool()
+{
+    joinWorkers();
+}
+
+bool
+ThreadPool::inWorker()
+{
+    return t_in_worker;
+}
+
+void
+ThreadPool::spawnWorkers()
+{
+    workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+    for (int i = 1; i < num_threads_; ++i)
+        workers_.emplace_back(&ThreadPool::workerLoop, this);
+}
+
+void
+ThreadPool::joinWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = false;
+    }
+}
+
+void
+ThreadPool::resize(int num_threads)
+{
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    const int n = num_threads >= 1 ? num_threads : 1;
+    if (n == num_threads_)
+        return;
+    joinWorkers();
+    num_threads_ = n;
+    spawnWorkers();
+}
+
+void
+ThreadPool::run(std::int64_t count,
+                const std::function<void(std::int64_t)> &fn)
+{
+    if (count <= 0)
+        return;
+    // Serial lanes and nested calls (a task spawning a parallel
+    // region) execute inline: same thread, task order 0..count-1.
+    if (num_threads_ <= 1 || inWorker()) {
+        for (std::int64_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    Region region;
+    region.fn = &fn;
+    const std::int64_t lanes = num_threads_;
+    region.lanes.reserve(static_cast<std::size_t>(lanes));
+    for (std::int64_t l = 0; l < lanes; ++l) {
+        auto lane = std::make_unique<Region::Lane>();
+        lane->next = count * l / lanes;
+        lane->end = count * (l + 1) / lanes;
+        region.lanes.push_back(std::move(lane));
+    }
+    region.pending.store(count, std::memory_order_relaxed);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        region_ = &region;
+        ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    // The caller participates as lane 0. Flag it as a pool execution
+    // context for the duration: a task that itself calls run() (nested
+    // parallelism) then takes the serial inline path instead of
+    // re-locking run_mutex_ on this same thread.
+    t_in_worker = true;
+    drain(region, 0);
+    t_in_worker = false;
+
+    {
+        // The region is a stack object: wait until every task has run
+        // AND every worker has let go of it before leaving this frame.
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] {
+            return region.pending.load(std::memory_order_acquire) == 0 &&
+                   region.visitors == 0;
+        });
+        region_ = nullptr;
+    }
+    if (region.error)
+        std::rethrow_exception(region.error);
+}
+
+void
+ThreadPool::drain(Region &region, int lane)
+{
+    const int lanes = static_cast<int>(region.lanes.size());
+    BP_ASSERT(lane < lanes);
+    for (;;) {
+        std::int64_t task = -1;
+        {
+            Region::Lane &own = *region.lanes[static_cast<std::size_t>(lane)];
+            std::lock_guard<std::mutex> lock(own.mutex);
+            if (own.next < own.end)
+                task = own.next++;
+        }
+        for (int off = 1; off < lanes && task < 0; ++off) {
+            Region::Lane &victim =
+                *region.lanes[static_cast<std::size_t>((lane + off) % lanes)];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (victim.next < victim.end)
+                task = --victim.end;
+        }
+        if (task < 0)
+            return;
+
+        if (!region.cancelled.load(std::memory_order_acquire)) {
+            try {
+                (*region.fn)(task);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(region.error_mutex);
+                    if (!region.error)
+                        region.error = std::current_exception();
+                }
+                region.cancelled.store(true, std::memory_order_release);
+            }
+        }
+        if (region.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_in_worker = true;
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        Region *region = nullptr;
+        int lane = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return shutdown_ || (region_ && epoch_ != seen_epoch);
+            });
+            if (shutdown_)
+                return;
+            seen_epoch = epoch_;
+            region = region_;
+            // Attach while holding the lock: the caller cannot destroy
+            // the region until visitors drops back to zero.
+            lane = ++region->visitors;
+        }
+        drain(*region, lane % static_cast<int>(region->lanes.size()));
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--region->visitors == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace bertprof

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Lazily-initialized work-stealing thread pool. One process-wide pool
+ * executes the chunk sets produced by parallelFor (see
+ * runtime/parallel_for.h): each run() splits its task indices into
+ * contiguous per-lane ranges; a lane pops tasks from the front of its
+ * own range and, when empty, steals from the back of a victim's range.
+ * The calling thread participates as lane 0, so a pool of N lanes
+ * spawns only N-1 workers and run() never blocks a free core.
+ *
+ * Guarantees:
+ *  - Tasks execute exactly once; run() returns only after every task
+ *    has finished and every worker has detached from the region.
+ *  - The first exception thrown by a task is captured and rethrown
+ *    from run(); remaining tasks are drained without executing.
+ *  - run() called from inside a pool worker (nested parallelism)
+ *    executes serially inline — no deadlock, no oversubscription.
+ *  - With 1 configured lane no threads are spawned and run() is a
+ *    plain serial loop.
+ */
+
+#ifndef BERTPROF_RUNTIME_THREAD_POOL_H
+#define BERTPROF_RUNTIME_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bertprof {
+
+class ThreadPool
+{
+  public:
+    /** The process-wide pool, created on first use with the
+     * configured thread count (runtime/config.h). */
+    static ThreadPool &instance();
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total execution lanes, including the calling thread. */
+    int numThreads() const { return num_threads_; }
+
+    /**
+     * Execute fn(i) for every i in [0, count), distributed over the
+     * pool, and block until all invocations complete. Serial when the
+     * pool has one lane or when called from a pool worker.
+     */
+    void run(std::int64_t count, const std::function<void(std::int64_t)> &fn);
+
+    /** True inside a pool execution context: on threads owned by the
+     * pool, and on the caller while it executes its share of a
+     * region. Drives the nested-parallelism serial fallback. */
+    static bool inWorker();
+
+    /** Join all workers and respawn with a new lane count (>= 1). */
+    void resize(int num_threads);
+
+  private:
+    explicit ThreadPool(int num_threads);
+
+    struct Region;
+
+    void spawnWorkers();
+    void joinWorkers();
+    void workerLoop();
+    /** Run region tasks until none are claimable from any lane. */
+    void drain(Region &region, int lane);
+
+    int num_threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_; ///< workers: a region is ready
+    std::condition_variable done_cv_; ///< caller: region fully drained
+    Region *region_ = nullptr;        ///< active region, guarded by mutex_
+    std::uint64_t epoch_ = 0;         ///< bumped once per region
+    bool shutdown_ = false;
+
+    std::mutex run_mutex_; ///< serializes concurrent run() callers
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_RUNTIME_THREAD_POOL_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Monotonic stopwatch for benchmark harnesses. Built on
+ * std::chrono::steady_clock — never the wall clock — so measured
+ * intervals survive NTP slews and are safe to compare across the
+ * thread-pool benches. This is the one sanctioned way to time code in
+ * this repo; ScopedKernel (runtime/profiler.h) uses the same clock.
+ */
+
+#ifndef BERTPROF_UTIL_STOPWATCH_H
+#define BERTPROF_UTIL_STOPWATCH_H
+
+#include <chrono>
+
+#include "util/units.h"
+
+namespace bertprof {
+
+/** Starts on construction; elapsed() reads without stopping. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds since construction or the last restart(). */
+    Seconds
+    elapsed() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /** Reset the origin to now. */
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_UTIL_STOPWATCH_H

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "ops/gemm.h"
+#include "runtime/config.h"
 #include "util/rng.h"
 
 namespace bertprof {
@@ -143,6 +144,34 @@ TEST(BatchedGemm, StatsScaleWithBatch)
     Tensor a(Shape({5, 2, 3})), b(Shape({5, 3, 4})), c(Shape({5, 2, 4}));
     const KernelStats stats = batchedGemm(a, b, c);
     EXPECT_EQ(stats.flops, 2 * 2 * 4 * 3 * 5);
+}
+
+TEST(GemmStats, ParallelExecutionReportsSerialCounts)
+{
+    // KernelStats model ideal FLOP/byte counts of the *operation*;
+    // splitting it across threads must not change what is reported.
+    Tensor a(Shape({64, 48})), b(Shape({48, 32})), c(Shape({64, 32}));
+    Tensor ba(Shape({6, 16, 8})), bb(Shape({6, 8, 12})),
+        bc(Shape({6, 16, 12}));
+
+    setNumThreads(1);
+    const KernelStats serial = gemm(a, b, c);
+    const KernelStats serial_batched = batchedGemm(ba, bb, bc);
+
+    setNumThreads(8);
+    const KernelStats parallel = gemm(a, b, c);
+    const KernelStats parallel_batched = batchedGemm(ba, bb, bc);
+    setNumThreads(0);
+
+    EXPECT_EQ(parallel.flops, serial.flops);
+    EXPECT_EQ(parallel.bytesRead, serial.bytesRead);
+    EXPECT_EQ(parallel.bytesWritten, serial.bytesWritten);
+    EXPECT_EQ(parallel_batched.flops, serial_batched.flops);
+    EXPECT_EQ(parallel_batched.bytesRead, serial_batched.bytesRead);
+    EXPECT_EQ(parallel_batched.bytesWritten, serial_batched.bytesWritten);
+    // And both match the analytical formula the perf model uses.
+    EXPECT_EQ(parallel.flops, 2 * 64 * 32 * 48);
+    EXPECT_EQ(parallel_batched.flops, 2 * 16 * 12 * 8 * 6);
 }
 
 TEST(GemmStats, Fp16HalvesBytes)
