@@ -17,8 +17,11 @@ cmake -B "${BUILD_DIR}" -S . -DBERTPROF_SANITIZE=thread \
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 # Force real parallelism regardless of the host's core count: races
-# only exist when multiple workers touch the kernels.
+# only exist when multiple workers touch the kernels. Pin the packed
+# GEMM engine on so its thread-local packing buffers and row-sliced
+# writes are the code under test.
 export BERTPROF_NUM_THREADS=8
+export BERTPROF_GEMM_IMPL=packed
 export TSAN_OPTIONS="halt_on_error=0 exitcode=66"
 
 if [[ -n "${LABEL}" ]]; then

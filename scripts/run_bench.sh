@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build Release and capture the perf-trajectory benchmarks: the GEMM
+# engine comparison (packed microkernel vs reference, Table 2b
+# BERT-Large shapes) and the parallel-scaling sweep. Text goes to
+# results/ as the human-readable snapshot; results/BENCH_gemm.json is
+# the machine-readable record successive PRs can diff for the perf
+# trajectory.
+#
+# Usage: scripts/run_bench.sh [--native]
+#   --native configures with -DBERTPROF_NATIVE=ON (-march=native) so
+#   the microkernel vectorizes to the host's widest FMA ISA. Results
+#   captured this way are only comparable to other --native runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+NATIVE=OFF
+if [[ "${1:-}" == "--native" ]]; then
+    NATIVE=ON
+    BUILD_DIR="${BUILD_DIR}-native"
+fi
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DBERTPROF_NATIVE="${NATIVE}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+    --target bench_gemm_microkernel bench_cpu_parallel_scaling
+
+mkdir -p results
+"${BUILD_DIR}/bench/bench_gemm_microkernel" \
+    --json results/BENCH_gemm.json \
+    | tee results/bench_gemm_microkernel.txt
+"${BUILD_DIR}/bench/bench_cpu_parallel_scaling" \
+    | tee results/bench_cpu_parallel_scaling.txt
+
+echo "snapshots: results/bench_gemm_microkernel.txt," \
+     "results/BENCH_gemm.json, results/bench_cpu_parallel_scaling.txt"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ops/gemm_microkernel.h"
+#include "runtime/config.h"
 #include "runtime/parallel_for.h"
 #include "util/logging.h"
 
@@ -9,9 +11,25 @@ namespace bertprof {
 
 namespace {
 
-/** Chunk granularity over the M dimension: rows are heavyweight (n*k
- * MACs each), so chunk finely and let the chunk cap bound overhead. */
+/** Chunk granularity over the M dimension for the reference kernel:
+ * rows are heavyweight (n*k MACs each), so chunk finely and let the
+ * chunk cap bound overhead. The packed engine chunks at its MC block
+ * instead, so each chunk packs each A panel exactly once. */
 constexpr std::int64_t kGemmRowGrain = 4;
+
+/** The packed engine reads whole operand panels while writing C, so
+ * C overlapping either input silently corrupts results; reject any
+ * storage overlap up front (the reference path has the same hazard
+ * for trans_b, just narrower). */
+bool
+noStorageOverlap(const Tensor &out, const Tensor &in)
+{
+    const float *ob = out.data();
+    const float *oe = ob + out.numel();
+    const float *ib = in.data();
+    const float *ie = ib + in.numel();
+    return oe <= ib || ie <= ob;
+}
 
 /**
  * Core MxNxK kernel on raw pointers with row-major storage and
@@ -69,13 +87,23 @@ gemm(const Tensor &a, const Tensor &b, Tensor &c, bool trans_a, bool trans_b,
     const std::int64_t n = trans_b ? b.shape().dim(0) : b.shape().dim(1);
     BP_REQUIRE(k == kb);
     BP_REQUIRE(c.shape().dim(0) == m && c.shape().dim(1) == n);
+    BP_REQUIRE(noStorageOverlap(c, a) && noStorageOverlap(c, b));
 
-    parallelFor(0, m, kGemmRowGrain,
-                [&](std::int64_t row_begin, std::int64_t row_end) {
-                    gemmKernelRows(a.data(), b.data(), c.data(), m, n, k,
-                                   trans_a, trans_b, alpha, beta, row_begin,
-                                   row_end);
-                });
+    if (configuredGemmImpl() == GemmImpl::Packed) {
+        parallelFor(0, m, kGemmMC,
+                    [&](std::int64_t row_begin, std::int64_t row_end) {
+                        gemmPackedRows(a.data(), b.data(), c.data(), m, n, k,
+                                       trans_a, trans_b, alpha, beta,
+                                       row_begin, row_end);
+                    });
+    } else {
+        parallelFor(0, m, kGemmRowGrain,
+                    [&](std::int64_t row_begin, std::int64_t row_end) {
+                        gemmKernelRows(a.data(), b.data(), c.data(), m, n, k,
+                                       trans_a, trans_b, alpha, beta,
+                                       row_begin, row_end);
+                    });
+    }
     return gemmStats(m, n, k, 1, dtypeBytes(a.dtype()));
 }
 
@@ -94,6 +122,7 @@ batchedGemm(const Tensor &a, const Tensor &b, Tensor &c, bool trans_a,
     const std::int64_t n = trans_b ? b.shape().dim(1) : b.shape().dim(2);
     BP_REQUIRE(k == kb);
     BP_REQUIRE(c.shape().dim(1) == m && c.shape().dim(2) == n);
+    BP_REQUIRE(noStorageOverlap(c, a) && noStorageOverlap(c, b));
 
     const std::int64_t a_step = a.shape().dim(1) * a.shape().dim(2);
     const std::int64_t b_step = b.shape().dim(1) * b.shape().dim(2);
@@ -101,17 +130,31 @@ batchedGemm(const Tensor &a, const Tensor &b, Tensor &c, bool trans_a,
     // The B*h attention GEMMs are embarrassingly parallel over the
     // batch dimension; chunk over rows too so a few large batches
     // still spread across every lane.
-    parallelFor2d(batch, m, 1, kGemmRowGrain,
-                  [&](std::int64_t g_begin, std::int64_t g_end,
-                      std::int64_t row_begin, std::int64_t row_end) {
-                      for (std::int64_t g = g_begin; g < g_end; ++g) {
-                          gemmKernelRows(a.data() + g * a_step,
-                                         b.data() + g * b_step,
-                                         c.data() + g * c_step, m, n, k,
-                                         trans_a, trans_b, alpha, beta,
-                                         row_begin, row_end);
-                      }
-                  });
+    if (configuredGemmImpl() == GemmImpl::Packed) {
+        parallelFor2d(batch, m, 1, kGemmMC,
+                      [&](std::int64_t g_begin, std::int64_t g_end,
+                          std::int64_t row_begin, std::int64_t row_end) {
+                          for (std::int64_t g = g_begin; g < g_end; ++g) {
+                              gemmPackedRows(a.data() + g * a_step,
+                                             b.data() + g * b_step,
+                                             c.data() + g * c_step, m, n, k,
+                                             trans_a, trans_b, alpha, beta,
+                                             row_begin, row_end);
+                          }
+                      });
+    } else {
+        parallelFor2d(batch, m, 1, kGemmRowGrain,
+                      [&](std::int64_t g_begin, std::int64_t g_end,
+                          std::int64_t row_begin, std::int64_t row_end) {
+                          for (std::int64_t g = g_begin; g < g_end; ++g) {
+                              gemmKernelRows(a.data() + g * a_step,
+                                             b.data() + g * b_step,
+                                             c.data() + g * c_step, m, n, k,
+                                             trans_a, trans_b, alpha, beta,
+                                             row_begin, row_end);
+                          }
+                      });
+    }
     return gemmStats(m, n, k, batch, dtypeBytes(a.dtype()));
 }
 

@@ -1,13 +1,21 @@
 /**
  * @file
  * General matrix multiply (GEMM) and batched GEMM on Tensors. These
- * are the kernels the paper's Table 2b shapes manifest as. The
- * implementation is a cache-blocked triple loop parallelized over
- * output rows (and the batch dimension for batchedGemm) via
- * runtime/parallel_for.h: correct and fast enough for the tiny-model
- * substrate tests, not a BLAS replacement. Output is bitwise
- * identical for every thread count (rows partition the output; each
- * row's accumulation order is fixed).
+ * are the kernels the paper's Table 2b shapes manifest as. Two
+ * engines sit behind the same entry points, selected by
+ * BERTPROF_GEMM_IMPL / setGemmImpl (runtime/config.h):
+ *
+ *  - "packed" (default): the BLIS-style packed, register-blocked
+ *    microkernel in ops/gemm_microkernel.h.
+ *  - "reference": the original cache-blocked triple loop — the
+ *    cross-check oracle, exactly the pre-microkernel code path.
+ *
+ * Both are parallelized over output rows (and the batch dimension
+ * for batchedGemm) via runtime/parallel_for.h, and each is bitwise
+ * identical to itself at every thread count (rows partition the
+ * output; each element's accumulation order is fixed). The two
+ * engines associate differently, so they agree only to rounding.
+ * C must not alias either input (enforced).
  */
 
 #ifndef BERTPROF_OPS_GEMM_H

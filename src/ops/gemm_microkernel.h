@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Packed, register-blocked GEMM engine for the CPU substrate — the
+ * BLIS decomposition of C = alpha * op(A) op(B) + beta * C:
+ *
+ *   jc-loop over N in NC panels        (B panel -> L3)
+ *     pc-loop over K in KC blocks      (packed B block -> L2/L3)
+ *       pack op(B)[pc, jc] into NR-wide micro-panels
+ *       ic-loop over M in MC blocks    (packed A block -> L2)
+ *         pack op(A)[ic, pc] into MR-tall micro-panels
+ *         ir/jr-loops over MR x NR register tiles -> microkernel
+ *
+ * The microkernel accumulates an MR x NR tile in a local register
+ * block with unit-stride loads from both packed panels; the inner
+ * loop is written so the compiler auto-vectorizes it into FMA
+ * sequences (build with -DBERTPROF_NATIVE=ON for the host's widest
+ * vector ISA). Packing absorbs all four transpose combinations, so
+ * the transposed-operand GEMMs (attention K^T, every backward
+ * weight gradient) run the same contiguous hot loop as the
+ * non-transposed ones.
+ *
+ * Determinism: each output element's accumulation order is a pure
+ * function of (n, k) — KC blocks in ascending pc order, products in
+ * ascending p order within a block — and never of the row partition
+ * executing it. Row-sliced parallel execution is therefore bitwise
+ * identical to one serial call for every thread count. (Bits may
+ * differ from the reference kernel and across ISAs/builds; the
+ * contract is per-build thread-count invariance, as with the rest of
+ * the runtime.)
+ */
+
+#ifndef BERTPROF_OPS_GEMM_MICROKERNEL_H
+#define BERTPROF_OPS_GEMM_MICROKERNEL_H
+
+#include <cstdint>
+
+namespace bertprof {
+
+/**
+ * Register-tile geometry. Chosen per ISA so the MR x NR accumulator
+ * block fits the architectural register file with room for operand
+ * loads; tile shape affects only performance, never results (each
+ * element's accumulation order is independent of it).
+ */
+#if defined(__AVX512F__)
+inline constexpr std::int64_t kGemmMR = 8;
+inline constexpr std::int64_t kGemmNR = 32;
+#elif defined(__AVX__)
+inline constexpr std::int64_t kGemmMR = 6;
+inline constexpr std::int64_t kGemmNR = 16;
+#else
+inline constexpr std::int64_t kGemmMR = 4;
+inline constexpr std::int64_t kGemmNR = 8;
+#endif
+
+/** K extent of a packed block: an MR x KC A-panel plus an NR x KC
+ * B-panel stay L1-resident. Fixed across ISAs — KC is the one
+ * blocking parameter that shapes accumulation order. */
+inline constexpr std::int64_t kGemmKC = 256;
+
+/** M extent of a packed A block (L2-resident; multiple of every
+ * kGemmMR above, so edge handling is ISA-independent). */
+inline constexpr std::int64_t kGemmMC = 96;
+
+/** N extent of a packed B block (multiple of every kGemmNR). */
+inline constexpr std::int64_t kGemmNC = 1024;
+
+/**
+ * Packed GEMM restricted to output rows [row_begin, row_end) of a
+ * row-major MxN C: C = alpha * op(A) op(B) + beta * C. op(A) is MxK
+ * (A stored KxM when trans_a), op(B) is KxN (B stored NxK when
+ * trans_b). Uses thread-local packing buffers — safe to call
+ * concurrently on disjoint row ranges, e.g. from parallelFor with a
+ * kGemmMC grain.
+ */
+void gemmPackedRows(const float *a, const float *b, float *c, std::int64_t m,
+                    std::int64_t n, std::int64_t k, bool trans_a,
+                    bool trans_b, float alpha, float beta,
+                    std::int64_t row_begin, std::int64_t row_end);
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPS_GEMM_MICROKERNEL_H

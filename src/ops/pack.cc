@@ -1,0 +1,56 @@
+#include "ops/pack.h"
+
+#include <algorithm>
+
+namespace bertprof {
+
+void
+packA(const float *a, std::int64_t row_stride, std::int64_t col_stride,
+      std::int64_t mc, std::int64_t kc, std::int64_t mr, float *dst)
+{
+    for (std::int64_t i0 = 0; i0 < mc; i0 += mr) {
+        const std::int64_t rows = std::min(mr, mc - i0);
+        const float *panel = a + i0 * row_stride;
+        for (std::int64_t p = 0; p < kc; ++p) {
+            const float *col = panel + p * col_stride;
+            std::int64_t r = 0;
+            for (; r < rows; ++r)
+                dst[r] = col[r * row_stride];
+            for (; r < mr; ++r)
+                dst[r] = 0.0f;
+            dst += mr;
+        }
+    }
+}
+
+void
+packB(const float *b, std::int64_t row_stride, std::int64_t col_stride,
+      std::int64_t kc, std::int64_t nc, std::int64_t nr, float *dst)
+{
+    for (std::int64_t j0 = 0; j0 < nc; j0 += nr) {
+        const std::int64_t cols = std::min(nr, nc - j0);
+        const float *panel = b + j0 * col_stride;
+        if (cols == nr && col_stride == 1) {
+            // Full panel of a row-major (non-transposed) B: each run
+            // is a straight contiguous copy.
+            for (std::int64_t p = 0; p < kc; ++p) {
+                const float *row = panel + p * row_stride;
+                for (std::int64_t j = 0; j < nr; ++j)
+                    dst[j] = row[j];
+                dst += nr;
+            }
+        } else {
+            for (std::int64_t p = 0; p < kc; ++p) {
+                const float *row = panel + p * row_stride;
+                std::int64_t j = 0;
+                for (; j < cols; ++j)
+                    dst[j] = row[j * col_stride];
+                for (; j < nr; ++j)
+                    dst[j] = 0.0f;
+                dst += nr;
+            }
+        }
+    }
+}
+
+} // namespace bertprof

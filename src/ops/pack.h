@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Operand packing for the blocked GEMM engine (ops/gemm_microkernel.h).
+ *
+ * The packed layout is the BLIS one: an operand block is split into
+ * fixed-width micro-panels stored contiguously so the microkernel's
+ * inner loop reads both operands with unit stride, regardless of how
+ * the source matrix was stored or transposed. Logical transposition
+ * is absorbed here — callers describe op(A)/op(B) with a (row, col)
+ * stride pair and packing walks the source accordingly, so all four
+ * trans_a/trans_b combinations feed the exact same microkernel.
+ *
+ * Ragged edges are zero-padded to the full panel width. The pad
+ * contributes exact zeros to the accumulators, so the microkernel
+ * never needs a remainder loop and every valid output element sees
+ * the same arithmetic it would in a full tile.
+ */
+
+#ifndef BERTPROF_OPS_PACK_H
+#define BERTPROF_OPS_PACK_H
+
+#include <cstdint>
+
+namespace bertprof {
+
+/**
+ * Pack an mc x kc block of op(A) into mr-row micro-panels.
+ *
+ * Element op(A)(i, p) of the block is a[i * row_stride + p * col_stride].
+ * Output layout: ceil(mc/mr) panels, each kc runs of mr contiguous
+ * values (rows i0..i0+mr of column p); rows past mc are zero-filled.
+ * dst must hold ceil(mc/mr) * mr * kc floats.
+ */
+void packA(const float *a, std::int64_t row_stride, std::int64_t col_stride,
+           std::int64_t mc, std::int64_t kc, std::int64_t mr, float *dst);
+
+/**
+ * Pack a kc x nc block of op(B) into nr-column micro-panels.
+ *
+ * Element op(B)(p, j) of the block is b[p * row_stride + j * col_stride].
+ * Output layout: ceil(nc/nr) panels, each kc runs of nr contiguous
+ * values (columns j0..j0+nr of row p); columns past nc are
+ * zero-filled. dst must hold ceil(nc/nr) * nr * kc floats.
+ */
+void packB(const float *b, std::int64_t row_stride, std::int64_t col_stride,
+           std::int64_t kc, std::int64_t nc, std::int64_t nr, float *dst);
+
+} // namespace bertprof
+
+#endif // BERTPROF_OPS_PACK_H

@@ -1,10 +1,17 @@
 /**
  * @file
- * Runtime configuration for the parallel execution engine. Thread
- * count resolution order: programmatic override (setNumThreads) >
- * BERTPROF_NUM_THREADS environment variable > hardware concurrency.
- * A count of 1 selects the pure serial path, which executes exactly
- * the same instruction sequence as the pre-runtime substrate.
+ * Runtime configuration for the CPU substrate's execution engine.
+ *
+ * Thread count resolution order: programmatic override
+ * (setNumThreads) > BERTPROF_NUM_THREADS environment variable >
+ * hardware concurrency. A count of 1 selects the pure serial path,
+ * which executes exactly the same instruction sequence as the
+ * pre-runtime substrate.
+ *
+ * GEMM implementation resolution order mirrors it: programmatic
+ * override (setGemmImpl) > BERTPROF_GEMM_IMPL environment variable
+ * ("packed" or "reference") > the packed default. "reference"
+ * selects the original blocked triple-loop kernel bit-for-bit.
  */
 
 #ifndef BERTPROF_RUNTIME_CONFIG_H
@@ -25,6 +32,32 @@ int configuredNumThreads();
  * override and re-resolves from the environment.
  */
 void setNumThreads(int n);
+
+/** Which GEMM engine gemm()/batchedGemm() dispatch to. */
+enum class GemmImpl {
+    /** BLIS-style packed, register-blocked microkernel (default). */
+    Packed,
+    /** Original blocked triple loop — the cross-check oracle; exactly
+     * the pre-microkernel code path. */
+    Reference,
+};
+
+/** Short name: "packed" / "reference". */
+const char *gemmImplName(GemmImpl impl);
+
+/**
+ * The GEMM engine in effect: an explicit setGemmImpl() override wins,
+ * then BERTPROF_GEMM_IMPL ("packed" | "reference"), then Packed.
+ */
+GemmImpl configuredGemmImpl();
+
+/** Override the GEMM engine programmatically (tests and benches
+ * sweep both). Cleared by clearGemmImplOverride(). */
+void setGemmImpl(GemmImpl impl);
+
+/** Drop the programmatic override and re-resolve from the
+ * environment. */
+void clearGemmImplOverride();
 
 } // namespace bertprof
 

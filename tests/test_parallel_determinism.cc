@@ -47,7 +47,12 @@ bitsEqual(const Tensor &a, const Tensor &b)
 class ParallelDeterminism : public ::testing::Test
 {
   protected:
-    void TearDown() override { setNumThreads(0); }
+    void
+    TearDown() override
+    {
+        setNumThreads(0);
+        clearGemmImplOverride();
+    }
 };
 
 TEST_F(ParallelDeterminism, GemmBitwiseAcrossThreadCounts)
@@ -67,6 +72,49 @@ TEST_F(ParallelDeterminism, GemmBitwiseAcrossThreadCounts)
         gemm(a, b, cn, false, false, 1.25f, 0.0f);
         EXPECT_TRUE(bitsEqual(c1, cn)) << "threads=" << n;
     }
+}
+
+TEST_F(ParallelDeterminism, PackedGemmBitwiseAcrossThreadCounts)
+{
+    // The packed engine with shapes that straddle its MC/NC/KC block
+    // boundaries and both transposes in play — the row partition must
+    // not leak into any output bit.
+    setGemmImpl(GemmImpl::Packed);
+    Rng rng(1101);
+    const std::int64_t m = 250, n = 173, k = 311;
+    Tensor a(Shape({k, m})), b(Shape({n, k}));
+    a.fillNormal(rng);
+    b.fillNormal(rng);
+
+    setNumThreads(1);
+    Tensor c1(Shape({m, n}));
+    gemm(a, b, c1, true, true, -0.75f, 0.0f);
+
+    for (const int t : {2, 4, 8}) {
+        setNumThreads(t);
+        Tensor cn(Shape({m, n}));
+        gemm(a, b, cn, true, true, -0.75f, 0.0f);
+        EXPECT_TRUE(bitsEqual(c1, cn)) << "threads=" << t;
+    }
+}
+
+TEST_F(ParallelDeterminism, PackedBatchedGemmBitwiseAcrossThreadCounts)
+{
+    setGemmImpl(GemmImpl::Packed);
+    Rng rng(1202);
+    const std::int64_t batch = 12, m = 107, k = 64, n = 107;
+    Tensor a(Shape({batch, m, k})), b(Shape({batch, n, k}));
+    a.fillNormal(rng);
+    b.fillNormal(rng);
+
+    setNumThreads(1);
+    Tensor c1(Shape({batch, m, n}));
+    batchedGemm(a, b, c1, false, true);
+
+    setNumThreads(8);
+    Tensor c8(Shape({batch, m, n}));
+    batchedGemm(a, b, c8, false, true);
+    EXPECT_TRUE(bitsEqual(c1, c8));
 }
 
 TEST_F(ParallelDeterminism, BatchedGemmBitwiseAcrossThreadCounts)
