@@ -6,6 +6,13 @@
 # Usage: scripts/check_tsan.sh [ctest-label-regex]
 #   With no argument the full suite runs; pass e.g. "parallel" to
 #   restrict to the runtime/ops parallelism tests for a quick check.
+#
+# Env passthrough (defaults in parentheses):
+#   BERTPROF_NUM_THREADS (8)  pool width while testing
+#   BERTPROF_GEMM_IMPL (packed)  GEMM engine: packed | reference —
+#     sweep both so the sanitizer matrix covers the reference engine's
+#     row partition as well as the packed engine's thread-local
+#     packing buffers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,16 +24,17 @@ cmake -B "${BUILD_DIR}" -S . -DBERTPROF_SANITIZE=thread \
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 # Force real parallelism regardless of the host's core count: races
-# only exist when multiple workers touch the kernels. Pin the packed
-# GEMM engine on so its thread-local packing buffers and row-sliced
-# writes are the code under test.
-export BERTPROF_NUM_THREADS=8
-export BERTPROF_GEMM_IMPL=packed
-export TSAN_OPTIONS="halt_on_error=0 exitcode=66"
+# only exist when multiple workers touch the kernels. The packed GEMM
+# engine is the default code under test (thread-local packing buffers,
+# row-sliced writes); override BERTPROF_GEMM_IMPL=reference to sweep
+# the other engine.
+export BERTPROF_NUM_THREADS="${BERTPROF_NUM_THREADS:-8}"
+export BERTPROF_GEMM_IMPL="${BERTPROF_GEMM_IMPL:-packed}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=0 exitcode=66}"
 
 if [[ -n "${LABEL}" ]]; then
     ctest --test-dir "${BUILD_DIR}" -L "${LABEL}" --output-on-failure
 else
     ctest --test-dir "${BUILD_DIR}" --output-on-failure
 fi
-echo "ThreadSanitizer run clean."
+echo "ThreadSanitizer run clean (GEMM_IMPL=${BERTPROF_GEMM_IMPL})."

@@ -7,6 +7,11 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Cheap static-analysis stages (bplint + -Werror build + clang-tidy);
+# run the full sanitizer matrix separately via
+# scripts/run_static_analysis.sh when touching kernels or the runtime.
+scripts/run_static_analysis.sh --quick
+
 mkdir -p results
 for bench in build/bench/bench_*; do
     name="$(basename "$bench")"

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run clang-tidy (profile: .clang-tidy — bugprone-*, performance-*,
+# concurrency-*) over the library and tools sources using a
+# compile_commands.json produced in build-tidy/.
+#
+# Usage: scripts/run_clang_tidy.sh [--strict] [path-filter-regex]
+#   Default: skips gracefully (exit 0) when clang-tidy is not
+#   installed, so the static-analysis driver works on minimal
+#   containers. --strict makes a missing binary a failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STRICT=0
+FILTER=""
+for arg in "$@"; do
+    case "${arg}" in
+        --strict) STRICT=1 ;;
+        *) FILTER="${arg}" ;;
+    esac
+done
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+    if [[ "${STRICT}" == 1 ]]; then
+        echo "run_clang_tidy: ${TIDY} not found (--strict)" >&2
+        exit 1
+    fi
+    echo "run_clang_tidy: ${TIDY} not found; skipping (install LLVM or set CLANG_TIDY)."
+    exit 0
+fi
+
+BUILD_DIR=build-tidy
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+FILES=$(find src tools -name '*.cc' | sort)
+if [[ -n "${FILTER}" ]]; then
+    FILES=$(echo "${FILES}" | grep -E "${FILTER}" || true)
+fi
+
+STATUS=0
+for f in ${FILES}; do
+    echo "== clang-tidy ${f}"
+    "${TIDY}" -p "${BUILD_DIR}" --quiet "${f}" || STATUS=1
+done
+exit "${STATUS}"

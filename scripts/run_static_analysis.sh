@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# The full static-analysis and hardening matrix, in increasing cost
+# order:
+#   1. bplint        — repo-invariant lint (sub-second)
+#   2. -Werror build — -Wall -Wextra promoted to errors
+#   3. clang-tidy    — bugprone/performance/concurrency (skips if the
+#                      binary is absent)
+#   4. ASan, UBSan, TSan tier-1 runs (unless --quick)
+#
+# Usage: scripts/run_static_analysis.sh [--quick] [ctest-label-regex]
+#   --quick runs only the cheap stages (1-3); the label regex, when
+#   given, restricts the sanitizer suites (e.g. "gemm|parallel").
+#   BERTPROF_GEMM_IMPL/BERTPROF_NUM_THREADS pass through to the
+#   sanitizer harnesses so both GEMM engines can be swept.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+LABEL=""
+for arg in "$@"; do
+    case "${arg}" in
+        --quick) QUICK=1 ;;
+        *) LABEL="${arg}" ;;
+    esac
+done
+
+echo "=== [1/4] bplint invariant checks ==="
+BUILD_DIR=build-lint
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" --target bplint -j "$(nproc)" >/dev/null
+"${BUILD_DIR}/tools/bplint/bplint" src bench tests
+
+echo "=== [2/4] -Werror hardened build ==="
+cmake -B build-werror -S . -DBERTPROF_WERROR=ON >/dev/null
+cmake --build build-werror -j "$(nproc)"
+
+echo "=== [3/4] clang-tidy ==="
+scripts/run_clang_tidy.sh
+
+if [[ "${QUICK}" == 1 ]]; then
+    echo "=== --quick: skipping sanitizer suites ==="
+    echo "Static analysis clean."
+    exit 0
+fi
+
+echo "=== [4/4] sanitizer matrix (ASan, UBSan, TSan) ==="
+scripts/check_asan.sh "${LABEL}"
+scripts/check_ubsan.sh "${LABEL}"
+scripts/check_tsan.sh "${LABEL}"
+echo "Static analysis and sanitizer matrix clean."

@@ -5,6 +5,7 @@
 #include "ops/dropout.h"
 #include "ops/elementwise.h"
 #include "ops/embedding.h"
+#include "tensor/contracts.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -134,6 +135,9 @@ BertModel::forward(const std::vector<std::int64_t> &token_ids,
 void
 BertModel::backward(const Tensor &dhidden)
 {
+    BP_CHECK_RANK(dhidden, 2);
+    BP_CHECK_SAME_SHAPE(dhidden, embDropMask_);
+    BP_DCHECK_FINITE(dhidden);
     Tensor grad = dhidden.clone();
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
         grad = (*it)->backward(grad);

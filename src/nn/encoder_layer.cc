@@ -2,6 +2,7 @@
 
 #include "ops/dropout.h"
 #include "ops/elementwise.h"
+#include "tensor/contracts.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -30,6 +31,9 @@ Tensor
 EncoderLayer::forward(const Tensor &x, const Tensor &mask,
                       std::int64_t batch, std::int64_t seq)
 {
+    BP_REQUIRE(batch > 0 && seq > 0);
+    BP_CHECK_RANK(x, 2);
+    BP_REQUIRE(x.shape().dim(0) == batch * seq);
     // Attention sub-layer + DR + RC + LN.
     Tensor attn_out = attn_.forward(x, mask, batch, seq);
     Tensor dropped(attn_out.shape());
@@ -74,6 +78,8 @@ EncoderLayer::forward(const Tensor &x, const Tensor &mask,
 Tensor
 EncoderLayer::backward(const Tensor &dout)
 {
+    BP_CHECK_RANK(dout, 2);
+    BP_CHECK_SAME_SHAPE(dout, attnDropMask_);
     // LN2 -> residual split -> dropout -> FF.
     Tensor dff_residual = ln2_.backward(dout);
     Tensor dff_dropped(dff_residual.shape());

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "runtime/parallel_for.h"
+#include "tensor/contracts.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -17,7 +18,8 @@ constexpr double kInvSqrt2Pi = 0.3989422804014326779;
 KernelStats
 geluForward(const Tensor &in, Tensor &out)
 {
-    BP_REQUIRE(in.shape() == out.shape());
+    BP_CHECK_SAME_SHAPE(in, out);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, in);
     const std::int64_t n = in.numel();
     parallelFor(0, n, kElementwiseGrain, [&](std::int64_t lo,
                                              std::int64_t hi) {
@@ -35,7 +37,10 @@ geluForward(const Tensor &in, Tensor &out)
 KernelStats
 geluBackward(const Tensor &in, const Tensor &dout, Tensor &din)
 {
-    BP_REQUIRE(in.shape() == dout.shape() && in.shape() == din.shape());
+    BP_CHECK_SAME_SHAPE(in, dout);
+    BP_CHECK_SAME_SHAPE(in, din);
+    BP_CHECK_NO_PARTIAL_ALIAS(din, in);
+    BP_CHECK_NO_PARTIAL_ALIAS(din, dout);
     const std::int64_t n = in.numel();
     parallelFor(0, n, kElementwiseGrain, [&](std::int64_t lo,
                                              std::int64_t hi) {
@@ -53,7 +58,8 @@ geluBackward(const Tensor &in, const Tensor &dout, Tensor &din)
 KernelStats
 reluForward(const Tensor &in, Tensor &out)
 {
-    BP_REQUIRE(in.shape() == out.shape());
+    BP_CHECK_SAME_SHAPE(in, out);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, in);
     const std::int64_t n = in.numel();
     parallelFor(0, n, kElementwiseGrain,
                 [&](std::int64_t lo, std::int64_t hi) {
@@ -67,7 +73,10 @@ reluForward(const Tensor &in, Tensor &out)
 KernelStats
 reluBackward(const Tensor &in, const Tensor &dout, Tensor &din)
 {
-    BP_REQUIRE(in.shape() == dout.shape() && in.shape() == din.shape());
+    BP_CHECK_SAME_SHAPE(in, dout);
+    BP_CHECK_SAME_SHAPE(in, din);
+    BP_CHECK_NO_PARTIAL_ALIAS(din, in);
+    BP_CHECK_NO_PARTIAL_ALIAS(din, dout);
     const std::int64_t n = in.numel();
     parallelFor(0, n, kElementwiseGrain,
                 [&](std::int64_t lo, std::int64_t hi) {
@@ -81,7 +90,8 @@ reluBackward(const Tensor &in, const Tensor &dout, Tensor &din)
 KernelStats
 tanhForward(const Tensor &in, Tensor &out)
 {
-    BP_REQUIRE(in.shape() == out.shape());
+    BP_CHECK_SAME_SHAPE(in, out);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, in);
     const std::int64_t n = in.numel();
     parallelFor(0, n, kElementwiseGrain,
                 [&](std::int64_t lo, std::int64_t hi) {
@@ -94,7 +104,10 @@ tanhForward(const Tensor &in, Tensor &out)
 KernelStats
 tanhBackward(const Tensor &out, const Tensor &dout, Tensor &din)
 {
-    BP_REQUIRE(out.shape() == dout.shape() && out.shape() == din.shape());
+    BP_CHECK_SAME_SHAPE(out, dout);
+    BP_CHECK_SAME_SHAPE(out, din);
+    BP_CHECK_NO_PARTIAL_ALIAS(din, out);
+    BP_CHECK_NO_PARTIAL_ALIAS(din, dout);
     const std::int64_t n = out.numel();
     parallelFor(0, n, kElementwiseGrain,
                 [&](std::int64_t lo, std::int64_t hi) {

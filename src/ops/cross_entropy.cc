@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/contracts.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -10,8 +11,9 @@ CrossEntropyResult
 softmaxCrossEntropy(const Tensor &logits,
                     const std::vector<std::int64_t> &labels, Tensor &dlogits)
 {
-    BP_REQUIRE(logits.shape().rank() == 2);
-    BP_REQUIRE(logits.shape() == dlogits.shape());
+    BP_CHECK_RANK(logits, 2);
+    BP_CHECK_SAME_SHAPE(logits, dlogits);
+    BP_CHECK_NO_ALIAS(dlogits, logits);
     const std::int64_t rows = logits.shape().dim(0);
     const std::int64_t cols = logits.shape().dim(1);
     BP_REQUIRE(static_cast<std::int64_t>(labels.size()) == rows);

@@ -1,6 +1,7 @@
 #include "ops/dropout.h"
 
 #include "runtime/parallel_for.h"
+#include "tensor/contracts.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -9,7 +10,11 @@ KernelStats
 dropoutForward(const Tensor &in, float p, Rng &rng, Tensor &out,
                Tensor &mask)
 {
-    BP_REQUIRE(in.shape() == out.shape() && in.shape() == mask.shape());
+    BP_CHECK_SAME_SHAPE(in, out);
+    BP_CHECK_SAME_SHAPE(in, mask);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, in);
+    BP_CHECK_NO_ALIAS(mask, in);
+    BP_CHECK_NO_ALIAS(mask, out);
     BP_REQUIRE(p >= 0.0f && p < 1.0f);
     const std::int64_t n = in.numel();
     const float keep_scale = 1.0f / (1.0f - p);
@@ -31,7 +36,10 @@ dropoutForward(const Tensor &in, float p, Rng &rng, Tensor &out,
 KernelStats
 dropoutBackward(const Tensor &dout, const Tensor &mask, Tensor &din)
 {
-    BP_REQUIRE(dout.shape() == mask.shape() && dout.shape() == din.shape());
+    BP_CHECK_SAME_SHAPE(dout, mask);
+    BP_CHECK_SAME_SHAPE(dout, din);
+    BP_CHECK_NO_PARTIAL_ALIAS(din, dout);
+    BP_CHECK_NO_ALIAS(din, mask);
     const std::int64_t n = dout.numel();
     parallelFor(0, n, kElementwiseGrain,
                 [&](std::int64_t lo, std::int64_t hi) {

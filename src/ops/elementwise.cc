@@ -1,6 +1,7 @@
 #include "ops/elementwise.h"
 
 #include "runtime/parallel_for.h"
+#include "tensor/contracts.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -8,7 +9,10 @@ namespace bertprof {
 KernelStats
 addForward(const Tensor &a, const Tensor &b, Tensor &out)
 {
-    BP_REQUIRE(a.shape() == b.shape() && a.shape() == out.shape());
+    BP_CHECK_SAME_SHAPE(a, b);
+    BP_CHECK_SAME_SHAPE(a, out);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, a);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, b);
     const std::int64_t n = a.numel();
     parallelFor(0, n, kElementwiseGrain,
                 [&](std::int64_t lo, std::int64_t hi) {
@@ -21,7 +25,10 @@ addForward(const Tensor &a, const Tensor &b, Tensor &out)
 KernelStats
 mulForward(const Tensor &a, const Tensor &b, Tensor &out)
 {
-    BP_REQUIRE(a.shape() == b.shape() && a.shape() == out.shape());
+    BP_CHECK_SAME_SHAPE(a, b);
+    BP_CHECK_SAME_SHAPE(a, out);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, a);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, b);
     const std::int64_t n = a.numel();
     parallelFor(0, n, kElementwiseGrain,
                 [&](std::int64_t lo, std::int64_t hi) {
@@ -34,7 +41,8 @@ mulForward(const Tensor &a, const Tensor &b, Tensor &out)
 KernelStats
 scaleForward(const Tensor &a, float scalar, Tensor &out)
 {
-    BP_REQUIRE(a.shape() == out.shape());
+    BP_CHECK_SAME_SHAPE(a, out);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, a);
     const std::int64_t n = a.numel();
     parallelFor(0, n, kElementwiseGrain,
                 [&](std::int64_t lo, std::int64_t hi) {
@@ -47,7 +55,8 @@ scaleForward(const Tensor &a, float scalar, Tensor &out)
 KernelStats
 accumulate(Tensor &a, const Tensor &b)
 {
-    BP_REQUIRE(a.shape() == b.shape());
+    BP_CHECK_SAME_SHAPE(a, b);
+    BP_CHECK_NO_PARTIAL_ALIAS(a, b);
     const std::int64_t n = a.numel();
     parallelFor(0, n, kElementwiseGrain,
                 [&](std::int64_t lo, std::int64_t hi) {
@@ -60,8 +69,10 @@ accumulate(Tensor &a, const Tensor &b)
 KernelStats
 biasForward(const Tensor &in, const Tensor &bias, Tensor &out)
 {
-    BP_REQUIRE(in.shape() == out.shape());
-    BP_REQUIRE(bias.shape().rank() == 1);
+    BP_CHECK_SAME_SHAPE(in, out);
+    BP_CHECK_RANK(bias, 1);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, in);
+    BP_CHECK_NO_ALIAS(out, bias);
     const std::int64_t cols = bias.shape().dim(0);
     BP_REQUIRE(in.numel() % cols == 0);
     const std::int64_t rows = in.numel() / cols;
@@ -81,7 +92,8 @@ biasForward(const Tensor &in, const Tensor &bias, Tensor &out)
 KernelStats
 biasBackward(const Tensor &dout, Tensor &dbias)
 {
-    BP_REQUIRE(dbias.shape().rank() == 1);
+    BP_CHECK_RANK(dbias, 1);
+    BP_CHECK_NO_ALIAS(dbias, dout);
     const std::int64_t cols = dbias.shape().dim(0);
     BP_REQUIRE(dout.numel() % cols == 0);
     const std::int64_t rows = dout.numel() / cols;
@@ -106,8 +118,11 @@ KernelStats
 batchMaskAddForward(const Tensor &a, const Tensor &mask,
                     std::int64_t heads, Tensor &out)
 {
-    BP_REQUIRE(a.shape() == out.shape());
-    BP_REQUIRE(a.shape().rank() == 3 && mask.shape().rank() == 3);
+    BP_CHECK_SAME_SHAPE(a, out);
+    BP_CHECK_RANK(a, 3);
+    BP_CHECK_RANK(mask, 3);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, a);
+    BP_CHECK_NO_ALIAS(out, mask);
     BP_REQUIRE(heads > 0);
     const std::int64_t groups = a.shape().dim(0);
     BP_REQUIRE(groups % heads == 0);
@@ -136,7 +151,9 @@ batchMaskAddForward(const Tensor &a, const Tensor &mask,
 KernelStats
 maskAddForward(const Tensor &a, const Tensor &mask, Tensor &out)
 {
-    BP_REQUIRE(a.shape() == out.shape());
+    BP_CHECK_SAME_SHAPE(a, out);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, a);
+    BP_CHECK_NO_ALIAS(out, mask);
     const std::int64_t mask_n = mask.numel();
     BP_REQUIRE(mask_n > 0 && a.numel() % mask_n == 0);
     const std::int64_t groups = a.numel() / mask_n;

@@ -1,5 +1,6 @@
 #include "ops/embedding.h"
 
+#include "tensor/contracts.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -8,7 +9,9 @@ KernelStats
 embeddingForward(const Tensor &table, const std::vector<std::int64_t> &ids,
                  Tensor &out)
 {
-    BP_REQUIRE(table.shape().rank() == 2 && out.shape().rank() == 2);
+    BP_CHECK_RANK(table, 2);
+    BP_CHECK_RANK(out, 2);
+    BP_CHECK_NO_ALIAS(out, table);
     const std::int64_t vocab = table.shape().dim(0);
     const std::int64_t dim = table.shape().dim(1);
     BP_REQUIRE(out.shape().dim(0) ==
@@ -34,7 +37,9 @@ KernelStats
 embeddingBackward(const Tensor &dout, const std::vector<std::int64_t> &ids,
                   Tensor &dtable)
 {
-    BP_REQUIRE(dtable.shape().rank() == 2 && dout.shape().rank() == 2);
+    BP_CHECK_RANK(dtable, 2);
+    BP_CHECK_RANK(dout, 2);
+    BP_CHECK_NO_ALIAS(dtable, dout);
     const std::int64_t vocab = dtable.shape().dim(0);
     const std::int64_t dim = dtable.shape().dim(1);
     BP_REQUIRE(dout.shape().dim(0) ==

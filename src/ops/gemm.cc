@@ -4,7 +4,9 @@
 
 #include "ops/gemm_microkernel.h"
 #include "runtime/config.h"
+#include "tensor/contracts.h"
 #include "runtime/parallel_for.h"
+#include "tensor/contracts.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -16,20 +18,6 @@ namespace {
  * chunk cap bound overhead. The packed engine chunks at its MC block
  * instead, so each chunk packs each A panel exactly once. */
 constexpr std::int64_t kGemmRowGrain = 4;
-
-/** The packed engine reads whole operand panels while writing C, so
- * C overlapping either input silently corrupts results; reject any
- * storage overlap up front (the reference path has the same hazard
- * for trans_b, just narrower). */
-bool
-noStorageOverlap(const Tensor &out, const Tensor &in)
-{
-    const float *ob = out.data();
-    const float *oe = ob + out.numel();
-    const float *ib = in.data();
-    const float *ie = ib + in.numel();
-    return oe <= ib || ie <= ob;
-}
 
 /**
  * Core MxNxK kernel on raw pointers with row-major storage and
@@ -79,15 +67,19 @@ KernelStats
 gemm(const Tensor &a, const Tensor &b, Tensor &c, bool trans_a, bool trans_b,
      float alpha, float beta)
 {
-    BP_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2 &&
-               c.shape().rank() == 2);
+    BP_CHECK_RANK(a, 2);
+    BP_CHECK_RANK(b, 2);
+    BP_CHECK_RANK(c, 2);
     const std::int64_t m = trans_a ? a.shape().dim(1) : a.shape().dim(0);
     const std::int64_t k = trans_a ? a.shape().dim(0) : a.shape().dim(1);
     const std::int64_t kb = trans_b ? b.shape().dim(1) : b.shape().dim(0);
     const std::int64_t n = trans_b ? b.shape().dim(0) : b.shape().dim(1);
     BP_REQUIRE(k == kb);
     BP_REQUIRE(c.shape().dim(0) == m && c.shape().dim(1) == n);
-    BP_REQUIRE(noStorageOverlap(c, a) && noStorageOverlap(c, b));
+    // The packed engine reads whole operand panels while writing C,
+    // so any storage overlap silently corrupts results.
+    BP_CHECK_NO_ALIAS(c, a);
+    BP_CHECK_NO_ALIAS(c, b);
 
     if (configuredGemmImpl() == GemmImpl::Packed) {
         parallelFor(0, m, kGemmMC,
@@ -111,8 +103,9 @@ KernelStats
 batchedGemm(const Tensor &a, const Tensor &b, Tensor &c, bool trans_a,
             bool trans_b, float alpha, float beta)
 {
-    BP_REQUIRE(a.shape().rank() == 3 && b.shape().rank() == 3 &&
-               c.shape().rank() == 3);
+    BP_CHECK_RANK(a, 3);
+    BP_CHECK_RANK(b, 3);
+    BP_CHECK_RANK(c, 3);
     const std::int64_t batch = a.shape().dim(0);
     BP_REQUIRE(b.shape().dim(0) == batch && c.shape().dim(0) == batch);
 
@@ -122,7 +115,8 @@ batchedGemm(const Tensor &a, const Tensor &b, Tensor &c, bool trans_a,
     const std::int64_t n = trans_b ? b.shape().dim(1) : b.shape().dim(2);
     BP_REQUIRE(k == kb);
     BP_REQUIRE(c.shape().dim(1) == m && c.shape().dim(2) == n);
-    BP_REQUIRE(noStorageOverlap(c, a) && noStorageOverlap(c, b));
+    BP_CHECK_NO_ALIAS(c, a);
+    BP_CHECK_NO_ALIAS(c, b);
 
     const std::int64_t a_step = a.shape().dim(1) * a.shape().dim(2);
     const std::int64_t b_step = b.shape().dim(1) * b.shape().dim(2);

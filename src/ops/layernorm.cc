@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "runtime/parallel_for.h"
+#include "tensor/contracts.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -11,8 +12,16 @@ KernelStats
 layerNormForward(const Tensor &in, const Tensor &gamma, const Tensor &beta,
                  Tensor &out, Tensor &mean, Tensor &rstd, float eps)
 {
-    BP_REQUIRE(in.shape() == out.shape());
-    BP_REQUIRE(gamma.shape().rank() == 1 && beta.shape() == gamma.shape());
+    BP_CHECK_SAME_SHAPE(in, out);
+    BP_CHECK_RANK(gamma, 1);
+    BP_CHECK_SAME_SHAPE(beta, gamma);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, in);
+    BP_CHECK_NO_ALIAS(out, gamma);
+    BP_CHECK_NO_ALIAS(out, beta);
+    BP_CHECK_NO_ALIAS(mean, in);
+    BP_CHECK_NO_ALIAS(mean, out);
+    BP_CHECK_NO_ALIAS(rstd, in);
+    BP_CHECK_NO_ALIAS(rstd, out);
     const std::int64_t cols = gamma.shape().dim(0);
     BP_REQUIRE(in.shape().dim(-1) == cols);
     const std::int64_t rows = in.numel() / cols;
@@ -58,11 +67,21 @@ layerNormBackward(const Tensor &in, const Tensor &gamma, const Tensor &mean,
                   const Tensor &rstd, const Tensor &dout, Tensor &din,
                   Tensor &dgamma, Tensor &dbeta)
 {
+    BP_CHECK_RANK(gamma, 1);
     const std::int64_t cols = gamma.shape().dim(0);
     const std::int64_t rows = in.numel() / cols;
-    BP_REQUIRE(in.shape() == dout.shape() && in.shape() == din.shape());
-    BP_REQUIRE(dgamma.shape() == gamma.shape() &&
-               dbeta.shape() == gamma.shape());
+    BP_CHECK_SAME_SHAPE(in, dout);
+    BP_CHECK_SAME_SHAPE(in, din);
+    BP_CHECK_SAME_SHAPE(dgamma, gamma);
+    BP_CHECK_SAME_SHAPE(dbeta, gamma);
+    // Pass 2 re-reads in/dout after pass 1 wrote din, so even exact
+    // in-place aliasing would corrupt dgamma/dbeta: require disjoint.
+    BP_CHECK_NO_ALIAS(din, dout);
+    BP_CHECK_NO_ALIAS(din, in);
+    BP_CHECK_NO_ALIAS(dgamma, in);
+    BP_CHECK_NO_ALIAS(dgamma, dout);
+    BP_CHECK_NO_ALIAS(dbeta, in);
+    BP_CHECK_NO_ALIAS(dbeta, dout);
     BP_REQUIRE(mean.numel() == rows && rstd.numel() == rows);
 
     dgamma.fill(0.0f);

@@ -1,5 +1,6 @@
 #include "ops/reshape.h"
 
+#include "tensor/contracts.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -7,7 +8,9 @@ namespace bertprof {
 KernelStats
 transpose2d(const Tensor &in, Tensor &out)
 {
-    BP_REQUIRE(in.shape().rank() == 2 && out.shape().rank() == 2);
+    BP_CHECK_RANK(in, 2);
+    BP_CHECK_RANK(out, 2);
+    BP_CHECK_NO_ALIAS(out, in);
     const std::int64_t rows = in.shape().dim(0);
     const std::int64_t cols = in.shape().dim(1);
     BP_REQUIRE(out.shape().dim(0) == cols && out.shape().dim(1) == rows);
@@ -21,7 +24,8 @@ KernelStats
 splitHeads(const Tensor &in, std::int64_t batch, std::int64_t seq,
            std::int64_t heads, Tensor &out)
 {
-    BP_REQUIRE(in.shape().rank() == 2);
+    BP_CHECK_RANK(in, 2);
+    BP_CHECK_NO_ALIAS(out, in);
     const std::int64_t d_model = in.shape().dim(1);
     BP_REQUIRE(in.shape().dim(0) == batch * seq);
     BP_REQUIRE(d_model % heads == 0);
@@ -46,7 +50,8 @@ KernelStats
 mergeHeads(const Tensor &in, std::int64_t batch, std::int64_t seq,
            std::int64_t heads, Tensor &out)
 {
-    BP_REQUIRE(in.shape().rank() == 3);
+    BP_CHECK_RANK(in, 3);
+    BP_CHECK_NO_ALIAS(out, in);
     const std::int64_t dh = in.shape().dim(2);
     const std::int64_t d_model = dh * heads;
     BP_REQUIRE(in.shape() == Shape({batch * heads, seq, dh}));

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "runtime/parallel_for.h"
+#include "tensor/contracts.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -10,7 +11,8 @@ namespace bertprof {
 KernelStats
 softmaxForward(const Tensor &in, Tensor &out)
 {
-    BP_REQUIRE(in.shape() == out.shape());
+    BP_CHECK_SAME_SHAPE(in, out);
+    BP_CHECK_NO_PARTIAL_ALIAS(out, in);
     BP_REQUIRE(in.shape().rank() >= 1);
     const std::int64_t cols = in.shape().dim(-1);
     const std::int64_t rows = in.numel() / cols;
@@ -43,7 +45,10 @@ softmaxForward(const Tensor &in, Tensor &out)
 KernelStats
 softmaxBackward(const Tensor &out, const Tensor &dout, Tensor &din)
 {
-    BP_REQUIRE(out.shape() == dout.shape() && out.shape() == din.shape());
+    BP_CHECK_SAME_SHAPE(out, dout);
+    BP_CHECK_SAME_SHAPE(out, din);
+    BP_CHECK_NO_PARTIAL_ALIAS(din, out);
+    BP_CHECK_NO_PARTIAL_ALIAS(din, dout);
     const std::int64_t cols = out.shape().dim(-1);
     const std::int64_t rows = out.numel() / cols;
 

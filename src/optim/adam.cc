@@ -9,6 +9,7 @@ namespace bertprof {
 void
 Adam::step(const std::vector<Parameter *> &params)
 {
+    checkParams(params);
     ++steps_;
     const float scale = globalGradScale(params);
     const double bc1 =

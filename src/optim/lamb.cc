@@ -10,6 +10,7 @@ namespace bertprof {
 void
 Lamb::step(const std::vector<Parameter *> &params)
 {
+    checkParams(params);
     ++steps_;
     // LAMB's global pre-normalization: the L2 norm across all
     // gradients must complete before any parameter can update.

@@ -2,7 +2,21 @@
 
 #include <cmath>
 
+#include "tensor/contracts.h"
+#include "util/logging.h"
+
 namespace bertprof {
+
+void
+Optimizer::checkParams(const std::vector<Parameter *> &params) const
+{
+    for (const Parameter *param : params) {
+        BP_REQUIRE(param != nullptr);
+        BP_CHECK_SAME_SHAPE(param->grad, param->value);
+        BP_CHECK_NO_ALIAS(param->grad, param->value);
+        BP_DCHECK_FINITE(param->grad);
+    }
+}
 
 float
 Optimizer::globalGradScale(const std::vector<Parameter *> &params)

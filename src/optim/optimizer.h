@@ -60,6 +60,13 @@ class Optimizer
      */
     float globalGradScale(const std::vector<Parameter *> &params);
 
+    /**
+     * Entry contract shared by every step() implementation: no null
+     * parameters, every gradient shaped like its value, and (debug
+     * builds only) every gradient finite before it is consumed.
+     */
+    void checkParams(const std::vector<Parameter *> &params) const;
+
     OptimizerConfig config_;
     Profiler *profiler_;
     std::int64_t steps_ = 0;

@@ -7,6 +7,7 @@ namespace bertprof {
 void
 Sgd::step(const std::vector<Parameter *> &params)
 {
+    checkParams(params);
     ++steps_;
     const float scale = globalGradScale(params);
     for (Parameter *param : params) {

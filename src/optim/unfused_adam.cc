@@ -9,6 +9,7 @@ namespace bertprof {
 void
 UnfusedAdam::step(const std::vector<Parameter *> &params)
 {
+    checkParams(params);
     ++steps_;
     const float scale = globalGradScale(params);
     const float bc1 = static_cast<float>(

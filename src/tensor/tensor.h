@@ -71,13 +71,25 @@ class Tensor
     /** Const flat data pointer. */
     const float *data() const { return data_.data(); }
 
-    /** Element access by flat index. */
+    /**
+     * Element access by flat index. Bounds-checked in debug builds
+     * (BP_ASSERT tier); the check compiles out under NDEBUG.
+     */
     float &at(std::int64_t i);
     float at(std::int64_t i) const;
 
     /** Element access by (row, col) for rank-2 tensors. */
     float &at(std::int64_t r, std::int64_t c);
     float at(std::int64_t r, std::int64_t c) const;
+
+    /** Call-operator aliases for at(), same debug bounds checks. */
+    float &operator()(std::int64_t i) { return at(i); }
+    float operator()(std::int64_t i) const { return at(i); }
+    float &operator()(std::int64_t r, std::int64_t c) { return at(r, c); }
+    float operator()(std::int64_t r, std::int64_t c) const
+    {
+        return at(r, c);
+    }
 
     /** Fill every element with the given value. */
     void fill(float value);

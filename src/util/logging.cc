@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 
 namespace bertprof {
@@ -61,7 +62,12 @@ LogStream::~LogStream()
         break;
       case Action::Fatal:
         std::fprintf(stderr, "[FATAL] %s\n", stream_.str().c_str());
-        std::exit(1);
+        // _Exit, not exit: a fatal contract violation must not run
+        // static destructors — ~ThreadPool would try to join worker
+        // threads that may be mid-kernel (or absent entirely in a
+        // fork()ed death-test child, where joining SEGVs).
+        std::fflush(nullptr);
+        std::_Exit(1);
       case Action::Panic:
         std::fprintf(stderr, "[PANIC] %s\n", stream_.str().c_str());
         std::abort();

@@ -86,13 +86,26 @@ class LogStream
         ::bertprof::LogLevel::Error,                                         \
         ::bertprof::detail::LogStream::Action::Panic, __FILE__, __LINE__)
 
-/** Internal invariant check; aborts with a message when violated. */
+/**
+ * Internal invariant check; aborts with a message when violated.
+ *
+ * Debug tier: compiles out entirely under NDEBUG (the condition is
+ * never evaluated), so it is safe on hot paths — bounds checks in
+ * Tensor::at, per-element invariants, and anything else too costly
+ * for release builds. Preconditions that must hold in every build
+ * (user-facing shape/alias contracts) belong in BP_REQUIRE or the
+ * BP_CHECK_* macros (tensor/contracts.h) instead.
+ */
+#ifdef NDEBUG
+#define BP_ASSERT(cond) ((void)sizeof((cond) ? 1 : 0))
+#else
 #define BP_ASSERT(cond)                                                      \
     do {                                                                     \
         if (!(cond)) {                                                       \
             BP_PANIC() << "assertion failed: " #cond;                        \
         }                                                                    \
     } while (0)
+#endif
 
 /** User-facing precondition check; exits with a message when violated. */
 #define BP_REQUIRE(cond)                                                     \

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Fixture suite for the bplint rules: each feeds a known-bad source
+ * snippet to lintSource() and asserts the expected rule fires at the
+ * expected line — and that clean equivalents and suppression
+ * directives do not fire. The snippets live in string literals, which
+ * is also a regression test for the linter's own literal stripping
+ * (bplint scans this file in the tree-wide lint run and must not
+ * flag the rule names quoted here).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lint.h"
+
+namespace {
+
+using bplint::Finding;
+using bplint::lintSource;
+
+/** Findings for `rule` only. */
+std::vector<Finding>
+byRule(const std::vector<Finding> &all, const std::string &rule)
+{
+    std::vector<Finding> out;
+    for (const Finding &f : all)
+        if (f.rule == rule)
+            out.push_back(f);
+    return out;
+}
+
+bool
+firesAtLine(const std::vector<Finding> &all, const std::string &rule,
+            int line)
+{
+    return std::any_of(all.begin(), all.end(), [&](const Finding &f) {
+        return f.rule == rule && f.line == line;
+    });
+}
+
+// --------------------------------------------------------------------
+// Rule inventory and infrastructure.
+// --------------------------------------------------------------------
+
+TEST(BplintMeta, AllSixRulesAreRegistered)
+{
+    const std::vector<std::string> rules = bplint::ruleNames();
+    const char *expected[] = {"wall-clock",         "libc-rand",
+                              "kernel-stats",       "op-entry-contract",
+                              "parallel-shared-accum", "include-hygiene"};
+    for (const char *rule : expected) {
+        EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
+            << "missing rule " << rule;
+    }
+}
+
+TEST(BplintMeta, StripPreservesLineNumbersAndCode)
+{
+    const std::string text = "int a; // trailing\n"
+                             "/* block\n   spanning */ int b;\n"
+                             "const char *s = \"rand();\";\n";
+    const std::string stripped = bplint::stripCommentsAndStrings(text);
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+              std::count(stripped.begin(), stripped.end(), '\n'));
+    EXPECT_NE(stripped.find("int a;"), std::string::npos);
+    EXPECT_NE(stripped.find("int b;"), std::string::npos);
+    // The literal's contents must be gone: no token scanner may see it.
+    EXPECT_EQ(stripped.find("rand"), std::string::npos);
+    EXPECT_EQ(stripped.find("trailing"), std::string::npos);
+    EXPECT_EQ(stripped.find("spanning"), std::string::npos);
+}
+
+TEST(BplintMeta, FormattersIncludeRuleAndLocation)
+{
+    const std::vector<Finding> one = {
+        {"src/ops/x.cc", 12, "wall-clock", "boom"}};
+    const std::string text = bplint::formatText(one);
+    EXPECT_NE(text.find("src/ops/x.cc:12"), std::string::npos);
+    EXPECT_NE(text.find("[wall-clock]"), std::string::npos);
+    const std::string json = bplint::formatJson(one);
+    EXPECT_NE(json.find("\"rule\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\": 12"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// wall-clock
+// --------------------------------------------------------------------
+
+TEST(BplintWallClock, FiresOnNonMonotonicClocks)
+{
+    const std::string bad = "#include <chrono>\n"
+                            "double now() {\n"
+                            "  auto t = std::chrono::system_clock::now();\n"
+                            "  return 0;\n"
+                            "}\n";
+    const auto findings = lintSource("src/perf/bad.cc", bad);
+    EXPECT_TRUE(firesAtLine(findings, "wall-clock", 3));
+
+    const std::string hires =
+        "auto t = std::chrono::high_resolution_clock::now();\n";
+    EXPECT_FALSE(byRule(lintSource("src/a.cc", hires), "wall-clock").empty());
+}
+
+TEST(BplintWallClock, SteadyClockIsClean)
+{
+    const std::string good =
+        "auto t = std::chrono::steady_clock::now();\n";
+    EXPECT_TRUE(byRule(lintSource("src/a.cc", good), "wall-clock").empty());
+}
+
+TEST(BplintWallClock, MentionInCommentOrStringIsClean)
+{
+    const std::string good =
+        "// never use system_clock here\n"
+        "const char *s = \"system_clock\";\n";
+    EXPECT_TRUE(byRule(lintSource("src/a.cc", good), "wall-clock").empty());
+}
+
+// --------------------------------------------------------------------
+// libc-rand
+// --------------------------------------------------------------------
+
+TEST(BplintLibcRand, FiresOnRandAndSrand)
+{
+    const std::string bad = "int noise() {\n"
+                            "  srand(42);\n"
+                            "  return rand();\n"
+                            "}\n";
+    const auto findings = lintSource("src/util/bad.cc", bad);
+    EXPECT_TRUE(firesAtLine(findings, "libc-rand", 2));
+    EXPECT_TRUE(firesAtLine(findings, "libc-rand", 3));
+}
+
+TEST(BplintLibcRand, MemberAndNamedFunctionsAreClean)
+{
+    const std::string good = "float draw(Rng &rng) {\n"
+                             "  auto x = rng.rand();\n"
+                             "  auto y = gen->rand();\n"
+                             "  return quasirand();\n"
+                             "}\n";
+    EXPECT_TRUE(byRule(lintSource("src/a.cc", good), "libc-rand").empty());
+}
+
+// --------------------------------------------------------------------
+// kernel-stats
+// --------------------------------------------------------------------
+
+TEST(BplintKernelStats, FiresOnVoidTensorKernelInOps)
+{
+    const std::string bad =
+        "#include \"tensor/tensor.h\"\n"
+        "namespace bertprof {\n"
+        "void scaleInPlace(Tensor &t, float s) {\n"
+        "  BP_REQUIRE(s != 0.0f);\n"
+        "}\n"
+        "} // namespace bertprof\n";
+    const auto findings = lintSource("src/ops/bad.cc", bad);
+    EXPECT_TRUE(firesAtLine(findings, "kernel-stats", 3));
+}
+
+TEST(BplintKernelStats, ScopedToOpsOnly)
+{
+    const std::string text = "namespace bertprof {\n"
+                             "void helper(Tensor &t) { BP_REQUIRE(true); }\n"
+                             "}\n";
+    EXPECT_FALSE(
+        byRule(lintSource("src/ops/x.cc", text), "kernel-stats").empty());
+    EXPECT_TRUE(
+        byRule(lintSource("src/nn/x.cc", text), "kernel-stats").empty());
+}
+
+TEST(BplintKernelStats, StatsBearingReturnsAreClean)
+{
+    const std::string good =
+        "namespace bertprof {\n"
+        "KernelStats addForward(const Tensor &a, Tensor &out) {\n"
+        "  BP_CHECK_SAME_SHAPE(a, out);\n"
+        "  return KernelStats{};\n"
+        "}\n"
+        "CrossEntropyResult loss(const Tensor &l, Tensor &d) {\n"
+        "  BP_CHECK_SAME_SHAPE(l, d);\n"
+        "  return {};\n"
+        "}\n"
+        "static void localHelper(Tensor &t) {}\n"
+        "namespace { void anonHelper(Tensor &t) {} }\n"
+        "}\n";
+    EXPECT_TRUE(
+        byRule(lintSource("src/ops/good.cc", good), "kernel-stats").empty());
+}
+
+// --------------------------------------------------------------------
+// op-entry-contract
+// --------------------------------------------------------------------
+
+TEST(BplintOpEntryContract, FiresWhenNoPreconditionIsStated)
+{
+    const std::string bad =
+        "namespace bertprof {\n"
+        "KernelStats mulForward(const Tensor &a, Tensor &out) {\n"
+        "  out = a;\n"
+        "  return KernelStats{};\n"
+        "}\n"
+        "}\n";
+    const auto findings = lintSource("src/ops/bad.cc", bad);
+    EXPECT_TRUE(firesAtLine(findings, "op-entry-contract", 2));
+}
+
+TEST(BplintOpEntryContract, AnyContractMacroSatisfiesIt)
+{
+    const std::string good =
+        "namespace bertprof {\n"
+        "KernelStats f(const Tensor &a, Tensor &out) {\n"
+        "  BP_CHECK_NO_ALIAS(out, a);\n"
+        "  return KernelStats{};\n"
+        "}\n"
+        "}\n";
+    EXPECT_TRUE(byRule(lintSource("src/ops/good.cc", good),
+                       "op-entry-contract")
+                    .empty());
+}
+
+// --------------------------------------------------------------------
+// parallel-shared-accum
+// --------------------------------------------------------------------
+
+TEST(BplintParallelAccum, FiresOnCapturedCompoundAssign)
+{
+    const std::string bad =
+        "void f(ThreadPool &pool) {\n"
+        "  double total = 0.0;\n"
+        "  parallelFor(pool, 0, n, [&](std::int64_t b, std::int64_t e) {\n"
+        "    total += work(b, e);\n"
+        "  });\n"
+        "}\n";
+    const auto findings = lintSource("src/runtime/bad.cc", bad);
+    EXPECT_TRUE(firesAtLine(findings, "parallel-shared-accum", 4));
+}
+
+TEST(BplintParallelAccum, LocalAndSubscriptedWritesAreClean)
+{
+    const std::string good =
+        "void f(ThreadPool &pool) {\n"
+        "  parallelFor(pool, 0, n, [&](std::int64_t b, std::int64_t e) {\n"
+        "    double local = 0.0;\n"
+        "    for (std::int64_t i = b; i < e; ++i) local += x[i];\n"
+        "    partial[b] += local;\n"
+        "    out[i] *= 2.0f;\n"
+        "  });\n"
+        "}\n";
+    EXPECT_TRUE(byRule(lintSource("src/runtime/good.cc", good),
+                       "parallel-shared-accum")
+                    .empty());
+}
+
+TEST(BplintParallelAccum, OutsideParallelForIsClean)
+{
+    const std::string good = "void f() {\n"
+                             "  double total = 0.0;\n"
+                             "  total += 1.0;\n"
+                             "}\n";
+    EXPECT_TRUE(byRule(lintSource("src/runtime/good.cc", good),
+                       "parallel-shared-accum")
+                    .empty());
+}
+
+// --------------------------------------------------------------------
+// include-hygiene
+// --------------------------------------------------------------------
+
+TEST(BplintIncludeHygiene, FiresOnUpwardInclude)
+{
+    const std::string bad = "#include \"nn/module.h\"\n";
+    const auto findings = lintSource("src/ops/bad.cc", bad);
+    EXPECT_TRUE(firesAtLine(findings, "include-hygiene", 1));
+}
+
+TEST(BplintIncludeHygiene, DownwardAndExemptIncludesAreClean)
+{
+    const std::string good = "#include \"ops/kernel_stats.h\"\n"
+                             "#include \"tensor/tensor.h\"\n"
+                             "#include \"util/logging.h\"\n"
+                             "#include <vector>\n";
+    EXPECT_TRUE(byRule(lintSource("src/trace/good.cc", good),
+                       "include-hygiene")
+                    .empty());
+    // Only core may include core.
+    const std::string core = "#include \"core/substrate.h\"\n";
+    EXPECT_FALSE(byRule(lintSource("src/nn/x.cc", core),
+                        "include-hygiene")
+                     .empty());
+    EXPECT_TRUE(byRule(lintSource("src/core/x.cc", core),
+                       "include-hygiene")
+                    .empty());
+}
+
+TEST(BplintIncludeHygiene, OnlyAppliesUnderSrc)
+{
+    const std::string text = "#include \"nn/module.h\"\n";
+    EXPECT_TRUE(byRule(lintSource("bench/bench_model.cc", text),
+                       "include-hygiene")
+                    .empty());
+}
+
+// --------------------------------------------------------------------
+// Suppressions
+// --------------------------------------------------------------------
+
+TEST(BplintSuppression, SameLineAllowSilencesOneRule)
+{
+    // A directive covers its own line and the one after it, so the
+    // unsuppressed violation sits two lines below.
+    const std::string text =
+        "auto t = std::chrono::system_clock::now();"
+        " // bplint: allow(wall-clock)\n"
+        "\n"
+        "auto u = std::chrono::system_clock::now();\n";
+    const auto findings = byRule(lintSource("src/a.cc", text), "wall-clock");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(BplintSuppression, PrecedingLineAllowWorks)
+{
+    const std::string text = "// bplint: allow(libc-rand)\n"
+                             "int x = rand();\n";
+    EXPECT_TRUE(byRule(lintSource("src/a.cc", text), "libc-rand").empty());
+}
+
+TEST(BplintSuppression, AllowFileSilencesWholeFileForThatRuleOnly)
+{
+    const std::string text = "// bplint: allow-file(wall-clock)\n"
+                             "auto t = std::chrono::system_clock::now();\n"
+                             "auto u = std::chrono::system_clock::now();\n"
+                             "int y = rand();\n";
+    const auto findings = lintSource("src/a.cc", text);
+    EXPECT_TRUE(byRule(findings, "wall-clock").empty());
+    EXPECT_TRUE(firesAtLine(findings, "libc-rand", 4));
+}
+
+TEST(BplintSuppression, AllowForWrongRuleDoesNotSilence)
+{
+    const std::string text =
+        "int x = rand(); // bplint: allow(wall-clock)\n";
+    EXPECT_FALSE(byRule(lintSource("src/a.cc", text), "libc-rand").empty());
+}
+
+} // namespace

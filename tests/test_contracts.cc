@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Death tests for the contract layer: shape mismatches, aliasing
+ * violations, and (debug builds) out-of-range Tensor access must all
+ * fail loudly at the op boundary instead of corrupting results.
+ * BP_CHECK_* contracts exit(1) with a "... contract failed" message;
+ * the debug BP_ASSERT tier aborts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <limits>
+
+#include "ops/activation.h"
+#include "ops/cross_entropy.h"
+#include "ops/dropout.h"
+#include "ops/elementwise.h"
+#include "ops/embedding.h"
+#include "ops/layernorm.h"
+#include "ops/reshape.h"
+#include "ops/softmax.h"
+#include "optim/adam.h"
+#include "tensor/contracts.h"
+#include "util/rng.h"
+
+namespace bertprof {
+namespace {
+
+using ::testing::ExitedWithCode;
+
+// --------------------------------------------------------------------
+// Aliasing predicate sanity (non-death).
+// --------------------------------------------------------------------
+
+TEST(ContractPredicates, StorageRelations)
+{
+    Tensor a(Shape({4, 4})), b(Shape({4, 4}));
+    EXPECT_TRUE(contracts::sameStorage(a, a));
+    EXPECT_FALSE(contracts::sameStorage(a, b));
+    EXPECT_TRUE(contracts::storageDisjoint(a, b));
+    EXPECT_FALSE(contracts::storageDisjoint(a, a));
+    EXPECT_TRUE(contracts::exactAliasOrDisjoint(a, a));
+    EXPECT_TRUE(contracts::exactAliasOrDisjoint(a, b));
+}
+
+TEST(ContractPredicates, AllFinite)
+{
+    Tensor t(Shape({8}));
+    EXPECT_TRUE(contracts::allFinite(t));
+    t.data()[3] = std::numeric_limits<float>::infinity();
+    EXPECT_FALSE(contracts::allFinite(t));
+    t.data()[3] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_FALSE(contracts::allFinite(t));
+}
+
+// --------------------------------------------------------------------
+// In-place (exact alias) stays legal where the kernels support it.
+// --------------------------------------------------------------------
+
+TEST(ContractAlias, ExactAliasIsAllowedForElementwise)
+{
+    Tensor a(Shape({8}), std::vector<float>(8, 2.0f));
+    Tensor b(Shape({8}), std::vector<float>(8, 3.0f));
+    addForward(a, b, a); // out == a in place
+    EXPECT_FLOAT_EQ(a.at(0), 5.0f);
+    geluForward(a, a);
+    softmaxForward(a, a);
+    EXPECT_NEAR(a.sum(), 1.0, 1e-5);
+}
+
+// --------------------------------------------------------------------
+// Shape contracts.
+// --------------------------------------------------------------------
+
+TEST(ContractShapeDeath, ElementwiseMismatch)
+{
+    Tensor a(Shape({4})), b(Shape({5})), out(Shape({4}));
+    EXPECT_EXIT(addForward(a, b, out), ExitedWithCode(1),
+                "shape contract failed");
+    EXPECT_EXIT(mulForward(a, b, out), ExitedWithCode(1),
+                "shape contract failed");
+    Tensor out5(Shape({5}));
+    EXPECT_EXIT(scaleForward(a, 2.0f, out5), ExitedWithCode(1),
+                "shape contract failed");
+}
+
+TEST(ContractShapeDeath, RankContractNamesTheTensor)
+{
+    Tensor bias(Shape({2, 2})); // bias must be rank 1
+    Tensor in(Shape({4, 4})), out(Shape({4, 4}));
+    EXPECT_EXIT(biasForward(in, bias, out), ExitedWithCode(1),
+                "rank contract failed");
+}
+
+TEST(ContractShapeDeath, SoftmaxBackwardMismatch)
+{
+    Tensor y(Shape({2, 4})), dy(Shape({2, 5})), dx(Shape({2, 4}));
+    EXPECT_EXIT(softmaxBackward(y, dy, dx), ExitedWithCode(1),
+                "shape contract failed");
+}
+
+TEST(ContractShapeDeath, CrossEntropyMismatch)
+{
+    Tensor logits(Shape({2, 4})), dlogits(Shape({2, 5}));
+    std::vector<std::int64_t> labels = {0, 1};
+    EXPECT_EXIT(softmaxCrossEntropy(logits, labels, dlogits),
+                ExitedWithCode(1), "shape contract failed");
+}
+
+// --------------------------------------------------------------------
+// Aliasing contracts at op entry points.
+// --------------------------------------------------------------------
+
+/** A tensor whose storage partially overlaps another's cannot be
+ * built from the public API (Tensor owns its buffer), so partial
+ * overlap is exercised where it matters most: exact-alias bans. */
+TEST(ContractAliasDeath, LayerNormBackwardRejectsInPlace)
+{
+    const std::int64_t rows = 2, cols = 4;
+    Tensor in(Shape({rows, cols})), gamma(Shape({cols}));
+    Tensor beta(Shape({cols})), out(in.shape());
+    Tensor mean(Shape({rows})), rstd(Shape({rows}));
+    Rng rng(7);
+    in.fillNormal(rng);
+    gamma.fill(1.0f);
+    layerNormForward(in, gamma, beta, out, mean, rstd);
+
+    Tensor dout(in.shape()), dgamma(Shape({cols})), dbeta(Shape({cols}));
+    dout.fill(1.0f);
+    // din == dout: pass 2 re-reads dout after pass 1 wrote din.
+    EXPECT_EXIT(layerNormBackward(in, gamma, mean, rstd, dout, dout,
+                                  dgamma, dbeta),
+                ExitedWithCode(1), "alias contract failed");
+    // din == in: same hazard against the saved activations.
+    EXPECT_EXIT(layerNormBackward(in, gamma, mean, rstd, dout, in,
+                                  dgamma, dbeta),
+                ExitedWithCode(1), "alias contract failed");
+}
+
+TEST(ContractAliasDeath, LayerNormForwardRejectsStatsAliasing)
+{
+    const std::int64_t rows = 4, cols = 4;
+    Tensor in(Shape({rows, cols})), gamma(Shape({cols}));
+    Tensor beta(Shape({cols})), out(in.shape());
+    Tensor mean(Shape({rows})), rstd(Shape({rows}));
+    // mean aliasing the output corrupts rows as they are written.
+    EXPECT_EXIT(layerNormForward(in, gamma, beta, out, mean, out, 1e-5f),
+                ExitedWithCode(1), "alias contract failed");
+}
+
+TEST(ContractAliasDeath, DropoutRejectsMaskAliasing)
+{
+    Tensor in(Shape({8})), out(Shape({8}));
+    Rng rng(3);
+    // mask == in: the serial mask pass would clobber the input.
+    EXPECT_EXIT(dropoutForward(in, 0.5f, rng, out, in), ExitedWithCode(1),
+                "alias contract failed");
+    // mask == out: applying the mask would destroy it for backward.
+    EXPECT_EXIT(dropoutForward(in, 0.5f, rng, out, out),
+                ExitedWithCode(1), "alias contract failed");
+    Tensor mask(Shape({8})), din(Shape({8}));
+    EXPECT_EXIT(dropoutBackward(out, mask, mask), ExitedWithCode(1),
+                "alias contract failed");
+}
+
+TEST(ContractAliasDeath, TransposeAndHeadReshapesRejectInPlace)
+{
+    Tensor sq(Shape({4, 4}));
+    EXPECT_EXIT(transpose2d(sq, sq), ExitedWithCode(1),
+                "alias contract failed");
+    Tensor flat(Shape({4, 8})), packed(Shape({8, 2, 2}));
+    EXPECT_EXIT(splitHeads(flat, 2, 2, 4, flat), ExitedWithCode(1),
+                "contract failed");
+    EXPECT_EXIT(mergeHeads(packed, 2, 2, 4, packed), ExitedWithCode(1),
+                "contract failed");
+}
+
+TEST(ContractAliasDeath, EmbeddingRejectsTableAliasing)
+{
+    Tensor table(Shape({4, 4}));
+    std::vector<std::int64_t> ids = {0, 1, 2, 3};
+    EXPECT_EXIT(embeddingForward(table, ids, table), ExitedWithCode(1),
+                "alias contract failed");
+    EXPECT_EXIT(embeddingBackward(table, ids, table), ExitedWithCode(1),
+                "alias contract failed");
+}
+
+TEST(ContractAliasDeath, CrossEntropyRejectsLogitGradAliasing)
+{
+    Tensor logits(Shape({2, 4}));
+    std::vector<std::int64_t> labels = {0, 1};
+    // dlogits is zero-filled before logits are read.
+    EXPECT_EXIT(softmaxCrossEntropy(logits, labels, logits),
+                ExitedWithCode(1), "alias contract failed");
+}
+
+TEST(ContractAliasDeath, ResidualAddRejectsMaskAliasing)
+{
+    Tensor a(Shape({2, 4, 4})), mask(Shape({1, 4, 4}));
+    EXPECT_EXIT(batchMaskAddForward(a, mask, 2, mask), ExitedWithCode(1),
+                "shape contract failed");
+    Tensor out(a.shape());
+    EXPECT_EXIT(maskAddForward(a, out, out), ExitedWithCode(1),
+                "alias contract failed");
+}
+
+// --------------------------------------------------------------------
+// Optimizer entry contract.
+// --------------------------------------------------------------------
+
+TEST(ContractOptimizerDeath, StepRejectsMisshapenGrad)
+{
+    Parameter p("w", Shape({4, 4}));
+    p.grad = Tensor(Shape({2, 2}));
+    Adam adam(OptimizerConfig{});
+    std::vector<Parameter *> params = {&p};
+    EXPECT_EXIT(adam.step(params), ExitedWithCode(1),
+                "shape contract failed");
+}
+
+TEST(ContractOptimizerDeath, StepRejectsNullParameter)
+{
+    Adam adam(OptimizerConfig{});
+    std::vector<Parameter *> params = {nullptr};
+    EXPECT_EXIT(adam.step(params), ExitedWithCode(1),
+                "requirement failed");
+}
+
+// --------------------------------------------------------------------
+// Debug bounds tier (BP_ASSERT): active only without NDEBUG.
+// --------------------------------------------------------------------
+
+#ifndef NDEBUG
+TEST(ContractBoundsDeath, TensorAtOutOfRangeAborts)
+{
+    Tensor t(Shape({2, 3}));
+    EXPECT_EXIT({ t.at(6); }, ::testing::KilledBySignal(SIGABRT),
+                "assertion failed");
+    EXPECT_EXIT({ t.at(-1); }, ::testing::KilledBySignal(SIGABRT),
+                "assertion failed");
+    EXPECT_EXIT({ t.at(2, 0); }, ::testing::KilledBySignal(SIGABRT),
+                "assertion failed");
+    EXPECT_EXIT({ t(0, 3); }, ::testing::KilledBySignal(SIGABRT),
+                "assertion failed");
+}
+#else
+TEST(ContractBounds, ReleaseTierCompilesOut)
+{
+    // In NDEBUG builds the bounds tier must cost nothing: operator()
+    // on a valid index still works, and BP_ASSERT conditions are
+    // never evaluated (see test_util.cc for the direct check).
+    Tensor t(Shape({2, 3}));
+    t(1, 2) = 7.0f;
+    EXPECT_FLOAT_EQ(t(1, 2), 7.0f);
+    EXPECT_FLOAT_EQ(t(5), 7.0f);
+}
+#endif
+
+} // namespace
+} // namespace bertprof

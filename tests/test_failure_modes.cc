@@ -22,28 +22,28 @@ TEST(DeathTest, GemmRejectsMismatchedInnerDims)
 {
     Tensor a(Shape({2, 3})), b(Shape({4, 5})), c(Shape({2, 5}));
     EXPECT_EXIT(gemm(a, b, c), ::testing::ExitedWithCode(1),
-                "requirement failed");
+                "requirement failed|contract failed");
 }
 
 TEST(DeathTest, GemmRejectsWrongOutputShape)
 {
     Tensor a(Shape({2, 3})), b(Shape({3, 5})), c(Shape({2, 4}));
     EXPECT_EXIT(gemm(a, b, c), ::testing::ExitedWithCode(1),
-                "requirement failed");
+                "requirement failed|contract failed");
 }
 
 TEST(DeathTest, BatchedGemmRejectsBatchMismatch)
 {
     Tensor a(Shape({2, 3, 4})), b(Shape({3, 4, 5})), c(Shape({2, 3, 5}));
     EXPECT_EXIT(batchedGemm(a, b, c), ::testing::ExitedWithCode(1),
-                "requirement failed");
+                "requirement failed|contract failed");
 }
 
 TEST(DeathTest, AddForwardRejectsShapeMismatch)
 {
     Tensor a(Shape({4})), b(Shape({5})), out(Shape({4}));
     EXPECT_EXIT(addForward(a, b, out), ::testing::ExitedWithCode(1),
-                "requirement failed");
+                "requirement failed|contract failed");
 }
 
 TEST(DeathTest, LayerNormRejectsWrongGammaLength)
@@ -51,7 +51,7 @@ TEST(DeathTest, LayerNormRejectsWrongGammaLength)
     Tensor in(Shape({2, 8})), gamma(Shape({4})), beta(Shape({4}));
     Tensor out(in.shape()), mean(Shape({2})), rstd(Shape({2}));
     EXPECT_EXIT(layerNormForward(in, gamma, beta, out, mean, rstd),
-                ::testing::ExitedWithCode(1), "requirement failed");
+                ::testing::ExitedWithCode(1), "requirement failed|contract failed");
 }
 
 TEST(DeathTest, LinearBackwardBeforeForwardRejected)
@@ -60,7 +60,7 @@ TEST(DeathTest, LinearBackwardBeforeForwardRejected)
     Linear layer("fc", 4, 3, &rt);
     Tensor dout(Shape({2, 3}));
     EXPECT_EXIT(layer.backward(dout), ::testing::ExitedWithCode(1),
-                "requirement failed");
+                "requirement failed|contract failed");
 }
 
 TEST(DeathTest, LinearForwardRejectsWrongInputWidth)
@@ -69,7 +69,7 @@ TEST(DeathTest, LinearForwardRejectsWrongInputWidth)
     Linear layer("fc", 4, 3, &rt);
     Tensor x(Shape({2, 5}));
     EXPECT_EXIT(layer.forward(x), ::testing::ExitedWithCode(1),
-                "requirement failed");
+                "requirement failed|contract failed");
 }
 
 TEST(DeathTest, TraceBuilderRejectsIndivisibleHeads)
@@ -77,7 +77,7 @@ TEST(DeathTest, TraceBuilderRejectsIndivisibleHeads)
     BertConfig config = withPhase1(bertLarge(), 4);
     config.numHeads = 7; // 1024 % 7 != 0
     EXPECT_EXIT(BertTraceBuilder builder(config),
-                ::testing::ExitedWithCode(1), "requirement failed");
+                ::testing::ExitedWithCode(1), "requirement failed|contract failed");
 }
 
 TEST(DeathTest, TraceBuilderRejectsBadCheckpointInterval)
@@ -85,19 +85,19 @@ TEST(DeathTest, TraceBuilderRejectsBadCheckpointInterval)
     BertConfig config = withPhase1(bertLarge(), 4);
     config.checkpointEvery = 7; // 24 % 7 != 0
     EXPECT_EXIT(BertTraceBuilder builder(config),
-                ::testing::ExitedWithCode(1), "requirement failed");
+                ::testing::ExitedWithCode(1), "requirement failed|contract failed");
 }
 
 TEST(DeathTest, ShapeRejectsNegativeDims)
 {
     EXPECT_EXIT(Shape({2, -3}), ::testing::ExitedWithCode(1),
-                "requirement failed");
+                "requirement failed|contract failed");
 }
 
 TEST(DeathTest, TensorRejectsWrongInitializerSize)
 {
     EXPECT_EXIT(Tensor(Shape({3}), {1.0f, 2.0f}),
-                ::testing::ExitedWithCode(1), "requirement failed");
+                ::testing::ExitedWithCode(1), "requirement failed|contract failed");
 }
 
 } // namespace

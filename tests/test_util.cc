@@ -171,11 +171,21 @@ TEST(LoggingDeath, PanicAborts)
                 ::testing::KilledBySignal(SIGABRT), "internal bug");
 }
 
+#ifndef NDEBUG
 TEST(LoggingDeath, AssertAbortsOnFalse)
 {
     EXPECT_EXIT({ BP_ASSERT(1 == 2); },
                 ::testing::KilledBySignal(SIGABRT), "assertion failed");
 }
+#else
+TEST(Logging, AssertCompilesOutInRelease)
+{
+    // The debug tier must not evaluate its condition under NDEBUG.
+    int evals = 0;
+    BP_ASSERT(++evals > 0);
+    EXPECT_EQ(evals, 0);
+}
+#endif
 
 } // namespace
 } // namespace bertprof

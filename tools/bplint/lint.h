@@ -1,0 +1,84 @@
+/**
+ * @file
+ * bplint: repo-specific invariant linter for the bertprof tree.
+ *
+ * A deliberately lexical checker — it strips comments and string
+ * literals (so rule names inside literals never fire), then applies
+ * rules that encode this repo's correctness contracts:
+ *
+ *   wall-clock            no std::chrono::system_clock /
+ *                         high_resolution_clock in measured code;
+ *                         util/stopwatch.h (steady_clock) is the one
+ *                         sanctioned timer.
+ *   libc-rand             no rand()/srand(); util/rng.h only, so
+ *                         every stream is seeded and reproducible.
+ *   kernel-stats          every public kernel entry in src/ops/ .cc
+ *                         that touches Tensors returns KernelStats
+ *                         (or a stats-bearing result struct) — the
+ *                         operator accounting the perf model trusts.
+ *   op-entry-contract     every such entry states preconditions via
+ *                         BP_REQUIRE / BP_CHECK_* before computing.
+ *   parallel-shared-accum no compound assignment to a captured,
+ *                         unsubscripted variable inside a
+ *                         parallelFor/parallelFor2d body (shared
+ *                         accumulators belong in
+ *                         parallelReduceOrdered).
+ *   include-hygiene       src/<layer> may only include the layers
+ *                         below it in the dependency DAG; nothing
+ *                         includes src/core except core itself.
+ *
+ * Suppressions (per line, or whole file near the top):
+ *   // bplint: allow(rule-name)
+ *   // bplint: allow-file(rule-name)
+ *
+ * The library half is linked by tests/test_bplint.cc so each rule is
+ * unit-tested against known-bad snippets without shelling out.
+ */
+
+#ifndef BERTPROF_TOOLS_BPLINT_LINT_H
+#define BERTPROF_TOOLS_BPLINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace bplint {
+
+/** One rule violation at a source location. */
+struct Finding {
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Names of every implemented rule, in report order. */
+std::vector<std::string> ruleNames();
+
+/**
+ * Lint one translation unit. `path` is the repo-relative path (used
+ * both for reporting and for path-scoped rules: ops rules fire only
+ * under src/ops/, include hygiene only under src/); `text` is the
+ * file's contents.
+ */
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &text);
+
+/** Lint a file on disk (path used for scoping as in lintSource). */
+std::vector<Finding> lintFile(const std::string &path,
+                              const std::string &reportPath);
+
+/**
+ * Replace comments and string/char literals with spaces, preserving
+ * newlines (so findings keep their line numbers). Exposed for tests.
+ */
+std::string stripCommentsAndStrings(const std::string &text);
+
+/** Render findings: "file:line: [rule] message" per line. */
+std::string formatText(const std::vector<Finding> &findings);
+
+/** Render findings as a JSON array (machine-readable). */
+std::string formatJson(const std::vector<Finding> &findings);
+
+} // namespace bplint
+
+#endif // BERTPROF_TOOLS_BPLINT_LINT_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * bplint CLI. Usage:
+ *
+ *   bplint [--json] [--list-rules] <path>...
+ *
+ * Each path may be a file or a directory (scanned recursively for
+ * .cc/.h/.cpp/.hpp, skipping build and hidden directories). Exits
+ * 0 when clean, 1 when any finding survives suppression, 2 on usage
+ * or I/O errors. Designed to finish in well under a second on this
+ * tree so it can run as a tier-1 CTest (label: lint).
+ */
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool
+skipDir(const fs::path &p)
+{
+    const std::string name = p.filename().string();
+    return name.rfind("build", 0) == 0 || name.rfind(".", 0) == 0 ||
+           name == "results";
+}
+
+void
+collect(const fs::path &root, std::vector<fs::path> &files)
+{
+    if (fs::is_regular_file(root)) {
+        if (isSourceFile(root))
+            files.push_back(root);
+        return;
+    }
+    if (!fs::is_directory(root))
+        return;
+    for (auto it = fs::recursive_directory_iterator(root);
+         it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && skipDir(it->path())) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file() && isSourceFile(it->path()))
+            files.push_back(it->path());
+    }
+}
+
+/** Path as reported: relative to the repo root when recognizable. */
+std::string
+reportPath(const fs::path &p)
+{
+    const std::string s = p.generic_string();
+    for (const char *anchor : {"/src/", "/bench/", "/tests/",
+                               "/examples/", "/tools/"}) {
+        const std::size_t at = s.rfind(anchor);
+        if (at != std::string::npos)
+            return s.substr(at + 1);
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    std::vector<fs::path> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list-rules") {
+            for (const auto &r : bplint::ruleNames())
+                std::cout << r << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: bplint [--json] [--list-rules] <path>...\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "bplint: unknown option " << arg << "\n";
+            return 2;
+        } else {
+            roots.emplace_back(arg);
+        }
+    }
+    if (roots.empty()) {
+        std::cerr << "usage: bplint [--json] [--list-rules] <path>...\n";
+        return 2;
+    }
+
+    std::vector<fs::path> files;
+    for (const auto &r : roots) {
+        if (!fs::exists(r)) {
+            std::cerr << "bplint: no such path: " << r << "\n";
+            return 2;
+        }
+        collect(r, files);
+    }
+
+    std::vector<bplint::Finding> findings;
+    for (const auto &f : files) {
+        auto fs_ = bplint::lintFile(f.string(), reportPath(f));
+        findings.insert(findings.end(), fs_.begin(), fs_.end());
+    }
+
+    if (json) {
+        std::cout << bplint::formatJson(findings);
+    } else {
+        std::cout << bplint::formatText(findings);
+        std::cout << "bplint: " << files.size() << " files, "
+                  << findings.size() << " finding"
+                  << (findings.size() == 1 ? "" : "s") << "\n";
+    }
+    return findings.empty() ? 0 : 1;
+}
