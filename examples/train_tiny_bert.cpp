@@ -3,20 +3,87 @@
  * Train a tiny BERT for real on the CPU substrate: synthetic
  * masked-LM + NSP data, LAMB optimizer with warmup, live loss
  * reporting, and a profiled breakdown of the final iteration —
- * the whole pre-training pipeline of the paper at laptop scale.
+ * the whole pre-training pipeline of the paper at laptop scale,
+ * driven by the crash-safe Trainer so runs can checkpoint, die
+ * (including via BERTPROF_FAULT=kill@... injection), and resume
+ * bitwise-identically.
+ *
+ * Usage:
+ *   train_tiny_bert [--iters N] [--checkpoint-every K]
+ *                   [--checkpoint-dir DIR] [--resume]
+ * (a bare positional number is accepted as --iters for backward
+ * compatibility with earlier revisions of this example).
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "core/bertprof.h"
 
 using namespace bertprof;
 
+namespace {
+
+struct Cli {
+    int iterations = 30;
+    long long checkpointEvery = 0;
+    std::string checkpointDir = "checkpoints";
+    bool resume = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--iters N] [--checkpoint-every K]\n"
+                 "          [--checkpoint-dir DIR] [--resume]\n",
+                 argv0);
+    std::exit(2);
+}
+
+const char *
+flagValue(int argc, char **argv, int &i, const char *argv0)
+{
+    if (i + 1 >= argc)
+        usage(argv0);
+    return argv[++i];
+}
+
+Cli
+parseCli(int argc, char **argv)
+{
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--iters") == 0) {
+            cli.iterations = std::atoi(flagValue(argc, argv, i, argv[0]));
+        } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+            cli.checkpointEvery =
+                std::atoll(flagValue(argc, argv, i, argv[0]));
+        } else if (std::strcmp(arg, "--checkpoint-dir") == 0) {
+            cli.checkpointDir = flagValue(argc, argv, i, argv[0]);
+        } else if (std::strcmp(arg, "--resume") == 0) {
+            cli.resume = true;
+        } else if (arg[0] != '-') {
+            cli.iterations = std::atoi(arg);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (cli.iterations < 1)
+        usage(argv[0]);
+    return cli;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const int iterations = argc > 1 ? std::atoi(argv[1]) : 30;
+    const Cli cli = parseCli(argc, argv);
 
     BertConfig config;
     config.name = "bert-tiny";
@@ -34,51 +101,74 @@ main(int argc, char **argv)
     rt.dropoutP = 0.0f;
     Profiler profiler;
 
-    BertPretrainer trainer(config, &rt);
+    BertPretrainer model(config, &rt);
     Rng init(1234);
-    trainer.initialize(init);
+    model.initialize(init);
     SyntheticDataset dataset(config, 77);
 
     OptimizerConfig opt_config;
     opt_config.weightDecay = 0.01f;
     Lamb lamb(opt_config);
-    auto params = trainer.parameters();
-
-    std::printf("Training %s: %lld parameters, %d iterations\n",
-                config.name.c_str(),
-                static_cast<long long>(trainer.parameterCount()),
-                iterations);
 
     // Miniature BERT pre-training schedule: linear warmup for the
     // first fifth, then polynomial decay (You et al.), plus dynamic
     // loss scaling as a mixed-precision-style loop would use.
-    const LrSchedule schedule(5e-3f, iterations / 5 + 1, iterations,
-                              DecayKind::Polynomial, 1.0);
+    const LrSchedule schedule(5e-3f, cli.iterations / 5 + 1,
+                              cli.iterations, DecayKind::Polynomial, 1.0);
     GradScaler scaler(1024.0f);
-    for (int it = 0; it < iterations; ++it) {
-        const float lr = schedule.at(it);
-        lamb.setLearningRate(lr);
+
+    TrainerOptions trainer_options;
+    trainer_options.checkpointEvery = cli.checkpointEvery;
+    trainer_options.checkpointDir = cli.checkpointDir;
+    Trainer trainer(model, lamb, scaler, schedule, dataset, rt,
+                    trainer_options);
+
+    if (cli.resume) {
+        const IoStatus status = trainer.resumeLatest();
+        if (status.ok()) {
+            std::printf("Resumed from iteration %lld\n",
+                        static_cast<long long>(trainer.iteration()));
+        } else if (status.error == IoError::NotFound) {
+            std::printf("No checkpoint in %s; starting fresh\n",
+                        cli.checkpointDir.c_str());
+        } else {
+            std::fprintf(stderr, "resume failed: %s\n",
+                         status.toString().c_str());
+            return 1;
+        }
+    }
+
+    std::printf("Training %s: %lld parameters, %d iterations\n",
+                config.name.c_str(),
+                static_cast<long long>(model.parameterCount()),
+                cli.iterations);
+
+    while (trainer.iteration() < cli.iterations) {
+        const long long it = trainer.iteration();
 
         // Profile only the final iteration (the paper's methodology:
         // one steady-state iteration after warmup).
-        if (it == iterations - 1)
+        if (it == cli.iterations - 1)
             rt.profiler = &profiler;
 
-        const PretrainBatch batch = dataset.nextBatch();
-        trainer.zeroGrad();
-        const auto result =
-            trainer.forwardBackward(batch, scaler.scale());
-        const bool finite = scaler.unscale(params);
-        scaler.update(finite);
-        if (finite)
-            lamb.step(params);
+        const TrainStepResult step = trainer.trainStep();
 
-        if (it % 5 == 0 || it == iterations - 1) {
-            std::printf("  iter %3d  lr %.4f  mlm loss %.4f (acc %4.1f%%)"
-                        "  nsp loss %.4f (acc %4.1f%%)\n",
-                        it, lr, result.mlmLoss,
-                        100.0 * result.mlmAccuracy, result.nspLoss,
-                        100.0 * result.nspAccuracy);
+        if (it % 5 == 0 || it == cli.iterations - 1 ||
+            step.status != StepStatus::Applied) {
+            std::string tag;
+            if (step.status != StepStatus::Applied)
+                tag = std::string("  [") + stepStatusName(step.status) +
+                      "]";
+            std::printf("  iter %3lld  lr %.4f  mlm loss %.4f "
+                        "(acc %4.1f%%)  nsp loss %.4f (acc %4.1f%%)%s\n",
+                        it, step.lr, step.metrics.mlmLoss,
+                        100.0 * step.metrics.mlmAccuracy,
+                        step.metrics.nspLoss,
+                        100.0 * step.metrics.nspAccuracy, tag.c_str());
+        }
+        if (step.checkpointSaved) {
+            std::printf("  iter %3lld  checkpoint saved to %s\n", it + 1,
+                        cli.checkpointDir.c_str());
         }
     }
 

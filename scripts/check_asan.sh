@@ -5,7 +5,10 @@
 #
 # Usage: scripts/check_asan.sh [ctest-label-regex]
 #   With no argument the full suite runs; pass e.g. "gemm" to restrict
-#   to the GEMM tests for a quick check.
+#   to the GEMM tests, or "robust" for the checkpoint/fault-injection
+#   suites. The full run and the "robust" run also execute the
+#   kill-and-resume smoke (scripts/check_resume.sh) against this
+#   sanitized build.
 #
 # Env passthrough (defaults in parentheses):
 #   BERTPROF_NUM_THREADS (8)  pool width while testing
@@ -28,5 +31,8 @@ if [[ -n "${LABEL}" ]]; then
     ctest --test-dir "${BUILD_DIR}" -L "${LABEL}" --output-on-failure
 else
     ctest --test-dir "${BUILD_DIR}" --output-on-failure
+fi
+if [[ -z "${LABEL}" || "${LABEL}" == "robust" ]]; then
+    scripts/check_resume.sh "${BUILD_DIR}"
 fi
 echo "AddressSanitizer run clean (GEMM_IMPL=${BERTPROF_GEMM_IMPL})."

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the checkpoint/restore subsystem.
+#
+# Drives examples/train_tiny_bert end-to-end from the outside, the way
+# a preempted job actually dies: one uninterrupted run to step 2k, one
+# run killed *inside* the optimizer step via the fault injector
+# (BERTPROF_FAULT=kill@optim.step:N -> std::_Exit(137)) and resumed
+# with --resume. The final checkpoints of both runs must be
+# byte-identical (the format holds no timestamps), which cmp(1)
+# verifies without trusting any in-process comparison.
+#
+# Usage: scripts/check_resume.sh [build-dir]
+#   Default build dir: build. The example binary must already be
+#   built there (scripts/run_all.sh does this).
+#
+# Env passthrough (defaults in parentheses):
+#   BERTPROF_NUM_THREADS (8)  pool width; resume equivalence must
+#     hold at every fixed thread count, so sweep 1 and 8 if in doubt.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BIN="${BUILD_DIR}/examples/train_tiny_bert"
+ITERS=10
+EVERY=5
+KILL_AT=7 # between the step-5 checkpoint and step 10
+
+if [[ ! -x "${BIN}" ]]; then
+    echo "check_resume: ${BIN} not built" >&2
+    exit 1
+fi
+
+export BERTPROF_NUM_THREADS="${BERTPROF_NUM_THREADS:-8}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+echo "== uninterrupted run (${ITERS} steps, checkpoint every ${EVERY}) =="
+"${BIN}" --iters "${ITERS}" --checkpoint-every "${EVERY}" \
+    --checkpoint-dir "${WORK}/full" >"${WORK}/full.log" || {
+    echo "check_resume: uninterrupted run failed" >&2
+    cat "${WORK}/full.log" >&2
+    exit 1
+}
+
+echo "== victim run: killed inside optimizer step ${KILL_AT} =="
+BERTPROF_FAULT="kill@optim.step:${KILL_AT}" \
+    "${BIN}" --iters "${ITERS}" --checkpoint-every "${EVERY}" \
+    --checkpoint-dir "${WORK}/killed" >"${WORK}/killed.log"
+status=$?
+if [[ "${status}" -ne 137 ]]; then
+    echo "check_resume: expected the injected kill (exit 137)," \
+        "got exit ${status}" >&2
+    exit 1
+fi
+if [[ -f "${WORK}/killed/ckpt-${ITERS}.bpck" ]]; then
+    echo "check_resume: victim should have died before step ${ITERS}" >&2
+    exit 1
+fi
+
+echo "== resume from the step-${EVERY} checkpoint =="
+"${BIN}" --iters "${ITERS}" --checkpoint-every "${EVERY}" \
+    --checkpoint-dir "${WORK}/killed" --resume \
+    >"${WORK}/resume.log" || {
+    echo "check_resume: resume run failed" >&2
+    cat "${WORK}/resume.log" >&2
+    exit 1
+}
+
+if ! cmp "${WORK}/full/ckpt-${ITERS}.bpck" \
+    "${WORK}/killed/ckpt-${ITERS}.bpck"; then
+    echo "check_resume: resumed run diverged from the uninterrupted" \
+        "run at step ${ITERS}" >&2
+    exit 1
+fi
+echo "Kill-and-resume smoke passed: step-${ITERS} checkpoints are" \
+    "byte-identical (threads=${BERTPROF_NUM_THREADS})."

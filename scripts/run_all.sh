@@ -7,6 +7,14 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Crash-safety coverage beyond what in-process tests can show: the
+# `robust` label re-runs the checkpoint/fault-injection/resume suites
+# explicitly, and check_resume.sh kills a real training process inside
+# the optimizer step and verifies the resumed run's final checkpoint
+# is byte-identical to an uninterrupted one.
+ctest --test-dir build -L robust --output-on-failure
+scripts/check_resume.sh build
+
 # Cheap static-analysis stages (bplint + -Werror build + clang-tidy);
 # run the full sanitizer matrix separately via
 # scripts/run_static_analysis.sh when touching kernels or the runtime.

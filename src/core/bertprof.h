@@ -8,7 +8,9 @@
  *  - dist/    data-parallel and tensor-slicing multi-device models
  *  - nmc/     near-memory-compute offload model
  *  - nn/ ops/ optim/ data/  the executable CPU substrate
- *  - runtime/ CPU kernel profiler
+ *  - io/      crash-safe checkpoint store
+ *  - train/   hardened training loop (checkpoints + resume)
+ *  - runtime/ CPU kernel profiler and fault injector
  *  - core/    facade (Characterizer) and report rendering
  */
 
@@ -26,6 +28,7 @@
 #include "dist/hybrid.h"
 #include "dist/pipeline.h"
 #include "dist/zero_sharding.h"
+#include "io/checkpoint.h"
 #include "nmc/dram.h"
 #include "nmc/nmc_model.h"
 #include "nn/bert_classifier.h"
@@ -39,7 +42,9 @@
 #include "perf/energy.h"
 #include "perf/footprint.h"
 #include "perf/roofline.h"
+#include "runtime/fault_injection.h"
 #include "trace/bert_trace_builder.h"
+#include "train/trainer.h"
 #include "util/csv.h"
 #include "util/table.h"
 

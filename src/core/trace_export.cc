@@ -1,7 +1,8 @@
 #include "core/trace_export.h"
 
-#include <fstream>
 #include <sstream>
+
+#include "io/binary_io.h"
 
 namespace bertprof {
 
@@ -106,11 +107,7 @@ traceToChromeJson(const TimedTrace &timed)
 bool
 writeChromeTrace(const TimedTrace &timed, const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << traceToChromeJson(timed);
-    return static_cast<bool>(out);
+    return writeTextFile(path, traceToChromeJson(timed)).ok();
 }
 
 } // namespace bertprof

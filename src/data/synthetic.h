@@ -62,6 +62,21 @@ class SyntheticDataset
     std::int64_t maskId() const { return 2; }
     std::int64_t padId() const { return 3; }
 
+    /**
+     * The generator's RNG position as text (for checkpoints). A
+     * dataset restored with restoreRngState() emits exactly the same
+     * remaining sample stream, so a resumed run consumes the batches
+     * the interrupted run would have seen.
+     */
+    std::string rngState() const { return rng_.serialize(); }
+
+    /** Restore a position captured by rngState(); false (state
+     *  untouched) on a malformed string. */
+    bool restoreRngState(const std::string &state)
+    {
+        return rng_.deserialize(state);
+    }
+
   private:
     BertConfig config_;
     Rng rng_;

@@ -1,0 +1,301 @@
+#include "io/checkpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace bertprof {
+
+namespace {
+
+// Field type tags. A tag/name pair precedes every field so the reader
+// can diagnose exactly where a stale or foreign payload diverges.
+constexpr std::uint8_t kTagI64 = 1;
+constexpr std::uint8_t kTagF32 = 2;
+constexpr std::uint8_t kTagF64 = 3;
+constexpr std::uint8_t kTagStr = 4;
+constexpr std::uint8_t kTagTensor = 5;
+
+const char *
+tagName(std::uint8_t tag)
+{
+    switch (tag) {
+    case kTagI64:
+        return "i64";
+    case kTagF32:
+        return "f32";
+    case kTagF64:
+        return "f64";
+    case kTagStr:
+        return "str";
+    case kTagTensor:
+        return "tensor";
+    default:
+        return "?";
+    }
+}
+
+} // namespace
+
+void
+StateWriter::i64(const std::string &name, std::int64_t v)
+{
+    writer_.u8(kTagI64);
+    writer_.str(name);
+    writer_.i64(v);
+}
+
+void
+StateWriter::f32(const std::string &name, float v)
+{
+    writer_.u8(kTagF32);
+    writer_.str(name);
+    writer_.f32(v);
+}
+
+void
+StateWriter::f64(const std::string &name, double v)
+{
+    writer_.u8(kTagF64);
+    writer_.str(name);
+    writer_.f64(v);
+}
+
+void
+StateWriter::str(const std::string &name, const std::string &v)
+{
+    writer_.u8(kTagStr);
+    writer_.str(name);
+    writer_.str(v);
+}
+
+void
+StateWriter::tensor(const std::string &name, const Tensor &t)
+{
+    writer_.u8(kTagTensor);
+    writer_.str(name);
+    const Shape &shape = t.shape();
+    writer_.u32(static_cast<std::uint32_t>(shape.rank()));
+    for (int d = 0; d < shape.rank(); ++d)
+        writer_.i64(shape.dim(d));
+    writer_.u8(t.dtype() == DType::F16 ? 1 : 0);
+    writer_.bytes(t.data(),
+                  static_cast<std::size_t>(t.numel()) * sizeof(float));
+}
+
+StateReader::StateReader(std::string payload)
+    : reader_(std::move(payload))
+{
+}
+
+void
+StateReader::fail(IoError error, const std::string &message)
+{
+    if (status_.ok())
+        status_ = IoStatus::failure(error, message);
+}
+
+bool
+StateReader::readHeader(const std::string &name, std::uint8_t tag)
+{
+    if (!status_.ok())
+        return false;
+    const std::uint8_t got_tag = reader_.u8();
+    const std::string got_name = reader_.str();
+    if (reader_.failed()) {
+        fail(IoError::BadFormat,
+             "payload ended while expecting field '" + name + "'");
+        return false;
+    }
+    if (got_tag != tag || got_name != name) {
+        fail(IoError::BadFormat,
+             "expected field '" + name + "' (" + tagName(tag) +
+                 "), found '" + got_name + "' (" + tagName(got_tag) +
+                 ")");
+        return false;
+    }
+    return true;
+}
+
+bool
+StateReader::i64(const std::string &name, std::int64_t &out)
+{
+    if (!readHeader(name, kTagI64))
+        return false;
+    out = reader_.i64();
+    if (reader_.failed()) {
+        fail(IoError::BadFormat, "truncated i64 field '" + name + "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+StateReader::f32(const std::string &name, float &out)
+{
+    if (!readHeader(name, kTagF32))
+        return false;
+    out = reader_.f32();
+    if (reader_.failed()) {
+        fail(IoError::BadFormat, "truncated f32 field '" + name + "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+StateReader::f64(const std::string &name, double &out)
+{
+    if (!readHeader(name, kTagF64))
+        return false;
+    out = reader_.f64();
+    if (reader_.failed()) {
+        fail(IoError::BadFormat, "truncated f64 field '" + name + "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+StateReader::str(const std::string &name, std::string &out)
+{
+    if (!readHeader(name, kTagStr))
+        return false;
+    out = reader_.str();
+    if (reader_.failed()) {
+        fail(IoError::BadFormat, "truncated str field '" + name + "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+StateReader::tensor(const std::string &name, Tensor &out)
+{
+    if (!readHeader(name, kTagTensor))
+        return false;
+    const std::uint32_t rank = reader_.u32();
+    std::vector<std::int64_t> dims(rank);
+    for (std::uint32_t d = 0; d < rank; ++d)
+        dims[d] = reader_.i64();
+    const std::uint8_t half = reader_.u8();
+    if (reader_.failed()) {
+        fail(IoError::BadFormat,
+             "truncated tensor header for field '" + name + "'");
+        return false;
+    }
+    const Shape &expect = out.shape();
+    bool same = static_cast<int>(rank) == expect.rank();
+    for (int d = 0; same && d < expect.rank(); ++d)
+        same = dims[static_cast<std::size_t>(d)] == expect.dim(d);
+    if (!same) {
+        fail(IoError::BadFormat,
+             "tensor field '" + name +
+                 "' has a checkpointed shape incompatible with " +
+                 out.toString());
+        return false;
+    }
+    reader_.bytes(out.data(),
+                  static_cast<std::size_t>(out.numel()) * sizeof(float));
+    if (reader_.failed()) {
+        fail(IoError::BadFormat,
+             "truncated tensor data for field '" + name + "'");
+        return false;
+    }
+    if (half != 0)
+        out.castToHalfStorage();
+    return true;
+}
+
+CheckpointManager::CheckpointManager(CheckpointManagerOptions options)
+    : options_(std::move(options))
+{
+    BP_REQUIRE(!options_.dir.empty());
+    BP_REQUIRE(options_.keepLast >= 1);
+    BP_REQUIRE(options_.ioRetries >= 1);
+    std::error_code ec;
+    fs::create_directories(options_.dir, ec);
+}
+
+std::string
+CheckpointManager::pathForStep(std::int64_t step) const
+{
+    return options_.dir + "/ckpt-" + std::to_string(step) + ".bpck";
+}
+
+std::vector<std::int64_t>
+CheckpointManager::listSteps() const
+{
+    std::vector<std::int64_t> steps;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(options_.dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("ckpt-", 0) != 0 ||
+            name.size() <= 10 ||
+            name.compare(name.size() - 5, 5, ".bpck") != 0) {
+            continue;
+        }
+        const std::string digits = name.substr(5, name.size() - 10);
+        char *end = nullptr;
+        const long long step = std::strtoll(digits.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0')
+            steps.push_back(step);
+    }
+    std::sort(steps.begin(), steps.end());
+    return steps;
+}
+
+IoStatus
+CheckpointManager::save(std::int64_t step, const std::string &payload)
+{
+    const std::string path = pathForStep(step);
+    const IoStatus status =
+        withRetries(options_.ioRetries, options_.ioBackoffMs,
+                    [&] { return writeFileAtomic(path, payload); });
+    if (!status.ok())
+        return status;
+
+    // Prune beyond keepLast only after the new checkpoint is durable,
+    // so a failed save never reduces the recovery options.
+    const std::vector<std::int64_t> steps = listSteps();
+    const std::size_t keep = static_cast<std::size_t>(options_.keepLast);
+    if (steps.size() > keep) {
+        for (std::size_t i = 0; i < steps.size() - keep; ++i) {
+            std::error_code ec;
+            fs::remove(pathForStep(steps[i]), ec);
+        }
+    }
+    return status;
+}
+
+IoStatus
+CheckpointManager::loadLatest(std::string &payloadOut,
+                              std::int64_t &stepOut)
+{
+    const std::vector<std::int64_t> steps = listSteps();
+    IoStatus last = IoStatus::failure(
+        IoError::NotFound, "no checkpoint found in " + options_.dir);
+    for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+        const std::string path = pathForStep(*it);
+        const IoStatus status = withRetries(
+            options_.ioRetries, options_.ioBackoffMs, [&] {
+                return readFileValidated(path, payloadOut);
+            });
+        if (status.ok()) {
+            stepOut = *it;
+            return status;
+        }
+        BP_LOG(Warn) << "checkpoint " << path
+                     << " unusable, falling back to an older one ("
+                     << status.toString() << ")";
+        last = status;
+    }
+    payloadOut.clear();
+    return last;
+}
+
+} // namespace bertprof

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Versioned checkpoint payloads and the on-disk checkpoint store.
+ *
+ * StateWriter / StateReader put a self-describing, named-field layer
+ * on top of the binary container: every field carries a type tag and
+ * its name, and the reader verifies both before decoding, so a
+ * checkpoint written by a different code revision fails with a
+ * precise BadFormat message ("expected field 'adam.m' ...") instead
+ * of silently misreading bytes. Tensors round-trip bitwise (raw FP32
+ * bit patterns), which is what makes resumed runs exactly equal to
+ * uninterrupted ones.
+ *
+ * CheckpointManager owns a directory of `ckpt-<step>.bpck` files:
+ * cadenced saves go through the crash-safe writer (with bounded
+ * retry-with-backoff on transient failures), old checkpoints are
+ * pruned to `keepLast`, and loadLatest() walks newest -> oldest until
+ * a file validates — the last-good fallback that makes a torn or
+ * corrupt newest checkpoint a warning, not a lost run.
+ */
+
+#ifndef BERTPROF_IO_CHECKPOINT_H
+#define BERTPROF_IO_CHECKPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/binary_io.h"
+#include "io/io_status.h"
+#include "tensor/tensor.h"
+
+namespace bertprof {
+
+/** Builds a checkpoint payload of named, typed fields. */
+class StateWriter
+{
+  public:
+    void i64(const std::string &name, std::int64_t v);
+    void f32(const std::string &name, float v);
+    void f64(const std::string &name, double v);
+    void str(const std::string &name, const std::string &v);
+    /** Shape + dtype + raw FP32 bit patterns (bitwise round-trip). */
+    void tensor(const std::string &name, const Tensor &t);
+
+    /** The serialized payload (feed to writeFileAtomic / manager). */
+    const std::string &payload() const { return writer_.buffer(); }
+
+  private:
+    BinaryWriter writer_;
+};
+
+/**
+ * Decodes a payload written by StateWriter. Fields must be read in
+ * the order they were written; the first name/type/shape mismatch or
+ * underrun latches a typed error and every later read returns false,
+ * so call sites may decode a whole section and check status() once.
+ */
+class StateReader
+{
+  public:
+    explicit StateReader(std::string payload);
+
+    bool i64(const std::string &name, std::int64_t &out);
+    bool f32(const std::string &name, float &out);
+    bool f64(const std::string &name, double &out);
+    bool str(const std::string &name, std::string &out);
+    /** `out` must already have the expected shape; a checkpointed
+     *  shape mismatch is a BadFormat error, not a resize. */
+    bool tensor(const std::string &name, Tensor &out);
+
+    const IoStatus &status() const { return status_; }
+
+  private:
+    bool readHeader(const std::string &name, std::uint8_t tag);
+    void fail(IoError error, const std::string &message);
+
+    BinaryReader reader_;
+    IoStatus status_;
+};
+
+/** Knobs for the on-disk checkpoint store. */
+struct CheckpointManagerOptions {
+    /** Directory the `ckpt-<step>.bpck` files live in (created). */
+    std::string dir;
+    /** Checkpoints retained after a successful save (>= 1). */
+    int keepLast = 3;
+    /** Attempts per save/load on transient I/O failure (>= 1). */
+    int ioRetries = 3;
+    /** Base backoff between retries; doubles per attempt. */
+    double ioBackoffMs = 1.0;
+};
+
+/** Crash-safe store of step-indexed checkpoints in one directory. */
+class CheckpointManager
+{
+  public:
+    explicit CheckpointManager(CheckpointManagerOptions options);
+
+    /**
+     * Persist `payload` as the checkpoint for `step` (crash-safe,
+     * retried on transient failure) and prune old checkpoints. On
+     * failure the store is unchanged and training can continue.
+     */
+    IoStatus save(std::int64_t step, const std::string &payload);
+
+    /**
+     * Load the newest checkpoint that validates, falling back to
+     * older ones past corrupt/truncated files (each skip logged).
+     * NotFound when the directory holds no loadable checkpoint.
+     */
+    IoStatus loadLatest(std::string &payloadOut, std::int64_t &stepOut);
+
+    /** Steps with a checkpoint file present, ascending. */
+    std::vector<std::int64_t> listSteps() const;
+
+    /** `dir/ckpt-<step>.bpck`. */
+    std::string pathForStep(std::int64_t step) const;
+
+    const CheckpointManagerOptions &options() const { return options_; }
+
+  private:
+    CheckpointManagerOptions options_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_IO_CHECKPOINT_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Typed I/O error results for the durability layer. Checkpoint save
+ * and restore must never abort the training process — a corrupt file,
+ * a transient write failure, or a version mismatch is an expected
+ * runtime condition, reported as a value the caller can route through
+ * retry / fallback logic (contrast BP_REQUIRE, which is for caller
+ * bugs).
+ */
+
+#ifndef BERTPROF_IO_IO_STATUS_H
+#define BERTPROF_IO_IO_STATUS_H
+
+#include <string>
+
+namespace bertprof {
+
+/** Failure class of an I/O operation. */
+enum class IoError {
+    None,         ///< success
+    OpenFailed,   ///< could not open the file
+    WriteFailed,  ///< short or failed write (includes torn writes)
+    RenameFailed, ///< atomic-commit rename failed
+    Transient,    ///< retryable failure (injected or EINTR-like)
+    NotFound,     ///< no such file / no checkpoint in the directory
+    Truncated,    ///< file shorter than its header claims
+    BadMagic,     ///< not a bertprof checkpoint file
+    BadVersion,   ///< written by an incompatible format version
+    BadChecksum,  ///< CRC32 mismatch — corrupt payload
+    BadFormat,    ///< payload structure/type/name mismatch
+};
+
+/** Short kebab-case name, e.g. "bad-checksum". */
+const char *ioErrorName(IoError error);
+
+/** Outcome of an I/O operation: an error class plus context. */
+struct IoStatus {
+    IoError error = IoError::None;
+    std::string message;
+
+    bool ok() const { return error == IoError::None; }
+
+    static IoStatus success() { return IoStatus{}; }
+
+    static IoStatus
+    failure(IoError error, std::string message)
+    {
+        return IoStatus{error, std::move(message)};
+    }
+
+    /** "bad-checksum: payload CRC mismatch in ..." (or "ok"). */
+    std::string toString() const;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_IO_IO_STATUS_H

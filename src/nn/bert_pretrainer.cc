@@ -1,5 +1,9 @@
 #include "nn/bert_pretrainer.h"
 
+#include <limits>
+
+#include "runtime/fault_injection.h"
+
 #include "ops/activation.h"
 #include "ops/cross_entropy.h"
 #include "ops/elementwise.h"
@@ -80,6 +84,20 @@ BertPretrainer::forwardBackward(const PretrainBatch &batch,
         model_.setPaddingMask(batch.seqLengths);
     Tensor hidden =
         model_.forward(batch.tokenIds, batch.segmentIds);
+
+    // Fault site: corrupt the encoder output the way a flaky kernel
+    // or bad DMA would. The poison propagates into both losses, so
+    // lossFinite() below reports the step unusable.
+    switch (faultAt("nn.activations")) {
+    case FaultKind::NaN:
+        hidden.data()[0] = std::numeric_limits<float>::quiet_NaN();
+        break;
+    case FaultKind::Inf:
+        hidden.data()[0] = std::numeric_limits<float>::infinity();
+        break;
+    default:
+        break;
+    }
 
     PretrainStepResult result;
     Tensor dhidden(hidden.shape());
@@ -213,7 +231,13 @@ BertPretrainer::forwardBackward(const PretrainBatch &batch,
     }
 
     // ---- Encoder backward ----
-    model_.backward(dhidden);
+    // A non-finite loss means dhidden (and the head gradients) are
+    // already poisoned; the encoder backward would only spread the
+    // contamination (and trips BP_DCHECK_FINITE in debug builds).
+    // The caller must skip the step — GradScaler::unscale zeroes the
+    // partial head gradients it finds non-finite.
+    if (result.lossFinite())
+        model_.backward(dhidden);
     BP_ASSERT(tokens == hidden.shape().dim(0));
     return result;
 }

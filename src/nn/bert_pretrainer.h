@@ -10,6 +10,7 @@
 #ifndef BERTPROF_NN_BERT_PRETRAINER_H
 #define BERTPROF_NN_BERT_PRETRAINER_H
 
+#include <cmath>
 #include <vector>
 
 #include "nn/bert_model.h"
@@ -49,6 +50,13 @@ struct PretrainStepResult {
     double nspAccuracy = 0.0;
 
     double totalLoss() const { return mlmLoss + nspLoss; }
+
+    /**
+     * False when either loss went NaN/Inf (overflow or corrupted
+     * activations). The step must then be skipped: gradients are
+     * unusable and the encoder backward pass was not run.
+     */
+    bool lossFinite() const { return std::isfinite(totalLoss()); }
 };
 
 /** BERT with both pre-training heads; runs full training steps. */
@@ -72,6 +80,8 @@ class BertPretrainer : public Module
     void initialize(Rng &rng, float stddev = 0.02f);
 
     BertModel &model() { return model_; }
+
+    const BertConfig &config() const { return config_; }
 
   private:
     BertConfig config_;

@@ -18,4 +18,47 @@ Module::parameterCount()
     return total;
 }
 
+void
+Module::saveParameters(StateWriter &writer)
+{
+    const std::vector<Parameter *> params = parameters();
+    writer.i64("model.params",
+               static_cast<std::int64_t>(params.size()));
+    for (const Parameter *param : params) {
+        writer.str("model.name", param->name);
+        writer.tensor(param->name, param->value);
+    }
+}
+
+IoStatus
+Module::loadParameters(StateReader &reader)
+{
+    const std::vector<Parameter *> params = parameters();
+    std::int64_t count = 0;
+    if (!reader.i64("model.params", count))
+        return reader.status();
+    if (count != static_cast<std::int64_t>(params.size())) {
+        return IoStatus::failure(
+            IoError::BadFormat,
+            "checkpoint holds " + std::to_string(count) +
+                " parameters, model has " +
+                std::to_string(params.size()));
+    }
+    for (Parameter *param : params) {
+        std::string name;
+        if (!reader.str("model.name", name))
+            return reader.status();
+        if (name != param->name) {
+            return IoStatus::failure(
+                IoError::BadFormat,
+                "checkpoint parameter '" + name +
+                    "' does not match model parameter '" + param->name +
+                    "' (layout changed?)");
+        }
+        if (!reader.tensor(param->name, param->value))
+            return reader.status();
+    }
+    return IoStatus::success();
+}
+
 } // namespace bertprof

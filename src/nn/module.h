@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "io/checkpoint.h"
 #include "runtime/profiler.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -78,6 +79,20 @@ class Module
 
     /** Total trainable element count. */
     std::int64_t parameterCount();
+
+    /**
+     * Serialize every parameter value (name + shape + raw FP32 bits)
+     * in collectParameters() order. Gradients are not saved — a
+     * resumed step starts from zeroGrad() like any other.
+     */
+    void saveParameters(StateWriter &writer);
+
+    /**
+     * Restore parameters written by saveParameters() into this
+     * module tree. Count, name, or shape mismatches are typed errors
+     * (the tree may be partially loaded — reinitialize on failure).
+     */
+    IoStatus loadParameters(StateReader &reader);
 };
 
 } // namespace bertprof

@@ -70,4 +70,54 @@ Adam::step(const std::vector<Parameter *> &params)
     }
 }
 
+void
+Adam::saveState(const std::vector<Parameter *> &params,
+                StateWriter &writer) const
+{
+    Optimizer::saveState(params, writer);
+    writer.i64("adam.params", static_cast<std::int64_t>(params.size()));
+    for (const Parameter *param : params) {
+        const auto it = state_.find(param);
+        writer.i64(param->name + ".has", it != state_.end() ? 1 : 0);
+        if (it != state_.end()) {
+            writer.tensor(param->name + ".m", it->second.m);
+            writer.tensor(param->name + ".v", it->second.v);
+        }
+    }
+}
+
+IoStatus
+Adam::loadState(const std::vector<Parameter *> &params,
+                StateReader &reader)
+{
+    IoStatus status = Optimizer::loadState(params, reader);
+    if (!status.ok())
+        return status;
+    std::int64_t count = 0;
+    if (!reader.i64("adam.params", count))
+        return reader.status();
+    if (count != static_cast<std::int64_t>(params.size())) {
+        return IoStatus::failure(
+            IoError::BadFormat,
+            "checkpoint holds adam state for " + std::to_string(count) +
+                " parameters, model has " +
+                std::to_string(params.size()));
+    }
+    state_.clear();
+    for (Parameter *param : params) {
+        std::int64_t has = 0;
+        if (!reader.i64(param->name + ".has", has))
+            return reader.status();
+        if (has == 0)
+            continue;
+        auto [it, inserted] =
+            state_.try_emplace(param, param->value.shape());
+        if (!reader.tensor(param->name + ".m", it->second.m) ||
+            !reader.tensor(param->name + ".v", it->second.v)) {
+            return reader.status();
+        }
+    }
+    return IoStatus::success();
+}
+
 } // namespace bertprof

@@ -25,6 +25,13 @@ class Adam : public Optimizer
 
     void step(const std::vector<Parameter *> &params) override;
 
+    const char *kindName() const override { return "adam"; }
+
+    void saveState(const std::vector<Parameter *> &params,
+                   StateWriter &writer) const override;
+    IoStatus loadState(const std::vector<Parameter *> &params,
+                       StateReader &reader) override;
+
   private:
     struct State {
         Tensor m;

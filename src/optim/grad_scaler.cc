@@ -60,4 +60,33 @@ GradScaler::update(bool grads_finite)
     }
 }
 
+void
+GradScaler::saveState(StateWriter &writer) const
+{
+    writer.f32("scaler.scale", scale_);
+    writer.i64("scaler.stable", stableSteps_);
+    writer.i64("scaler.skipped", skipped_);
+}
+
+IoStatus
+GradScaler::loadState(StateReader &reader)
+{
+    float scale = 0.0f;
+    std::int64_t stable = 0, skipped = 0;
+    if (!reader.f32("scaler.scale", scale) ||
+        !reader.i64("scaler.stable", stable) ||
+        !reader.i64("scaler.skipped", skipped)) {
+        return reader.status();
+    }
+    if (!(scale > 0.0f)) {
+        return IoStatus::failure(IoError::BadFormat,
+                                 "checkpointed loss scale is not "
+                                 "positive");
+    }
+    scale_ = scale;
+    stableSteps_ = stable;
+    skipped_ = skipped;
+    return IoStatus::success();
+}
+
 } // namespace bertprof

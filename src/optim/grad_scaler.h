@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "io/checkpoint.h"
 #include "nn/module.h"
 
 namespace bertprof {
@@ -51,6 +52,20 @@ class GradScaler
 
     /** Steps skipped because of overflow so far. */
     std::int64_t skippedSteps() const { return skipped_; }
+
+    /** Clean steps since the last scale change (testing/resume). */
+    std::int64_t stableSteps() const { return stableSteps_; }
+
+    /**
+     * Serialize the dynamic state (scale, stable-step streak, skip
+     * count). The growth/backoff hyperparameters come from the
+     * constructor, not the checkpoint.
+     */
+    void saveState(StateWriter &writer) const;
+
+    /** Restore state written by saveState(); typed error on
+     *  mismatch. */
+    IoStatus loadState(StateReader &reader);
 
   private:
     float scale_;

@@ -29,6 +29,13 @@ class Lamb : public Optimizer
 
     void step(const std::vector<Parameter *> &params) override;
 
+    const char *kindName() const override { return "lamb"; }
+
+    void saveState(const std::vector<Parameter *> &params,
+                   StateWriter &writer) const override;
+    IoStatus loadState(const std::vector<Parameter *> &params,
+                       StateReader &reader) override;
+
     /** The trust ratio applied on the most recent step (testing). */
     double lastTrustRatio(const Parameter *param) const;
 

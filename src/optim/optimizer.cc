@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/fault_injection.h"
 #include "tensor/contracts.h"
 #include "util/logging.h"
 
@@ -10,12 +11,47 @@ namespace bertprof {
 void
 Optimizer::checkParams(const std::vector<Parameter *> &params) const
 {
+    // Fault site `optim.step`: a kill spec here simulates preemption
+    // at optimizer-step entry — after backward, before any parameter
+    // is touched — the worst moment short of a mid-update crash,
+    // which the crash-safe checkpoint protocol makes unobservable.
+    faultAt("optim.step");
     for (const Parameter *param : params) {
         BP_REQUIRE(param != nullptr);
         BP_CHECK_SAME_SHAPE(param->grad, param->value);
         BP_CHECK_NO_ALIAS(param->grad, param->value);
         BP_DCHECK_FINITE(param->grad);
     }
+}
+
+void
+Optimizer::saveState(const std::vector<Parameter *> &params,
+                     StateWriter &writer) const
+{
+    (void)params;
+    writer.str("optim.kind", kindName());
+    writer.i64("optim.steps", steps_);
+}
+
+IoStatus
+Optimizer::loadState(const std::vector<Parameter *> &params,
+                     StateReader &reader)
+{
+    (void)params;
+    std::string kind;
+    std::int64_t steps = 0;
+    if (!reader.str("optim.kind", kind) ||
+        !reader.i64("optim.steps", steps)) {
+        return reader.status();
+    }
+    if (kind != kindName()) {
+        return IoStatus::failure(
+            IoError::BadFormat,
+            "checkpoint holds state for optimizer '" + kind +
+                "', cannot load into '" + kindName() + "'");
+    }
+    steps_ = steps;
+    return IoStatus::success();
 }
 
 float

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "io/checkpoint.h"
 #include "nn/module.h"
 #include "runtime/profiler.h"
 
@@ -43,6 +44,27 @@ class Optimizer
 
     /** Apply one update to every parameter using its .grad. */
     virtual void step(const std::vector<Parameter *> &params) = 0;
+
+    /** Short kind tag ("adam", "lamb", ...) stamped into checkpoints
+     *  so state is never loaded into the wrong update rule. */
+    virtual const char *kindName() const = 0;
+
+    /**
+     * Serialize kind, step count, and all per-parameter state (Adam/
+     * LAMB moments, SGD velocity) for `params` in order. A resumed
+     * optimizer continues bitwise identically to an uninterrupted
+     * one. `params` must be the same ordered set passed to step().
+     */
+    virtual void saveState(const std::vector<Parameter *> &params,
+                           StateWriter &writer) const;
+
+    /**
+     * Restore state written by saveState() for the same parameter
+     * ordering. Kind or shape mismatches are typed errors (the
+     * optimizer is left partially loaded — discard it on failure).
+     */
+    virtual IoStatus loadState(const std::vector<Parameter *> &params,
+                               StateReader &reader);
 
     /** Number of steps taken so far. */
     std::int64_t stepCount() const { return steps_; }

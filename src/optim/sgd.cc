@@ -41,4 +41,61 @@ Sgd::step(const std::vector<Parameter *> &params)
     }
 }
 
+void
+Sgd::saveState(const std::vector<Parameter *> &params,
+               StateWriter &writer) const
+{
+    Optimizer::saveState(params, writer);
+    writer.f32("sgd.momentum", momentum_);
+    writer.i64("sgd.params", static_cast<std::int64_t>(params.size()));
+    for (const Parameter *param : params) {
+        const auto it = velocity_.find(param);
+        writer.i64(param->name + ".has", it != velocity_.end() ? 1 : 0);
+        if (it != velocity_.end())
+            writer.tensor(param->name + ".vel", it->second);
+    }
+}
+
+IoStatus
+Sgd::loadState(const std::vector<Parameter *> &params,
+               StateReader &reader)
+{
+    IoStatus status = Optimizer::loadState(params, reader);
+    if (!status.ok())
+        return status;
+    float momentum = 0.0f;
+    std::int64_t count = 0;
+    if (!reader.f32("sgd.momentum", momentum) ||
+        !reader.i64("sgd.params", count)) {
+        return reader.status();
+    }
+    if (momentum != momentum_) {
+        return IoStatus::failure(
+            IoError::BadFormat,
+            "checkpoint holds sgd state with momentum " +
+                std::to_string(momentum) + ", optimizer uses " +
+                std::to_string(momentum_));
+    }
+    if (count != static_cast<std::int64_t>(params.size())) {
+        return IoStatus::failure(
+            IoError::BadFormat,
+            "checkpoint holds sgd state for " + std::to_string(count) +
+                " parameters, model has " +
+                std::to_string(params.size()));
+    }
+    velocity_.clear();
+    for (Parameter *param : params) {
+        std::int64_t has = 0;
+        if (!reader.i64(param->name + ".has", has))
+            return reader.status();
+        if (has == 0)
+            continue;
+        auto [it, inserted] =
+            velocity_.try_emplace(param, param->value.shape());
+        if (!reader.tensor(param->name + ".vel", it->second))
+            return reader.status();
+    }
+    return IoStatus::success();
+}
+
 } // namespace bertprof

@@ -25,6 +25,13 @@ class Sgd : public Optimizer
 
     void step(const std::vector<Parameter *> &params) override;
 
+    const char *kindName() const override { return "sgd"; }
+
+    void saveState(const std::vector<Parameter *> &params,
+                   StateWriter &writer) const override;
+    IoStatus loadState(const std::vector<Parameter *> &params,
+                       StateReader &reader) override;
+
   private:
     float momentum_;
     std::unordered_map<const Parameter *, Tensor> velocity_;

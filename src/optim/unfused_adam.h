@@ -30,6 +30,13 @@ class UnfusedAdam : public Optimizer
 
     void step(const std::vector<Parameter *> &params) override;
 
+    const char *kindName() const override { return "unfused_adam"; }
+
+    void saveState(const std::vector<Parameter *> &params,
+                   StateWriter &writer) const override;
+    IoStatus loadState(const std::vector<Parameter *> &params,
+                       StateReader &reader) override;
+
     /** Kernels this implementation launches per parameter tensor. */
     static constexpr int kKernelsPerTensor = 16;
 

@@ -1,0 +1,213 @@
+#include "runtime/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::None:
+        return "none";
+    case FaultKind::TornWrite:
+        return "torn";
+    case FaultKind::IoError:
+        return "ioerr";
+    case FaultKind::NaN:
+        return "nan";
+    case FaultKind::Inf:
+        return "inf";
+    case FaultKind::Kill:
+        return "kill";
+    }
+    return "none";
+}
+
+namespace {
+
+FaultKind
+kindFromName(const std::string &name)
+{
+    if (name == "torn")
+        return FaultKind::TornWrite;
+    if (name == "ioerr")
+        return FaultKind::IoError;
+    if (name == "nan")
+        return FaultKind::NaN;
+    if (name == "inf")
+        return FaultKind::Inf;
+    if (name == "kill")
+        return FaultKind::Kill;
+    return FaultKind::None;
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    std::size_t e = s.find_last_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    return s.substr(b, e - b + 1);
+}
+
+/** Strict non-negative integer parse; *ok cleared on any junk. */
+std::int64_t
+parseCount(const std::string &s, bool *ok)
+{
+    if (s.empty()) {
+        *ok = false;
+        return 0;
+    }
+    std::int64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9') {
+            *ok = false;
+            return 0;
+        }
+        v = v * 10 + (c - '0');
+    }
+    return v;
+}
+
+} // namespace
+
+FaultSpec
+FaultInjector::parseClause(const std::string &clause, bool *ok)
+{
+    *ok = true;
+    FaultSpec spec;
+    const std::string c = trimmed(clause);
+    const std::size_t at = c.find('@');
+    const std::size_t colon = c.rfind(':');
+    if (at == std::string::npos || colon == std::string::npos ||
+        colon < at) {
+        *ok = false;
+        return spec;
+    }
+    spec.kind = kindFromName(trimmed(c.substr(0, at)));
+    if (spec.kind == FaultKind::None) {
+        *ok = false;
+        return spec;
+    }
+    spec.site = trimmed(c.substr(at + 1, colon - at - 1));
+    if (spec.site.empty()) {
+        *ok = false;
+        return spec;
+    }
+    std::string occ = trimmed(c.substr(colon + 1));
+    const std::size_t plus = occ.find('+');
+    if (plus != std::string::npos) {
+        spec.count = parseCount(trimmed(occ.substr(plus + 1)), ok);
+        occ = trimmed(occ.substr(0, plus));
+    }
+    spec.first = parseCount(occ, ok);
+    if (spec.first < 1 || spec.count < 1)
+        *ok = false;
+    return spec;
+}
+
+FaultInjector::FaultInjector()
+{
+    const char *env = std::getenv("BERTPROF_FAULT");
+    if (env != nullptr && env[0] != '\0')
+        configure(env);
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::configure(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    specs_.clear();
+    hits_.clear();
+    injected_ = 0;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t end = spec.find(';', start);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string clause =
+            trimmed(spec.substr(start, end - start));
+        start = end + 1;
+        if (clause.empty())
+            continue;
+        bool ok = true;
+        FaultSpec parsed = parseClause(clause, &ok);
+        if (!ok) {
+            BP_FATAL() << "BERTPROF_FAULT: malformed clause '" << clause
+                       << "' (expected kind@site:first[+count] with "
+                          "kind in torn|ioerr|nan|inf|kill)";
+        }
+        specs_.push_back(std::move(parsed));
+    }
+    enabled_.store(!specs_.empty(), std::memory_order_relaxed);
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    specs_.clear();
+    hits_.clear();
+    injected_ = 0;
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+FaultKind
+FaultInjector::check(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::int64_t occurrence = ++hits_[site];
+    for (const FaultSpec &spec : specs_) {
+        if (spec.site != site || occurrence < spec.first ||
+            occurrence >= spec.first + spec.count) {
+            continue;
+        }
+        if (spec.kind == FaultKind::Kill) {
+            // Simulated preemption: no cleanup, no atexit — the same
+            // abrupt death a SIGKILLed trainer suffers. 137 mirrors
+            // the shell's 128+SIGKILL convention.
+            std::fprintf(stderr,
+                         "bertprof: fault injection: kill at site '%s' "
+                         "(occurrence %lld)\n",
+                         site.c_str(),
+                         static_cast<long long>(occurrence));
+            std::fflush(stderr);
+            std::_Exit(137);
+        }
+        ++injected_;
+        BP_LOG(Warn) << "fault injection: " << faultKindName(spec.kind)
+                     << " at site '" << site << "' (occurrence "
+                     << occurrence << ")";
+        return spec.kind;
+    }
+    return FaultKind::None;
+}
+
+std::int64_t
+FaultInjector::hits(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = hits_.find(site);
+    return it == hits_.end() ? 0 : it->second;
+}
+
+std::int64_t
+FaultInjector::injectedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_;
+}
+
+} // namespace bertprof

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Deterministic fault injector for robustness testing.
+ *
+ * Long BERT pre-training runs survive preemptions, torn writes, and
+ * numeric blow-ups only if the recovery paths are exercised; this
+ * injector makes every failure class reproducible. Faults are armed
+ * via the BERTPROF_FAULT environment variable (or configure() in
+ * tests) and fire at named sites threaded through the I/O layer, the
+ * training step, and the optimizer step.
+ *
+ * Spec grammar (semicolon-separated list):
+ *
+ *   BERTPROF_FAULT="kind@site:first[+count]"
+ *
+ *   kind   torn | ioerr | nan | inf | kill
+ *   site   a site name from the catalog below
+ *   first  1-based occurrence of the site at which the fault fires
+ *   count  number of consecutive occurrences faulted (default 1)
+ *
+ * Examples:
+ *   torn@io.write:1          first checkpoint write is torn mid-body
+ *   ioerr@io.read:2+3        reads 2..4 fail transiently (retry path)
+ *   nan@nn.activations:5     step 5's encoder output is poisoned
+ *   kill@optim.step:10       process exits (code 137) entering the
+ *                            10th optimizer step, as if preempted
+ *
+ * Site catalog (see DESIGN.md section 10 for recovery semantics):
+ *   io.write        checkpoint temp-file write   (torn, ioerr)
+ *   io.commit       between write and rename     (torn)
+ *   io.read         checkpoint read              (ioerr)
+ *   nn.activations  encoder output in the
+ *                   pre-training step            (nan, inf)
+ *   train.grad      parameter gradients after
+ *                   backward                     (nan, inf)
+ *   optim.step      optimizer step entry         (kill)
+ *
+ * Occurrence counting is per site and strictly sequential, so a given
+ * spec reproduces the same failure on every run. The disabled path is
+ * a single relaxed atomic load, cheap enough for hot code.
+ */
+
+#ifndef BERTPROF_RUNTIME_FAULT_INJECTION_H
+#define BERTPROF_RUNTIME_FAULT_INJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bertprof {
+
+/** Failure class a site can inject. */
+enum class FaultKind {
+    None,      ///< no fault at this occurrence
+    TornWrite, ///< file truncated mid-write (crash mid-flush)
+    IoError,   ///< transient I/O failure (retryable)
+    NaN,       ///< poison a value with quiet NaN
+    Inf,       ///< poison a value with +infinity
+    Kill,      ///< hard process exit (code 137), as if preempted
+};
+
+/** Short name: "torn" / "ioerr" / "nan" / "inf" / "kill" / "none". */
+const char *faultKindName(FaultKind kind);
+
+/** One armed fault: fire `kind` at `site` occurrences
+ *  [first, first+count). */
+struct FaultSpec {
+    FaultKind kind = FaultKind::None;
+    std::string site;
+    std::int64_t first = 1;
+    std::int64_t count = 1;
+};
+
+/**
+ * Process-wide deterministic fault injector. Sites call check() (or
+ * the faultAt() helper) at the instant the fault would occur; the
+ * injector consults the armed specs against that site's occurrence
+ * counter. FaultKind::Kill is executed here (std::_Exit(137)) so
+ * every site shares the same preemption semantics.
+ */
+class FaultInjector
+{
+  public:
+    /** The singleton, configured from BERTPROF_FAULT on first use. */
+    static FaultInjector &instance();
+
+    /**
+     * Replace the armed specs with a parsed spec string ("" disarms)
+     * and reset all occurrence counters. Malformed specs are a user
+     * error (BP_FATAL).
+     */
+    void configure(const std::string &spec);
+
+    /** Disarm everything and reset counters. */
+    void reset();
+
+    /**
+     * Record one occurrence of `site` and return the fault to inject
+     * there (None almost always). Kill specs do not return: the
+     * process exits with code 137.
+     */
+    FaultKind check(const std::string &site);
+
+    /** Occurrences of `site` seen so far. */
+    std::int64_t hits(const std::string &site) const;
+
+    /** Total faults fired (excluding Kill, which never returns). */
+    std::int64_t injectedCount() const;
+
+    /** True when at least one spec is armed (relaxed, hot-path). */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Parse a single "kind@site:first[+count]" clause (testing). */
+    static FaultSpec parseClause(const std::string &clause, bool *ok);
+
+  private:
+    FaultInjector();
+
+    mutable std::mutex mu_;
+    std::atomic<bool> enabled_{false};
+    std::vector<FaultSpec> specs_;
+    std::map<std::string, std::int64_t> hits_;
+    std::int64_t injected_ = 0;
+};
+
+/**
+ * Hot-path site check: one relaxed load when no fault is armed.
+ * Returns the fault to inject at this occurrence of `site`.
+ */
+inline FaultKind
+faultAt(const char *site)
+{
+    FaultInjector &fi = FaultInjector::instance();
+    if (!fi.enabled())
+        return FaultKind::None;
+    return fi.check(site);
+}
+
+} // namespace bertprof
+
+#endif // BERTPROF_RUNTIME_FAULT_INJECTION_H

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 
 namespace bertprof {
 
@@ -53,6 +55,36 @@ class Rng
 
     /** Access the underlying engine (for std::shuffle etc.). */
     std::mt19937_64 &engine() { return engine_; }
+
+    /**
+     * The full engine state as text (the standard's textual
+     * representation of mt19937_64). deserialize() restores it
+     * exactly, so a checkpointed stream resumes on the same draw —
+     * any distribution-internal caches are not part of engine state,
+     * which is fine here: every helper constructs its distribution
+     * per call.
+     */
+    std::string
+    serialize() const
+    {
+        std::ostringstream os;
+        os << engine_;
+        return os.str();
+    }
+
+    /** Restore a serialize()d state; false (engine untouched) on a
+     *  malformed string. */
+    bool
+    deserialize(const std::string &state)
+    {
+        std::istringstream is(state);
+        std::mt19937_64 restored;
+        is >> restored;
+        if (is.fail())
+            return false;
+        engine_ = restored;
+        return true;
+    }
 
   private:
     std::mt19937_64 engine_;

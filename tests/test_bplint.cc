@@ -44,12 +44,13 @@ firesAtLine(const std::vector<Finding> &all, const std::string &rule,
 // Rule inventory and infrastructure.
 // --------------------------------------------------------------------
 
-TEST(BplintMeta, AllSixRulesAreRegistered)
+TEST(BplintMeta, AllSevenRulesAreRegistered)
 {
     const std::vector<std::string> rules = bplint::ruleNames();
     const char *expected[] = {"wall-clock",         "libc-rand",
                               "kernel-stats",       "op-entry-contract",
-                              "parallel-shared-accum", "include-hygiene"};
+                              "parallel-shared-accum", "include-hygiene",
+                              "unchecked-io"};
     for (const char *rule : expected) {
         EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
             << "missing rule " << rule;
@@ -300,6 +301,62 @@ TEST(BplintIncludeHygiene, OnlyAppliesUnderSrc)
     const std::string text = "#include \"nn/module.h\"\n";
     EXPECT_TRUE(byRule(lintSource("bench/bench_model.cc", text),
                        "include-hygiene")
+                    .empty());
+}
+
+// --------------------------------------------------------------------
+// unchecked-io
+// --------------------------------------------------------------------
+
+TEST(BplintUncheckedIo, FiresOnRawPrimitivesOutsideIoLayer)
+{
+    const std::string bad = "void f() {\n"
+                            "  FILE *fp = fopen(p, \"wb\");\n"
+                            "  fwrite(buf, 1, n, fp);\n"
+                            "  fread(buf, 1, n, fp);\n"
+                            "  std::ofstream out(p);\n"
+                            "  std::fstream both(p);\n"
+                            "}\n";
+    const auto findings = lintSource("src/core/bad.cc", bad);
+    EXPECT_TRUE(firesAtLine(findings, "unchecked-io", 2));
+    EXPECT_TRUE(firesAtLine(findings, "unchecked-io", 3));
+    EXPECT_TRUE(firesAtLine(findings, "unchecked-io", 4));
+    EXPECT_TRUE(firesAtLine(findings, "unchecked-io", 5));
+    EXPECT_TRUE(firesAtLine(findings, "unchecked-io", 6));
+}
+
+TEST(BplintUncheckedIo, IoLayerAndNonSrcTreesAreExempt)
+{
+    const std::string text = "void f() { fwrite(buf, 1, n, fp); }\n";
+    EXPECT_TRUE(byRule(lintSource("src/io/binary_io.cc", text),
+                       "unchecked-io")
+                    .empty());
+    EXPECT_TRUE(byRule(lintSource("tests/test_x.cc", text),
+                       "unchecked-io")
+                    .empty());
+    EXPECT_TRUE(byRule(lintSource("tools/bplint/main.cc", text),
+                       "unchecked-io")
+                    .empty());
+}
+
+TEST(BplintUncheckedIo, CheckedWrappersAndMentionsInCommentsAreClean)
+{
+    const std::string good =
+        "#include \"io/binary_io.h\"\n"
+        "// fwrite would be flagged here if not in a comment\n"
+        "IoStatus f() { return writeTextFile(p, body); }\n"
+        "const char *doc = \"uses fopen internally\";\n";
+    EXPECT_TRUE(byRule(lintSource("src/core/good.cc", good),
+                       "unchecked-io")
+                    .empty());
+}
+
+TEST(BplintUncheckedIo, AllowFileSuppressionWorks)
+{
+    const std::string text = "// bplint: allow-file(unchecked-io)\n"
+                             "void f() { std::ofstream out(p); }\n";
+    EXPECT_TRUE(byRule(lintSource("src/util/x.cc", text),
+                       "unchecked-io")
                     .empty());
 }
 

@@ -644,6 +644,47 @@ checkParallelBodies(const std::string &path, const std::string &s,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: unchecked-io
+// ---------------------------------------------------------------------------
+
+void
+checkUncheckedIo(const std::string &path, const std::string &s,
+                 std::vector<Finding> &out)
+{
+    // Raw file I/O outside src/io/ bypasses the crash-safe write
+    // protocol (temp + fsync + atomic rename), the typed IoStatus
+    // errors, and the io.* fault-injection sites. The io layer is
+    // the one place allowed to touch stdio/fstream directly.
+    const std::size_t sp = path.rfind("src/");
+    if (sp == std::string::npos)
+        return;
+    if (path.compare(sp, 7, "src/io/") == 0)
+        return;
+    static const std::set<std::string> primitives = {
+        "fopen", "fwrite", "fread", "ofstream", "fstream"};
+    std::size_t i = 0;
+    while (i < s.size()) {
+        if (!isIdentChar(s[i]) ||
+            std::isdigit(static_cast<unsigned char>(s[i]))) {
+            ++i;
+            continue;
+        }
+        std::size_t b = i;
+        while (i < s.size() && isIdentChar(s[i]))
+            ++i;
+        const std::string tok = s.substr(b, i - b);
+        if (!primitives.count(tok))
+            continue;
+        out.push_back(
+            {path, lineOf(s, b), "unchecked-io",
+             "'" + tok +
+                 "' outside src/io/ bypasses the crash-safe, "
+                 "checked I/O layer; route file writes through "
+                 "io/binary_io.h (writeFileAtomic / writeTextFile)"});
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: include-hygiene
 // ---------------------------------------------------------------------------
 
@@ -655,18 +696,25 @@ layerMap()
         {"tensor", {"tensor", "util"}},
         {"trace", {"trace", "tensor", "util"}},
         {"runtime", {"runtime", "trace", "util"}},
+        {"io", {"io", "runtime", "tensor", "trace", "util"}},
         {"ops", {"ops", "runtime", "tensor", "util"}},
         {"perf", {"perf", "trace", "tensor", "util"}},
-        {"nn", {"nn", "ops", "runtime", "tensor", "trace", "util"}},
+        {"nn",
+         {"nn", "io", "ops", "runtime", "tensor", "trace", "util"}},
         {"optim",
-         {"optim", "nn", "ops", "runtime", "tensor", "trace", "util"}},
+         {"optim", "io", "nn", "ops", "runtime", "tensor", "trace",
+          "util"}},
         {"data",
-         {"data", "nn", "ops", "runtime", "tensor", "trace", "util"}},
+         {"data", "io", "nn", "ops", "runtime", "tensor", "trace",
+          "util"}},
+        {"train",
+         {"train", "data", "io", "nn", "ops", "optim", "runtime",
+          "tensor", "trace", "util"}},
         {"dist", {"dist", "perf", "trace", "tensor", "util"}},
         {"nmc", {"nmc", "dist", "perf", "trace", "tensor", "util"}},
         {"core",
-         {"core", "data", "dist", "nmc", "nn", "optim", "ops", "perf",
-          "runtime", "tensor", "trace", "util"}},
+         {"core", "data", "dist", "io", "nmc", "nn", "optim", "ops",
+          "perf", "runtime", "tensor", "trace", "train", "util"}},
     };
     return m;
 }
@@ -734,7 +782,8 @@ ruleNames()
 {
     return {"wall-clock",        "libc-rand",
             "kernel-stats",      "op-entry-contract",
-            "parallel-shared-accum", "include-hygiene"};
+            "parallel-shared-accum", "include-hygiene",
+            "unchecked-io"};
 }
 
 std::vector<Finding>
@@ -745,6 +794,7 @@ lintSource(const std::string &path, const std::string &text)
 
     checkForbiddenTokens(path, f.text, raw);
     checkParallelBodies(path, f.text, raw);
+    checkUncheckedIo(path, f.text, raw);
     checkIncludeHygiene(path, text, raw);
     if (path.find("src/ops/") != std::string::npos &&
         path.size() > 3 && path.compare(path.size() - 3, 3, ".cc") == 0) {

@@ -26,6 +26,10 @@
  *   include-hygiene       src/<layer> may only include the layers
  *                         below it in the dependency DAG; nothing
  *                         includes src/core except core itself.
+ *   unchecked-io          no raw fopen/fwrite/fread/ofstream/fstream
+ *                         in src/ outside src/io/ — file writes must
+ *                         go through the crash-safe, checked I/O
+ *                         layer (io/binary_io.h).
  *
  * Suppressions (per line, or whole file near the top):
  *   // bplint: allow(rule-name)
