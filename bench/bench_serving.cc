@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Request-level serving bench: open-loop Poisson traffic against the
+ * inference server under two policies — naive (every request padded
+ * to the model maximum, batch size 1: the pad-everything baseline the
+ * paper's input-size sweep argues against) and bucketed+batched
+ * (sequence-length buckets from the Fig. 8 ladder plus dynamic
+ * max-batch/max-wait coalescing). Reports achieved throughput and
+ * p50/p99/p99.9 latency at several offered-load points, expressed as
+ * multiples of the naive policy's measured capacity so the sweep is
+ * machine-independent.
+ *
+ * Usage: bench_serving [--quick] [--json <path>]
+ *   --quick shrinks the model and request counts for CI smoke runs.
+ *   --json writes a machine-readable results file (see
+ *   scripts/run_bench.sh, which snapshots it into results/).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bertprof.h"
+#include "serve/server.h"
+#include "serve/traffic.h"
+
+using namespace bertprof;
+
+namespace {
+
+struct PolicyResult {
+    double qps = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double p999Ms = 0.0;
+    double meanMs = 0.0;
+};
+
+/** Replay `schedule` open-loop against a fresh server; summarize. */
+PolicyResult
+runLoad(InferenceEngine &engine, const BucketSpec &buckets,
+        const ServeOptions &options,
+        const std::vector<InferRequest> &requests,
+        const std::vector<double> &schedule)
+{
+    InferenceServer server(engine, buckets, options);
+    std::vector<std::future<InferReply>> futures;
+    futures.reserve(requests.size());
+    const MonoTime start = monoNow();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        // Absolute schedule: submission times never depend on how
+        // fast replies come back (open loop).
+        std::this_thread::sleep_until(monoAddMicros(
+            start, static_cast<std::int64_t>(schedule[i] * 1e6)));
+        futures.push_back(server.submit(requests[i]));
+    }
+    for (auto &f : futures)
+        f.wait();
+    const double span = secondsBetween(start, monoNow());
+    const LatencySummary s = server.latencySummary();
+    PolicyResult r;
+    r.qps = static_cast<double>(requests.size()) / span;
+    r.p50Ms = s.p50Seconds * 1e3;
+    r.p99Ms = s.p99Seconds * 1e3;
+    r.p999Ms = s.p999Seconds * 1e3;
+    r.meanMs = s.meanSeconds * 1e3;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
+    // A serving-sized encoder: big enough that padding waste shows,
+    // small enough that the sweep finishes on one CPU.
+    BertConfig config;
+    config.name = quick ? "bert-serve-quick" : "bert-serve-small";
+    config.numLayers = 2;
+    config.dModel = quick ? 64 : 128;
+    config.numHeads = 4;
+    config.dFf = 4 * config.dModel;
+    config.vocabSize = 1024;
+    config.maxPositions = quick ? 128 : 512;
+    config.typeVocab = 2;
+    config.batch = 1;
+    config.seqLen = config.maxPositions;
+    config.numClasses = 2;
+
+    NnRuntime rt;
+    BertClassifier model(config, &rt);
+    Rng init(20260807);
+    model.initialize(init);
+    model.setTraining(false);
+    ClassifierEngine engine(model, /*pad_id=*/3);
+
+    // Serving-like length mix: mostly short queries, a long tail —
+    // the regime where pad-to-max throws away the most compute.
+    std::vector<std::int64_t> length_mix = {16, 16, 24, 24,  32,  32,
+                                            48, 48, 64, 96, 128, 128};
+    if (!quick) {
+        length_mix.push_back(256);
+        length_mix.push_back(384);
+    }
+    const int count = quick ? 12 : 48;
+    const std::vector<double> load_multiples =
+        quick ? std::vector<double>{2.0}
+              : std::vector<double>{0.5, 1.5, 3.0};
+
+    // Calibrate the naive policy's capacity: one request padded to
+    // the model maximum, batch 1 — its service time bounds what
+    // pad-to-max serving can ever deliver.
+    Rng calib(7);
+    double t_naive = 0.0;
+    {
+        InferRequest probe = syntheticRequest(calib, 0, config.maxPositions,
+                                              config.vocabSize);
+        // Warm-up, then best-of-3.
+        for (int r = 0; r < 4; ++r) {
+            Stopwatch watch;
+            (void)model.forwardLogitsEval(probe.tokenIds,
+                                          probe.segmentIds, 1,
+                                          config.maxPositions, {});
+            const double t = watch.elapsed();
+            if (r == 1 || (r > 1 && t < t_naive))
+                t_naive = t;
+        }
+    }
+    const double naive_capacity_qps = 1.0 / t_naive;
+    std::printf("naive service time (pad to %lld, batch 1): %.1f ms "
+                "=> capacity %.1f qps\n\n",
+                static_cast<long long>(config.maxPositions),
+                t_naive * 1e3, naive_capacity_qps);
+
+    const BucketSpec naive_buckets({config.maxPositions});
+    ServeOptions naive_options;
+    naive_options.maxBatch = 1;
+    naive_options.maxWaitUs = 0;
+
+    const BucketSpec bucketed_buckets =
+        BucketSpec::defaultSpec(config.maxPositions);
+    ServeOptions bucketed_options;
+    bucketed_options.maxBatch = 8;
+    bucketed_options.maxWaitUs = 2000;
+
+    struct LoadPoint {
+        double multiple = 0.0;
+        double offeredQps = 0.0;
+        PolicyResult naive;
+        PolicyResult bucketed;
+    };
+    std::vector<LoadPoint> points;
+    for (const double multiple : load_multiples) {
+        LoadPoint point;
+        point.multiple = multiple;
+        point.offeredQps = multiple * naive_capacity_qps;
+
+        // Same requests and same arrival schedule for both policies.
+        Rng body(1234);
+        Rng mix(5678);
+        std::vector<InferRequest> requests;
+        for (int i = 0; i < count; ++i) {
+            const std::int64_t len = length_mix[static_cast<std::size_t>(
+                mix.uniformInt(0,
+                               static_cast<std::int64_t>(
+                                   length_mix.size()) -
+                                   1))];
+            requests.push_back(
+                syntheticRequest(body, static_cast<std::uint64_t>(i), len,
+                                 config.vocabSize));
+        }
+        const std::vector<double> schedule =
+            poissonSchedule(point.offeredQps, count, 0x5eed);
+
+        point.naive = runLoad(engine, naive_buckets, naive_options,
+                              requests, schedule);
+        point.bucketed = runLoad(engine, bucketed_buckets,
+                                 bucketed_options, requests, schedule);
+        points.push_back(point);
+    }
+
+    Table table("Serving: naive pad-to-" +
+                std::to_string(config.maxPositions) +
+                " batch-1 vs bucketed+batched (maxBatch=8, "
+                "maxWait=2ms), " +
+                std::to_string(count) + " Poisson requests per point");
+    table.setHeader({"load", "offered qps", "policy", "qps", "p50 ms",
+                     "p99 ms", "p99.9 ms"});
+    char buf[64];
+    for (const LoadPoint &point : points) {
+        for (int which = 0; which < 2; ++which) {
+            const PolicyResult &r =
+                which == 0 ? point.naive : point.bucketed;
+            std::vector<std::string> row;
+            std::snprintf(buf, sizeof(buf), "%.1fx", point.multiple);
+            row.push_back(which == 0 ? buf : "");
+            std::snprintf(buf, sizeof(buf), "%.1f", point.offeredQps);
+            row.push_back(which == 0 ? buf : "");
+            row.push_back(which == 0 ? "naive" : "bucketed");
+            std::snprintf(buf, sizeof(buf), "%.1f", r.qps);
+            row.push_back(buf);
+            std::snprintf(buf, sizeof(buf), "%.1f", r.p50Ms);
+            row.push_back(buf);
+            std::snprintf(buf, sizeof(buf), "%.1f", r.p99Ms);
+            row.push_back(buf);
+            std::snprintf(buf, sizeof(buf), "%.1f", r.p999Ms);
+            row.push_back(buf);
+            table.addRow(row);
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const LoadPoint &peak = points.back();
+    const double ratio = peak.bucketed.qps / peak.naive.qps;
+    std::printf("peak-load throughput: bucketed %.1f qps vs naive %.1f "
+                "qps (%.2fx) at p99 %.1f ms vs %.1f ms\n",
+                peak.bucketed.qps, peak.naive.qps, ratio,
+                peak.bucketed.p99Ms, peak.naive.p99Ms);
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"bench_serving\",\n");
+        std::fprintf(
+            f,
+            "  \"config\": {\"layers\": %d, \"d_model\": %lld, "
+            "\"max_positions\": %lld, \"count\": %d, "
+            "\"naive_capacity_qps\": %.2f, \"max_batch\": 8, "
+            "\"max_wait_us\": 2000, \"quick\": %s},\n",
+            config.numLayers, static_cast<long long>(config.dModel),
+            static_cast<long long>(config.maxPositions), count,
+            naive_capacity_qps, quick ? "true" : "false");
+        std::fprintf(f, "  \"load_points\": [\n");
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const LoadPoint &p = points[i];
+            std::fprintf(
+                f,
+                "    {\"load_multiple\": %.2f, \"offered_qps\": %.2f,\n"
+                "     \"naive\": {\"qps\": %.2f, \"p50_ms\": %.3f, "
+                "\"p99_ms\": %.3f, \"p999_ms\": %.3f},\n"
+                "     \"bucketed\": {\"qps\": %.2f, \"p50_ms\": %.3f, "
+                "\"p99_ms\": %.3f, \"p999_ms\": %.3f},\n"
+                "     \"throughput_ratio\": %.3f}%s\n",
+                p.multiple, p.offeredQps, p.naive.qps, p.naive.p50Ms,
+                p.naive.p99Ms, p.naive.p999Ms, p.bucketed.qps,
+                p.bucketed.p50Ms, p.bucketed.p99Ms, p.bucketed.p999Ms,
+                p.bucketed.qps / p.naive.qps,
+                i + 1 < points.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -5,10 +5,10 @@
 #
 # Usage: scripts/check_asan.sh [ctest-label-regex]
 #   With no argument the full suite runs; pass e.g. "gemm" to restrict
-#   to the GEMM tests, or "robust" for the checkpoint/fault-injection
-#   suites. The full run and the "robust" run also execute the
-#   kill-and-resume smoke (scripts/check_resume.sh) against this
-#   sanitized build.
+#   to the GEMM tests, "robust" for the checkpoint/fault-injection
+#   suites, or "serve" for the serving runtime. The full run and the
+#   "robust" run also execute the kill-and-resume smoke
+#   (scripts/check_resume.sh) against this sanitized build.
 #
 # Env passthrough (defaults in parentheses):
 #   BERTPROF_NUM_THREADS (8)  pool width while testing

@@ -5,9 +5,11 @@
 #
 # Usage: scripts/check_tsan.sh [ctest-label-regex]
 #   With no argument the full suite runs; pass e.g. "parallel" to
-#   restrict to the runtime/ops parallelism tests, or "robust" for the
-#   checkpoint/fault-injection suites. The full run and the "robust"
-#   run also execute the kill-and-resume smoke
+#   restrict to the runtime/ops parallelism tests, "robust" for the
+#   checkpoint/fault-injection suites, or "serve" for the serving
+#   runtime (dynamic batcher + 8 concurrent client threads — the
+#   serving suite must be TSan-clean at this width). The full run and
+#   the "robust" run also execute the kill-and-resume smoke
 #   (scripts/check_resume.sh) against this sanitized build.
 #
 # Env passthrough (defaults in parentheses):

@@ -15,6 +15,11 @@ ctest --test-dir build --output-on-failure
 ctest --test-dir build -L robust --output-on-failure
 scripts/check_resume.sh build
 
+# Serving-runtime smoke: eval-mode determinism, padding invariance,
+# batcher policy, and the end-to-end server (the `serve` label also
+# covers the bench_serving --quick naive-vs-bucketed comparison).
+ctest --test-dir build -L serve --output-on-failure
+
 # Cheap static-analysis stages (bplint + -Werror build + clang-tidy);
 # run the full sanitizer matrix separately via
 # scripts/run_static_analysis.sh when touching kernels or the runtime.

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Build Release and capture the perf-trajectory benchmarks: the GEMM
 # engine comparison (packed microkernel vs reference, Table 2b
-# BERT-Large shapes) and the parallel-scaling sweep. Text goes to
-# results/ as the human-readable snapshot; results/BENCH_gemm.json is
-# the machine-readable record successive PRs can diff for the perf
-# trajectory.
+# BERT-Large shapes), the parallel-scaling sweep, and the serving
+# runtime's naive-vs-bucketed load sweep. Text goes to results/ as
+# the human-readable snapshot; results/BENCH_gemm.json and
+# results/BENCH_serving.json are the machine-readable records
+# successive PRs can diff for the perf trajectory.
 #
 # Usage: scripts/run_bench.sh [--native]
 #   --native configures with -DBERTPROF_NATIVE=ON (-march=native) so
@@ -23,7 +24,8 @@ fi
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
     -DBERTPROF_NATIVE="${NATIVE}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-    --target bench_gemm_microkernel bench_cpu_parallel_scaling
+    --target bench_gemm_microkernel bench_cpu_parallel_scaling \
+    bench_serving
 
 mkdir -p results
 "${BUILD_DIR}/bench/bench_gemm_microkernel" \
@@ -31,6 +33,10 @@ mkdir -p results
     | tee results/bench_gemm_microkernel.txt
 "${BUILD_DIR}/bench/bench_cpu_parallel_scaling" \
     | tee results/bench_cpu_parallel_scaling.txt
+"${BUILD_DIR}/bench/bench_serving" \
+    --json results/BENCH_serving.json \
+    | tee results/bench_serving.txt
 
 echo "snapshots: results/bench_gemm_microkernel.txt," \
-     "results/BENCH_gemm.json, results/bench_cpu_parallel_scaling.txt"
+     "results/BENCH_gemm.json, results/bench_cpu_parallel_scaling.txt," \
+     "results/bench_serving.txt, results/BENCH_serving.json"

@@ -45,8 +45,9 @@ MultiHeadAttention::forward(const Tensor &x, const Tensor &mask,
     const bool per_sequence_mask =
         mask.shape() == Shape({batch, seq, seq});
     BP_REQUIRE(per_sequence_mask || mask.shape() == Shape({seq, seq}));
-    batch_ = batch;
-    seq_ = seq;
+    const bool training = isTraining();
+    batch_ = training ? batch : 0;
+    seq_ = training ? seq : 0;
     const std::int64_t dh = dModel_ / numHeads_;
     const std::int64_t bh = batch * numHeads_;
 
@@ -56,12 +57,12 @@ MultiHeadAttention::forward(const Tensor &x, const Tensor &mask,
     Tensor v = wv_.forward(x);
 
     // Rearrange into per-head batches for the B*h batched GEMM.
-    q3d_ = Tensor(Shape({bh, seq, dh}));
-    k3d_ = Tensor(Shape({bh, seq, dh}));
-    v3d_ = Tensor(Shape({bh, seq, dh}));
-    splitHeads(q, batch, seq, numHeads_, q3d_);
-    splitHeads(k, batch, seq, numHeads_, k3d_);
-    splitHeads(v, batch, seq, numHeads_, v3d_);
+    Tensor q3d(Shape({bh, seq, dh}));
+    Tensor k3d(Shape({bh, seq, dh}));
+    Tensor v3d(Shape({bh, seq, dh}));
+    splitHeads(q, batch, seq, numHeads_, q3d);
+    splitHeads(k, batch, seq, numHeads_, k3d);
+    splitHeads(v, batch, seq, numHeads_, v3d);
 
     // Attention scores: B*h GEMMs of n x n x d/h (Table 2b row 2).
     Tensor scores(Shape({bh, seq, seq}));
@@ -69,7 +70,7 @@ MultiHeadAttention::forward(const Tensor &x, const Tensor &mask,
         ScopedKernel kern(rt_->profiler, "attn.score.fwd",
                           OpKind::BatchedGemm, Phase::Fwd,
                           LayerScope::Transformer, SubLayer::AttnBGemm);
-        kern.setStats(batchedGemm(q3d_, k3d_, scores, false, true));
+        kern.setStats(batchedGemm(q3d, k3d, scores, false, true));
     }
 
     // Scale, mask, softmax, dropout — each its own kernel, as in the
@@ -92,22 +93,27 @@ MultiHeadAttention::forward(const Tensor &x, const Tensor &mask,
             kern.setStats(maskAddForward(scores, mask, scores));
         }
     }
-    probs_ = Tensor(scores.shape());
+    Tensor probs(scores.shape());
     {
         ScopedKernel kern(rt_->profiler, "attn.softmax", OpKind::Reduction,
                           Phase::Fwd, LayerScope::Transformer,
                           SubLayer::AttnScaleMaskDrSm);
-        kern.setStats(softmaxForward(scores, probs_));
+        kern.setStats(softmaxForward(scores, probs));
     }
-    probsDropped_ = Tensor(probs_.shape());
-    dropMask_ = Tensor(probs_.shape());
-    {
+    // Eval mode: dropout is an exact identity — no RNG draw, no mask
+    // allocation — and the context GEMM reads the softmax output
+    // directly. Training draws the mask and keeps it for backward.
+    const Tensor *context_in = &probs;
+    if (training) {
+        probsDropped_ = Tensor(probs.shape());
+        dropMask_ = Tensor(probs.shape());
         ScopedKernel kern(rt_->profiler, "attn.dropout",
                           OpKind::Elementwise, Phase::Fwd,
                           LayerScope::Transformer,
                           SubLayer::AttnScaleMaskDrSm);
-        kern.setStats(dropoutForward(probs_, rt_->effectiveDropout(),
+        kern.setStats(dropoutForward(probs, rt_->effectiveDropout(),
                                      rt_->rng, probsDropped_, dropMask_));
+        context_in = &probsDropped_;
     }
 
     // Attention context: B*h GEMMs (Table 2b row 3).
@@ -116,11 +122,25 @@ MultiHeadAttention::forward(const Tensor &x, const Tensor &mask,
         ScopedKernel kern(rt_->profiler, "attn.context.fwd",
                           OpKind::BatchedGemm, Phase::Fwd,
                           LayerScope::Transformer, SubLayer::AttnBGemm);
-        kern.setStats(batchedGemm(probsDropped_, v3d_, context));
+        kern.setStats(batchedGemm(*context_in, v3d, context));
     }
 
     Tensor merged(Shape({batch * seq, dModel_}));
     mergeHeads(context, batch, seq, numHeads_, merged);
+
+    if (training) {
+        q3d_ = std::move(q3d);
+        k3d_ = std::move(k3d);
+        v3d_ = std::move(v3d);
+        probs_ = std::move(probs);
+    } else {
+        q3d_ = Tensor();
+        k3d_ = Tensor();
+        v3d_ = Tensor();
+        probs_ = Tensor();
+        probsDropped_ = Tensor();
+        dropMask_ = Tensor();
+    }
 
     // Output projection (the fourth "Linear" GEMM).
     return wo_.forward(merged);
@@ -217,6 +237,15 @@ MultiHeadAttention::collectParameters(std::vector<Parameter *> &out)
     wk_.collectParameters(out);
     wv_.collectParameters(out);
     wo_.collectParameters(out);
+}
+
+void
+MultiHeadAttention::collectChildren(std::vector<Module *> &out)
+{
+    out.push_back(&wq_);
+    out.push_back(&wk_);
+    out.push_back(&wv_);
+    out.push_back(&wo_);
 }
 
 } // namespace bertprof

@@ -46,6 +46,9 @@ class MultiHeadAttention : public Module
     /** Initialize all projection weights. */
     void initialize(Rng &rng, float stddev = 0.02f);
 
+  protected:
+    void collectChildren(std::vector<Module *> &out) override;
+
   private:
     std::int64_t dModel_;
     int numHeads_;

@@ -108,6 +108,37 @@ BertClassifier::forwardBackward(const ClassificationBatch &batch)
     return result;
 }
 
+Tensor
+BertClassifier::forwardLogitsEval(
+    const std::vector<std::int64_t> &token_ids,
+    const std::vector<std::int64_t> &segment_ids, std::int64_t batch,
+    std::int64_t seq, const std::vector<std::int64_t> &lengths)
+{
+    BP_REQUIRE(!isTraining());
+    Tensor hidden =
+        model_.forwardEval(token_ids, segment_ids, batch, seq, lengths);
+    std::vector<std::int64_t> cls_positions(
+        static_cast<std::size_t>(batch));
+    for (std::int64_t b = 0; b < batch; ++b)
+        cls_positions[static_cast<std::size_t>(b)] = b * seq;
+    Tensor cls(Shape({batch, config_.dModel}));
+    {
+        ScopedKernel k(rt_->profiler, "cls.gather", OpKind::Gather,
+                       Phase::Fwd, LayerScope::Output,
+                       SubLayer::OutputOps);
+        k.setStats(embeddingForward(hidden, cls_positions, cls));
+    }
+    Tensor pooled_pre = pooler_.forward(cls);
+    Tensor pooled(pooled_pre.shape());
+    {
+        ScopedKernel k(rt_->profiler, "pooler.tanh", OpKind::Elementwise,
+                       Phase::Fwd, LayerScope::Output,
+                       SubLayer::OutputOps);
+        k.setStats(tanhForward(pooled_pre, pooled));
+    }
+    return classifier_.forward(pooled);
+}
+
 std::vector<std::int64_t>
 BertClassifier::predict(const ClassificationBatch &batch)
 {
@@ -131,6 +162,14 @@ BertClassifier::collectParameters(std::vector<Parameter *> &out)
     model_.collectParameters(out);
     pooler_.collectParameters(out);
     classifier_.collectParameters(out);
+}
+
+void
+BertClassifier::collectChildren(std::vector<Module *> &out)
+{
+    out.push_back(&model_);
+    out.push_back(&pooler_);
+    out.push_back(&classifier_);
 }
 
 } // namespace bertprof

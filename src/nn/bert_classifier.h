@@ -43,11 +43,30 @@ class BertClassifier : public Module
     /** Forward only; returns predicted class per sequence. */
     std::vector<std::int64_t> predict(const ClassificationBatch &batch);
 
+    /**
+     * Forward-only classifier logits over a dynamically-shaped
+     * padded batch (the serving path): `batch` sequences of `seq`
+     * tokens (seq <= maxPositions, independent of config.seqLen),
+     * `lengths` masking each sequence's padded tail out of attention
+     * (empty = all full). Requires eval mode (setTraining(false));
+     * retains nothing and never touches the dropout RNG stream.
+     * Returns logits [batch, numClasses].
+     */
+    Tensor forwardLogitsEval(const std::vector<std::int64_t> &token_ids,
+                             const std::vector<std::int64_t> &segment_ids,
+                             std::int64_t batch, std::int64_t seq,
+                             const std::vector<std::int64_t> &lengths);
+
     void collectParameters(std::vector<Parameter *> &out) override;
 
     void initialize(Rng &rng, float stddev = 0.02f);
 
     BertModel &model() { return model_; }
+
+    const BertConfig &config() const { return config_; }
+
+  protected:
+    void collectChildren(std::vector<Module *> &out) override;
 
   private:
     /** Shared forward: returns classifier logits [B, numClasses]. */

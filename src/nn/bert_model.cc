@@ -70,15 +70,51 @@ Tensor
 BertModel::forward(const std::vector<std::int64_t> &token_ids,
                    const std::vector<std::int64_t> &segment_ids)
 {
-    const std::int64_t tokens = config_.tokens();
+    return forwardImpl(token_ids, segment_ids, config_.batch,
+                       config_.seqLen, attnMask_);
+}
+
+Tensor
+BertModel::forwardEval(const std::vector<std::int64_t> &token_ids,
+                       const std::vector<std::int64_t> &segment_ids,
+                       std::int64_t batch, std::int64_t seq,
+                       const std::vector<std::int64_t> &lengths)
+{
+    BP_REQUIRE(!isTraining());
+    BP_REQUIRE(batch >= 1);
+    BP_REQUIRE(seq >= 1 && seq <= config_.maxPositions);
+    Tensor mask;
+    if (lengths.empty()) {
+        mask = Tensor(Shape({seq, seq}));
+    } else {
+        BP_REQUIRE(static_cast<std::int64_t>(lengths.size()) == batch);
+        mask = Tensor(Shape({batch, seq, seq}));
+        for (std::int64_t b = 0; b < batch; ++b) {
+            const std::int64_t len =
+                lengths[static_cast<std::size_t>(b)];
+            BP_REQUIRE(len >= 1 && len <= seq);
+            float *m = mask.data() + b * seq * seq;
+            for (std::int64_t i = 0; i < seq; ++i)
+                for (std::int64_t j = len; j < seq; ++j)
+                    m[i * seq + j] = -1e9f;
+        }
+    }
+    return forwardImpl(token_ids, segment_ids, batch, seq, mask);
+}
+
+Tensor
+BertModel::forwardImpl(const std::vector<std::int64_t> &token_ids,
+                       const std::vector<std::int64_t> &segment_ids,
+                       std::int64_t batch, std::int64_t seq,
+                       const Tensor &mask)
+{
+    const std::int64_t tokens = batch * seq;
     BP_REQUIRE(static_cast<std::int64_t>(token_ids.size()) == tokens);
     BP_REQUIRE(static_cast<std::int64_t>(segment_ids.size()) == tokens);
-    savedTokenIds_ = token_ids;
-    savedSegmentIds_ = segment_ids;
-    savedPositionIds_.resize(token_ids.size());
+    const bool training = isTraining();
+    std::vector<std::int64_t> position_ids(token_ids.size());
     for (std::int64_t t = 0; t < tokens; ++t)
-        savedPositionIds_[static_cast<std::size_t>(t)] =
-            t % config_.seqLen;
+        position_ids[static_cast<std::size_t>(t)] = t % seq;
 
     Tensor tok(Shape({tokens, config_.dModel}));
     Tensor pos(Shape({tokens, config_.dModel}));
@@ -93,8 +129,7 @@ BertModel::forward(const std::vector<std::int64_t> &token_ids,
         ScopedKernel k(rt_->profiler, "emb.position.gather", OpKind::Gather,
                        Phase::Fwd, LayerScope::Embedding,
                        SubLayer::EmbeddingOps);
-        k.setStats(
-            embeddingForward(posTable_.value, savedPositionIds_, pos));
+        k.setStats(embeddingForward(posTable_.value, position_ids, pos));
     }
     {
         ScopedKernel k(rt_->profiler, "emb.segment.gather", OpKind::Gather,
@@ -116,19 +151,30 @@ BertModel::forward(const std::vector<std::int64_t> &token_ids,
         k.setStats(addForward(summed, seg, summed));
     }
     Tensor normed = embLn_.forward(summed);
-    Tensor hidden(normed.shape());
-    embDropMask_ = Tensor(normed.shape());
-    {
+    Tensor hidden;
+    if (training) {
+        savedTokenIds_ = token_ids;
+        savedSegmentIds_ = segment_ids;
+        savedPositionIds_ = std::move(position_ids);
+        hidden = Tensor(normed.shape());
+        embDropMask_ = Tensor(normed.shape());
         ScopedKernel k(rt_->profiler, "emb.dropout", OpKind::Elementwise,
                        Phase::Fwd, LayerScope::Embedding,
                        SubLayer::EmbeddingOps);
         k.setStats(dropoutForward(normed, rt_->effectiveDropout(), rt_->rng,
                                   hidden, embDropMask_));
+    } else {
+        // Eval: the embedding dropout is an exact identity and the
+        // backward bookkeeping (ids, dropout mask) is not retained.
+        savedTokenIds_.clear();
+        savedSegmentIds_.clear();
+        savedPositionIds_.clear();
+        embDropMask_ = Tensor();
+        hidden = std::move(normed);
     }
 
     for (auto &layer : layers_)
-        hidden = layer->forward(hidden, attnMask_, config_.batch,
-                                config_.seqLen);
+        hidden = layer->forward(hidden, mask, batch, seq);
     return hidden;
 }
 
@@ -182,6 +228,14 @@ BertModel::collectParameters(std::vector<Parameter *> &out)
     embLn_.collectParameters(out);
     for (auto &layer : layers_)
         layer->collectParameters(out);
+}
+
+void
+BertModel::collectChildren(std::vector<Module *> &out)
+{
+    out.push_back(&embLn_);
+    for (auto &layer : layers_)
+        out.push_back(layer.get());
 }
 
 } // namespace bertprof

@@ -28,9 +28,25 @@ class BertModel : public Module
     /**
      * Forward: token and segment ids are flat [B*n] vectors;
      * positions are implicit (t mod n). Returns hidden [B*n, d].
+     * Uses the config's batch/seqLen and the installed padding mask.
      */
     Tensor forward(const std::vector<std::int64_t> &token_ids,
                    const std::vector<std::int64_t> &segment_ids);
+
+    /**
+     * Forward-only encoder pass over a dynamically-shaped batch
+     * (serving path): `batch` sequences of `seq` tokens each, with
+     * seq <= maxPositions independent of the config's seqLen.
+     * `lengths` (one entry per sequence, empty = all full) masks
+     * padded key positions out of attention exactly like
+     * setPaddingMask(). Requires eval mode (setTraining(false)):
+     * nothing is retained, dropout is identity, and the RNG stream
+     * is untouched, so repeated calls are bitwise identical.
+     */
+    Tensor forwardEval(const std::vector<std::int64_t> &token_ids,
+                       const std::vector<std::int64_t> &segment_ids,
+                       std::int64_t batch, std::int64_t seq,
+                       const std::vector<std::int64_t> &lengths);
 
     /** Backward from dhidden [B*n, d]; accumulates all grads. */
     void backward(const Tensor &dhidden);
@@ -55,7 +71,16 @@ class BertModel : public Module
 
     const BertConfig &config() const { return config_; }
 
+  protected:
+    void collectChildren(std::vector<Module *> &out) override;
+
   private:
+    /** Shared forward body over an explicit shape and additive mask. */
+    Tensor forwardImpl(const std::vector<std::int64_t> &token_ids,
+                       const std::vector<std::int64_t> &segment_ids,
+                       std::int64_t batch, std::int64_t seq,
+                       const Tensor &mask);
+
     BertConfig config_;
     NnRuntime *rt_;
     Parameter tokTable_;

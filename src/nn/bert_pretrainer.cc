@@ -242,6 +242,55 @@ BertPretrainer::forwardBackward(const PretrainBatch &batch,
     return result;
 }
 
+Tensor
+BertPretrainer::mlmLogitsEval(
+    const std::vector<std::int64_t> &token_ids,
+    const std::vector<std::int64_t> &segment_ids, std::int64_t batch,
+    std::int64_t seq, const std::vector<std::int64_t> &lengths,
+    const std::vector<std::int64_t> &mlm_positions)
+{
+    BP_REQUIRE(!isTraining());
+    const std::int64_t d = config_.dModel;
+    const std::int64_t p =
+        static_cast<std::int64_t>(mlm_positions.size());
+    BP_REQUIRE(p >= 1);
+    for (std::int64_t pos : mlm_positions)
+        BP_REQUIRE(pos >= 0 && pos < batch * seq);
+
+    Tensor hidden =
+        model_.forwardEval(token_ids, segment_ids, batch, seq, lengths);
+
+    Tensor mlm_in(Shape({p, d}));
+    {
+        ScopedKernel k(rt_->profiler, "mlm.gather", OpKind::Gather,
+                       Phase::Fwd, LayerScope::Output, SubLayer::OutputOps);
+        k.setStats(embeddingForward(hidden, mlm_positions, mlm_in));
+    }
+    Tensor transformed = mlmTransform_.forward(mlm_in);
+    Tensor activated(transformed.shape());
+    {
+        ScopedKernel k(rt_->profiler, "mlm.gelu", OpKind::Elementwise,
+                       Phase::Fwd, LayerScope::Output, SubLayer::OutputOps);
+        k.setStats(geluForward(transformed, activated));
+    }
+    Tensor normed = mlmLn_.forward(activated);
+
+    Parameter &tok_table = model_.tokenEmbedding();
+    Tensor logits(Shape({p, config_.vocabSize}));
+    {
+        ScopedKernel k(rt_->profiler, "mlm.decoder.fwd", OpKind::Gemm,
+                       Phase::Fwd, LayerScope::Output, SubLayer::OutputOps);
+        k.setStats(gemm(normed, tok_table.value, logits, false, true));
+    }
+    {
+        ScopedKernel k(rt_->profiler, "mlm.decoder.bias",
+                       OpKind::Elementwise, Phase::Fwd, LayerScope::Output,
+                       SubLayer::OutputOps);
+        k.setStats(biasForward(logits, mlmDecoderBias_.value, logits));
+    }
+    return logits;
+}
+
 void
 BertPretrainer::collectParameters(std::vector<Parameter *> &out)
 {
@@ -251,6 +300,16 @@ BertPretrainer::collectParameters(std::vector<Parameter *> &out)
     mlmLn_.collectParameters(out);
     out.push_back(&mlmDecoderBias_);
     nsp_.collectParameters(out);
+}
+
+void
+BertPretrainer::collectChildren(std::vector<Module *> &out)
+{
+    out.push_back(&model_);
+    out.push_back(&pooler_);
+    out.push_back(&mlmTransform_);
+    out.push_back(&mlmLn_);
+    out.push_back(&nsp_);
 }
 
 } // namespace bertprof

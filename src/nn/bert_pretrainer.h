@@ -75,6 +75,22 @@ class BertPretrainer : public Module
     PretrainStepResult forwardBackward(const PretrainBatch &batch,
                                        float loss_scale = 1.0f);
 
+    /**
+     * Forward-only masked-LM logits over a dynamically-shaped padded
+     * batch (the serving path): `batch` sequences of `seq` tokens
+     * (seq <= maxPositions, independent of config.seqLen), `lengths`
+     * masking padded tails out of attention (empty = all full), and
+     * `mlm_positions` flat indices (in [0, batch*seq)) of the tokens
+     * to decode. Requires eval mode (setTraining(false)); retains
+     * nothing and never touches the dropout RNG stream. Returns
+     * logits [|mlm_positions|, vocabSize].
+     */
+    Tensor mlmLogitsEval(const std::vector<std::int64_t> &token_ids,
+                         const std::vector<std::int64_t> &segment_ids,
+                         std::int64_t batch, std::int64_t seq,
+                         const std::vector<std::int64_t> &lengths,
+                         const std::vector<std::int64_t> &mlm_positions);
+
     void collectParameters(std::vector<Parameter *> &out) override;
 
     void initialize(Rng &rng, float stddev = 0.02f);
@@ -82,6 +98,9 @@ class BertPretrainer : public Module
     BertModel &model() { return model_; }
 
     const BertConfig &config() const { return config_; }
+
+  protected:
+    void collectChildren(std::vector<Module *> &out) override;
 
   private:
     BertConfig config_;

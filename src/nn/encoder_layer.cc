@@ -34,43 +34,58 @@ EncoderLayer::forward(const Tensor &x, const Tensor &mask,
     BP_REQUIRE(batch > 0 && seq > 0);
     BP_CHECK_RANK(x, 2);
     BP_REQUIRE(x.shape().dim(0) == batch * seq);
-    // Attention sub-layer + DR + RC + LN.
+    const bool training = isTraining();
+    hasForwardState_ = training;
+    if (!training) {
+        attnDropMask_ = Tensor();
+        ffDropMask_ = Tensor();
+    }
+
+    // Attention sub-layer + DR + RC + LN. Eval mode: the block
+    // dropouts are exact identities (no RNG draw, no mask alloc), so
+    // the residual adds read the sub-layer outputs directly.
     Tensor attn_out = attn_.forward(x, mask, batch, seq);
-    Tensor dropped(attn_out.shape());
-    attnDropMask_ = Tensor(attn_out.shape());
-    {
+    const Tensor *residual_in = &attn_out;
+    Tensor dropped;
+    if (training) {
+        dropped = Tensor(attn_out.shape());
+        attnDropMask_ = Tensor(attn_out.shape());
         ScopedKernel k(rt_->profiler, "attn.block.dropout",
                        OpKind::Elementwise, Phase::Fwd,
                        LayerScope::Transformer, SubLayer::DrRcLn);
         k.setStats(dropoutForward(attn_out, rt_->effectiveDropout(),
                                   rt_->rng, dropped, attnDropMask_));
+        residual_in = &dropped;
     }
-    Tensor residual(dropped.shape());
+    Tensor residual(attn_out.shape());
     {
         ScopedKernel k(rt_->profiler, "attn.block.residual",
                        OpKind::Elementwise, Phase::Fwd,
                        LayerScope::Transformer, SubLayer::DrRcLn);
-        k.setStats(addForward(dropped, x, residual));
+        k.setStats(addForward(*residual_in, x, residual));
     }
     Tensor normed = ln1_.forward(residual);
 
     // Feed-forward sub-layer + DR + RC + LN.
     Tensor ff_out = ff_.forward(normed);
-    Tensor ff_dropped(ff_out.shape());
-    ffDropMask_ = Tensor(ff_out.shape());
-    {
+    const Tensor *ff_residual_in = &ff_out;
+    Tensor ff_dropped;
+    if (training) {
+        ff_dropped = Tensor(ff_out.shape());
+        ffDropMask_ = Tensor(ff_out.shape());
         ScopedKernel k(rt_->profiler, "ff.block.dropout",
                        OpKind::Elementwise, Phase::Fwd,
                        LayerScope::Transformer, SubLayer::DrRcLn);
         k.setStats(dropoutForward(ff_out, rt_->effectiveDropout(), rt_->rng,
                                   ff_dropped, ffDropMask_));
+        ff_residual_in = &ff_dropped;
     }
-    Tensor ff_residual(ff_dropped.shape());
+    Tensor ff_residual(ff_out.shape());
     {
         ScopedKernel k(rt_->profiler, "ff.block.residual",
                        OpKind::Elementwise, Phase::Fwd,
                        LayerScope::Transformer, SubLayer::DrRcLn);
-        k.setStats(addForward(ff_dropped, normed, ff_residual));
+        k.setStats(addForward(*ff_residual_in, normed, ff_residual));
     }
     return ln2_.forward(ff_residual);
 }
@@ -78,6 +93,7 @@ EncoderLayer::forward(const Tensor &x, const Tensor &mask,
 Tensor
 EncoderLayer::backward(const Tensor &dout)
 {
+    BP_REQUIRE(hasForwardState_);
     BP_CHECK_RANK(dout, 2);
     BP_CHECK_SAME_SHAPE(dout, attnDropMask_);
     // LN2 -> residual split -> dropout -> FF.
@@ -125,6 +141,15 @@ EncoderLayer::collectParameters(std::vector<Parameter *> &out)
     ln1_.collectParameters(out);
     ff_.collectParameters(out);
     ln2_.collectParameters(out);
+}
+
+void
+EncoderLayer::collectChildren(std::vector<Module *> &out)
+{
+    out.push_back(&attn_);
+    out.push_back(&ln1_);
+    out.push_back(&ff_);
+    out.push_back(&ln2_);
 }
 
 } // namespace bertprof

@@ -34,6 +34,9 @@ class EncoderLayer : public Module
 
     void initialize(Rng &rng, float stddev = 0.02f);
 
+  protected:
+    void collectChildren(std::vector<Module *> &out) override;
+
   private:
     NnRuntime *rt_;
     int layer_;
@@ -42,9 +45,11 @@ class EncoderLayer : public Module
     FeedForward ff_;
     LayerNorm ln2_;
 
-    // Saved dropout masks for the two DR+RC+LN blocks.
+    // Saved dropout masks for the two DR+RC+LN blocks (training
+    // forwards only; eval forwards retain nothing).
     Tensor attnDropMask_;
     Tensor ffDropMask_;
+    bool hasForwardState_ = false;
 };
 
 } // namespace bertprof

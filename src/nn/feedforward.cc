@@ -26,8 +26,13 @@ Tensor
 FeedForward::forward(const Tensor &x)
 {
     Tensor pre = fc1_.forward(x);
-    savedPreGelu_ = pre.clone();
-    hasSaved_ = true;
+    if (isTraining()) {
+        savedPreGelu_ = pre.clone();
+        hasSaved_ = true;
+    } else {
+        savedPreGelu_ = Tensor();
+        hasSaved_ = false;
+    }
     Tensor activated(pre.shape());
     {
         ScopedKernel k(rt_->profiler, "gelu.fwd", OpKind::Elementwise,
@@ -58,6 +63,13 @@ FeedForward::collectParameters(std::vector<Parameter *> &out)
 {
     fc1_.collectParameters(out);
     fc2_.collectParameters(out);
+}
+
+void
+FeedForward::collectChildren(std::vector<Module *> &out)
+{
+    out.push_back(&fc1_);
+    out.push_back(&fc2_);
 }
 
 } // namespace bertprof

@@ -30,6 +30,9 @@ class FeedForward : public Module
 
     void initialize(Rng &rng, float stddev = 0.02f);
 
+  protected:
+    void collectChildren(std::vector<Module *> &out) override;
+
   private:
     NnRuntime *rt_;
     int layer_;

@@ -22,16 +22,27 @@ LayerNorm::forward(const Tensor &x)
 {
     BP_REQUIRE(x.shape().rank() == 2 && x.shape().dim(1) == dim_);
     const std::int64_t rows = x.shape().dim(0);
-    savedInput_ = x.clone();
-    savedMean_ = Tensor(Shape({rows}));
-    savedRstd_ = Tensor(Shape({rows}));
-    hasSaved_ = true;
+    Tensor mean(Shape({rows}));
+    Tensor rstd(Shape({rows}));
 
     Tensor y(x.shape());
-    ScopedKernel k(rt_->profiler, gamma_.name + ".ln.fwd",
-                   OpKind::Reduction, Phase::Fwd, scope_, sub_);
-    k.setStats(layerNormForward(x, gamma_.value, beta_.value, y, savedMean_,
-                                savedRstd_));
+    {
+        ScopedKernel k(rt_->profiler, gamma_.name + ".ln.fwd",
+                       OpKind::Reduction, Phase::Fwd, scope_, sub_);
+        k.setStats(
+            layerNormForward(x, gamma_.value, beta_.value, y, mean, rstd));
+    }
+    if (isTraining()) {
+        savedInput_ = x.clone();
+        savedMean_ = std::move(mean);
+        savedRstd_ = std::move(rstd);
+        hasSaved_ = true;
+    } else {
+        savedInput_ = Tensor();
+        savedMean_ = Tensor();
+        savedRstd_ = Tensor();
+        hasSaved_ = false;
+    }
     return y;
 }
 

@@ -27,8 +27,14 @@ Tensor
 Linear::forward(const Tensor &x)
 {
     BP_REQUIRE(x.shape().rank() == 2 && x.shape().dim(1) == inDim_);
-    savedInput_ = x.clone();
-    hasSavedInput_ = true;
+    if (isTraining()) {
+        savedInput_ = x.clone();
+        hasSavedInput_ = true;
+    } else {
+        // Forward-only: nothing retained, backward() must not follow.
+        savedInput_ = Tensor();
+        hasSavedInput_ = false;
+    }
 
     Tensor y(Shape({x.shape().dim(0), outDim_}));
     {

@@ -36,8 +36,9 @@ class Linear : public Module
 
     /**
      * Backward: dout is [rows, out_dim]; accumulates weight and bias
-     * gradients and returns dx [rows, in_dim]. Requires forward()
-     * to have been called (the input is saved).
+     * gradients and returns dx [rows, in_dim]. Requires a training-
+     * mode forward() to have been called (eval-mode forwards retain
+     * no input).
      */
     Tensor backward(const Tensor &dout);
 

@@ -3,6 +3,16 @@
 namespace bertprof {
 
 void
+Module::setTraining(bool training)
+{
+    training_ = training;
+    std::vector<Module *> children;
+    collectChildren(children);
+    for (Module *child : children)
+        child->setTraining(training);
+}
+
+void
 Module::zeroGrad()
 {
     for (Parameter *param : parameters())

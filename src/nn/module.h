@@ -65,6 +65,20 @@ class Module
     /** Append pointers to every owned parameter (recursive). */
     virtual void collectParameters(std::vector<Parameter *> &out) = 0;
 
+    /**
+     * Switch this module tree between training and evaluation mode
+     * (recursive through collectChildren()). In eval mode forward
+     * passes are forward-only: dropout is an exact identity (no RNG
+     * draw, no mask allocation — the dropout RNG stream is not
+     * advanced) and no activations are retained for backward, so
+     * backward() after an eval forward is a contract violation. The
+     * serving runtime (src/serve) runs models in eval mode.
+     */
+    void setTraining(bool training);
+
+    /** True in training mode (the default). */
+    bool isTraining() const { return training_; }
+
     /** All parameters of this module tree. */
     std::vector<Parameter *>
     parameters()
@@ -93,6 +107,20 @@ class Module
      * (the tree may be partially loaded — reinitialize on failure).
      */
     IoStatus loadParameters(StateReader &reader);
+
+  protected:
+    /**
+     * Append pointers to every direct child module (non-recursive).
+     * Drives setTraining() propagation; leaf layers keep the empty
+     * default.
+     */
+    virtual void collectChildren(std::vector<Module *> &out)
+    {
+        (void)out;
+    }
+
+  private:
+    bool training_ = true;
 };
 
 } // namespace bertprof

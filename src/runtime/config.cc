@@ -5,6 +5,7 @@
 #include <cstring>
 #include <thread>
 
+#include "runtime/env.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
 
@@ -27,16 +28,10 @@ std::atomic<bool> g_warned_bad_gemm_env{false};
 int
 threadsFromEnvironment()
 {
-    const char *env = std::getenv("BERTPROF_NUM_THREADS");
-    if (env && *env) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end && *end == '\0' && v >= 1 && v <= 1024)
-            return static_cast<int>(v);
-        if (!g_warned_bad_env.exchange(true))
-            BP_LOG(Warn) << "ignoring invalid BERTPROF_NUM_THREADS=\"" << env
-                         << "\" (want an integer in [1, 1024])";
-    }
+    const std::int64_t v = envInt("BERTPROF_NUM_THREADS", 1, 1024,
+                                  /*fallback=*/0, g_warned_bad_env);
+    if (v > 0)
+        return static_cast<int>(v);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
 }

@@ -1,0 +1,27 @@
+#include "runtime/env.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+std::int64_t
+envInt(const char *name, std::int64_t lo, std::int64_t hi,
+       std::int64_t fallback, std::atomic<bool> &warned)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end && *end == '\0' && v >= lo && v <= hi)
+        return static_cast<std::int64_t>(v);
+    if (!warned.exchange(true))
+        BP_LOG(Warn) << "ignoring invalid " << name << "=\"" << env
+                     << "\" (want an integer in [" << lo << ", " << hi
+                     << "])";
+    return fallback;
+}
+
+} // namespace bertprof

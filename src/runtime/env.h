@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared parsing for BERTPROF_* environment knobs. Every knob in the
+ * runtime resolves the same way: a well-formed value in range wins,
+ * anything else warns once per process and falls back — so a typo'd
+ * knob degrades to the default instead of silently changing behavior.
+ */
+
+#ifndef BERTPROF_RUNTIME_ENV_H
+#define BERTPROF_RUNTIME_ENV_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace bertprof {
+
+/**
+ * Read an integer environment knob. Returns `fallback` when `name` is
+ * unset or empty; when set but malformed or outside [lo, hi], logs a
+ * warning through `warned` (at most once per flag — callers keep one
+ * static flag per knob) and returns `fallback`. The environment is
+ * re-read on every call, matching the existing knobs' semantics.
+ */
+std::int64_t envInt(const char *name, std::int64_t lo, std::int64_t hi,
+                    std::int64_t fallback, std::atomic<bool> &warned);
+
+} // namespace bertprof
+
+#endif // BERTPROF_RUNTIME_ENV_H

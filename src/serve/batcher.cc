@@ -1,0 +1,82 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+DynamicBatcher::DynamicBatcher(const BucketSpec &spec, int max_batch,
+                               std::int64_t max_wait_us)
+    : spec_(spec), maxBatch_(max_batch), maxWaitUs_(max_wait_us),
+      queue_(spec.numBuckets())
+{
+    BP_REQUIRE(max_batch >= 1);
+    BP_REQUIRE(max_wait_us >= 0);
+}
+
+bool
+DynamicBatcher::submit(PendingRequest &req)
+{
+    const std::int64_t len =
+        static_cast<std::int64_t>(req.request.tokenIds.size());
+    BP_REQUIRE(req.request.segmentIds.size() ==
+               req.request.tokenIds.size());
+    const int bucket = spec_.bucketFor(len);
+    if (bucket < 0)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_)
+            return false;
+        queue_.push(bucket, std::move(req));
+    }
+    cv_.notify_all();
+    return true;
+}
+
+bool
+DynamicBatcher::nextBatch(Batch &out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        if (queue_.empty()) {
+            if (closed_)
+                return false;
+            cv_.wait(lock);
+            continue;
+        }
+        const int lead = queue_.leadBucket();
+        const InferRequest &head = queue_.head(lead);
+        const MonoTime flush_at = std::min(
+            monoAddMicros(head.arrival, maxWaitUs_), head.deadline);
+        if (closed_ ||
+            queue_.count(lead) >= static_cast<std::size_t>(maxBatch_) ||
+            monoNow() >= flush_at) {
+            out.bucket = lead;
+            out.paddedLen = spec_.boundary(lead);
+            out.requests = queue_.popUpTo(lead, maxBatch_);
+            return true;
+        }
+        cv_.wait_until(lock, flush_at);
+    }
+}
+
+void
+DynamicBatcher::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::size_t
+DynamicBatcher::pendingCount()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+} // namespace bertprof

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The dynamic batcher: the thread-safe meeting point between client
+ * threads submitting requests and the executor thread draining
+ * batches. Policy (max-batch / max-wait, deadline-aware):
+ *
+ *  - The *lead* is the most urgent pending request (earliest
+ *    deadline, FIFO within its bucket). Only same-bucket requests
+ *    coalesce — members share one padded forward pass, so mixing
+ *    buckets would re-introduce the padding waste bucketing removes.
+ *  - A batch ships as soon as the lead's bucket holds maxBatch
+ *    requests, or when now reaches min(lead.arrival + maxWaitUs,
+ *    lead.deadline) — i.e. a lone request waits at most maxWaitUs
+ *    for company, and never waits past its own deadline.
+ *  - close() drains: pending requests still ship (flushed
+ *    immediately), new submissions are refused.
+ */
+
+#ifndef BERTPROF_SERVE_BATCHER_H
+#define BERTPROF_SERVE_BATCHER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "serve/bucketing.h"
+#include "serve/request_queue.h"
+
+namespace bertprof {
+
+/** Thread-safe deadline-aware request batcher. */
+class DynamicBatcher
+{
+  public:
+    DynamicBatcher(const BucketSpec &spec, int max_batch,
+                   std::int64_t max_wait_us);
+
+    /**
+     * Enqueue a request (any thread). On success `req` is moved
+     * from; on failure — batcher closed, sequence empty or longer
+     * than the top bucket — `req` is left untouched (false is
+     * returned) and the caller resolves its promise as rejected.
+     */
+    bool submit(PendingRequest &req);
+
+    /**
+     * Dequeue the next batch (executor thread). Blocks until a batch
+     * is ready under the policy above; false once closed and fully
+     * drained.
+     */
+    bool nextBatch(Batch &out);
+
+    /** Refuse new submissions; pending work still drains. */
+    void close();
+
+    /** Requests currently queued (diagnostic). */
+    std::size_t pendingCount();
+
+    const BucketSpec &spec() const { return spec_; }
+    int maxBatch() const { return maxBatch_; }
+    std::int64_t maxWaitUs() const { return maxWaitUs_; }
+
+  private:
+    const BucketSpec spec_;
+    const int maxBatch_;
+    const std::int64_t maxWaitUs_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    PendingQueue queue_;
+    bool closed_ = false;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_SERVE_BATCHER_H

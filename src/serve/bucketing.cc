@@ -1,0 +1,49 @@
+#include "serve/bucketing.h"
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+BucketSpec::BucketSpec(std::vector<std::int64_t> boundaries)
+    : boundaries_(std::move(boundaries))
+{
+    BP_REQUIRE(!boundaries_.empty());
+    std::int64_t prev = 0;
+    for (std::int64_t b : boundaries_) {
+        BP_REQUIRE(b > prev);
+        prev = b;
+    }
+}
+
+BucketSpec
+BucketSpec::defaultSpec(std::int64_t max_positions)
+{
+    BP_REQUIRE(max_positions >= 1);
+    static const std::int64_t kLadder[] = {32, 64, 128, 256, 384, 512};
+    std::vector<std::int64_t> boundaries;
+    for (std::int64_t b : kLadder)
+        if (b < max_positions)
+            boundaries.push_back(b);
+    boundaries.push_back(max_positions);
+    return BucketSpec(std::move(boundaries));
+}
+
+int
+BucketSpec::bucketFor(std::int64_t len) const
+{
+    if (len <= 0 || len > boundaries_.back())
+        return -1;
+    for (int b = 0; b < numBuckets(); ++b)
+        if (len <= boundaries_[static_cast<std::size_t>(b)])
+            return b;
+    return -1; // unreachable
+}
+
+std::int64_t
+BucketSpec::boundary(int b) const
+{
+    BP_REQUIRE(b >= 0 && b < numBuckets());
+    return boundaries_[static_cast<std::size_t>(b)];
+}
+
+} // namespace bertprof

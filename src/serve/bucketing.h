@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Sequence-length bucketing for the serving runtime. Requests are
+ * grouped by the smallest bucket boundary that fits them and padded
+ * only to that boundary, never to the model's maximum — the paper's
+ * input-size sweep (Fig. 8) shows encoder cost scales superlinearly
+ * with sequence length, so padding a 40-token query to 512 wastes an
+ * order of magnitude of compute. The default grid follows the sweep's
+ * sequence-length ladder.
+ */
+
+#ifndef BERTPROF_SERVE_BUCKETING_H
+#define BERTPROF_SERVE_BUCKETING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bertprof {
+
+/** An ascending ladder of padded sequence lengths. */
+class BucketSpec
+{
+  public:
+    /** Boundaries must be positive and strictly ascending. */
+    explicit BucketSpec(std::vector<std::int64_t> boundaries);
+
+    /**
+     * The ladder used by the benches: {32, 64, 128, 256, 384, 512}
+     * clipped to max_positions, with max_positions itself as the top
+     * boundary so every admissible sequence has a bucket.
+     */
+    static BucketSpec defaultSpec(std::int64_t max_positions);
+
+    /**
+     * Index of the smallest bucket that fits a sequence of `len`
+     * tokens, or -1 when len is out of range (<= 0 or longer than the
+     * top boundary).
+     */
+    int bucketFor(std::int64_t len) const;
+
+    /** Padded length of bucket `b`. */
+    std::int64_t boundary(int b) const;
+
+    int numBuckets() const { return static_cast<int>(boundaries_.size()); }
+
+    /** The top boundary = longest admissible sequence. */
+    std::int64_t maxLen() const { return boundaries_.back(); }
+
+    const std::vector<std::int64_t> &boundaries() const
+    {
+        return boundaries_;
+    }
+
+  private:
+    std::vector<std::int64_t> boundaries_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_SERVE_BUCKETING_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Inference engines: adapters that run one coalesced Batch through a
+ * model's forward-only eval path and split the result back into
+ * per-request replies. The executor thread is the only caller — the
+ * eval forwards are not reentrant (intra-op parallelism comes from
+ * the substrate's thread pool underneath the single forward).
+ */
+
+#ifndef BERTPROF_SERVE_ENGINE_H
+#define BERTPROF_SERVE_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/bert_classifier.h"
+#include "nn/bert_pretrainer.h"
+#include "serve/request_queue.h"
+
+namespace bertprof {
+
+/** Runs batches; one concrete engine per serveable head. */
+class InferenceEngine
+{
+  public:
+    virtual ~InferenceEngine() = default;
+
+    /** Longest admissible sequence (bucket grids clip to this). */
+    virtual std::int64_t maxPositions() const = 0;
+
+    /**
+     * Execute `batch` at its bucket's padded length and fill
+     * `replies` (same order as batch.requests) with ok/logits/
+     * rows/cols. Timing fields are the server's job.
+     */
+    virtual void run(const Batch &batch,
+                     std::vector<InferReply> &replies) = 0;
+};
+
+/**
+ * Serves BertClassifier::forwardLogitsEval: one row of class logits
+ * per request. The model must be in eval mode and not be used by any
+ * other thread while the server lives.
+ */
+class ClassifierEngine : public InferenceEngine
+{
+  public:
+    /** pad_id fills padded token slots (segment slots pad with 0). */
+    ClassifierEngine(BertClassifier &model, std::int64_t pad_id);
+
+    std::int64_t maxPositions() const override;
+    void run(const Batch &batch,
+             std::vector<InferReply> &replies) override;
+
+  private:
+    BertClassifier &model_;
+    std::int64_t padId_;
+};
+
+/**
+ * Serves BertPretrainer::mlmLogitsEval: one row of vocabulary logits
+ * per requested masked position. Same single-caller contract as
+ * ClassifierEngine.
+ */
+class MlmEngine : public InferenceEngine
+{
+  public:
+    MlmEngine(BertPretrainer &model, std::int64_t pad_id);
+
+    std::int64_t maxPositions() const override;
+    void run(const Batch &batch,
+             std::vector<InferReply> &replies) override;
+
+  private:
+    BertPretrainer &model_;
+    std::int64_t padId_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_SERVE_ENGINE_H

@@ -1,0 +1,47 @@
+#include "serve/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+double
+sortedPercentile(const std::vector<double> &sorted, double q)
+{
+    BP_REQUIRE(q >= 0.0 && q <= 1.0);
+    if (sorted.empty())
+        return 0.0;
+    const auto n = static_cast<std::int64_t>(sorted.size());
+    std::int64_t rank =
+        static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return sorted[static_cast<std::size_t>(rank - 1)];
+}
+
+LatencySummary
+LatencyRecorder::summary() const
+{
+    LatencySummary s;
+    s.count = count();
+    if (samples_.empty())
+        return s;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    s.meanSeconds = sum / static_cast<double>(sorted.size());
+    s.p50Seconds = sortedPercentile(sorted, 0.50);
+    s.p90Seconds = sortedPercentile(sorted, 0.90);
+    s.p99Seconds = sortedPercentile(sorted, 0.99);
+    s.p999Seconds = sortedPercentile(sorted, 0.999);
+    s.maxSeconds = sorted.back();
+    return s;
+}
+
+} // namespace bertprof

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Latency aggregation for the serving runtime: per-request samples in,
+ * tail percentiles out. Serving quality is a tail story — the paper's
+ * system-design lens makes p99/p99.9, not the mean, the numbers the
+ * batching knobs trade against throughput.
+ */
+
+#ifndef BERTPROF_SERVE_LATENCY_H
+#define BERTPROF_SERVE_LATENCY_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bertprof {
+
+/** Summary statistics over recorded latency samples (seconds). */
+struct LatencySummary {
+    std::int64_t count = 0;
+    double meanSeconds = 0.0;
+    double p50Seconds = 0.0;
+    double p90Seconds = 0.0;
+    double p99Seconds = 0.0;
+    double p999Seconds = 0.0;
+    double maxSeconds = 0.0;
+};
+
+/**
+ * Accumulates latency samples; summary() sorts a copy, so record on
+ * the hot path stays O(1). Not thread-safe — callers that record
+ * from multiple threads wrap it in their own lock (InferenceServer
+ * records from the single executor thread under one mutex).
+ */
+class LatencyRecorder
+{
+  public:
+    void add(double seconds) { samples_.push_back(seconds); }
+
+    std::int64_t count() const
+    {
+        return static_cast<std::int64_t>(samples_.size());
+    }
+
+    /** Nearest-rank percentiles over all samples so far. */
+    LatencySummary summary() const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+/**
+ * Nearest-rank percentile (q in [0, 1]) of an ascending-sorted
+ * sample vector; 0 when empty.
+ */
+double sortedPercentile(const std::vector<double> &sorted, double q);
+
+} // namespace bertprof
+
+#endif // BERTPROF_SERVE_LATENCY_H

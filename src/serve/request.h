@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Request/reply types for the inference serving runtime. A request is
+ * one variable-length sequence (plus optional masked-LM positions);
+ * the reply carries the logits and the latency breakdown the serving
+ * benchmarks aggregate (queue wait vs. compute, batch size, bucket).
+ */
+
+#ifndef BERTPROF_SERVE_REQUEST_H
+#define BERTPROF_SERVE_REQUEST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace bertprof {
+
+/** One inference request: a single unpadded sequence. */
+struct InferRequest {
+    /** Caller-chosen id, echoed in the reply. */
+    std::uint64_t id = 0;
+    /** Token ids, one per real token (no padding). */
+    std::vector<std::int64_t> tokenIds;
+    /** Segment ids, same length as tokenIds. */
+    std::vector<std::int64_t> segmentIds;
+    /**
+     * Positions (relative to this sequence, in [0, len)) to decode
+     * with the masked-LM head. Empty = classification request.
+     */
+    std::vector<std::int64_t> mlmPositions;
+    /** Monotonic arrival instant (stamped by the server on submit). */
+    MonoTime arrival{};
+    /**
+     * Absolute monotonic deadline. The batcher flushes a waiting
+     * batch early rather than let its most urgent request pass this.
+     */
+    MonoTime deadline{};
+};
+
+/** The answer to one request. */
+struct InferReply {
+    std::uint64_t id = 0;
+    /** False when the request was rejected (shutdown / over-long). */
+    bool ok = false;
+    /** Row-major logits: rows x cols. Classification: 1 x numClasses;
+     * MLM: |mlmPositions| x vocabSize. */
+    std::vector<float> logits;
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+
+    // Latency breakdown (seconds, monotonic clock).
+    double queueSeconds = 0.0; ///< submit -> batch execution start
+    double computeSeconds = 0.0; ///< model forward for the batch
+    double totalSeconds = 0.0; ///< submit -> reply ready
+    /** How many requests shared the forward pass. */
+    std::int64_t batchSize = 0;
+    /** Padded sequence length the batch ran at (bucket boundary). */
+    std::int64_t paddedLen = 0;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_SERVE_REQUEST_H

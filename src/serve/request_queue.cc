@@ -1,0 +1,75 @@
+#include "serve/request_queue.h"
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+PendingQueue::PendingQueue(int num_buckets)
+    : buckets_(static_cast<std::size_t>(num_buckets))
+{
+    BP_REQUIRE(num_buckets >= 1);
+}
+
+void
+PendingQueue::push(int bucket, PendingRequest req)
+{
+    BP_REQUIRE(bucket >= 0 &&
+               bucket < static_cast<int>(buckets_.size()));
+    buckets_[static_cast<std::size_t>(bucket)].push_back(std::move(req));
+    ++size_;
+}
+
+std::size_t
+PendingQueue::count(int bucket) const
+{
+    BP_REQUIRE(bucket >= 0 &&
+               bucket < static_cast<int>(buckets_.size()));
+    return buckets_[static_cast<std::size_t>(bucket)].size();
+}
+
+int
+PendingQueue::leadBucket() const
+{
+    BP_REQUIRE(size_ > 0);
+    int lead = -1;
+    for (int b = 0; b < static_cast<int>(buckets_.size()); ++b) {
+        const auto &q = buckets_[static_cast<std::size_t>(b)];
+        if (q.empty())
+            continue;
+        if (lead < 0) {
+            lead = b;
+            continue;
+        }
+        const InferRequest &cur = q.front().request;
+        const InferRequest &best =
+            buckets_[static_cast<std::size_t>(lead)].front().request;
+        if (cur.deadline < best.deadline ||
+            (cur.deadline == best.deadline && cur.arrival < best.arrival))
+            lead = b;
+    }
+    return lead;
+}
+
+const InferRequest &
+PendingQueue::head(int bucket) const
+{
+    BP_REQUIRE(count(bucket) > 0);
+    return buckets_[static_cast<std::size_t>(bucket)].front().request;
+}
+
+std::vector<PendingRequest>
+PendingQueue::popUpTo(int bucket, int max_batch)
+{
+    BP_REQUIRE(max_batch >= 1);
+    BP_REQUIRE(count(bucket) > 0);
+    auto &q = buckets_[static_cast<std::size_t>(bucket)];
+    std::vector<PendingRequest> out;
+    while (!q.empty() && static_cast<int>(out.size()) < max_batch) {
+        out.push_back(std::move(q.front()));
+        q.pop_front();
+        --size_;
+    }
+    return out;
+}
+
+} // namespace bertprof

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-bucket FIFO store for pending requests. Pure data structure —
+ * DynamicBatcher owns one and accesses it under its own lock; keeping
+ * the bookkeeping lock-free here keeps the batcher's critical
+ * sections short and the policy logic testable single-threaded.
+ */
+
+#ifndef BERTPROF_SERVE_REQUEST_QUEUE_H
+#define BERTPROF_SERVE_REQUEST_QUEUE_H
+
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace bertprof {
+
+/** A queued request plus the promise its reply resolves. */
+struct PendingRequest {
+    InferRequest request;
+    std::promise<InferReply> promise;
+};
+
+/** One coalesced unit of work: same-bucket requests, FIFO order. */
+struct Batch {
+    int bucket = -1;
+    /** Sequence length every member is padded to (bucket boundary). */
+    std::int64_t paddedLen = 0;
+    std::vector<PendingRequest> requests;
+};
+
+/** Pending requests, FIFO within each bucket. Not thread-safe. */
+class PendingQueue
+{
+  public:
+    explicit PendingQueue(int num_buckets);
+
+    void push(int bucket, PendingRequest req);
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t count(int bucket) const;
+
+    /**
+     * The bucket whose oldest request is most urgent: earliest
+     * deadline, ties broken by earliest arrival. Requires !empty().
+     */
+    int leadBucket() const;
+
+    /** The oldest request in `bucket` (must be non-empty). */
+    const InferRequest &head(int bucket) const;
+
+    /** Pop up to max_batch requests from `bucket`, FIFO order. */
+    std::vector<PendingRequest> popUpTo(int bucket, int max_batch);
+
+  private:
+    std::vector<std::deque<PendingRequest>> buckets_;
+    std::size_t size_ = 0;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_SERVE_REQUEST_QUEUE_H

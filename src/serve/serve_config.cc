@@ -1,0 +1,48 @@
+#include "serve/serve_config.h"
+
+#include <atomic>
+
+#include "runtime/env.h"
+#include "util/logging.h"
+
+namespace bertprof {
+
+namespace {
+
+std::atomic<bool> g_warned_bad_batch_env{false};
+std::atomic<bool> g_warned_bad_wait_env{false};
+
+} // namespace
+
+int
+configuredServeMaxBatch()
+{
+    return static_cast<int>(envInt("BERTPROF_SERVE_MAX_BATCH", 1, 1024,
+                                   /*fallback=*/8,
+                                   g_warned_bad_batch_env));
+}
+
+std::int64_t
+configuredServeMaxWaitUs()
+{
+    return envInt("BERTPROF_SERVE_MAX_WAIT_US", 0, 1000000000,
+                  /*fallback=*/2000, g_warned_bad_wait_env);
+}
+
+int
+ServeOptions::resolvedMaxBatch() const
+{
+    if (maxBatch > 0)
+        return maxBatch;
+    return configuredServeMaxBatch();
+}
+
+std::int64_t
+ServeOptions::resolvedMaxWaitUs() const
+{
+    if (maxWaitUs >= 0)
+        return maxWaitUs;
+    return configuredServeMaxWaitUs();
+}
+
+} // namespace bertprof

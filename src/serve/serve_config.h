@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Serving-runtime knobs, resolved the same way as the substrate's
+ * thread/GEMM knobs (runtime/config.h): an explicit field in
+ * ServeOptions wins, otherwise the BERTPROF_SERVE_* environment
+ * variable, otherwise the baked-in default.
+ *
+ *   BERTPROF_SERVE_MAX_BATCH    max requests coalesced per forward
+ *                               (default 8, range [1, 1024])
+ *   BERTPROF_SERVE_MAX_WAIT_US  max microseconds the batcher holds
+ *                               the most urgent pending request open
+ *                               for company (default 2000,
+ *                               range [0, 10^9])
+ */
+
+#ifndef BERTPROF_SERVE_SERVE_CONFIG_H
+#define BERTPROF_SERVE_SERVE_CONFIG_H
+
+#include <cstdint>
+
+namespace bertprof {
+
+/** BERTPROF_SERVE_MAX_BATCH or the default (8). */
+int configuredServeMaxBatch();
+
+/** BERTPROF_SERVE_MAX_WAIT_US or the default (2000). */
+std::int64_t configuredServeMaxWaitUs();
+
+/** Batching policy for one server instance. */
+struct ServeOptions {
+    /** Max requests per coalesced batch; <= 0 = use the env knob. */
+    int maxBatch = 0;
+    /** Max hold time before a lone request ships; < 0 = env knob. */
+    std::int64_t maxWaitUs = -1;
+    /**
+     * Deadline assigned on submit when a request carries none, in
+     * microseconds after arrival. Deadlines only accelerate flushes
+     * (a batch never waits past its most urgent member's deadline);
+     * nothing is dropped for missing one.
+     */
+    std::int64_t defaultDeadlineUs = 100000;
+
+    /** The policy with env/default fallbacks applied. */
+    int resolvedMaxBatch() const;
+    std::int64_t resolvedMaxWaitUs() const;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_SERVE_SERVE_CONFIG_H

@@ -1,0 +1,105 @@
+#include "serve/server.h"
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+InferenceServer::InferenceServer(InferenceEngine &engine,
+                                 const BucketSpec &buckets,
+                                 const ServeOptions &options)
+    : engine_(engine), options_(options),
+      batcher_(buckets, options.resolvedMaxBatch(),
+               options.resolvedMaxWaitUs())
+{
+    BP_REQUIRE(buckets.maxLen() <= engine.maxPositions());
+    BP_REQUIRE(options_.defaultDeadlineUs >= 0);
+    executor_ = std::thread([this] { executorLoop(); });
+}
+
+InferenceServer::~InferenceServer()
+{
+    shutdown();
+}
+
+std::future<InferReply>
+InferenceServer::submit(InferRequest req)
+{
+    req.arrival = monoNow();
+    if (req.deadline == MonoTime{})
+        req.deadline = monoAddMicros(req.arrival,
+                                     options_.defaultDeadlineUs);
+
+    PendingRequest pending;
+    pending.request = std::move(req);
+    std::future<InferReply> future = pending.promise.get_future();
+    // submit() leaves `pending` untouched on refusal, so rejection
+    // resolves the same future a success would.
+    if (!batcher_.submit(pending)) {
+        InferReply reply;
+        reply.id = pending.request.id;
+        reply.ok = false;
+        pending.promise.set_value(std::move(reply));
+    }
+    return future;
+}
+
+void
+InferenceServer::shutdown()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMu_);
+    if (shutDown_)
+        return;
+    shutDown_ = true;
+    batcher_.close();
+    if (executor_.joinable())
+        executor_.join();
+}
+
+LatencySummary
+InferenceServer::latencySummary()
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    return recorder_.summary();
+}
+
+std::int64_t
+InferenceServer::completedCount()
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    return recorder_.count();
+}
+
+void
+InferenceServer::executorLoop()
+{
+    Batch batch;
+    std::vector<InferReply> replies;
+    while (batcher_.nextBatch(batch)) {
+        const MonoTime start = monoNow();
+        engine_.run(batch, replies);
+        const MonoTime end = monoNow();
+        BP_REQUIRE(replies.size() == batch.requests.size());
+        const auto batch_size =
+            static_cast<std::int64_t>(batch.requests.size());
+        for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+            PendingRequest &pending = batch.requests[i];
+            InferReply &reply = replies[i];
+            reply.queueSeconds =
+                secondsBetween(pending.request.arrival, start);
+            reply.computeSeconds = secondsBetween(start, end);
+            reply.totalSeconds =
+                secondsBetween(pending.request.arrival, end);
+            reply.batchSize = batch_size;
+            reply.paddedLen = batch.paddedLen;
+            {
+                std::lock_guard<std::mutex> lock(statsMu_);
+                recorder_.add(reply.totalSeconds);
+            }
+            pending.promise.set_value(std::move(reply));
+        }
+        batch.requests.clear();
+        replies.clear();
+    }
+}
+
+} // namespace bertprof

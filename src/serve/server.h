@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The request-level inference server: client threads submit
+ * variable-length requests and get back futures; a single executor
+ * thread drains the dynamic batcher and runs each coalesced batch
+ * through the engine's forward-only eval path. One executor because
+ * the model's forward is not reentrant — parallelism inside the
+ * forward comes from the substrate's thread pool, and batching (not
+ * model replication) is the concurrency story this subsystem
+ * measures, mirroring the paper's single-device serving setup.
+ */
+
+#ifndef BERTPROF_SERVE_SERVER_H
+#define BERTPROF_SERVE_SERVER_H
+
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "serve/batcher.h"
+#include "serve/engine.h"
+#include "serve/latency.h"
+#include "serve/serve_config.h"
+
+namespace bertprof {
+
+/** Dynamic-batching, bucket-padding inference front end. */
+class InferenceServer
+{
+  public:
+    /**
+     * Starts the executor thread. The engine (and the model behind
+     * it) must outlive the server and must not be used elsewhere
+     * while the server runs.
+     */
+    InferenceServer(InferenceEngine &engine, const BucketSpec &buckets,
+                    const ServeOptions &options = ServeOptions());
+
+    /** Joins the executor (drains pending work first). */
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Submit a request from any thread. Stamps the arrival time; a
+     * default-constructed deadline becomes arrival +
+     * defaultDeadlineUs. The future resolves with ok=false when the
+     * request is rejected (server shut down, empty, or longer than
+     * the top bucket).
+     */
+    std::future<InferReply> submit(InferRequest req);
+
+    /**
+     * Stop accepting requests, drain everything already queued, and
+     * join the executor. Idempotent; the destructor calls it.
+     */
+    void shutdown();
+
+    /** End-to-end (submit -> reply) latency over completed requests. */
+    LatencySummary latencySummary();
+
+    /** Completed requests so far. */
+    std::int64_t completedCount();
+
+    const BucketSpec &buckets() const { return batcher_.spec(); }
+    const ServeOptions &options() const { return options_; }
+
+  private:
+    void executorLoop();
+
+    InferenceEngine &engine_;
+    ServeOptions options_;
+    DynamicBatcher batcher_;
+
+    std::mutex statsMu_;
+    LatencyRecorder recorder_;
+
+    std::mutex lifecycleMu_;
+    bool shutDown_ = false;
+    std::thread executor_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_SERVE_SERVER_H

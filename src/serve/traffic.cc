@@ -1,0 +1,44 @@
+#include "serve/traffic.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bertprof {
+
+std::vector<double>
+poissonSchedule(double qps, int count, std::uint64_t seed)
+{
+    BP_REQUIRE(qps > 0.0);
+    BP_REQUIRE(count >= 0);
+    Rng rng(seed);
+    std::vector<double> offsets;
+    offsets.reserve(static_cast<std::size_t>(count));
+    double t = 0.0;
+    for (int i = 0; i < count; ++i) {
+        // Inverse-CDF exponential gap; clamp the uniform draw away
+        // from 0 so log() stays finite.
+        const double u = rng.uniform(1e-12, 1.0);
+        t += -std::log(u) / qps;
+        offsets.push_back(t);
+    }
+    return offsets;
+}
+
+InferRequest
+syntheticRequest(Rng &rng, std::uint64_t id, std::int64_t len,
+                 std::int64_t vocab)
+{
+    BP_REQUIRE(len >= 1);
+    BP_REQUIRE(vocab > 4);
+    InferRequest req;
+    req.id = id;
+    req.tokenIds.resize(static_cast<std::size_t>(len));
+    req.segmentIds.assign(static_cast<std::size_t>(len), 0);
+    for (std::int64_t t = 0; t < len; ++t)
+        req.tokenIds[static_cast<std::size_t>(t)] =
+            rng.uniformInt(4, vocab - 1);
+    return req;
+}
+
+} // namespace bertprof

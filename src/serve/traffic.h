@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Open-loop traffic generation for the serving benches: a Poisson
+ * arrival schedule computed up front (absolute offsets, so the load
+ * generator never closes the loop on service latency — a slow server
+ * cannot slow the offered load, which is what makes tail-latency
+ * numbers honest) plus deterministic synthetic request bodies drawn
+ * from a length mix.
+ */
+
+#ifndef BERTPROF_SERVE_TRAFFIC_H
+#define BERTPROF_SERVE_TRAFFIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.h"
+#include "util/rng.h"
+
+namespace bertprof {
+
+/** One open-loop run's offered load. */
+struct TrafficConfig {
+    /** Offered arrival rate, requests per second. */
+    double qps = 100.0;
+    /** Total requests in the run. */
+    int count = 100;
+    /** Seed for arrivals and request bodies (fixed = reproducible). */
+    std::uint64_t seed = 0x7aff1cULL;
+    /**
+     * Real-length mix to draw from, uniformly. Mimics the skew of
+     * serving traffic: mostly short queries, a long tail.
+     */
+    std::vector<std::int64_t> lengthMix;
+};
+
+/**
+ * Absolute arrival offsets in seconds (ascending, count entries):
+ * exponential inter-arrival gaps at rate qps, from a fresh Rng
+ * seeded with `seed`.
+ */
+std::vector<double> poissonSchedule(double qps, int count,
+                                    std::uint64_t seed);
+
+/**
+ * A deterministic synthetic request: `len` tokens uniform in
+ * [4, vocab) (skipping the reserved special ids), segment ids 0,
+ * no MLM positions, no timing stamps (the server stamps arrival).
+ */
+InferRequest syntheticRequest(Rng &rng, std::uint64_t id,
+                              std::int64_t len, std::int64_t vocab);
+
+} // namespace bertprof
+
+#endif // BERTPROF_SERVE_TRAFFIC_H

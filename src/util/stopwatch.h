@@ -11,10 +11,41 @@
 #define BERTPROF_UTIL_STOPWATCH_H
 
 #include <chrono>
+#include <cstdint>
 
 #include "util/units.h"
 
 namespace bertprof {
+
+/**
+ * Monotonic instant/arithmetic helpers for code that must compare
+ * points in time rather than measure one interval (request arrival
+ * stamps, batching deadlines). Same steady clock as Stopwatch, so the
+ * wall-clock audit has a single sanctioned time source to check.
+ */
+using MonoClock = std::chrono::steady_clock;
+using MonoTime = MonoClock::time_point;
+
+/** The current monotonic instant. */
+inline MonoTime
+monoNow()
+{
+    return MonoClock::now();
+}
+
+/** Seconds from `from` to `to` (negative when `to` precedes it). */
+inline Seconds
+secondsBetween(MonoTime from, MonoTime to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+/** `t` advanced by a microsecond count (deadline arithmetic). */
+inline MonoTime
+monoAddMicros(MonoTime t, std::int64_t us)
+{
+    return t + std::chrono::microseconds(us);
+}
 
 /** Starts on construction; elapsed() reads without stopping. */
 class Stopwatch

@@ -304,6 +304,39 @@ TEST(BplintIncludeHygiene, OnlyAppliesUnderSrc)
                     .empty());
 }
 
+TEST(BplintIncludeHygiene, ServeMayUseModelAndRuntimeLayers)
+{
+    const std::string good = "#include \"serve/batcher.h\"\n"
+                             "#include \"nn/bert_classifier.h\"\n"
+                             "#include \"ops/dropout.h\"\n"
+                             "#include \"runtime/config.h\"\n"
+                             "#include \"util/stopwatch.h\"\n";
+    EXPECT_TRUE(byRule(lintSource("src/serve/good.cc", good),
+                       "include-hygiene")
+                    .empty());
+    // serve sits beside core, not under it.
+    const std::string core = "#include \"core/bertprof.h\"\n";
+    EXPECT_FALSE(byRule(lintSource("src/serve/bad.cc", core),
+                        "include-hygiene")
+                     .empty());
+}
+
+TEST(BplintIncludeHygiene, NothingUnderSrcMayDependOnServe)
+{
+    // Only bench/tests (outside src/) may pull the serving runtime
+    // in; the model layers and core must stay serving-free.
+    const std::string text = "#include \"serve/server.h\"\n";
+    EXPECT_FALSE(byRule(lintSource("src/core/bad.cc", text),
+                        "include-hygiene")
+                     .empty());
+    EXPECT_FALSE(byRule(lintSource("src/nn/bad.cc", text),
+                        "include-hygiene")
+                     .empty());
+    EXPECT_TRUE(byRule(lintSource("bench/bench_serving.cc", text),
+                       "include-hygiene")
+                    .empty());
+}
+
 // --------------------------------------------------------------------
 // unchecked-io
 // --------------------------------------------------------------------

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * End-to-end serving tests: lifecycle (start, drain, shutdown),
+ * concurrent submission from 8 client threads (the TSan target),
+ * reply correctness against direct solo eval forwards, MLM serving,
+ * rejection paths, and latency accounting.
+ */
+
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "runtime/config.h"
+#include "serve/server.h"
+#include "serve/traffic.h"
+#include "test_helpers.h"
+
+namespace bertprof {
+namespace {
+
+using ::bertprof::testing::tinyBertConfig;
+
+constexpr std::int64_t kPadId = 3;
+
+TEST(InferenceServerTest, ServesAndMatchesSoloEval)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertClassifier clf(config, &rt);
+    Rng init(41);
+    clf.initialize(init);
+    clf.setTraining(false);
+    ClassifierEngine engine(clf, kPadId);
+
+    const BucketSpec buckets({8, 16, 32});
+    ServeOptions options;
+    options.maxBatch = 4;
+    options.maxWaitUs = 200;
+
+    Rng body(42);
+    std::vector<InferRequest> requests;
+    std::vector<std::future<InferReply>> futures;
+    {
+        InferenceServer server(engine, buckets, options);
+        for (std::uint64_t id = 0; id < 12; ++id) {
+            const std::int64_t len = 4 + static_cast<std::int64_t>(id);
+            requests.push_back(
+                syntheticRequest(body, id, len, config.vocabSize));
+            futures.push_back(server.submit(requests.back()));
+        }
+        for (auto &f : futures)
+            f.wait();
+        EXPECT_EQ(server.completedCount(), 12);
+        const LatencySummary s = server.latencySummary();
+        EXPECT_EQ(s.count, 12);
+        EXPECT_GT(s.p50Seconds, 0.0);
+        EXPECT_LE(s.p50Seconds, s.p99Seconds);
+        EXPECT_LE(s.p99Seconds, s.maxSeconds);
+    }
+
+    // Every reply matches the same request run solo, bitwise: the
+    // server's batching/bucketing must be invisible in the numbers.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        InferReply reply = futures[i].get();
+        ASSERT_TRUE(reply.ok);
+        EXPECT_EQ(reply.id, requests[i].id);
+        ASSERT_EQ(reply.rows, 1);
+        ASSERT_EQ(reply.cols, config.numClasses);
+        EXPECT_GE(reply.batchSize, 1);
+        EXPECT_GE(reply.paddedLen,
+                  static_cast<std::int64_t>(requests[i].tokenIds.size()));
+        EXPECT_GE(reply.totalSeconds, 0.0);
+        EXPECT_GE(reply.queueSeconds, 0.0);
+        EXPECT_GT(reply.computeSeconds, 0.0);
+
+        const std::vector<std::int64_t> lengths = {
+            static_cast<std::int64_t>(requests[i].tokenIds.size())};
+        const int bucket = BucketSpec({8, 16, 32})
+                               .bucketFor(lengths[0]);
+        ASSERT_GE(bucket, 0);
+        std::vector<std::int64_t> tokens(
+            static_cast<std::size_t>(BucketSpec({8, 16, 32})
+                                         .boundary(bucket)),
+            kPadId);
+        std::vector<std::int64_t> segments(tokens.size(), 0);
+        for (std::size_t t = 0; t < requests[i].tokenIds.size(); ++t) {
+            tokens[t] = requests[i].tokenIds[t];
+            segments[t] = requests[i].segmentIds[t];
+        }
+        Tensor solo = clf.forwardLogitsEval(
+            tokens, segments, 1,
+            static_cast<std::int64_t>(tokens.size()), lengths);
+        EXPECT_EQ(std::memcmp(reply.logits.data(), solo.data(),
+                              reply.logits.size() * sizeof(float)),
+                  0)
+            << "server reply diverged from solo eval for id " << reply.id;
+    }
+}
+
+TEST(InferenceServerTest, EightClientThreadsAllResolve)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertClassifier clf(config, &rt);
+    Rng init(51);
+    clf.initialize(init);
+    clf.setTraining(false);
+    ClassifierEngine engine(clf, kPadId);
+
+    ServeOptions options;
+    options.maxBatch = 8;
+    options.maxWaitUs = 100;
+    InferenceServer server(engine, BucketSpec({8, 16, 32}), options);
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 8;
+    std::vector<std::thread> clients;
+    std::vector<int> ok_counts(kThreads, 0);
+    for (int c = 0; c < kThreads; ++c) {
+        clients.emplace_back([&, c] {
+            Rng body(static_cast<std::uint64_t>(100 + c));
+            for (int i = 0; i < kPerThread; ++i) {
+                const std::int64_t len = body.uniformInt(1, 32);
+                InferRequest req = syntheticRequest(
+                    body,
+                    static_cast<std::uint64_t>(c * kPerThread + i), len,
+                    config.vocabSize);
+                InferReply reply = server.submit(std::move(req)).get();
+                if (reply.ok && reply.rows == 1)
+                    ++ok_counts[static_cast<std::size_t>(c)];
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    server.shutdown();
+    for (int c = 0; c < kThreads; ++c)
+        EXPECT_EQ(ok_counts[static_cast<std::size_t>(c)], kPerThread)
+            << "client " << c;
+    EXPECT_EQ(server.completedCount(), kThreads * kPerThread);
+}
+
+TEST(InferenceServerTest, MlmServingMatchesSoloEval)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertPretrainer pretrainer(config, &rt);
+    Rng init(61);
+    pretrainer.initialize(init);
+    pretrainer.setTraining(false);
+    MlmEngine engine(pretrainer, kPadId);
+
+    ServeOptions options;
+    options.maxBatch = 4;
+    options.maxWaitUs = 100;
+    InferenceServer server(engine, BucketSpec({8, 16, 32}), options);
+
+    Rng body(62);
+    InferRequest req = syntheticRequest(body, 9, /*len=*/10,
+                                        config.vocabSize);
+    req.mlmPositions = {0, 4, 9};
+    InferRequest copy = req;
+    InferReply reply = server.submit(std::move(req)).get();
+    server.shutdown();
+
+    ASSERT_TRUE(reply.ok);
+    EXPECT_EQ(reply.rows, 3);
+    EXPECT_EQ(reply.cols, config.vocabSize);
+
+    // Solo check at the same bucket (16).
+    std::vector<std::int64_t> tokens(16, kPadId);
+    std::vector<std::int64_t> segments(16, 0);
+    for (std::size_t t = 0; t < copy.tokenIds.size(); ++t) {
+        tokens[t] = copy.tokenIds[t];
+        segments[t] = copy.segmentIds[t];
+    }
+    Tensor solo = pretrainer.mlmLogitsEval(tokens, segments, 1, 16, {10},
+                                           copy.mlmPositions);
+    EXPECT_EQ(std::memcmp(reply.logits.data(), solo.data(),
+                          reply.logits.size() * sizeof(float)),
+              0);
+}
+
+TEST(InferenceServerTest, RejectsOverlongAndAfterShutdown)
+{
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertClassifier clf(config, &rt);
+    Rng init(71);
+    clf.initialize(init);
+    clf.setTraining(false);
+    ClassifierEngine engine(clf, kPadId);
+
+    InferenceServer server(engine, BucketSpec({8, 16}));
+    Rng body(72);
+    // Longer than the top bucket: rejected, future still resolves.
+    InferRequest too_long =
+        syntheticRequest(body, 1, /*len=*/17, config.vocabSize);
+    InferReply rejected = server.submit(std::move(too_long)).get();
+    EXPECT_FALSE(rejected.ok);
+    EXPECT_EQ(rejected.id, 1u);
+
+    InferRequest fine = syntheticRequest(body, 2, 8, config.vocabSize);
+    EXPECT_TRUE(server.submit(std::move(fine)).get().ok);
+
+    server.shutdown();
+    InferRequest late = syntheticRequest(body, 3, 8, config.vocabSize);
+    InferReply after = server.submit(std::move(late)).get();
+    EXPECT_FALSE(after.ok);
+    EXPECT_EQ(after.id, 3u);
+    // Idempotent.
+    server.shutdown();
+}
+
+TEST(InferenceServerTest, BucketGridWiderThanModelDies)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const BertConfig config = tinyBertConfig();
+    NnRuntime rt;
+    BertClassifier clf(config, &rt);
+    clf.setTraining(false);
+    ClassifierEngine engine(clf, kPadId);
+    // Top bucket 64 > maxPositions 32: constructing the server must
+    // die rather than accept requests the model cannot run.
+    EXPECT_EXIT(InferenceServer(engine, BucketSpec({32, 64})),
+                ::testing::ExitedWithCode(1), "requirement failed");
+}
+
+} // namespace
+} // namespace bertprof

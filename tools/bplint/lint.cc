@@ -712,6 +712,14 @@ layerMap()
           "tensor", "trace", "util"}},
         {"dist", {"dist", "perf", "trace", "tensor", "util"}},
         {"nmc", {"nmc", "dist", "perf", "trace", "tensor", "util"}},
+        // The serving runtime sits beside core at the top of the
+        // model stack: it may use the model layers and the execution
+        // runtime, but nothing may depend on it except bench/tests —
+        // in particular core must stay serving-free, so embedding the
+        // substrate never drags in the server.
+        {"serve",
+         {"serve", "nn", "io", "ops", "runtime", "tensor", "trace",
+          "util"}},
         {"core",
          {"core", "data", "dist", "io", "nmc", "nn", "optim", "ops",
           "perf", "runtime", "tensor", "trace", "train", "util"}},
