@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Recording-overhead bench for the telemetry subsystem: run the same
+ * training-step and forward-only eval loops with trace recording off
+ * and on, and report the throughput delta — the "always-on profiling
+ * must be cheap" claim, quantified. Also reports what the recording
+ * produced (events, chunks, on-disk bytes, compression ratio) by
+ * re-opening the container it just wrote, so this binary doubles as
+ * the record -> replay smoke for scripts/run_all.sh.
+ *
+ * Usage: bench_trace_overhead [--quick] [--json <path>]
+ *                             [--record <path>]
+ *   --quick shrinks step counts for CI smoke runs.
+ *   --json writes a machine-readable results file.
+ *   --record sets the container path (default
+ *     bench_trace_overhead.bptr in the working directory; the file is
+ *     left on disk for bptrace).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/bertprof.h"
+#include "serve/traffic.h"
+#include "telemetry/trace_reader.h"
+#include "util/stopwatch.h"
+
+using namespace bertprof;
+
+namespace {
+
+/**
+ * Kernel sizes matter here: recording cost is per event, so the
+ * overhead ratio depends on how much work each kernel does. A
+ * nano-sized config would measure the recorder against ~2us kernels
+ * no real run produces; this config keeps kernels in the
+ * tens-to-hundreds of microseconds, the small end of the paper's
+ * range, making the reported percentage an upper bound.
+ */
+BertConfig
+benchConfig(bool quick)
+{
+    BertConfig config;
+    config.name = "bert-trace-bench";
+    config.numLayers = 2;
+    config.dModel = quick ? 64 : 128;
+    config.numHeads = 4;
+    config.dFf = 4 * config.dModel;
+    config.vocabSize = 512;
+    config.maxPositions = 64;
+    config.typeVocab = 2;
+    config.batch = 2;
+    config.seqLen = quick ? 32 : 64;
+    config.maxPredictions = 8;
+    config.numClasses = 2;
+    return config;
+}
+
+/** Best-of-N wrapper: rerun a loop and keep the fastest rate, so a
+ * noisy-neighbor stall in either mode doesn't masquerade as
+ * (negative) recording overhead. */
+template <typename F>
+double
+bestOf(int rounds, F &&loop)
+{
+    double best = 0.0;
+    for (int r = 0; r < rounds; ++r)
+        best = std::max(best, loop());
+    return best;
+}
+
+/** One self-contained training run; returns steps/s. */
+double
+runTrainLoop(const BertConfig &config, int steps)
+{
+    NnRuntime rt;
+    BertPretrainer model(config, &rt);
+    Rng init(20260808);
+    model.initialize(init);
+    SyntheticDataset dataset(config, 77);
+    Lamb optimizer{OptimizerConfig{}};
+    GradScaler scaler(1024.0f);
+    LrSchedule schedule(1e-3f, 4, 400, DecayKind::Polynomial, 1.0);
+    Trainer trainer(model, optimizer, scaler, schedule, dataset, rt);
+    // Warm-up outside the timed region.
+    (void)trainer.trainStep();
+    Stopwatch watch;
+    for (int i = 0; i < steps; ++i)
+        (void)trainer.trainStep();
+    return steps / watch.elapsed();
+}
+
+/** One self-contained forward-only eval run; returns batches/s. */
+double
+runEvalLoop(const BertConfig &config, int batches)
+{
+    NnRuntime rt;
+    BertClassifier model(config, &rt);
+    Rng init(20260808);
+    model.initialize(init);
+    model.setTraining(false);
+    Rng body(42);
+    InferRequest probe =
+        syntheticRequest(body, 0, config.seqLen, config.vocabSize);
+    (void)model.forwardLogitsEval(probe.tokenIds, probe.segmentIds, 1,
+                                  config.seqLen, {});
+    Stopwatch watch;
+    for (int i = 0; i < batches; ++i) {
+        (void)model.forwardLogitsEval(probe.tokenIds, probe.segmentIds,
+                                      1, config.seqLen, {});
+    }
+    return batches / watch.elapsed();
+}
+
+double
+overheadPct(double base, double recorded)
+{
+    if (base <= 0.0 || recorded <= 0.0)
+        return 0.0;
+    return (base / recorded - 1.0) * 100.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string json_path;
+    std::string trace_path = "bench_trace_overhead.bptr";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--record") == 0 && i + 1 < argc)
+            trace_path = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--json <path>] "
+                         "[--record <path>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const BertConfig config = benchConfig(quick);
+    const int train_steps = quick ? 3 : 10;
+    const int eval_batches = quick ? 10 : 60;
+    const int rounds = quick ? 1 : 5;
+
+    // Baseline: recording off, no profiler — ScopedKernel is a no-op.
+    const double train_base = bestOf(
+        rounds, [&] { return runTrainLoop(config, train_steps); });
+    const double eval_base = bestOf(
+        rounds, [&] { return runEvalLoop(config, eval_batches); });
+
+    // Recorded: same loops with the trace recorder armed.
+    TraceRecorder &recorder = TraceRecorder::instance();
+    RecorderOptions options;
+    options.path = trace_path;
+    IoStatus status = recorder.start(options);
+    if (!status.ok()) {
+        std::fprintf(stderr, "cannot start recording: %s\n",
+                     status.toString().c_str());
+        return 1;
+    }
+    const double train_rec = bestOf(
+        rounds, [&] { return runTrainLoop(config, train_steps); });
+    const double eval_rec = bestOf(
+        rounds, [&] { return runEvalLoop(config, eval_batches); });
+    const std::int64_t events = recorder.eventsRecorded();
+    const std::int64_t dropped = recorder.eventsDropped();
+    status = recorder.stop();
+    if (!status.ok()) {
+        std::fprintf(stderr, "recording failed: %s\n",
+                     status.toString().c_str());
+        return 1;
+    }
+
+    // Re-open what we just wrote: the record -> replay smoke.
+    TraceReader reader;
+    status = reader.open(trace_path);
+    if (!status.ok()) {
+        std::fprintf(stderr, "recorded container unreadable: %s\n",
+                     status.toString().c_str());
+        return 1;
+    }
+    std::int64_t raw_bytes = 0;
+    for (std::size_t c = 0; c < reader.chunkCount(); ++c)
+        raw_bytes += static_cast<std::int64_t>(reader.chunk(c).rawSize);
+    const double ratio =
+        reader.fileSize() > 0
+            ? static_cast<double>(raw_bytes) /
+                  static_cast<double>(reader.fileSize())
+            : 0.0;
+
+    const double train_pct = overheadPct(train_base, train_rec);
+    const double eval_pct = overheadPct(eval_base, eval_rec);
+
+    Table table("Trace recording overhead (" +
+                std::to_string(train_steps) + " train steps, " +
+                std::to_string(eval_batches) + " eval batches)");
+    table.setHeader({"loop", "off", "on", "overhead"});
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.2f%%", train_pct);
+    table.addRow({"train steps/s",
+                  std::to_string(train_base),
+                  std::to_string(train_rec), buf});
+    std::snprintf(buf, sizeof buf, "%.2f%%", eval_pct);
+    table.addRow({"eval batches/s",
+                  std::to_string(eval_base),
+                  std::to_string(eval_rec), buf});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("recorded %lld events (%lld dropped) into %zu chunks, "
+                "%zu bytes on disk, %.2fx compression, tail %s\n",
+                static_cast<long long>(events),
+                static_cast<long long>(dropped), reader.chunkCount(),
+                reader.fileSize(), ratio,
+                reader.truncatedTail() ? "TORN" : "clean");
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n"
+                     "  \"quick\": %s,\n"
+                     "  \"train_steps_per_s_off\": %.6g,\n"
+                     "  \"train_steps_per_s_on\": %.6g,\n"
+                     "  \"train_overhead_pct\": %.4g,\n"
+                     "  \"eval_batches_per_s_off\": %.6g,\n"
+                     "  \"eval_batches_per_s_on\": %.6g,\n"
+                     "  \"eval_overhead_pct\": %.4g,\n"
+                     "  \"events\": %lld,\n"
+                     "  \"events_dropped\": %lld,\n"
+                     "  \"chunks\": %zu,\n"
+                     "  \"file_bytes\": %zu,\n"
+                     "  \"compression_ratio\": %.4g\n"
+                     "}\n",
+                     quick ? "true" : "false", train_base, train_rec,
+                     train_pct, eval_base, eval_rec, eval_pct,
+                     static_cast<long long>(events),
+                     static_cast<long long>(dropped),
+                     reader.chunkCount(), reader.fileSize(), ratio);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -6,9 +6,11 @@
 # Usage: scripts/check_tsan.sh [ctest-label-regex]
 #   With no argument the full suite runs; pass e.g. "parallel" to
 #   restrict to the runtime/ops parallelism tests, "robust" for the
-#   checkpoint/fault-injection suites, or "serve" for the serving
+#   checkpoint/fault-injection suites, "serve" for the serving
 #   runtime (dynamic batcher + 8 concurrent client threads — the
-#   serving suite must be TSan-clean at this width). The full run and
+#   serving suite must be TSan-clean at this width), or "telemetry"
+#   for the trace recorder (8 producer threads + the background
+#   flusher against one container). The full run and
 #   the "robust" run also execute the kill-and-resume smoke
 #   (scripts/check_resume.sh) against this sanitized build.
 #

@@ -20,6 +20,18 @@ scripts/check_resume.sh build
 # covers the bench_serving --quick naive-vs-bucketed comparison).
 ctest --test-dir build -L serve --output-on-failure
 
+# Telemetry smoke: record a real (quick) train+eval run into a trace
+# container, then replay it with bptrace — the breakdown aggregates
+# and stats must come back out of the file the run just wrote. The
+# `telemetry` label covers the container/recorder/metrics unit suites.
+ctest --test-dir build -L telemetry --output-on-failure
+mkdir -p results
+build/bench/bench_trace_overhead --quick \
+    --record results/run_all_smoke.bptr >/dev/null
+build/tools/bptrace/bptrace results/run_all_smoke.bptr \
+    --breakdown all --stats | tee results/bptrace_replay.txt
+rm -f results/run_all_smoke.bptr
+
 # Cheap static-analysis stages (bplint + -Werror build + clang-tidy);
 # run the full sanitizer matrix separately via
 # scripts/run_static_analysis.sh when touching kernels or the runtime.

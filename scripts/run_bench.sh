@@ -3,9 +3,11 @@
 # engine comparison (packed microkernel vs reference, Table 2b
 # BERT-Large shapes), the parallel-scaling sweep, and the serving
 # runtime's naive-vs-bucketed load sweep. Text goes to results/ as
-# the human-readable snapshot; results/BENCH_gemm.json and
-# results/BENCH_serving.json are the machine-readable records
-# successive PRs can diff for the perf trajectory.
+# the human-readable snapshot; results/BENCH_gemm.json,
+# results/BENCH_serving.json, and results/BENCH_trace.json are the
+# machine-readable records successive PRs can diff for the perf
+# trajectory (BENCH_trace.json guards the telemetry recorder's
+# <5% overhead budget).
 #
 # Usage: scripts/run_bench.sh [--native]
 #   --native configures with -DBERTPROF_NATIVE=ON (-march=native) so
@@ -25,7 +27,7 @@ cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
     -DBERTPROF_NATIVE="${NATIVE}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
     --target bench_gemm_microkernel bench_cpu_parallel_scaling \
-    bench_serving
+    bench_serving bench_trace_overhead
 
 mkdir -p results
 "${BUILD_DIR}/bench/bench_gemm_microkernel" \
@@ -36,7 +38,12 @@ mkdir -p results
 "${BUILD_DIR}/bench/bench_serving" \
     --json results/BENCH_serving.json \
     | tee results/bench_serving.txt
+"${BUILD_DIR}/bench/bench_trace_overhead" \
+    --json results/BENCH_trace.json \
+    --record results/bench_trace_overhead.bptr \
+    | tee results/bench_trace_overhead.txt
 
 echo "snapshots: results/bench_gemm_microkernel.txt," \
      "results/BENCH_gemm.json, results/bench_cpu_parallel_scaling.txt," \
-     "results/bench_serving.txt, results/BENCH_serving.json"
+     "results/bench_serving.txt, results/BENCH_serving.json," \
+     "results/bench_trace_overhead.txt, results/BENCH_trace.json"

@@ -11,6 +11,7 @@
  *  - io/      crash-safe checkpoint store
  *  - train/   hardened training loop (checkpoints + resume)
  *  - runtime/ CPU kernel profiler and fault injector
+ *  - telemetry/ binary run-trace container, recorder, live metrics
  *  - core/    facade (Characterizer) and report rendering
  */
 
@@ -43,6 +44,9 @@
 #include "perf/footprint.h"
 #include "perf/roofline.h"
 #include "runtime/fault_injection.h"
+#include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
+#include "telemetry/replay.h"
 #include "trace/bert_trace_builder.h"
 #include "train/trainer.h"
 #include "util/csv.h"

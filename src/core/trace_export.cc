@@ -30,6 +30,8 @@ jsonEscape(const std::string &text)
     return out;
 }
 
+} // namespace
+
 int
 phaseTrack(Phase phase)
 {
@@ -43,7 +45,27 @@ phaseTrack(Phase phase)
     return 5;
 }
 
-} // namespace
+std::string
+chromeEventsJson(const std::vector<ChromeEvent> &events)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const ChromeEvent &e = events[i];
+        if (i)
+            os << ',';
+        os << "{\"name\":\"" << jsonEscape(e.name)
+           << "\",\"cat\":\"" << e.cat
+           << "\",\"ph\":\"X\",\"ts\":" << toStr(e.tsUs)
+           << ",\"dur\":" << toStr(e.durUs)
+           << ",\"pid\":0,\"tid\":" << e.tid
+           << ",\"args\":{\"sublayer\":\"" << e.sublayer
+           << "\",\"flops\":" << e.flops
+           << ",\"bytes\":" << e.bytes << "}}";
+    }
+    os << "]}";
+    return os.str();
+}
 
 CsvWriter
 traceToCsv(const TimedTrace &timed)
@@ -82,32 +104,86 @@ writeTraceCsv(const TimedTrace &timed, const std::string &path)
 std::string
 traceToChromeJson(const TimedTrace &timed)
 {
-    std::ostringstream os;
-    os << "{\"traceEvents\":[";
+    std::vector<ChromeEvent> events;
+    events.reserve(timed.ops.size());
     double cursor_us = 0.0;
-    for (std::size_t i = 0; i < timed.ops.size(); ++i) {
-        const auto &[op, time] = timed.ops[i];
-        const double duration_us = time.total() * 1e6;
-        if (i)
-            os << ',';
-        os << "{\"name\":\"" << jsonEscape(op.name)
-           << "\",\"cat\":\"" << layerScopeName(op.scope)
-           << "\",\"ph\":\"X\",\"ts\":" << toStr(cursor_us)
-           << ",\"dur\":" << toStr(duration_us)
-           << ",\"pid\":0,\"tid\":" << phaseTrack(op.phase)
-           << ",\"args\":{\"sublayer\":\"" << subLayerName(op.sub)
-           << "\",\"flops\":" << op.stats.flops
-           << ",\"bytes\":" << op.stats.bytesTotal() << "}}";
-        cursor_us += duration_us;
+    for (const auto &[op, time] : timed.ops) {
+        ChromeEvent e;
+        e.name = op.name;
+        e.cat = layerScopeName(op.scope);
+        e.sublayer = subLayerName(op.sub);
+        e.tsUs = cursor_us;
+        e.durUs = time.total() * 1e6;
+        e.tid = phaseTrack(op.phase);
+        e.flops = op.stats.flops;
+        e.bytes = op.stats.bytesTotal();
+        events.push_back(std::move(e));
+        cursor_us += events.back().durUs;
     }
-    os << "]}";
-    return os.str();
+    return chromeEventsJson(events);
 }
 
 bool
 writeChromeTrace(const TimedTrace &timed, const std::string &path)
 {
     return writeTextFile(path, traceToChromeJson(timed)).ok();
+}
+
+std::string
+profileToChromeJson(const std::vector<ProfileRecord> &records)
+{
+    std::vector<ChromeEvent> events;
+    events.reserve(records.size());
+    double cursor_us = 0.0;
+    for (const ProfileRecord &rec : records) {
+        ChromeEvent e;
+        e.name = rec.name;
+        e.cat = layerScopeName(rec.scope);
+        e.sublayer = subLayerName(rec.sub);
+        e.tsUs = cursor_us;
+        e.durUs = rec.seconds * 1e6;
+        e.tid = phaseTrack(rec.phase);
+        e.flops = rec.stats.flops;
+        e.bytes = rec.stats.bytesTotal();
+        events.push_back(std::move(e));
+        cursor_us += events.back().durUs;
+    }
+    return chromeEventsJson(events);
+}
+
+bool
+writeProfileChromeTrace(const std::vector<ProfileRecord> &records,
+                        const std::string &path)
+{
+    return writeTextFile(path, profileToChromeJson(records)).ok();
+}
+
+CsvWriter
+profileToCsv(const std::vector<ProfileRecord> &records)
+{
+    CsvWriter csv;
+    csv.setHeader({"index", "name", "kind", "phase", "scope",
+                   "sublayer", "flops", "bytes_read", "bytes_written",
+                   "ops_per_byte", "seconds"});
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const ProfileRecord &rec = records[i];
+        csv.addRow({std::to_string(i), rec.name, opKindName(rec.kind),
+                    phaseName(rec.phase), layerScopeName(rec.scope),
+                    subLayerName(rec.sub),
+                    std::to_string(rec.stats.flops),
+                    std::to_string(rec.stats.bytesRead),
+                    std::to_string(rec.stats.bytesWritten),
+                    toStr(rec.stats.opsPerByte()),
+                    toStr(rec.seconds)});
+    }
+    return csv;
+}
+
+bool
+writeProfileCsv(const std::vector<ProfileRecord> &records,
+                const std::string &path)
+{
+    return profileToCsv(records).writeFile(path);
 }
 
 } // namespace bertprof

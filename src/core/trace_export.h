@@ -1,20 +1,46 @@
 /**
  * @file
- * Trace export: dump a timed kernel trace as CSV (one row per kernel:
- * name, taxonomy tags, dims, FLOPs, bytes, modeled times) or as
- * Chrome trace-event JSON (open in chrome://tracing or Perfetto to
- * see the iteration as a timeline with one track per phase).
+ * Trace export: dump a kernel trace as CSV (one row per kernel: name,
+ * taxonomy tags, dims, FLOPs, bytes, modeled times) or as Chrome
+ * trace-event JSON (open in chrome://tracing or Perfetto to see the
+ * iteration as a timeline with one track per phase).
+ *
+ * Two sources feed one renderer: the analytical model's TimedTrace
+ * and measured ProfileRecords — either live from a Profiler or
+ * replayed from a run-trace container (telemetry/replay.h). Because
+ * both measured paths share chromeEventsJson(), a recorded run
+ * exports byte-identical Chrome JSON to the live run it captured.
  */
 
 #ifndef BERTPROF_CORE_TRACE_EXPORT_H
 #define BERTPROF_CORE_TRACE_EXPORT_H
 
 #include <string>
+#include <vector>
 
 #include "perf/executor.h"
+#include "runtime/profiler.h"
 #include "util/csv.h"
 
 namespace bertprof {
+
+/** One complete ("ph":"X") Chrome trace event, ready to render. */
+struct ChromeEvent {
+    std::string name;
+    std::string cat;      ///< category (layer scope)
+    std::string sublayer; ///< args.sublayer
+    double tsUs = 0.0;
+    double durUs = 0.0;
+    int tid = 0; ///< phase track
+    std::int64_t flops = 0;
+    std::int64_t bytes = 0;
+};
+
+/** Phase -> timeline track id (one Chrome "thread" per phase). */
+int phaseTrack(Phase phase);
+
+/** Render events as a {"traceEvents":[...]} document. */
+std::string chromeEventsJson(const std::vector<ChromeEvent> &events);
 
 /** Build a CSV table of every kernel in the timed trace. */
 CsvWriter traceToCsv(const TimedTrace &timed);
@@ -32,6 +58,23 @@ std::string traceToChromeJson(const TimedTrace &timed);
 
 /** Write the Chrome trace JSON to a file. */
 bool writeChromeTrace(const TimedTrace &timed, const std::string &path);
+
+/**
+ * Chrome trace-event JSON for measured profiler records (live or
+ * replayed), laid out back-to-back like the modeled trace.
+ */
+std::string profileToChromeJson(const std::vector<ProfileRecord> &records);
+
+/** Write profiler-record Chrome JSON to a file. */
+bool writeProfileChromeTrace(const std::vector<ProfileRecord> &records,
+                             const std::string &path);
+
+/** CSV table of measured profiler records (live or replayed). */
+CsvWriter profileToCsv(const std::vector<ProfileRecord> &records);
+
+/** Write the profiler-record CSV; returns false on I/O error. */
+bool writeProfileCsv(const std::vector<ProfileRecord> &records,
+                     const std::string &path);
 
 } // namespace bertprof
 

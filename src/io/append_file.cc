@@ -1,0 +1,105 @@
+// Raw POSIX I/O lives here by design: src/io is the one layer allowed
+// to touch files directly (bplint rule unchecked-io), and ::write(2)
+// without stdio buffering is what makes already-appended chunks
+// survive a std::_Exit-style preemption.
+
+#include "io/append_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "runtime/fault_injection.h"
+
+namespace bertprof {
+
+AppendFile::~AppendFile()
+{
+    close();
+}
+
+IoStatus
+AppendFile::open(const std::string &path)
+{
+    close();
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0) {
+        return IoStatus::failure(IoError::OpenFailed,
+                                 "cannot open " + path +
+                                     " for appending");
+    }
+    path_ = path;
+    bytesWritten_ = 0;
+    return IoStatus::success();
+}
+
+IoStatus
+AppendFile::append(const void *data, std::size_t size)
+{
+    if (fd_ < 0) {
+        return IoStatus::failure(IoError::OpenFailed,
+                                 "append on a closed file");
+    }
+    const FaultKind fault = faultAt("io.write");
+    if (fault == FaultKind::IoError) {
+        return IoStatus::failure(
+            IoError::Transient,
+            "transient append failure injected for " + path_);
+    }
+    // A torn append models dying mid-chunk: half the bytes land and
+    // the caller never sees success, so the reader's per-chunk CRC
+    // rejects the tail while every sealed chunk stays replayable.
+    const std::size_t to_write =
+        fault == FaultKind::TornWrite ? size / 2 : size;
+    const char *p = static_cast<const char *>(data);
+    std::size_t done = 0;
+    while (done < to_write) {
+        const ::ssize_t n = ::write(fd_, p + done, to_write - done);
+        if (n < 0) {
+            return IoStatus::failure(IoError::WriteFailed,
+                                     "write failed for " + path_);
+        }
+        done += static_cast<std::size_t>(n);
+        bytesWritten_ += n;
+    }
+    if (fault == FaultKind::TornWrite) {
+        return IoStatus::failure(IoError::WriteFailed,
+                                 "torn append injected for " + path_ +
+                                     " (chunk left truncated)");
+    }
+    return IoStatus::success();
+}
+
+IoStatus
+AppendFile::sync()
+{
+    if (fd_ < 0) {
+        return IoStatus::failure(IoError::OpenFailed,
+                                 "sync on a closed file");
+    }
+    if (faultAt("io.commit") == FaultKind::TornWrite) {
+        return IoStatus::failure(IoError::WriteFailed,
+                                 "crash injected before fsync for " +
+                                     path_);
+    }
+    if (::fsync(fd_) != 0) {
+        return IoStatus::failure(IoError::WriteFailed,
+                                 "fsync failed for " + path_);
+    }
+    return IoStatus::success();
+}
+
+IoStatus
+AppendFile::close()
+{
+    if (fd_ < 0)
+        return IoStatus::success();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) {
+        return IoStatus::failure(IoError::WriteFailed,
+                                 "close failed for " + path_);
+    }
+    return IoStatus::success();
+}
+
+} // namespace bertprof

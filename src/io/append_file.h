@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Append-oriented file writer for the telemetry trace container.
+ *
+ * writeFileAtomic() (binary_io.h) replaces a whole file per commit —
+ * right for checkpoints, hopeless for a trace that grows by one chunk
+ * every few milliseconds. AppendFile is the complementary primitive:
+ * an unbuffered POSIX append stream whose durability unit is the
+ * *chunk*, not the file. Each append() lands via ::write(2) (no
+ * stdio buffering, so bytes already appended survive a hard
+ * std::_Exit the way the fault injector's `kill` preemption models),
+ * and sync() fsyncs for machine-crash durability. A torn append
+ * corrupts only the bytes of the open chunk; everything before it
+ * stays replayable, which is the contract the trace reader's
+ * CRC-per-chunk validation depends on.
+ *
+ * Fault-injection sites (runtime/fault_injection.h) mirror the
+ * atomic-write path so the same BERTPROF_FAULT specs cover both:
+ * `io.write` (torn = half the bytes reach disk, ioerr = transient,
+ * kill = preemption mid-append) fires on append(), `io.commit`
+ * (torn) on sync().
+ */
+
+#ifndef BERTPROF_IO_APPEND_FILE_H
+#define BERTPROF_IO_APPEND_FILE_H
+
+#include <cstdint>
+#include <string>
+
+#include "io/io_status.h"
+
+namespace bertprof {
+
+/** Unbuffered append-only file handle with typed errors. */
+class AppendFile
+{
+  public:
+    AppendFile() = default;
+    ~AppendFile();
+
+    AppendFile(const AppendFile &) = delete;
+    AppendFile &operator=(const AppendFile &) = delete;
+
+    /**
+     * Create (or truncate) `path` for appending. Fails with
+     * OpenFailed when the file cannot be created.
+     */
+    IoStatus open(const std::string &path);
+
+    /**
+     * Append `size` bytes. On a torn write (injected or a genuine
+     * short ::write) the file keeps the partial prefix — the caller
+     * must treat the tail as lost and stop appending. Fault site:
+     * `io.write`.
+     */
+    IoStatus append(const void *data, std::size_t size);
+
+    /** fsync what has been appended so far. Fault site: `io.commit`. */
+    IoStatus sync();
+
+    /** Close the handle (without implicit sync). Idempotent. */
+    IoStatus close();
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    /** Bytes successfully appended since open(). */
+    std::int64_t bytesWritten() const { return bytesWritten_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    int fd_ = -1;
+    std::int64_t bytesWritten_ = 0;
+    std::string path_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_IO_APPEND_FILE_H

@@ -1,0 +1,69 @@
+// Raw POSIX I/O lives here by design: src/io is the one layer allowed
+// to touch files directly (bplint rule unchecked-io).
+
+#include "io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "runtime/fault_injection.h"
+
+namespace bertprof {
+
+MappedFile::~MappedFile()
+{
+    close();
+}
+
+IoStatus
+MappedFile::open(const std::string &path)
+{
+    close();
+    if (faultAt("io.read") == FaultKind::IoError) {
+        return IoStatus::failure(
+            IoError::Transient,
+            "transient mmap failure injected for " + path);
+    }
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return IoStatus::failure(IoError::NotFound, "cannot open " + path);
+    struct ::stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        return IoStatus::failure(IoError::OpenFailed,
+                                 "fstat failed for " + path);
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ == 0) {
+        // mmap(2) rejects zero-length mappings; an empty trace is a
+        // valid (if useless) container, reported as size() == 0.
+        ::close(fd);
+        data_ = nullptr;
+        open_ = true;
+        return IoStatus::success();
+    }
+    void *p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (p == MAP_FAILED) {
+        size_ = 0;
+        return IoStatus::failure(IoError::OpenFailed,
+                                 "mmap failed for " + path);
+    }
+    data_ = static_cast<const char *>(p);
+    open_ = true;
+    return IoStatus::success();
+}
+
+void
+MappedFile::close()
+{
+    if (data_ != nullptr)
+        ::munmap(const_cast<char *>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+    open_ = false;
+}
+
+} // namespace bertprof

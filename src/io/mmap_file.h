@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Read-only memory-mapped file view. The trace replay path iterates
+ * containers that can reach production step counts (gigabytes); mmap
+ * lets forward *and* backward iterators touch only the pages of the
+ * chunk they are decoding instead of slurping the file, the same
+ * shape as Slimmer's mapped_file_source-backed TraceIter.
+ */
+
+#ifndef BERTPROF_IO_MMAP_FILE_H
+#define BERTPROF_IO_MMAP_FILE_H
+
+#include <cstddef>
+#include <string>
+
+#include "io/io_status.h"
+
+namespace bertprof {
+
+/** A whole file mapped read-only; unmapped on close/destruction. */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /**
+     * Map `path` read-only. An empty file maps successfully with
+     * size() == 0 and data() == nullptr. Fault site: `io.read`
+     * (ioerr) — the same retry hook checkpoint reads use.
+     */
+    IoStatus open(const std::string &path);
+
+    /** Unmap. Idempotent. */
+    void close();
+
+    bool isOpen() const { return open_; }
+
+    /** First mapped byte (nullptr when empty or closed). */
+    const char *data() const { return data_; }
+
+    /** Mapped length in bytes. */
+    std::size_t size() const { return size_; }
+
+  private:
+    const char *data_ = nullptr;
+    std::size_t size_ = 0;
+    bool open_ = false;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_IO_MMAP_FILE_H

@@ -24,4 +24,13 @@ envInt(const char *name, std::int64_t lo, std::int64_t hi,
     return fallback;
 }
 
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    return env;
+}
+
 } // namespace bertprof

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 namespace bertprof {
 
@@ -23,6 +24,12 @@ namespace bertprof {
  */
 std::int64_t envInt(const char *name, std::int64_t lo, std::int64_t hi,
                     std::int64_t fallback, std::atomic<bool> &warned);
+
+/**
+ * Read a string environment knob. Returns `fallback` when `name` is
+ * unset or empty; any non-empty value is taken verbatim.
+ */
+std::string envString(const char *name, const std::string &fallback);
 
 } // namespace bertprof
 

@@ -1,5 +1,7 @@
 #include "runtime/profiler.h"
 
+#include <atomic>
+
 #include "util/table.h"
 
 namespace bertprof {
@@ -60,27 +62,59 @@ Profiler::renderBreakdown(const std::map<std::string, ProfileAggregate> &agg,
     return table;
 }
 
+namespace {
+
+std::atomic<KernelEventSink *> g_kernelSink{nullptr};
+
+} // namespace
+
+void
+installKernelSink(KernelEventSink *sink)
+{
+    g_kernelSink.store(sink, std::memory_order_release);
+}
+
+KernelEventSink *
+kernelSink()
+{
+    return g_kernelSink.load(std::memory_order_acquire);
+}
+
 ScopedKernel::ScopedKernel(Profiler *profiler, std::string name, OpKind kind,
                            Phase phase, LayerScope scope, SubLayer sub)
-    : profiler_(profiler)
+    : profiler_(profiler),
+      active_(profiler != nullptr || kernelSink() != nullptr)
 {
     record_.name = std::move(name);
     record_.kind = kind;
     record_.phase = phase;
     record_.scope = scope;
     record_.sub = sub;
-    if (profiler_)
+    if (active_)
         start_ = std::chrono::steady_clock::now();
 }
 
 ScopedKernel::~ScopedKernel()
 {
-    if (!profiler_)
+    if (!active_)
         return;
     const auto end = std::chrono::steady_clock::now();
-    record_.seconds =
-        std::chrono::duration<double>(end - start_).count();
-    profiler_->record(std::move(record_));
+    // Derive seconds from the integer nanosecond duration so a trace
+    // that stores ns replays to the bit-identical double.
+    const std::int64_t durNs =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                             start_)
+            .count();
+    record_.seconds = static_cast<double>(durNs) * 1e-9;
+    if (KernelEventSink *sink = kernelSink()) {
+        const std::int64_t endNs =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end.time_since_epoch())
+                .count();
+        sink->onKernel(record_, endNs, durNs);
+    }
+    if (profiler_)
+        profiler_->record(std::move(record_));
 }
 
 } // namespace bertprof

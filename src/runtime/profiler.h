@@ -11,6 +11,7 @@
 #define BERTPROF_RUNTIME_PROFILER_H
 
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -84,10 +85,42 @@ class Profiler
 };
 
 /**
+ * Sink for finished kernel records, installed process-wide by the
+ * telemetry recorder (src/telemetry/recorder.h). The runtime layer
+ * cannot depend on telemetry, so the dependency is inverted: the
+ * recorder registers itself here and ScopedKernel fires both the
+ * in-memory Profiler (when attached) and the sink (when armed).
+ * Callbacks arrive from whichever thread ran the kernel; the sink
+ * must be internally synchronized.
+ */
+class KernelEventSink
+{
+  public:
+    virtual ~KernelEventSink() = default;
+
+    /**
+     * One finished kernel. `endSteadyNs` is steady_clock at scope
+     * exit (ns since the clock's epoch), `durNs` the integer
+     * nanosecond duration `rec.seconds` was derived from — so a
+     * recorded trace replays to bit-identical seconds.
+     */
+    virtual void onKernel(const ProfileRecord &rec,
+                          std::int64_t endSteadyNs,
+                          std::int64_t durNs) = 0;
+};
+
+/** Install (or with nullptr, remove) the process-wide kernel sink. */
+void installKernelSink(KernelEventSink *sink);
+
+/** The installed sink, or nullptr (relaxed; hot-path check). */
+KernelEventSink *kernelSink();
+
+/**
  * RAII timer: construct before running a kernel, call setStats() with
- * the kernel's KernelStats, and the record lands in the profiler at
- * scope exit. A null profiler makes it a no-op, so the substrate can
- * run unprofiled with zero branching at call sites.
+ * the kernel's KernelStats, and the record lands in the profiler (and
+ * the installed KernelEventSink) at scope exit. With no profiler and
+ * no sink armed it is a no-op, so the substrate can run unprofiled
+ * with zero branching at call sites.
  */
 class ScopedKernel
 {
@@ -104,6 +137,7 @@ class ScopedKernel
 
   private:
     Profiler *profiler_;
+    bool active_; ///< latched at construction: someone wants the record
     ProfileRecord record_;
     std::chrono::steady_clock::time_point start_;
 };

@@ -1,5 +1,9 @@
 #include "serve/server.h"
 
+#include <chrono>
+
+#include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -69,9 +73,21 @@ InferenceServer::completedCount()
     return recorder_.count();
 }
 
+namespace {
+
+std::int64_t
+nanosBetween(MonoTime a, MonoTime b)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+        .count();
+}
+
+} // namespace
+
 void
 InferenceServer::executorLoop()
 {
+    auto &metrics = MetricsRegistry::instance();
     Batch batch;
     std::vector<InferReply> replies;
     while (batcher_.nextBatch(batch)) {
@@ -81,9 +97,12 @@ InferenceServer::executorLoop()
         BP_REQUIRE(replies.size() == batch.requests.size());
         const auto batch_size =
             static_cast<std::int64_t>(batch.requests.size());
+        MonoTime oldestArrival = start;
         for (std::size_t i = 0; i < batch.requests.size(); ++i) {
             PendingRequest &pending = batch.requests[i];
             InferReply &reply = replies[i];
+            if (pending.request.arrival < oldestArrival)
+                oldestArrival = pending.request.arrival;
             reply.queueSeconds =
                 secondsBetween(pending.request.arrival, start);
             reply.computeSeconds = secondsBetween(start, end);
@@ -95,8 +114,28 @@ InferenceServer::executorLoop()
                 std::lock_guard<std::mutex> lock(statsMu_);
                 recorder_.add(reply.totalSeconds);
             }
+            metrics.histogram("serve.queue_seconds")
+                .record(reply.queueSeconds);
+            metrics.histogram("serve.compute_seconds")
+                .record(reply.computeSeconds);
+            metrics.histogram("serve.total_seconds")
+                .record(reply.totalSeconds);
             pending.promise.set_value(std::move(reply));
         }
+
+        const std::int64_t depth =
+            static_cast<std::int64_t>(batcher_.pendingCount());
+        metrics.counter("serve.batches").add(1);
+        metrics.counter("serve.requests").add(batch_size);
+        metrics.histogram("serve.batch_occupancy")
+            .record(static_cast<double>(batch_size));
+        metrics.gauge("serve.queue_depth")
+            .set(static_cast<double>(depth));
+        TraceRecorder::instance().onServeBatch(
+            nanosBetween(oldestArrival, start),
+            nanosBetween(start, end), batch_size, batch.paddedLen,
+            depth);
+
         batch.requests.clear();
         replies.clear();
     }

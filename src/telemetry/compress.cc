@@ -1,0 +1,269 @@
+#include "telemetry/compress.h"
+
+#include <vector>
+
+namespace bertprof {
+
+namespace {
+
+// --- RLE ------------------------------------------------------------
+//
+// Token stream: control byte c.
+//   c in [0x00, 0x7f]: literal run — copy the next c+1 bytes.
+//   c in [0x80, 0xff]: byte run — repeat the next byte (c - 0x80) + 3
+//                      times (runs of 3..130).
+
+constexpr std::size_t kRleMinRun = 3;
+constexpr std::size_t kRleMaxRun = 130;
+constexpr std::size_t kMaxLiteralRun = 128;
+
+void
+rleFlushLiterals(std::string &out, const char *data, std::size_t begin,
+                 std::size_t end)
+{
+    while (begin < end) {
+        const std::size_t n =
+            std::min(end - begin, kMaxLiteralRun);
+        out.push_back(static_cast<char>(n - 1));
+        out.append(data + begin, n);
+        begin += n;
+    }
+}
+
+std::string
+rleCompress(const std::string &input)
+{
+    std::string out;
+    out.reserve(input.size() / 2 + 16);
+    const char *data = input.data();
+    const std::size_t n = input.size();
+    std::size_t lit = 0; // start of pending literal run
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t run = 1;
+        while (i + run < n && data[i + run] == data[i] &&
+               run < kRleMaxRun) {
+            ++run;
+        }
+        if (run >= kRleMinRun) {
+            rleFlushLiterals(out, data, lit, i);
+            out.push_back(
+                static_cast<char>(0x80 + (run - kRleMinRun)));
+            out.push_back(data[i]);
+            i += run;
+            lit = i;
+        } else {
+            i += run;
+        }
+    }
+    rleFlushLiterals(out, data, lit, n);
+    return out;
+}
+
+bool
+rleDecompress(const char *data, std::size_t size, std::size_t rawSize,
+              std::string &out)
+{
+    std::size_t i = 0;
+    while (i < size) {
+        const std::uint8_t c = static_cast<std::uint8_t>(data[i++]);
+        if (c < 0x80) {
+            const std::size_t n = static_cast<std::size_t>(c) + 1;
+            if (i + n > size || out.size() + n > rawSize)
+                return false;
+            out.append(data + i, n);
+            i += n;
+        } else {
+            const std::size_t n =
+                static_cast<std::size_t>(c - 0x80) + kRleMinRun;
+            if (i >= size || out.size() + n > rawSize)
+                return false;
+            out.append(n, data[i++]);
+        }
+    }
+    return out.size() == rawSize;
+}
+
+// --- LZ (LZ4-style greedy window matcher) ---------------------------
+//
+// Token stream: control byte t.
+//   t in [0x00, 0x7f]: literal run — copy the next t+1 bytes.
+//   t in [0x80, 0xff]: match — length (t & 0x7f) + 4 (4..131), then a
+//                      little-endian u16 back-distance (1..65535)
+//                      into the bytes decoded so far. Overlapping
+//                      copies are legal (that is how it encodes runs).
+
+constexpr std::size_t kLzMinMatch = 4;
+constexpr std::size_t kLzMaxMatch = 131;
+constexpr std::size_t kLzWindow = 65535;
+constexpr std::size_t kLzHashBits = 13;
+
+std::uint32_t
+lzHash(const char *p)
+{
+    std::uint32_t v;
+    __builtin_memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kLzHashBits);
+}
+
+std::string
+lzCompress(const std::string &input)
+{
+    std::string out;
+    out.reserve(input.size() / 2 + 16);
+    const char *data = input.data();
+    const std::size_t n = input.size();
+    std::vector<std::size_t> table(std::size_t(1) << kLzHashBits,
+                                   static_cast<std::size_t>(-1));
+    std::size_t lit = 0;
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t matchLen = 0;
+        std::size_t matchDist = 0;
+        if (i + kLzMinMatch <= n) {
+            const std::uint32_t h = lzHash(data + i);
+            const std::size_t cand = table[h];
+            table[h] = i;
+            if (cand != static_cast<std::size_t>(-1) && cand < i &&
+                i - cand <= kLzWindow &&
+                __builtin_memcmp(data + cand, data + i, kLzMinMatch) ==
+                    0) {
+                std::size_t len = kLzMinMatch;
+                const std::size_t maxLen =
+                    std::min(kLzMaxMatch, n - i);
+                while (len < maxLen &&
+                       data[cand + len] == data[i + len]) {
+                    ++len;
+                }
+                matchLen = len;
+                matchDist = i - cand;
+            }
+        }
+        if (matchLen >= kLzMinMatch) {
+            rleFlushLiterals(out, data, lit, i); // same literal framing
+            out.push_back(static_cast<char>(
+                0x80 + (matchLen - kLzMinMatch)));
+            out.push_back(static_cast<char>(matchDist & 0xff));
+            out.push_back(static_cast<char>((matchDist >> 8) & 0xff));
+            // Seed the table through the matched region so immediately
+            // repeating patterns keep matching.
+            const std::size_t end = i + matchLen;
+            for (std::size_t j = i + 1;
+                 j + kLzMinMatch <= n && j < end; ++j) {
+                table[lzHash(data + j)] = j;
+            }
+            i = end;
+            lit = i;
+        } else {
+            ++i;
+        }
+    }
+    rleFlushLiterals(out, data, lit, n);
+    return out;
+}
+
+bool
+lzDecompress(const char *data, std::size_t size, std::size_t rawSize,
+             std::string &out)
+{
+    std::size_t i = 0;
+    while (i < size) {
+        const std::uint8_t t = static_cast<std::uint8_t>(data[i++]);
+        if (t < 0x80) {
+            const std::size_t n = static_cast<std::size_t>(t) + 1;
+            if (i + n > size || out.size() + n > rawSize)
+                return false;
+            out.append(data + i, n);
+            i += n;
+        } else {
+            const std::size_t len =
+                static_cast<std::size_t>(t - 0x80) + kLzMinMatch;
+            if (i + 2 > size)
+                return false;
+            const std::size_t dist =
+                static_cast<std::uint8_t>(data[i]) |
+                (static_cast<std::size_t>(
+                     static_cast<std::uint8_t>(data[i + 1]))
+                 << 8);
+            i += 2;
+            if (dist == 0 || dist > out.size() ||
+                out.size() + len > rawSize) {
+                return false;
+            }
+            // Byte-by-byte so overlapping matches replicate runs.
+            std::size_t src = out.size() - dist;
+            for (std::size_t k = 0; k < len; ++k)
+                out.push_back(out[src + k]);
+        }
+    }
+    return out.size() == rawSize;
+}
+
+} // namespace
+
+const char *
+traceCodecName(TraceCodec codec)
+{
+    switch (codec) {
+    case TraceCodec::Raw:
+        return "raw";
+    case TraceCodec::Rle:
+        return "rle";
+    case TraceCodec::Lz:
+        return "lz";
+    }
+    return "unknown";
+}
+
+std::string
+compressBlock(const std::string &input, TraceCodec codec)
+{
+    switch (codec) {
+    case TraceCodec::Raw:
+        return input;
+    case TraceCodec::Rle:
+        return rleCompress(input);
+    case TraceCodec::Lz:
+        return lzCompress(input);
+    }
+    return input;
+}
+
+std::string
+compressBlockAuto(const std::string &input, TraceCodec &codecOut)
+{
+    std::string lz = lzCompress(input);
+    if (lz.size() < input.size()) {
+        codecOut = TraceCodec::Lz;
+        return lz;
+    }
+    std::string rle = rleCompress(input);
+    if (rle.size() < input.size()) {
+        codecOut = TraceCodec::Rle;
+        return rle;
+    }
+    codecOut = TraceCodec::Raw;
+    return input;
+}
+
+bool
+decompressBlock(const char *data, std::size_t size, TraceCodec codec,
+                std::size_t rawSize, std::string &out)
+{
+    out.clear();
+    out.reserve(rawSize);
+    switch (codec) {
+    case TraceCodec::Raw:
+        if (size != rawSize)
+            return false;
+        out.assign(data, size);
+        return true;
+    case TraceCodec::Rle:
+        return rleDecompress(data, size, rawSize, out);
+    case TraceCodec::Lz:
+        return lzDecompress(data, size, rawSize, out);
+    }
+    return false;
+}
+
+} // namespace bertprof

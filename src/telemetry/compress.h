@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Dependency-free block compression for trace chunks, in the shape of
+ * Slimmer's LZ4-chunked trace files but without the LZ4 dependency:
+ * an LZ77-style byte-window codec (greedy 4-byte hash matcher over a
+ * 64 KiB window — the "LZ4-style" path) plus a run-length fallback
+ * and raw passthrough. The chunk header records which codec each
+ * chunk used, so files mixing all three decode fine.
+ *
+ * Both codecs are exact round-trips and the decoders are fully
+ * bounds-checked: a corrupt or truncated payload returns false
+ * instead of reading or writing out of bounds (the CRC normally
+ * catches corruption first; the decoder must still never trust a
+ * length field).
+ */
+
+#ifndef BERTPROF_TELEMETRY_COMPRESS_H
+#define BERTPROF_TELEMETRY_COMPRESS_H
+
+#include <cstdint>
+#include <string>
+
+namespace bertprof {
+
+/** Block codec identifiers stamped into chunk headers. */
+enum class TraceCodec : std::uint32_t {
+    Raw = 0, ///< stored uncompressed
+    Rle = 1, ///< byte run-length encoding
+    Lz = 2,  ///< LZ77 window matcher (LZ4-style tokens)
+};
+
+/** Display name: "raw" / "rle" / "lz". */
+const char *traceCodecName(TraceCodec codec);
+
+/** Compress `input` with the given codec (Raw copies). */
+std::string compressBlock(const std::string &input, TraceCodec codec);
+
+/**
+ * Compress with Lz, fall back to Rle, fall back to Raw — whichever
+ * is smallest. `codecOut` reports the winner.
+ */
+std::string compressBlockAuto(const std::string &input,
+                              TraceCodec &codecOut);
+
+/**
+ * Decompress `size` bytes at `data` into `out` (cleared first),
+ * expecting exactly `rawSize` decoded bytes. Returns false on any
+ * malformed token, overrun, or size mismatch.
+ */
+bool decompressBlock(const char *data, std::size_t size,
+                     TraceCodec codec, std::size_t rawSize,
+                     std::string &out);
+
+} // namespace bertprof
+
+#endif // BERTPROF_TELEMETRY_COMPRESS_H

@@ -1,0 +1,205 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace bertprof {
+
+namespace {
+
+void
+atomicMinDouble(std::atomic<std::int64_t> &bits, double v)
+{
+    std::int64_t cur = bits.load(std::memory_order_relaxed);
+    while (v < std::bit_cast<double>(cur) &&
+           !bits.compare_exchange_weak(cur,
+                                       std::bit_cast<std::int64_t>(v),
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMaxDouble(std::atomic<std::int64_t> &bits, double v)
+{
+    std::int64_t cur = bits.load(std::memory_order_relaxed);
+    while (v > std::bit_cast<double>(cur) &&
+           !bits.compare_exchange_weak(cur,
+                                       std::bit_cast<std::int64_t>(v),
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+int
+Histogram::bucketOf(double v)
+{
+    if (!(v > 0.0))
+        return 0;
+    int e = 0;
+    std::frexp(v, &e); // v = m * 2^e, m in [0.5, 1)
+    const int b = e + 40;
+    if (b < 0)
+        return 0;
+    if (b >= kBuckets)
+        return kBuckets - 1;
+    return b;
+}
+
+double
+Histogram::bucketMid(int b)
+{
+    return std::ldexp(0.75, b - 40);
+}
+
+void
+Histogram::record(double v)
+{
+    if (std::isnan(v))
+        return;
+    counts_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sumNanos_.fetch_add(static_cast<std::int64_t>(
+                            std::llround(v * 1e9)),
+                        std::memory_order_relaxed);
+    atomicMinDouble(minBits_, v);
+    atomicMaxDouble(maxBits_, v);
+}
+
+std::int64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return static_cast<double>(
+               sumNanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+}
+
+double
+Histogram::mean() const
+{
+    const std::int64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double
+Histogram::min() const
+{
+    if (count() == 0)
+        return 0.0;
+    return std::bit_cast<double>(
+        minBits_.load(std::memory_order_relaxed));
+}
+
+double
+Histogram::max() const
+{
+    if (count() == 0)
+        return 0.0;
+    return std::bit_cast<double>(
+        maxBits_.load(std::memory_order_relaxed));
+}
+
+double
+Histogram::quantile(double q) const
+{
+    const std::int64_t n = count();
+    if (n == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    std::int64_t rank = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    std::int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        seen += counts_[b].load(std::memory_order_relaxed);
+        if (seen >= rank)
+            return bucketMid(b);
+    }
+    return max();
+}
+
+std::int64_t
+Histogram::bucketCount(int b) const
+{
+    if (b < 0 || b >= kBuckets)
+        return 0;
+    return counts_[b].load(std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::string
+MetricsRegistry::snapshotText() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    for (const auto &[name, c] : counters_)
+        os << name << " counter " << c->value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        os << name << " gauge " << g->value() << "\n";
+    for (const auto &[name, h] : histograms_) {
+        os << name << " histogram count=" << h->count()
+           << " mean=" << h->mean() << " p50=" << h->quantile(0.5)
+           << " p99=" << h->quantile(0.99) << " min=" << h->min()
+           << " max=" << h->max() << "\n";
+    }
+    return os.str();
+}
+
+void
+MetricsRegistry::resetForTest()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+} // namespace bertprof

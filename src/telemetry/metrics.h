@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Process-wide live telemetry: counters, gauges, and log-bucketed
+ * histograms behind a small registry. The trace container is the
+ * *record* of a run; the metrics registry is the *now* — cheap
+ * lock-free instruments the training loop, the serving runtime, and
+ * the recorder itself update on every operation, snapshot-able at any
+ * moment without stopping anything.
+ *
+ * All instruments are plain atomics: updates are wait-free and safe
+ * from any thread (TSan-clean at full pool width), and a snapshot is
+ * a relaxed read — monotonic counters may be mid-update, which is
+ * fine for monitoring.
+ */
+
+#ifndef BERTPROF_TELEMETRY_METRICS_H
+#define BERTPROF_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace bertprof {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void
+    add(std::int64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        std::int64_t bits;
+        static_assert(sizeof bits == sizeof v);
+        __builtin_memcpy(&bits, &v, sizeof bits);
+        bits_.store(bits, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        const std::int64_t bits =
+            bits_.load(std::memory_order_relaxed);
+        double v;
+        __builtin_memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+  private:
+    std::atomic<std::int64_t> bits_{0};
+};
+
+/**
+ * Geometric histogram for positive samples (latencies in seconds,
+ * batch sizes, ...): power-of-two buckets spanning ~1e-12 .. ~3e16,
+ * nearest-rank quantiles answered from bucket midpoints (exact
+ * count/sum/min/max, quantiles within a factor of 2 — the right
+ * trade for an always-on instrument). Non-positive samples clamp
+ * into the lowest bucket.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 96;
+
+    void record(double v);
+
+    std::int64_t count() const;
+    double sum() const;
+    double mean() const;
+    double min() const; ///< 0 when empty
+    double max() const; ///< 0 when empty
+
+    /** Nearest-rank quantile from bucket midpoints; 0 when empty. */
+    double quantile(double q) const;
+
+    /** Observations in bucket `b` (diagnostic / rendering). */
+    std::int64_t bucketCount(int b) const;
+    /** Geometric midpoint of bucket `b`. */
+    static double bucketMid(int b);
+
+  private:
+    static int bucketOf(double v);
+
+    std::atomic<std::int64_t> counts_[kBuckets] = {};
+    std::atomic<std::int64_t> count_{0};
+    std::atomic<std::int64_t> sumNanos_{0}; ///< sum in 1e-9 units
+    /** Bit patterns of +inf / -inf so the first sample always wins. */
+    std::atomic<std::int64_t> minBits_{0x7FF0000000000000LL};
+    std::atomic<std::int64_t> maxBits_{
+        static_cast<std::int64_t>(0xFFF0000000000000ULL)};
+};
+
+/**
+ * Name -> instrument registry. Instruments are created on first use
+ * and live for the process (returned references are stable), so hot
+ * paths look a metric up once and keep the pointer.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static MetricsRegistry &instance();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Human-readable snapshot, one `name kind value...` line per
+     * instrument, sorted by name.
+     */
+    std::string snapshotText() const;
+
+    /** Drop every instrument (tests only — invalidates references). */
+    void resetForTest();
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_TELEMETRY_METRICS_H

@@ -1,0 +1,132 @@
+#include "telemetry/replay.h"
+
+#include <cstring>
+
+namespace bertprof {
+
+namespace {
+
+float
+bitsToFloat(std::int64_t bits)
+{
+    const std::uint32_t u = static_cast<std::uint32_t>(bits);
+    float v;
+    std::memcpy(&v, &u, sizeof v);
+    return v;
+}
+
+double
+bitsToDouble(std::int64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+template <typename E>
+E
+clampedEnum(std::uint8_t raw, E last)
+{
+    if (raw > static_cast<std::uint8_t>(last))
+        return last;
+    return static_cast<E>(raw);
+}
+
+} // namespace
+
+void
+ReplaySummary::fillProfiler(Profiler &profiler) const
+{
+    for (const ProfileRecord &rec : kernels)
+        profiler.record(rec);
+}
+
+void
+replayEvent(const TraceReader &reader, const TraceEvent &event,
+            ReplaySummary &out)
+{
+    ++out.eventCount;
+    if (out.eventCount == 1 || event.tsNs < out.firstTsNs)
+        out.firstTsNs = event.tsNs;
+    if (event.tsNs > out.lastTsNs)
+        out.lastTsNs = event.tsNs;
+    switch (event.type) {
+    case TraceEventType::Kernel: {
+        ProfileRecord rec;
+        rec.name = reader.name(event.nameId);
+        rec.kind = clampedEnum(event.a, OpKind::Comm);
+        rec.phase = clampedEnum(event.b, Phase::Comm);
+        rec.scope = clampedEnum(event.c, LayerScope::Network);
+        rec.sub = clampedEnum(event.d, SubLayer::Other);
+        rec.stats.flops = event.v1;
+        rec.stats.bytesRead = event.v2;
+        rec.stats.bytesWritten = event.v3;
+        // Identical expression to ScopedKernel's destructor, so the
+        // replayed double is bit-identical to the live one.
+        rec.seconds = static_cast<double>(event.v0) * 1e-9;
+        out.kernels.push_back(std::move(rec));
+        out.kernelEndNs.push_back(event.tsNs);
+        break;
+    }
+    case TraceEventType::TrainStep: {
+        ReplayTrainStep step;
+        step.step = event.v1;
+        step.status = event.a;
+        step.seconds = static_cast<double>(event.v0) * 1e-9;
+        step.loss = bitsToFloat(event.v2);
+        step.lr = bitsToFloat(event.v3);
+        out.steps.push_back(step);
+        break;
+    }
+    case TraceEventType::Checkpoint: {
+        ReplayCheckpoint ckpt;
+        ckpt.step = event.v1;
+        ckpt.ok = event.a != 0;
+        ckpt.seconds = static_cast<double>(event.v0) * 1e-9;
+        out.checkpoints.push_back(ckpt);
+        break;
+    }
+    case TraceEventType::ServeBatch: {
+        ReplayServeBatch batch;
+        batch.queueSeconds = static_cast<double>(event.v0) * 1e-9;
+        batch.computeSeconds = static_cast<double>(event.v1) * 1e-9;
+        batch.batchSize = event.v2;
+        batch.paddedLen = event.v3;
+        batch.queueDepth =
+            static_cast<std::int64_t>(event.a) |
+            (static_cast<std::int64_t>(event.b) << 8) |
+            (static_cast<std::int64_t>(event.c) << 16) |
+            (static_cast<std::int64_t>(event.d) << 24);
+        out.serveBatches.push_back(batch);
+        break;
+    }
+    case TraceEventType::Counter:
+        out.counterTotals[reader.name(event.nameId)] += event.v0;
+        break;
+    case TraceEventType::Gauge:
+        out.gauges[reader.name(event.nameId)] = bitsToDouble(event.v0);
+        break;
+    case TraceEventType::Mark:
+        ++out.markCount;
+        break;
+    }
+}
+
+IoStatus
+replayTrace(const std::string &path, ReplaySummary &out)
+{
+    out = ReplaySummary{};
+    TraceReader reader;
+    IoStatus status = reader.open(path);
+    if (!status.ok())
+        return status;
+    TraceForwardIter iter(reader);
+    TraceEvent event;
+    while (iter.next(event))
+        replayEvent(reader, event, out);
+    out.truncatedTail = reader.truncatedTail();
+    out.tailMessage = reader.tailStatus().message;
+    return IoStatus::success();
+}
+
+} // namespace bertprof

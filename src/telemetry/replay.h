@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Replay a recorded container into the same in-memory shapes a live
+ * run produces: kernel events become ProfileRecords (bit-identical
+ * seconds, FLOPs, and bytes — the recorder stores the integer-ns
+ * duration the live path derived its seconds from), step/checkpoint/
+ * serve events become typed summaries. Feeding the replayed records
+ * into a Profiler reproduces the live Fig. 3/4 breakdown aggregates
+ * exactly; that equivalence is what makes the container a record of
+ * the run rather than an approximation of it.
+ */
+
+#ifndef BERTPROF_TELEMETRY_REPLAY_H
+#define BERTPROF_TELEMETRY_REPLAY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/io_status.h"
+#include "runtime/profiler.h"
+#include "telemetry/trace_reader.h"
+
+namespace bertprof {
+
+/** One replayed Trainer::trainStep(). */
+struct ReplayTrainStep {
+    std::int64_t step = 0;
+    int status = 0; ///< train::StepStatus numeric value
+    double seconds = 0.0;
+    float loss = 0.0f;
+    float lr = 0.0f;
+};
+
+/** One replayed checkpoint save. */
+struct ReplayCheckpoint {
+    std::int64_t step = 0;
+    bool ok = false;
+    double seconds = 0.0;
+};
+
+/** One replayed serving batch. */
+struct ReplayServeBatch {
+    double queueSeconds = 0.0;
+    double computeSeconds = 0.0;
+    std::int64_t batchSize = 0;
+    std::int64_t paddedLen = 0;
+    std::int64_t queueDepth = 0;
+};
+
+/** Everything a container replays to. */
+struct ReplaySummary {
+    /** Kernel events in file order, live-identical field for field. */
+    std::vector<ProfileRecord> kernels;
+    /** Kernel end timestamps (ns), parallel to `kernels`. */
+    std::vector<std::int64_t> kernelEndNs;
+    std::vector<ReplayTrainStep> steps;
+    std::vector<ReplayCheckpoint> checkpoints;
+    std::vector<ReplayServeBatch> serveBatches;
+    /** Counter totals and last-seen gauge values by name. */
+    std::map<std::string, std::int64_t> counterTotals;
+    std::map<std::string, double> gauges;
+    std::int64_t markCount = 0;
+    std::int64_t eventCount = 0;
+    /** First/last event timestamps (ns); 0/0 when empty. */
+    std::int64_t firstTsNs = 0;
+    std::int64_t lastTsNs = 0;
+    /** The container ended in a torn/corrupt chunk that was skipped. */
+    bool truncatedTail = false;
+    std::string tailMessage;
+
+    /** Feed every kernel into `profiler` in replay order. */
+    void fillProfiler(Profiler &profiler) const;
+};
+
+/** Decode one already-read event against a reader's name table. */
+void replayEvent(const TraceReader &reader, const TraceEvent &event,
+                 ReplaySummary &out);
+
+/**
+ * Open `path` and replay every valid chunk. Typed failure when the
+ * file header is unreadable; a torn tail is reported in the summary,
+ * not as a failure.
+ */
+IoStatus replayTrace(const std::string &path, ReplaySummary &out);
+
+} // namespace bertprof
+
+#endif // BERTPROF_TELEMETRY_REPLAY_H

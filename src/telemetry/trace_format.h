@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The binary run-trace container format (".bptr", format BPTR v1).
+ *
+ * A container is a 16-byte file header followed by independent,
+ * individually checksummed chunks — the same chunked shape as
+ * Slimmer's LZ4 trace files, with b2-style packed event records
+ * (delta-encoded timestamps, interned name ids) inside each chunk:
+ *
+ *   file header (16 bytes):
+ *     u32 magic    0x52545042 ("BPTR")
+ *     u32 version  kTraceFormatVersion
+ *     u64 flags    reserved, 0
+ *
+ *   chunk (repeated; header 48 bytes + compressed payload):
+ *     u32 magic        0x43545042 ("BPTC")
+ *     u32 crc32        over the header bytes after this field + payload
+ *     u32 codec        TraceCodec (raw / rle / lz)
+ *     u32 eventCount   events encoded in this chunk
+ *     u32 newNameCount name-table entries introduced by this chunk
+ *     u32 reserved     0
+ *     u64 rawSize      decompressed payload bytes
+ *     u64 compSize     payload bytes on disk
+ *     i64 baseNs       timestamp base for delta decoding
+ *     ... payload[compSize]
+ *
+ *   decompressed chunk payload:
+ *     newNameCount x (varint length, bytes)   — ids are assigned
+ *         densely in file order, so chunk k defines ids
+ *         [#names-before-k, #names-before-k + newNameCount)
+ *     eventCount x packed event record:
+ *         u8      type        (TraceEventType)
+ *         varint  tid         recorder thread slot
+ *         zigzag  deltaNs     tsNs minus the previous record's tsNs
+ *                             (minus baseNs for the first record)
+ *         varint  nameId      index into the interned name table
+ *         u8 x 4  a b c d     small per-type fields
+ *         zigzag x 4 v0..v3   wide per-type fields
+ *
+ * Chunks are self-contained (own CRC, own timestamp base, name
+ * *additions* only ever referenced by this chunk or later ones), so a
+ * torn tail — the only corruption an append-only writer can produce —
+ * costs exactly the open chunk: the reader validates chunks in file
+ * order and stops at the first bad header or CRC.
+ */
+
+#ifndef BERTPROF_TELEMETRY_TRACE_FORMAT_H
+#define BERTPROF_TELEMETRY_TRACE_FORMAT_H
+
+#include <cstdint>
+
+namespace bertprof {
+
+/** File magic "BPTR" (little-endian). */
+constexpr std::uint32_t kTraceMagic = 0x52545042u;
+/** Chunk magic "BPTC" (little-endian). */
+constexpr std::uint32_t kTraceChunkMagic = 0x43545042u;
+/** Container format version. */
+constexpr std::uint32_t kTraceFormatVersion = 1;
+/** File header bytes. */
+constexpr std::size_t kTraceFileHeaderSize = 16;
+/** Chunk header bytes. */
+constexpr std::size_t kTraceChunkHeaderSize = 48;
+/** Sanity bound on a chunk's decompressed payload (64 MiB). */
+constexpr std::uint64_t kTraceMaxChunkRawSize = 64ull << 20;
+
+/** What an event record describes. */
+enum class TraceEventType : std::uint8_t {
+    Kernel = 1,     ///< one profiled kernel invocation
+    TrainStep = 2,  ///< one Trainer::trainStep()
+    Checkpoint = 3, ///< one cadenced checkpoint save
+    ServeBatch = 4, ///< one coalesced serving batch execution
+    Counter = 5,    ///< a named monotonic counter increment
+    Gauge = 6,      ///< a named instantaneous value
+    Mark = 7,       ///< a named point event
+};
+
+/** Display name: "kernel" / "step" / ... */
+const char *traceEventTypeName(TraceEventType type);
+
+/**
+ * One decoded event record. The generic slots keep the codec
+ * singular; the per-type meaning is:
+ *
+ *   Kernel:     a=OpKind b=Phase c=LayerScope d=SubLayer,
+ *               v0=durationNs v1=flops v2=bytesRead v3=bytesWritten
+ *   TrainStep:  a=StepStatus, v0=durationNs v1=step
+ *               v2=f32 bits of loss v3=f32 bits of lr
+ *   Checkpoint: a=ok, v0=durationNs v1=step
+ *   ServeBatch: a..d=queue depth at dispatch (little-endian u32),
+ *               v0=queueNs v1=computeNs v2=batchSize v3=paddedLen
+ *   Counter:    v0=increment
+ *   Gauge:      v0=f64 bits of the value
+ *   Mark:       v0 free
+ *
+ * tsNs is nanoseconds of steady clock since the recording epoch; for
+ * Kernel events it stamps the kernel's *end* (start = tsNs - v0).
+ */
+struct TraceEvent {
+    std::int64_t tsNs = 0;
+    std::uint32_t nameId = 0;
+    TraceEventType type = TraceEventType::Mark;
+    std::uint8_t tid = 0;
+    std::uint8_t a = 0;
+    std::uint8_t b = 0;
+    std::uint8_t c = 0;
+    std::uint8_t d = 0;
+    std::int64_t v0 = 0;
+    std::int64_t v1 = 0;
+    std::int64_t v2 = 0;
+    std::int64_t v3 = 0;
+
+    bool
+    operator==(const TraceEvent &o) const
+    {
+        return tsNs == o.tsNs && nameId == o.nameId && type == o.type &&
+               tid == o.tid && a == o.a && b == o.b && c == o.c &&
+               d == o.d && v0 == o.v0 && v1 == o.v1 && v2 == o.v2 &&
+               v3 == o.v3;
+    }
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_TELEMETRY_TRACE_FORMAT_H

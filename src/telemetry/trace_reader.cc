@@ -1,0 +1,260 @@
+#include "telemetry/trace_reader.h"
+
+#include <cstring>
+
+#include "io/crc32.h"
+#include "telemetry/trace_writer.h"
+#include "telemetry/varint.h"
+
+namespace bertprof {
+
+namespace {
+
+std::uint32_t
+getU32(const char *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+std::uint64_t
+getU64(const char *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+const std::string kUnknownName = "<unknown>";
+
+/**
+ * Decode the name section at the head of a decompressed payload.
+ * Returns false on overrun; `pos` ends past the section.
+ */
+bool
+decodeNames(const std::string &raw, std::uint32_t count,
+            std::size_t &pos, std::vector<std::string> *out)
+{
+    std::uint64_t declared = 0;
+    if (!getVarint(raw.data(), raw.size(), pos, declared))
+        return false;
+    if (declared != count)
+        return false;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t len = 0;
+        if (!getVarint(raw.data(), raw.size(), pos, len))
+            return false;
+        if (pos + len > raw.size())
+            return false;
+        if (out)
+            out->emplace_back(raw.data() + pos,
+                              static_cast<std::size_t>(len));
+        pos += static_cast<std::size_t>(len);
+    }
+    return true;
+}
+
+} // namespace
+
+IoStatus
+TraceReader::open(const std::string &path)
+{
+    chunks_.clear();
+    names_.clear();
+    eventCount_ = 0;
+    tailStatus_ = IoStatus::success();
+
+    IoStatus status = file_.open(path);
+    if (!status.ok())
+        return status;
+    if (file_.size() < kTraceFileHeaderSize) {
+        return IoStatus::failure(IoError::Truncated,
+                                 path + " is shorter than the trace "
+                                        "file header");
+    }
+    const char *data = file_.data();
+    if (getU32(data) != kTraceMagic) {
+        return IoStatus::failure(IoError::BadMagic,
+                                 path + " is not a bertprof trace "
+                                        "container (bad magic)");
+    }
+    const std::uint32_t version = getU32(data + 4);
+    if (version != kTraceFormatVersion) {
+        return IoStatus::failure(
+            IoError::BadVersion,
+            path + " has trace format version " +
+                std::to_string(version) + ", expected " +
+                std::to_string(kTraceFormatVersion));
+    }
+    return indexChunks();
+}
+
+IoStatus
+TraceReader::indexChunks()
+{
+    const char *data = file_.data();
+    const std::size_t size = file_.size();
+    std::size_t pos = kTraceFileHeaderSize;
+    while (pos < size) {
+        if (pos + kTraceChunkHeaderSize > size) {
+            tailStatus_ = IoStatus::failure(
+                IoError::Truncated,
+                "torn chunk header at offset " + std::to_string(pos));
+            break;
+        }
+        const char *h = data + pos;
+        if (getU32(h) != kTraceChunkMagic) {
+            tailStatus_ = IoStatus::failure(
+                IoError::BadMagic,
+                "bad chunk magic at offset " + std::to_string(pos));
+            break;
+        }
+        TraceChunkInfo info;
+        info.offset = pos;
+        const std::uint32_t crc = getU32(h + 4);
+        const std::uint32_t codec = getU32(h + 8);
+        info.eventCount = getU32(h + 12);
+        info.newNameCount = getU32(h + 16);
+        info.rawSize = getU64(h + 24);
+        info.compSize = getU64(h + 32);
+        info.baseNs = static_cast<std::int64_t>(getU64(h + 40));
+        if (codec > static_cast<std::uint32_t>(TraceCodec::Lz) ||
+            info.rawSize > kTraceMaxChunkRawSize) {
+            tailStatus_ = IoStatus::failure(
+                IoError::BadFormat,
+                "implausible chunk header at offset " +
+                    std::to_string(pos));
+            break;
+        }
+        info.codec = static_cast<TraceCodec>(codec);
+        if (pos + kTraceChunkHeaderSize + info.compSize > size) {
+            tailStatus_ = IoStatus::failure(
+                IoError::Truncated,
+                "torn chunk payload at offset " + std::to_string(pos));
+            break;
+        }
+        const std::size_t covered =
+            kTraceChunkHeaderSize - 8 +
+            static_cast<std::size_t>(info.compSize);
+        if (crc32(h + 8, covered) != crc) {
+            tailStatus_ = IoStatus::failure(
+                IoError::BadChecksum,
+                "chunk CRC mismatch at offset " + std::to_string(pos));
+            break;
+        }
+        info.firstNameId = static_cast<std::uint32_t>(names_.size());
+        if (info.newNameCount > 0) {
+            // Harvest the chunk's name additions now so backward
+            // iteration and random chunk access see the full table.
+            std::string raw;
+            if (!decompressBlock(h + kTraceChunkHeaderSize,
+                                 static_cast<std::size_t>(info.compSize),
+                                 info.codec,
+                                 static_cast<std::size_t>(info.rawSize),
+                                 raw)) {
+                tailStatus_ = IoStatus::failure(
+                    IoError::BadFormat,
+                    "undecodable chunk payload at offset " +
+                        std::to_string(pos));
+                break;
+            }
+            std::size_t rp = 0;
+            const std::size_t before = names_.size();
+            if (!decodeNames(raw, info.newNameCount, rp, &names_)) {
+                names_.resize(before);
+                tailStatus_ = IoStatus::failure(
+                    IoError::BadFormat,
+                    "undecodable name table at offset " +
+                        std::to_string(pos));
+                break;
+            }
+        }
+        chunks_.push_back(info);
+        eventCount_ += info.eventCount;
+        pos += kTraceChunkHeaderSize +
+               static_cast<std::size_t>(info.compSize);
+    }
+    return IoStatus::success();
+}
+
+const std::string &
+TraceReader::name(std::uint32_t id) const
+{
+    if (id < names_.size())
+        return names_[id];
+    return kUnknownName;
+}
+
+IoStatus
+TraceReader::readChunk(std::size_t i, std::vector<TraceEvent> &out) const
+{
+    out.clear();
+    if (i >= chunks_.size()) {
+        return IoStatus::failure(IoError::BadFormat,
+                                 "chunk index out of range");
+    }
+    const TraceChunkInfo &info = chunks_[i];
+    const char *payload =
+        file_.data() + info.offset + kTraceChunkHeaderSize;
+    std::string raw;
+    if (!decompressBlock(payload,
+                         static_cast<std::size_t>(info.compSize),
+                         info.codec,
+                         static_cast<std::size_t>(info.rawSize), raw)) {
+        return IoStatus::failure(IoError::BadChecksum,
+                                 "chunk payload failed to decompress");
+    }
+    std::size_t pos = 0;
+    if (!decodeNames(raw, info.newNameCount, pos, nullptr)) {
+        return IoStatus::failure(IoError::BadFormat,
+                                 "chunk name table failed to decode");
+    }
+    out.reserve(info.eventCount);
+    std::int64_t prev = info.baseNs;
+    for (std::uint32_t e = 0; e < info.eventCount; ++e) {
+        TraceEvent event;
+        if (!decodeTraceEvent(raw.data(), raw.size(), pos, prev,
+                              event)) {
+            out.clear();
+            return IoStatus::failure(
+                IoError::BadFormat,
+                "chunk event " + std::to_string(e) +
+                    " failed to decode");
+        }
+        out.push_back(event);
+    }
+    return IoStatus::success();
+}
+
+bool
+TraceForwardIter::next(TraceEvent &out)
+{
+    while (index_ >= buffer_.size()) {
+        if (chunk_ >= reader_.chunkCount())
+            return false;
+        // A chunk that validated at open but fails now is dropped —
+        // same skip-the-tail semantics, never an abort mid-replay.
+        if (!reader_.readChunk(chunk_++, buffer_).ok())
+            buffer_.clear();
+        index_ = 0;
+    }
+    out = buffer_[index_++];
+    return true;
+}
+
+bool
+TraceBackwardIter::prev(TraceEvent &out)
+{
+    while (index_ == 0) {
+        if (chunk_ == 0)
+            return false;
+        if (!reader_.readChunk(--chunk_, buffer_).ok())
+            buffer_.clear();
+        index_ = buffer_.size();
+    }
+    out = buffer_[--index_];
+    return true;
+}
+
+} // namespace bertprof

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Replay-side of the trace container: an mmap-backed reader that
+ * validates the file header, indexes chunk headers (never touching
+ * payload pages it does not need), and hands out forward *and*
+ * backward event iterators — Slimmer's TraceIter/TraceBackwardIter
+ * pattern. Both iterators decode one chunk at a time, so replaying a
+ * multi-gigabyte container costs one chunk of working memory.
+ *
+ * Torn tails are expected, not fatal: the index stops at the first
+ * chunk whose header, bounds, or CRC fails, records why in
+ * tailStatus(), and everything before it replays normally — the
+ * crash-tolerance contract of the append protocol.
+ */
+
+#ifndef BERTPROF_TELEMETRY_TRACE_READER_H
+#define BERTPROF_TELEMETRY_TRACE_READER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/mmap_file.h"
+#include "telemetry/compress.h"
+#include "telemetry/trace_format.h"
+
+namespace bertprof {
+
+/** Index entry for one validated chunk. */
+struct TraceChunkInfo {
+    std::size_t offset = 0; ///< file offset of the chunk header
+    TraceCodec codec = TraceCodec::Raw;
+    std::uint32_t eventCount = 0;
+    std::uint32_t newNameCount = 0;
+    std::uint64_t rawSize = 0;
+    std::uint64_t compSize = 0;
+    std::int64_t baseNs = 0;
+    std::uint32_t firstNameId = 0; ///< id of its first new name
+};
+
+/** Validating random-access view over a container file. */
+class TraceReader
+{
+  public:
+    /**
+     * Map and index `path`. Fails (typed) when the file header is
+     * missing, has the wrong magic, or an unsupported version. A
+     * valid header with a corrupt/torn chunk tail still opens: the
+     * bad tail is dropped and described by tailStatus().
+     */
+    IoStatus open(const std::string &path);
+
+    std::size_t chunkCount() const { return chunks_.size(); }
+    const TraceChunkInfo &chunk(std::size_t i) const
+    {
+        return chunks_[i];
+    }
+
+    /** Events across all valid chunks. */
+    std::int64_t eventCount() const { return eventCount_; }
+
+    /** True when the file ends in an invalid/torn chunk. */
+    bool truncatedTail() const { return !tailStatus_.ok(); }
+    /** Why indexing stopped (success() when the tail is clean). */
+    const IoStatus &tailStatus() const { return tailStatus_; }
+
+    /** The full interned name table across all valid chunks. */
+    const std::vector<std::string> &names() const { return names_; }
+
+    /** Name for an id ("<unknown>" when out of range). */
+    const std::string &name(std::uint32_t id) const;
+
+    /**
+     * Decompress and decode chunk `i` into `out` (cleared first).
+     * BadChecksum/BadFormat on payloads that fail to decode — can
+     * only happen for in-place corruption after open() validated the
+     * CRC, but the decoder still never trusts a length field.
+     */
+    IoStatus readChunk(std::size_t i, std::vector<TraceEvent> &out) const;
+
+    /** Container bytes on disk. */
+    std::size_t fileSize() const { return file_.size(); }
+
+  private:
+    IoStatus indexChunks();
+
+    MappedFile file_;
+    std::vector<TraceChunkInfo> chunks_;
+    std::vector<std::string> names_;
+    std::int64_t eventCount_ = 0;
+    IoStatus tailStatus_;
+};
+
+/**
+ * Streaming forward iterator: events in file order, one chunk of
+ * working memory. The reader must outlive the iterator.
+ */
+class TraceForwardIter
+{
+  public:
+    explicit TraceForwardIter(const TraceReader &reader)
+        : reader_(reader)
+    {
+    }
+
+    /** False once the container is exhausted. */
+    bool next(TraceEvent &out);
+
+  private:
+    const TraceReader &reader_;
+    std::vector<TraceEvent> buffer_;
+    std::size_t chunk_ = 0;
+    std::size_t index_ = 0;
+};
+
+/**
+ * Streaming backward iterator: events in exact reverse file order —
+ * the "what led up to the crash/stall" view, reading the newest
+ * chunks first without decoding the whole container.
+ */
+class TraceBackwardIter
+{
+  public:
+    explicit TraceBackwardIter(const TraceReader &reader)
+        : reader_(reader), chunk_(reader.chunkCount())
+    {
+    }
+
+    /** False once the container start is reached. */
+    bool prev(TraceEvent &out);
+
+  private:
+    const TraceReader &reader_;
+    std::vector<TraceEvent> buffer_;
+    std::size_t chunk_; ///< chunks [chunk_, count) already consumed
+    std::size_t index_ = 0; ///< events left in buffer_
+};
+
+} // namespace bertprof
+
+#endif // BERTPROF_TELEMETRY_TRACE_READER_H

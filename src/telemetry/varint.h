@@ -1,0 +1,90 @@
+/**
+ * @file
+ * LEB128 variable-length integers and ZigZag signed mapping — the
+ * packing vocabulary of the trace container's event records. Small
+ * values (taxonomy ids, short durations, delta timestamps) dominate a
+ * trace, so one-byte encodings for values < 128 are where most of the
+ * container's density comes from before block compression even runs.
+ */
+
+#ifndef BERTPROF_TELEMETRY_VARINT_H
+#define BERTPROF_TELEMETRY_VARINT_H
+
+#include <cstdint>
+#include <string>
+
+namespace bertprof {
+
+/** Append `v` as LEB128 (1..10 bytes). */
+inline void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+/** Map a signed value to an unsigned one with small absolute values
+ *  staying small (0,-1,1,-2,... -> 0,1,2,3,...). */
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzagEncode(). */
+inline std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+/** Append a signed value as ZigZag + LEB128. */
+inline void
+putZigzag(std::string &out, std::int64_t v)
+{
+    putVarint(out, zigzagEncode(v));
+}
+
+/**
+ * Decode one LEB128 value from data[pos..size). Advances `pos` past
+ * the encoding and returns true; returns false (leaving `pos`
+ * unspecified) on truncation or an over-long (> 10 byte) encoding.
+ */
+inline bool
+getVarint(const char *data, std::size_t size, std::size_t &pos,
+          std::uint64_t &out)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (pos < size && shift < 64) {
+        const std::uint8_t byte = static_cast<std::uint8_t>(data[pos++]);
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            out = v;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;
+}
+
+/** Decode a ZigZag + LEB128 signed value; same contract as getVarint. */
+inline bool
+getZigzag(const char *data, std::size_t size, std::size_t &pos,
+          std::int64_t &out)
+{
+    std::uint64_t raw = 0;
+    if (!getVarint(data, size, pos, raw))
+        return false;
+    out = zigzagDecode(raw);
+    return true;
+}
+
+} // namespace bertprof
+
+#endif // BERTPROF_TELEMETRY_VARINT_H

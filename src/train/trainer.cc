@@ -1,8 +1,11 @@
 #include "train/trainer.h"
 
+#include <chrono>
 #include <limits>
 
 #include "runtime/fault_injection.h"
+#include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -70,9 +73,22 @@ Trainer::Trainer(BertPretrainer &model, Optimizer &optimizer,
     }
 }
 
+namespace {
+
+std::int64_t
+elapsedNs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
+
 TrainStepResult
 Trainer::trainStep()
 {
+    const auto stepStart = std::chrono::steady_clock::now();
     TrainStepResult result;
     result.lr = schedule_.at(iteration_);
     optimizer_.setLearningRate(result.lr);
@@ -123,9 +139,28 @@ Trainer::trainStep()
     }
 
     ++iteration_;
+
+    const std::int64_t stepNs = elapsedNs(stepStart);
+    auto &metrics = MetricsRegistry::instance();
+    metrics.counter("train.steps").add(1);
+    if (result.status != StepStatus::Applied)
+        metrics.counter("train.steps_skipped").add(1);
+    metrics.histogram("train.step_seconds")
+        .record(static_cast<double>(stepNs) * 1e-9);
+    TraceRecorder::instance().onTrainStep(
+        iteration_ - 1, static_cast<int>(result.status), stepNs,
+        static_cast<float>(result.metrics.totalLoss()), result.lr);
+
     if (manager_ && iteration_ % options_.checkpointEvery == 0) {
+        const auto ckptStart = std::chrono::steady_clock::now();
         result.checkpointStatus = saveCheckpoint();
         result.checkpointSaved = result.checkpointStatus.ok();
+        const std::int64_t ckptNs = elapsedNs(ckptStart);
+        metrics.counter("train.checkpoints").add(1);
+        metrics.histogram("train.checkpoint_seconds")
+            .record(static_cast<double>(ckptNs) * 1e-9);
+        TraceRecorder::instance().onCheckpoint(
+            iteration_, result.checkpointSaved, ckptNs);
         if (!result.checkpointSaved) {
             BP_LOG(Warn) << "iter " << iteration_
                          << ": checkpoint save failed: "

@@ -337,6 +337,50 @@ TEST(BplintIncludeHygiene, NothingUnderSrcMayDependOnServe)
                     .empty());
 }
 
+TEST(BplintIncludeHygiene, TelemetryMayUseIoAndRuntimeLayers)
+{
+    const std::string good = "#include \"telemetry/trace_writer.h\"\n"
+                             "#include \"io/append_file.h\"\n"
+                             "#include \"runtime/profiler.h\"\n"
+                             "#include \"trace/taxonomy.h\"\n"
+                             "#include \"util/logging.h\"\n";
+    EXPECT_TRUE(byRule(lintSource("src/telemetry/good.cc", good),
+                       "include-hygiene")
+                    .empty());
+    // Telemetry records the substrate; it must not depend on it.
+    const std::string bad = "#include \"nn/module.h\"\n"
+                            "#include \"ops/gemm.h\"\n";
+    const auto findings = lintSource("src/telemetry/bad.cc", bad);
+    EXPECT_TRUE(firesAtLine(findings, "include-hygiene", 1));
+    EXPECT_TRUE(firesAtLine(findings, "include-hygiene", 2));
+}
+
+TEST(BplintIncludeHygiene, ComputeLayersMayNotDependOnTelemetry)
+{
+    // Kernel events reach the recorder through the runtime
+    // profiler's sink, never by the compute layers including
+    // telemetry directly.
+    const std::string text = "#include \"telemetry/recorder.h\"\n";
+    EXPECT_FALSE(byRule(lintSource("src/ops/bad.cc", text),
+                        "include-hygiene")
+                     .empty());
+    EXPECT_FALSE(byRule(lintSource("src/nn/bad.cc", text),
+                        "include-hygiene")
+                     .empty());
+    EXPECT_FALSE(byRule(lintSource("src/runtime/bad.cc", text),
+                        "include-hygiene")
+                     .empty());
+    EXPECT_TRUE(byRule(lintSource("src/train/trainer.cc", text),
+                       "include-hygiene")
+                    .empty());
+    EXPECT_TRUE(byRule(lintSource("src/serve/server.cc", text),
+                       "include-hygiene")
+                    .empty());
+    EXPECT_TRUE(byRule(lintSource("src/core/report.cc", text),
+                       "include-hygiene")
+                    .empty());
+}
+
 // --------------------------------------------------------------------
 // unchecked-io
 // --------------------------------------------------------------------

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Live-metrics registry tests: counter/gauge semantics, the
+ * log-bucketed histogram's exact stats and factor-of-two quantiles,
+ * snapshot rendering, and registry reference stability — the
+ * properties the training loop and serving runtime rely on when they
+ * update instruments from hot paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace bertprof {
+namespace {
+
+TEST(Metrics, CounterAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42);
+    c.add(-2);
+    EXPECT_EQ(c.value(), 40);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(3.5);
+    EXPECT_EQ(g.value(), 3.5);
+    g.set(-0.25);
+    EXPECT_EQ(g.value(), -0.25);
+    // Full double round-trip through the atomic bit store.
+    g.set(1e-300);
+    EXPECT_EQ(g.value(), 1e-300);
+}
+
+TEST(Metrics, HistogramExactStats)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+
+    const std::vector<double> samples = {0.001, 0.002, 0.004,
+                                         0.008, 0.5,   2.0};
+    double sum = 0.0;
+    for (double s : samples) {
+        h.record(s);
+        sum += s;
+    }
+    EXPECT_EQ(h.count(), static_cast<std::int64_t>(samples.size()));
+    EXPECT_NEAR(h.sum(), sum, 1e-6);
+    EXPECT_NEAR(h.mean(), sum / samples.size(), 1e-6);
+    EXPECT_EQ(h.min(), 0.001);
+    EXPECT_EQ(h.max(), 2.0);
+}
+
+TEST(Metrics, HistogramQuantilesWithinAFactorOfTwo)
+{
+    Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.record(0.010); // all mass in one bucket
+    h.record(10.0);      // a lone outlier
+    const double p50 = h.quantile(0.5);
+    EXPECT_GE(p50, 0.005);
+    EXPECT_LE(p50, 0.020);
+    const double p100 = h.quantile(1.0);
+    EXPECT_GE(p100, 5.0);
+    EXPECT_LE(p100, 20.0);
+}
+
+TEST(Metrics, HistogramClampsNonPositiveSamples)
+{
+    Histogram h;
+    h.record(0.0);
+    h.record(-3.0);
+    EXPECT_EQ(h.count(), 2);
+    // Clamped into the lowest bucket, not dropped.
+    EXPECT_EQ(h.bucketCount(0), 2);
+}
+
+TEST(Metrics, HistogramBucketMidsAreGeometric)
+{
+    for (int b = 1; b < Histogram::kBuckets; ++b) {
+        EXPECT_GT(Histogram::bucketMid(b),
+                  Histogram::bucketMid(b - 1));
+        EXPECT_NEAR(Histogram::bucketMid(b) /
+                        Histogram::bucketMid(b - 1),
+                    2.0, 1e-9);
+    }
+}
+
+TEST(Metrics, RegistryReturnsStableReferences)
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.resetForTest();
+    Counter &a = reg.counter("stable.counter");
+    a.add(5);
+    Counter &b = reg.counter("stable.counter");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 5);
+    // Distinct kinds may share a name without clashing.
+    reg.gauge("stable.counter").set(1.5);
+    EXPECT_EQ(reg.counter("stable.counter").value(), 5);
+}
+
+TEST(Metrics, SnapshotTextListsEveryInstrumentSorted)
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.resetForTest();
+    reg.counter("zz.requests").add(3);
+    reg.counter("aa.batches").add(1);
+    reg.gauge("mm.depth").set(7.0);
+    reg.histogram("mm.latency").record(0.25);
+    const std::string text = reg.snapshotText();
+    // Instruments of one kind render sorted by name.
+    const std::size_t posA = text.find("aa.batches counter 1");
+    const std::size_t posZ = text.find("zz.requests counter 3");
+    ASSERT_NE(posA, std::string::npos) << text;
+    ASSERT_NE(posZ, std::string::npos) << text;
+    EXPECT_LT(posA, posZ);
+    EXPECT_NE(text.find("mm.depth gauge 7"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("mm.latency histogram count=1"),
+              std::string::npos)
+        << text;
+
+    reg.resetForTest();
+    EXPECT_EQ(reg.counter("zz.requests").value(), 0);
+}
+
+TEST(Metrics, ConcurrentUpdatesAreExact)
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.resetForTest();
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg] {
+            Counter &c = reg.counter("mt.counter");
+            Histogram &h = reg.histogram("mt.hist");
+            for (int i = 0; i < kPerThread; ++i) {
+                c.add(1);
+                h.record(0.001);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(reg.counter("mt.counter").value(),
+              kThreads * kPerThread);
+    EXPECT_EQ(reg.histogram("mt.hist").count(),
+              kThreads * kPerThread);
+}
+
+} // namespace
+} // namespace bertprof

@@ -709,7 +709,13 @@ layerMap()
           "util"}},
         {"train",
          {"train", "data", "io", "nn", "ops", "optim", "runtime",
-          "tensor", "trace", "util"}},
+          "telemetry", "tensor", "trace", "util"}},
+        // Telemetry (trace recorder + metrics) sits on the io and
+        // runtime layers. The compute layers (ops/nn/optim) must
+        // never include it — observability hooks flow through the
+        // runtime profiler's sink, not direct dependencies, so the
+        // substrate stays recordable without being recorder-aware.
+        {"telemetry", {"telemetry", "io", "runtime", "trace", "util"}},
         {"dist", {"dist", "perf", "trace", "tensor", "util"}},
         {"nmc", {"nmc", "dist", "perf", "trace", "tensor", "util"}},
         // The serving runtime sits beside core at the top of the
@@ -718,11 +724,12 @@ layerMap()
         // in particular core must stay serving-free, so embedding the
         // substrate never drags in the server.
         {"serve",
-         {"serve", "nn", "io", "ops", "runtime", "tensor", "trace",
-          "util"}},
+         {"serve", "nn", "io", "ops", "runtime", "telemetry", "tensor",
+          "trace", "util"}},
         {"core",
          {"core", "data", "dist", "io", "nmc", "nn", "optim", "ops",
-          "perf", "runtime", "tensor", "trace", "train", "util"}},
+          "perf", "runtime", "telemetry", "tensor", "trace", "train",
+          "util"}},
     };
     return m;
 }

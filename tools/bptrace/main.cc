@@ -1,0 +1,238 @@
+/**
+ * @file
+ * bptrace: replay a recorded run-trace container (.bptr) offline.
+ *
+ * The default view reproduces the live run's Fig. 3/4 profiler
+ * breakdowns — same seconds, FLOPs, and bytes per bucket as the
+ * process that recorded the trace printed, because kernel events
+ * carry the exact integer-ns durations the live records were derived
+ * from. Additional views walk the raw event stream forward or
+ * backward (crash forensics: newest events first) and export Chrome
+ * trace JSON / CSV through the same renderer the live exporter uses.
+ *
+ * Usage: bptrace <trace.bptr> [options]
+ *   --breakdown scope|sublayer|phase|all   aggregate view (default all)
+ *   --stats                                container + run stats only
+ *   --tail N                               print newest N events first
+ *   --chrome <out.json>                    write Chrome trace JSON
+ *   --csv <out.csv>                        write per-kernel CSV
+ *   --json <out.json>                      machine-readable summary
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/trace_export.h"
+#include "runtime/profiler.h"
+#include "telemetry/replay.h"
+#include "telemetry/trace_reader.h"
+#include "telemetry/trace_writer.h"
+#include "util/table.h"
+
+using namespace bertprof;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <trace.bptr> [--breakdown scope|sublayer|phase|all]\n"
+        "       [--stats] [--tail N] [--chrome out.json] [--csv out.csv]\n"
+        "       [--json out.json]\n",
+        argv0);
+    return 2;
+}
+
+void
+printStats(const TraceReader &reader, const ReplaySummary &summary)
+{
+    std::printf("container: %zu chunks, %lld events, %zu names, "
+                "%zu bytes on disk\n",
+                reader.chunkCount(),
+                static_cast<long long>(reader.eventCount()),
+                reader.names().size(), reader.fileSize());
+    if (summary.truncatedTail) {
+        std::printf("torn tail: %s (complete chunks replayed)\n",
+                    summary.tailMessage.c_str());
+    }
+    const double span =
+        static_cast<double>(summary.lastTsNs - summary.firstTsNs) *
+        1e-9;
+    std::printf("run: %.3f s spanned, %zu kernels, %zu train steps, "
+                "%zu checkpoints, %zu serve batches, %lld marks\n",
+                span > 0 ? span : 0.0, summary.kernels.size(),
+                summary.steps.size(), summary.checkpoints.size(),
+                summary.serveBatches.size(),
+                static_cast<long long>(summary.markCount));
+    for (const auto &[name, total] : summary.counterTotals)
+        std::printf("counter %s = %lld\n", name.c_str(),
+                    static_cast<long long>(total));
+    for (const auto &[name, value] : summary.gauges)
+        std::printf("gauge %s = %g\n", name.c_str(), value);
+}
+
+void
+printTail(const TraceReader &reader, std::int64_t limit)
+{
+    TraceBackwardIter iter(reader);
+    TraceEvent event;
+    std::int64_t shown = 0;
+    std::printf("newest %lld events (reverse order):\n",
+                static_cast<long long>(limit));
+    while (shown < limit && iter.prev(event)) {
+        std::printf("  %12lld ns  %-10s tid=%u  %s  v0=%lld\n",
+                    static_cast<long long>(event.tsNs),
+                    traceEventTypeName(event.type), event.tid,
+                    reader.name(event.nameId).c_str(),
+                    static_cast<long long>(event.v0));
+        ++shown;
+    }
+}
+
+void
+printBreakdowns(const ReplaySummary &summary, const std::string &which)
+{
+    Profiler profiler;
+    summary.fillProfiler(profiler);
+    const Seconds total = profiler.totalSeconds();
+    if (which == "scope" || which == "all") {
+        Profiler::renderBreakdown(profiler.byScope(), total,
+                                  "Replayed breakdown by layer scope "
+                                  "(Fig. 3 axis)")
+            .print(std::cout);
+    }
+    if (which == "sublayer" || which == "all") {
+        Profiler::renderBreakdown(profiler.bySubLayer(), total,
+                                  "Replayed breakdown by sub-layer "
+                                  "(Fig. 4 axis)")
+            .print(std::cout);
+    }
+    if (which == "phase" || which == "all") {
+        Profiler::renderBreakdown(profiler.byPhase(), total,
+                                  "Replayed breakdown by phase")
+            .print(std::cout);
+    }
+}
+
+bool
+writeJsonSummary(const TraceReader &reader,
+                 const ReplaySummary &summary, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    Profiler profiler;
+    summary.fillProfiler(profiler);
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"chunks\": %zu,\n", reader.chunkCount());
+    std::fprintf(f, "  \"events\": %lld,\n",
+                 static_cast<long long>(reader.eventCount()));
+    std::fprintf(f, "  \"truncated_tail\": %s,\n",
+                 summary.truncatedTail ? "true" : "false");
+    std::fprintf(f, "  \"kernels\": %zu,\n", summary.kernels.size());
+    std::fprintf(f, "  \"train_steps\": %zu,\n", summary.steps.size());
+    std::fprintf(f, "  \"checkpoints\": %zu,\n",
+                 summary.checkpoints.size());
+    std::fprintf(f, "  \"serve_batches\": %zu,\n",
+                 summary.serveBatches.size());
+    std::fprintf(f, "  \"kernel_seconds\": %.9g,\n",
+                 profiler.totalSeconds());
+    std::fprintf(f, "  \"scopes\": {");
+    bool first = true;
+    for (const auto &[name, agg] : profiler.byScope()) {
+        std::fprintf(f, "%s\n    \"%s\": {\"seconds\": %.9g, "
+                        "\"flops\": %lld, \"bytes\": %lld}",
+                     first ? "" : ",", name.c_str(), agg.seconds,
+                     static_cast<long long>(agg.stats.flops),
+                     static_cast<long long>(agg.stats.bytesTotal()));
+        first = false;
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string path = argv[1];
+    std::string breakdown = "all";
+    std::string chrome_path, csv_path, json_path;
+    bool stats_only = false;
+    std::int64_t tail = 0;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--breakdown") == 0 && i + 1 < argc)
+            breakdown = argv[++i];
+        else if (std::strcmp(argv[i], "--stats") == 0)
+            stats_only = true;
+        else if (std::strcmp(argv[i], "--tail") == 0 && i + 1 < argc)
+            tail = std::atoll(argv[++i]);
+        else if (std::strcmp(argv[i], "--chrome") == 0 && i + 1 < argc)
+            chrome_path = argv[++i];
+        else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csv_path = argv[++i];
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            return usage(argv[0]);
+    }
+    if (breakdown != "scope" && breakdown != "sublayer" &&
+        breakdown != "phase" && breakdown != "all") {
+        return usage(argv[0]);
+    }
+
+    TraceReader reader;
+    IoStatus status = reader.open(path);
+    if (!status.ok()) {
+        std::fprintf(stderr, "bptrace: %s\n",
+                     status.toString().c_str());
+        return 1;
+    }
+    ReplaySummary summary;
+    TraceForwardIter iter(reader);
+    TraceEvent event;
+    while (iter.next(event))
+        replayEvent(reader, event, summary);
+    summary.truncatedTail = reader.truncatedTail();
+    summary.tailMessage = reader.tailStatus().message;
+
+    printStats(reader, summary);
+    if (tail > 0)
+        printTail(reader, tail);
+    if (!stats_only && tail == 0)
+        printBreakdowns(summary, breakdown);
+
+    if (!chrome_path.empty()) {
+        if (!writeProfileChromeTrace(summary.kernels, chrome_path)) {
+            std::fprintf(stderr, "bptrace: cannot write %s\n",
+                         chrome_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", chrome_path.c_str());
+    }
+    if (!csv_path.empty()) {
+        if (!writeProfileCsv(summary.kernels, csv_path)) {
+            std::fprintf(stderr, "bptrace: cannot write %s\n",
+                         csv_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", csv_path.c_str());
+    }
+    if (!json_path.empty()) {
+        if (!writeJsonSummary(reader, summary, json_path)) {
+            std::fprintf(stderr, "bptrace: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}
