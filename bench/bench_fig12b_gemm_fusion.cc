@@ -14,6 +14,11 @@
 #include <cstdio>
 
 #include "core/bertprof.h"
+#include "ops/elementwise.h"
+#include "ops/fused.h"
+#include "ops/gemm.h"
+#include "ops/reshape.h"
+#include "util/stopwatch.h"
 
 using namespace bertprof;
 
@@ -99,6 +104,69 @@ main()
                            formatSeconds(fused1), speedup});
     }
     std::printf("%s\n", dims_table.render().c_str());
+
+    // Real-execution cross-check on the CPU substrate: the fused
+    // packed-QKV kernel (ops/fused.h — one [T,3H] GEMM + bias/split
+    // epilogue) vs three separate GEMM+bias+splitHeads chains,
+    // measured across token counts (measured vs the analytical model
+    // above).
+    {
+        const std::int64_t d = 256;
+        const std::int64_t heads = 8;
+        Table measured("Measured QKV fusion on the CPU substrate "
+                       "(d_model=256, h=8)");
+        measured.setHeader({"Tokens", "3 serial", "fused", "Speedup"});
+        for (std::int64_t tokens : {256, 512, 1024, 2048}) {
+            const std::int64_t batch = tokens / 128, seq = 128;
+            Rng rng(29);
+            Tensor x(Shape({tokens, d}));
+            x.fillNormal(rng);
+            Tensor w[3] = {Tensor(Shape({d, d})), Tensor(Shape({d, d})),
+                           Tensor(Shape({d, d}))};
+            Tensor b[3] = {Tensor(Shape({d})), Tensor(Shape({d})),
+                           Tensor(Shape({d}))};
+            for (int i = 0; i < 3; ++i) {
+                w[i].fillNormal(rng);
+                b[i].fillNormal(rng);
+            }
+            const Shape split(Shape({batch * heads, seq, d / heads}));
+            Tensor q3d(split), k3d(split), v3d(split);
+            const int reps = 10;
+            Seconds serial_s = 0.0, fused_s = 0.0;
+            {
+                Stopwatch watch;
+                for (int r = 0; r < reps; ++r) {
+                    Tensor proj(Shape({tokens, d}));
+                    gemm(x, w[0], proj, false, true);
+                    biasForward(proj, b[0], proj);
+                    splitHeads(proj, batch, seq, heads, q3d);
+                    gemm(x, w[1], proj, false, true);
+                    biasForward(proj, b[1], proj);
+                    splitHeads(proj, batch, seq, heads, k3d);
+                    gemm(x, w[2], proj, false, true);
+                    biasForward(proj, b[2], proj);
+                    splitHeads(proj, batch, seq, heads, v3d);
+                }
+                serial_s = watch.elapsed() / reps;
+            }
+            {
+                Stopwatch watch;
+                for (int r = 0; r < reps; ++r)
+                    fusedQkvForward(x, w[0], w[1], w[2], b[0], b[1],
+                                    b[2], batch, seq, heads, q3d, k3d,
+                                    v3d);
+                fused_s = watch.elapsed() / reps;
+            }
+            char speedup[32];
+            std::snprintf(speedup, sizeof(speedup), "%+.0f%%",
+                          100.0 * (serial_s / fused_s - 1.0));
+            measured.addRow({std::to_string(tokens),
+                             formatSeconds(serial_s),
+                             formatSeconds(fused_s), speedup});
+        }
+        std::printf("%s\n", measured.render().c_str());
+    }
+
     std::printf("Paper: fusion improves performance by up to 62%%, more "
                 "at small token counts (better CU utilization + the "
                 "shared input matrix is read once).\n");

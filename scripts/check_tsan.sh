@@ -20,6 +20,9 @@
 #     sweep both so the sanitizer matrix covers the reference engine's
 #     row partition as well as the packed engine's thread-local
 #     packing buffers.
+#   BERTPROF_FUSION (off)  fused kernels + graph executor: on | off —
+#     sweep both so the matrix also covers the fused kernels'
+#     thread-local scratch rows and the arena-backed executor.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +40,7 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 # the other engine.
 export BERTPROF_NUM_THREADS="${BERTPROF_NUM_THREADS:-8}"
 export BERTPROF_GEMM_IMPL="${BERTPROF_GEMM_IMPL:-packed}"
+export BERTPROF_FUSION="${BERTPROF_FUSION:-off}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=0 exitcode=66}"
 
 if [[ -n "${LABEL}" ]]; then
@@ -47,4 +51,5 @@ fi
 if [[ -z "${LABEL}" || "${LABEL}" == "robust" ]]; then
     scripts/check_resume.sh "${BUILD_DIR}"
 fi
-echo "ThreadSanitizer run clean (GEMM_IMPL=${BERTPROF_GEMM_IMPL})."
+echo "ThreadSanitizer run clean (GEMM_IMPL=${BERTPROF_GEMM_IMPL}," \
+     "FUSION=${BERTPROF_FUSION})."

@@ -20,6 +20,12 @@ scripts/check_resume.sh build
 # covers the bench_serving --quick naive-vs-bucketed comparison).
 ctest --test-dir build -L serve --output-on-failure
 
+# Fusion smoke: fused-kernel / graph-executor parity suites plus the
+# measured fused-vs-unfused quick bench (BERTPROF_FUSION defaults off,
+# so everything above ran the unfused oracle path).
+ctest --test-dir build -L fusion --output-on-failure
+build/bench/bench_fusion --quick | tail -3
+
 # Telemetry smoke: record a real (quick) train+eval run into a trace
 # container, then replay it with bptrace — the breakdown aggregates
 # and stats must come back out of the file the run just wrote. The

@@ -27,7 +27,7 @@ cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
     -DBERTPROF_NATIVE="${NATIVE}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
     --target bench_gemm_microkernel bench_cpu_parallel_scaling \
-    bench_serving bench_trace_overhead
+    bench_serving bench_trace_overhead bench_fusion
 
 mkdir -p results
 "${BUILD_DIR}/bench/bench_gemm_microkernel" \
@@ -42,8 +42,12 @@ mkdir -p results
     --json results/BENCH_trace.json \
     --record results/bench_trace_overhead.bptr \
     | tee results/bench_trace_overhead.txt
+"${BUILD_DIR}/bench/bench_fusion" \
+    --json results/BENCH_fusion.json \
+    | tee results/bench_fusion.txt
 
 echo "snapshots: results/bench_gemm_microkernel.txt," \
      "results/BENCH_gemm.json, results/bench_cpu_parallel_scaling.txt," \
      "results/bench_serving.txt, results/BENCH_serving.json," \
-     "results/bench_trace_overhead.txt, results/BENCH_trace.json"
+     "results/bench_trace_overhead.txt, results/BENCH_trace.json," \
+     "results/bench_fusion.txt, results/BENCH_fusion.json"

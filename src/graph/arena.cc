@@ -1,0 +1,135 @@
+#include "graph/arena.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bertprof {
+namespace graph {
+
+namespace {
+
+struct FreeBlock {
+    std::int64_t offset;
+    std::int64_t size;
+};
+
+std::int64_t
+alignUp(std::int64_t v)
+{
+    return (v + kArenaAlign - 1) / kArenaAlign * kArenaAlign;
+}
+
+/** Insert a block keeping the list offset-sorted, merging neighbors. */
+void
+releaseBlock(std::vector<FreeBlock> &free_list, std::int64_t offset,
+             std::int64_t size)
+{
+    auto it = std::lower_bound(
+        free_list.begin(), free_list.end(), offset,
+        [](const FreeBlock &b, std::int64_t off) { return b.offset < off; });
+    it = free_list.insert(it, FreeBlock{offset, size});
+    // Merge with successor.
+    auto next = it + 1;
+    if (next != free_list.end() && it->offset + it->size == next->offset) {
+        it->size += next->size;
+        free_list.erase(next);
+    }
+    // Merge with predecessor.
+    if (it != free_list.begin()) {
+        auto prev = it - 1;
+        if (prev->offset + prev->size == it->offset) {
+            prev->size += it->size;
+            free_list.erase(it);
+        }
+    }
+}
+
+} // namespace
+
+ArenaPlan
+planArena(const std::vector<Interval> &live,
+          const std::vector<std::int64_t> &sizes)
+{
+    BP_REQUIRE(live.size() == sizes.size());
+    ArenaPlan plan;
+    plan.offsets.assign(live.size(), -1);
+
+    int max_op = 0;
+    for (const Interval &iv : live)
+        max_op = std::max(max_op, iv.end);
+
+    // Values grouped by def step; frees grouped by end step.
+    std::vector<std::vector<int>> defs(
+        static_cast<std::size_t>(max_op) + 1);
+    std::vector<std::vector<int>> ends(
+        static_cast<std::size_t>(max_op) + 1);
+    for (std::size_t id = 0; id < live.size(); ++id) {
+        if (live[id].start < 0)
+            continue; // external or never defined
+        BP_REQUIRE(live[id].end > live[id].start);
+        defs[static_cast<std::size_t>(live[id].start)].push_back(
+            static_cast<int>(id));
+        ends[static_cast<std::size_t>(live[id].end - 1)].push_back(
+            static_cast<int>(id));
+        plan.sumBytes += alignUp(sizes[id]);
+    }
+
+    std::vector<FreeBlock> free_list;
+    std::int64_t top = 0;
+
+    for (int step = 0; step <= max_op; ++step) {
+        // Place this step's definitions, largest first so big tensors
+        // get the best shot at an exact-fit block.
+        std::vector<int> to_place = defs[static_cast<std::size_t>(step)];
+        std::sort(to_place.begin(), to_place.end(), [&](int a, int b) {
+            if (sizes[a] != sizes[b])
+                return sizes[a] > sizes[b];
+            return a < b;
+        });
+        for (int id : to_place) {
+            const std::int64_t need = alignUp(sizes[id]);
+            // Best fit: smallest block that fits, lowest offset ties.
+            std::size_t best = free_list.size();
+            for (std::size_t i = 0; i < free_list.size(); ++i) {
+                if (free_list[i].size < need)
+                    continue;
+                if (best == free_list.size() ||
+                    free_list[i].size < free_list[best].size)
+                    best = i;
+            }
+            if (best != free_list.size()) {
+                FreeBlock &blk = free_list[best];
+                plan.offsets[static_cast<std::size_t>(id)] = blk.offset;
+                blk.offset += need;
+                blk.size -= need;
+                if (blk.size == 0)
+                    free_list.erase(free_list.begin() +
+                                    static_cast<std::ptrdiff_t>(best));
+            } else {
+                plan.offsets[static_cast<std::size_t>(id)] = top;
+                top += need;
+            }
+        }
+        plan.peakBytes = std::max(plan.peakBytes, top);
+        // Return values that die after this step.
+        for (int id : ends[static_cast<std::size_t>(step)]) {
+            releaseBlock(free_list,
+                         plan.offsets[static_cast<std::size_t>(id)],
+                         alignUp(sizes[id]));
+        }
+    }
+    return plan;
+}
+
+void
+Arena::ensure(std::int64_t bytes)
+{
+    const std::size_t floats =
+        static_cast<std::size_t>((bytes + 3) / 4);
+    if (storage_.size() < floats)
+        storage_.resize(floats);
+}
+
+} // namespace graph
+} // namespace bertprof

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Arena buffer-reuse planner: maps per-value live intervals (from
+ * graph::computeLiveness) to byte offsets in one backing buffer. Two
+ * values share storage whenever their intervals are disjoint; the
+ * greedy best-fit assignment keeps the high-water mark well below
+ * the sum of all tensor sizes (the no-reuse footprint).
+ */
+
+#ifndef BERTPROF_GRAPH_ARENA_H
+#define BERTPROF_GRAPH_ARENA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace bertprof {
+namespace graph {
+
+/** Offsets are aligned to this many bytes (cache-line). */
+inline constexpr std::int64_t kArenaAlign = 64;
+
+/** Result of planning: one offset per value, plus footprints. */
+struct ArenaPlan {
+    /** Byte offset per value id; -1 for external / never-live. */
+    std::vector<std::int64_t> offsets;
+    /** High-water mark: the backing buffer size needed. */
+    std::int64_t peakBytes = 0;
+    /** Sum of all planned (non-external) tensor bytes — the no-reuse
+     * footprint the peak is measured against. */
+    std::int64_t sumBytes = 0;
+};
+
+/**
+ * Greedy best-fit planner. Walks ops in schedule order; at each step
+ * values whose interval ended are returned to a free list (adjacent
+ * blocks merged), then values defined at this step are placed in the
+ * smallest free block that fits (ties to the lowest offset), or at
+ * the current top when none fits. sizes[id] is the value's bytes
+ * (pre-alignment); external values (interval {-1,-1}) are skipped.
+ */
+ArenaPlan planArena(const std::vector<Interval> &live,
+                    const std::vector<std::int64_t> &sizes);
+
+/** The backing buffer a plan executes against. */
+class Arena
+{
+  public:
+    /** Grow storage to at least `bytes`; contents unspecified. */
+    void ensure(std::int64_t bytes);
+
+    /** Base pointer (valid until the next ensure()). */
+    float *base() { return storage_.data(); }
+
+    std::int64_t capacityBytes() const
+    {
+        return static_cast<std::int64_t>(storage_.size()) *
+               static_cast<std::int64_t>(sizeof(float));
+    }
+
+  private:
+    std::vector<float> storage_;
+};
+
+} // namespace graph
+} // namespace bertprof
+
+#endif // BERTPROF_GRAPH_ARENA_H

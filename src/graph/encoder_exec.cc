@@ -1,0 +1,385 @@
+#include "graph/encoder_exec.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "nn/encoder_layer.h"
+#include "ops/activation.h"
+#include "ops/elementwise.h"
+#include "ops/fused.h"
+#include "ops/gemm.h"
+#include "ops/layernorm.h"
+#include "ops/reshape.h"
+#include "ops/softmax.h"
+#include "runtime/profiler.h"
+#include "util/logging.h"
+
+namespace bertprof {
+namespace graph {
+
+GraphDef
+buildEncoderEvalGraph(std::int64_t d_model, int heads, std::int64_t d_ff,
+                      std::int64_t batch, std::int64_t seq,
+                      bool per_seq_mask, bool fused)
+{
+    BP_REQUIRE(heads > 0 && d_model % heads == 0);
+    const std::int64_t rows = batch * seq;
+    const std::int64_t dh = d_model / heads;
+    const std::int64_t bh = batch * heads;
+
+    GraphDef g;
+    const int x = g.addValue("x", Shape({rows, d_model}), true);
+    const int mask = g.addValue("mask",
+                                per_seq_mask ? Shape({batch, seq, seq})
+                                             : Shape({seq, seq}),
+                                true);
+
+    // Q/K/V projections: GEMM + in-place bias + split-heads each.
+    const char *proj[3] = {"wq", "wk", "wv"};
+    const std::int64_t proj_param[3] = {kParamWq, kParamWk, kParamWv};
+    int qkv3d[3];
+    for (int p = 0; p < 3; ++p) {
+        const std::string nm = proj[p];
+        const int y2d = g.addValue(nm + "2d", Shape({rows, d_model}));
+        qkv3d[p] = g.addValue(nm + "3d", Shape({bh, seq, dh}));
+        g.addOp(OpTag::Gemm, nm + ".fwd", SubLayer::AttnLinear, {x},
+                {y2d}, proj_param[p]);
+        g.addOp(OpTag::BiasAdd, nm + ".bias", SubLayer::AttnLinear,
+                {y2d}, {y2d}, proj_param[p]);
+        g.addOp(OpTag::SplitHeads, nm + ".split", SubLayer::AttnLinear,
+                {y2d}, {qkv3d[p]});
+    }
+
+    // Score -> scale -> mask -> softmax -> context.
+    const int scores = g.addValue("scores", Shape({bh, seq, seq}));
+    const int probs = g.addValue("probs", Shape({bh, seq, seq}));
+    const int context = g.addValue("context", Shape({bh, seq, dh}));
+    g.addOp(OpTag::BatchedGemm, "attn.score.fwd", SubLayer::AttnBGemm,
+            {qkv3d[0], qkv3d[1]}, {scores});
+    g.addOp(OpTag::Scale, "attn.scale", SubLayer::AttnScaleMaskDrSm,
+            {scores}, {scores});
+    g.addOp(OpTag::MaskAdd, "attn.mask", SubLayer::AttnScaleMaskDrSm,
+            {scores, mask}, {scores});
+    g.addOp(OpTag::Softmax, "attn.softmax", SubLayer::AttnScaleMaskDrSm,
+            {scores}, {probs});
+    g.addOp(OpTag::BatchedGemm, "attn.context.fwd", SubLayer::AttnBGemm,
+            {probs, qkv3d[2]}, {context});
+
+    // Output projection + attention-block residual + LN1.
+    const int merged = g.addValue("merged", Shape({rows, d_model}));
+    const int attn_out = g.addValue("attn_out", Shape({rows, d_model}));
+    const int res1 = g.addValue("res1", Shape({rows, d_model}));
+    const int normed = g.addValue("normed", Shape({rows, d_model}));
+    const int mean1 = g.addValue("mean1", Shape({rows}));
+    const int rstd1 = g.addValue("rstd1", Shape({rows}));
+    g.addOp(OpTag::MergeHeads, "attn.merge", SubLayer::AttnBGemm,
+            {context}, {merged});
+    g.addOp(OpTag::Gemm, "wo.fwd", SubLayer::AttnLinear, {merged},
+            {attn_out}, kParamWo);
+    g.addOp(OpTag::BiasAdd, "wo.bias", SubLayer::AttnLinear, {attn_out},
+            {attn_out}, kParamWo);
+    g.addOp(OpTag::Add, "attn.block.residual", SubLayer::DrRcLn,
+            {attn_out, x}, {res1});
+    g.addOp(OpTag::LayerNorm, "ln1.fwd", SubLayer::DrRcLn, {res1},
+            {normed, mean1, rstd1}, kParamLn1);
+
+    // Feed-forward + residual + LN2 (writes the external output).
+    const int pre = g.addValue("fc1_out", Shape({rows, d_ff}));
+    const int act = g.addValue("gelu_out", Shape({rows, d_ff}));
+    const int ff1 = g.addValue("fc2_out", Shape({rows, d_model}));
+    const int res2 = g.addValue("res2", Shape({rows, d_model}));
+    const int out = g.addValue("out", Shape({rows, d_model}), true);
+    const int mean2 = g.addValue("mean2", Shape({rows}));
+    const int rstd2 = g.addValue("rstd2", Shape({rows}));
+    g.addOp(OpTag::Gemm, "fc1.fwd", SubLayer::FcGemm, {normed}, {pre},
+            kParamFc1);
+    g.addOp(OpTag::BiasAdd, "fc1.bias", SubLayer::FcGemm, {pre}, {pre},
+            kParamFc1);
+    g.addOp(OpTag::Gelu, "gelu.fwd", SubLayer::FcGelu, {pre}, {act});
+    g.addOp(OpTag::Gemm, "fc2.fwd", SubLayer::FcGemm, {act}, {ff1},
+            kParamFc2);
+    g.addOp(OpTag::BiasAdd, "fc2.bias", SubLayer::FcGemm, {ff1}, {ff1},
+            kParamFc2);
+    g.addOp(OpTag::Add, "ff.block.residual", SubLayer::DrRcLn,
+            {ff1, normed}, {res2});
+    g.addOp(OpTag::LayerNorm, "ln2.fwd", SubLayer::DrRcLn, {res2},
+            {out, mean2, rstd2}, kParamLn2);
+
+    if (fused)
+        fuseEncoderPatterns(g);
+    return g;
+}
+
+namespace {
+
+Linear &
+paramLinear(EncoderLayer &layer, std::int64_t param)
+{
+    switch (param) {
+    case kParamWq:
+        return layer.attn().wq();
+    case kParamWk:
+        return layer.attn().wk();
+    case kParamWv:
+        return layer.attn().wv();
+    case kParamWo:
+        return layer.attn().wo();
+    case kParamFc1:
+        return layer.ff().fc1();
+    case kParamFc2:
+        return layer.ff().fc2();
+    default:
+        BP_PANIC() << "op does not reference a Linear parameter";
+        std::abort();
+    }
+}
+
+LayerNorm &
+paramLayerNorm(EncoderLayer &layer, std::int64_t param)
+{
+    switch (param) {
+    case kParamLn1:
+        return layer.ln1();
+    case kParamLn2:
+        return layer.ln2();
+    default:
+        BP_PANIC() << "op does not reference a LayerNorm parameter";
+        std::abort();
+    }
+}
+
+OpKind
+opKindFor(OpTag tag)
+{
+    switch (tag) {
+    case OpTag::Gemm:
+    case OpTag::FusedQkv:
+        return OpKind::Gemm;
+    case OpTag::BatchedGemm:
+    case OpTag::FusedAttention:
+        return OpKind::BatchedGemm;
+    case OpTag::Softmax:
+    case OpTag::LayerNorm:
+    case OpTag::FusedResidualLayerNorm:
+        return OpKind::Reduction;
+    default:
+        return OpKind::Elementwise;
+    }
+}
+
+} // namespace
+
+const EncoderExec::CachedPlan &
+EncoderExec::planFor(EncoderLayer &layer, std::int64_t batch,
+                     std::int64_t seq, bool per_seq_mask)
+{
+    std::ostringstream key;
+    key << static_cast<const void *>(&layer) << ':' << batch << 'x' << seq
+        << (per_seq_mask ? ":ps" : ":bc");
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key.str());
+    if (it == cache_.end()) {
+        auto plan = std::make_unique<CachedPlan>();
+        plan->def = buildEncoderEvalGraph(
+            layer.attn().dModel(), layer.attn().numHeads(),
+            layer.ff().fc1().outDim(), batch, seq, per_seq_mask,
+            /*fused=*/true);
+        std::vector<std::int64_t> sizes(plan->def.values.size(), 0);
+        for (std::size_t id = 0; id < plan->def.values.size(); ++id) {
+            sizes[id] = plan->def.values[id].shape.numel() *
+                        static_cast<std::int64_t>(sizeof(float));
+            if (plan->def.values[id].external &&
+                plan->def.values[id].name == "out")
+                plan->out_id = static_cast<int>(id);
+        }
+        BP_REQUIRE(plan->out_id >= 0);
+        plan->plan = planArena(computeLiveness(plan->def), sizes);
+        it = cache_.emplace(key.str(), std::move(plan)).first;
+    }
+    return *it->second;
+}
+
+Tensor
+EncoderExec::forwardEval(EncoderLayer &layer, const Tensor &x,
+                         const Tensor &mask, std::int64_t batch,
+                         std::int64_t seq)
+{
+    const std::int64_t d_model = layer.attn().dModel();
+    const int heads = layer.attn().numHeads();
+    const std::int64_t dh = d_model / heads;
+    const bool per_seq_mask = mask.shape() == Shape({batch, seq, seq});
+    BP_REQUIRE(per_seq_mask || mask.shape() == Shape({seq, seq}));
+    BP_REQUIRE(x.shape() == Shape({batch * seq, d_model}));
+
+    const CachedPlan &cached = planFor(layer, batch, seq, per_seq_mask);
+    const GraphDef &g = cached.def;
+
+    // Record footprints: peak is a process-lifetime high-water mark
+    // (exported via the serve metrics gauge), sum is per-plan.
+    std::int64_t prev = peakBytes_.load(std::memory_order_relaxed);
+    while (prev < cached.plan.peakBytes &&
+           !peakBytes_.compare_exchange_weak(prev, cached.plan.peakBytes,
+                                             std::memory_order_relaxed)) {
+    }
+    lastSumBytes_.store(cached.plan.sumBytes, std::memory_order_relaxed);
+
+    // Bind values: arena views for planned intermediates, the caller's
+    // tensors for externals, an owned tensor for the output.
+    Arena arena;
+    arena.ensure(cached.plan.peakBytes);
+    Tensor result(g.values[static_cast<std::size_t>(cached.out_id)].shape);
+    std::vector<Tensor> slots(g.values.size());
+    std::vector<Tensor *> bind(g.values.size(), nullptr);
+    for (std::size_t id = 0; id < g.values.size(); ++id) {
+        const ValueDesc &v = g.values[id];
+        if (v.external)
+            continue;
+        const std::int64_t off = cached.plan.offsets[id];
+        if (off < 0)
+            continue; // dead value (fused away)
+        slots[id] = Tensor::borrow(arena.base() + off / 4, v.shape);
+        bind[id] = &slots[id];
+    }
+    bind[static_cast<std::size_t>(cached.out_id)] = &result;
+    // x and mask are read-only by construction of the graph (no op
+    // lists an external input among its writes); the const_cast never
+    // feeds a mutating path.
+    bind[0] = const_cast<Tensor *>(&x);
+    bind[1] = const_cast<Tensor *>(&mask);
+
+    Profiler *prof = layer.runtime()->profiler;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    for (const OpDesc &op : g.ops) {
+        for (int w : op.writes)
+            BP_REQUIRE(w != 0 && w != 1); // never write an input
+        ScopedKernel kern(prof, op.name, opKindFor(op.tag), Phase::Fwd,
+                          LayerScope::Transformer, op.sub);
+        switch (op.tag) {
+        case OpTag::Gemm: {
+            Linear &lin = paramLinear(layer, op.param);
+            kern.setStats(gemm(*bind[op.reads[0]], lin.weight().value,
+                               *bind[op.writes[0]], false, true));
+            break;
+        }
+        case OpTag::BiasAdd: {
+            Linear &lin = paramLinear(layer, op.param);
+            kern.setStats(biasForward(*bind[op.reads[0]],
+                                      lin.bias().value,
+                                      *bind[op.writes[0]]));
+            break;
+        }
+        case OpTag::SplitHeads:
+            kern.setStats(splitHeads(*bind[op.reads[0]], batch, seq,
+                                     heads, *bind[op.writes[0]]));
+            break;
+        case OpTag::MergeHeads:
+            kern.setStats(mergeHeads(*bind[op.reads[0]], batch, seq,
+                                     heads, *bind[op.writes[0]]));
+            break;
+        case OpTag::BatchedGemm: {
+            // First B-GEMM (writes scores) is Q K^T; the second
+            // (reads probs) is probs V.
+            const bool trans_b = op.writes[0] != op.reads[0] &&
+                                 op.name == "attn.score.fwd";
+            kern.setStats(batchedGemm(*bind[op.reads[0]],
+                                      *bind[op.reads[1]],
+                                      *bind[op.writes[0]], false,
+                                      trans_b));
+            break;
+        }
+        case OpTag::Scale:
+            kern.setStats(scaleForward(*bind[op.reads[0]], scale,
+                                       *bind[op.writes[0]]));
+            break;
+        case OpTag::MaskAdd:
+            if (per_seq_mask) {
+                kern.setStats(batchMaskAddForward(*bind[op.reads[0]],
+                                                  *bind[op.reads[1]],
+                                                  heads,
+                                                  *bind[op.writes[0]]));
+            } else {
+                kern.setStats(maskAddForward(*bind[op.reads[0]],
+                                             *bind[op.reads[1]],
+                                             *bind[op.writes[0]]));
+            }
+            break;
+        case OpTag::Softmax:
+            kern.setStats(softmaxForward(*bind[op.reads[0]],
+                                         *bind[op.writes[0]]));
+            break;
+        case OpTag::Gelu:
+            kern.setStats(geluForward(*bind[op.reads[0]],
+                                      *bind[op.writes[0]]));
+            break;
+        case OpTag::Add:
+            kern.setStats(addForward(*bind[op.reads[0]],
+                                     *bind[op.reads[1]],
+                                     *bind[op.writes[0]]));
+            break;
+        case OpTag::LayerNorm: {
+            LayerNorm &ln = paramLayerNorm(layer, op.param);
+            kern.setStats(layerNormForward(
+                *bind[op.reads[0]], ln.gamma().value, ln.beta().value,
+                *bind[op.writes[0]], *bind[op.writes[1]],
+                *bind[op.writes[2]]));
+            break;
+        }
+        case OpTag::FusedQkv: {
+            MultiHeadAttention &attn = layer.attn();
+            kern.setStats(fusedQkvForward(
+                *bind[op.reads[0]], attn.wq().weight().value,
+                attn.wk().weight().value, attn.wv().weight().value,
+                attn.wq().bias().value, attn.wk().bias().value,
+                attn.wv().bias().value, batch, seq, heads,
+                *bind[op.writes[0]], *bind[op.writes[1]],
+                *bind[op.writes[2]]));
+            break;
+        }
+        case OpTag::FusedAttention:
+            kern.setStats(fusedAttentionEvalForward(
+                *bind[op.reads[0]], *bind[op.reads[1]],
+                *bind[op.reads[2]], *bind[op.reads[3]], heads, scale,
+                *bind[op.writes[0]]));
+            break;
+        case OpTag::FusedBiasGelu: {
+            Linear &lin = paramLinear(layer, op.param);
+            kern.setStats(fusedBiasGeluForward(*bind[op.reads[0]],
+                                               lin.bias().value,
+                                               *bind[op.writes[0]]));
+            break;
+        }
+        case OpTag::FusedResidualLayerNorm: {
+            LayerNorm &ln = paramLayerNorm(layer, op.param);
+            kern.setStats(fusedResidualLayerNormForward(
+                *bind[op.reads[0]], *bind[op.reads[1]],
+                ln.gamma().value, ln.beta().value, *bind[op.writes[0]],
+                *bind[op.writes[1]], *bind[op.writes[2]]));
+            break;
+        }
+        }
+    }
+    return result;
+}
+
+void
+EncoderExec::clearPlanCache()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+    peakBytes_.store(0, std::memory_order_relaxed);
+    lastSumBytes_.store(0, std::memory_order_relaxed);
+}
+
+EncoderExec *
+ensureEncoderGraphExecInstalled()
+{
+    static EncoderExec exec;
+    if (encoderGraphExec() != &exec)
+        installEncoderGraphExec(&exec);
+    return &exec;
+}
+
+} // namespace graph
+} // namespace bertprof

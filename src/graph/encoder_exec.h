@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The graph-level encoder executor: builds the unfused encoder-layer
+ * op list, optionally applies the fusion pass, plans arena storage
+ * for every intermediate, and interprets the result against an
+ * EncoderLayer's parameters. Implements the nn/graph_hook.h seam and
+ * is engaged by EncoderLayer::forward on the eval path when
+ * BERTPROF_FUSION=on and ensureEncoderGraphExecInstalled() has run
+ * (serve engines call it from their constructors).
+ *
+ * Plans are cached per (layer, batch, seq, mask kind): steady-state
+ * serving re-plans nothing, it binds arena views and runs the ops.
+ */
+
+#ifndef BERTPROF_GRAPH_ENCODER_EXEC_H
+#define BERTPROF_GRAPH_ENCODER_EXEC_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "graph/arena.h"
+#include "graph/graph.h"
+#include "nn/graph_hook.h"
+
+namespace bertprof {
+namespace graph {
+
+/**
+ * Build the eval-mode encoder-layer graph (unfused form). Value 0 is
+ * the external input x [B*n, d_model], value 1 the external additive
+ * mask ([n, n] broadcast or [B, n, n] when per_seq_mask), and the
+ * final LayerNorm writes the external output. With `fused`, the
+ * fusion pass is applied before returning.
+ */
+GraphDef buildEncoderEvalGraph(std::int64_t d_model, int heads,
+                               std::int64_t d_ff, std::int64_t batch,
+                               std::int64_t seq, bool per_seq_mask,
+                               bool fused);
+
+/** Graph executor registered behind the nn hook. */
+class EncoderExec : public EncoderGraphExec
+{
+  public:
+    Tensor forwardEval(EncoderLayer &layer, const Tensor &x,
+                       const Tensor &mask, std::int64_t batch,
+                       std::int64_t seq) override;
+
+    std::int64_t arenaPeakBytes() const override
+    {
+        return peakBytes_.load(std::memory_order_relaxed);
+    }
+
+    std::int64_t plannedSumBytes() const override
+    {
+        return lastSumBytes_.load(std::memory_order_relaxed);
+    }
+
+    /** Drop all cached plans (tests; weights are re-read each run so
+     * plans never go stale from training steps). */
+    void clearPlanCache();
+
+  private:
+    struct CachedPlan {
+        GraphDef def;
+        ArenaPlan plan;
+        int out_id = -1;
+    };
+
+    const CachedPlan &planFor(EncoderLayer &layer, std::int64_t batch,
+                              std::int64_t seq, bool per_seq_mask);
+
+    std::mutex mu_;
+    std::unordered_map<std::string, std::unique_ptr<CachedPlan>> cache_;
+    std::atomic<std::int64_t> peakBytes_{0};
+    std::atomic<std::int64_t> lastSumBytes_{0};
+};
+
+/**
+ * Install the process-wide EncoderExec behind nn's graph hook.
+ * Idempotent; returns the installed executor. Explicit rather than a
+ * static initializer so static-library linking can't drop it.
+ */
+EncoderExec *ensureEncoderGraphExecInstalled();
+
+} // namespace graph
+} // namespace bertprof
+
+#endif // BERTPROF_GRAPH_ENCODER_EXEC_H

@@ -1,0 +1,258 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bertprof {
+namespace graph {
+
+int
+GraphDef::addValue(const std::string &name, Shape shape, bool external)
+{
+    ValueDesc v;
+    v.name = name;
+    v.shape = std::move(shape);
+    v.external = external;
+    values.push_back(std::move(v));
+    return static_cast<int>(values.size()) - 1;
+}
+
+OpDesc &
+GraphDef::addOp(OpTag tag, const std::string &name, SubLayer sub,
+                std::vector<int> reads, std::vector<int> writes,
+                std::int64_t param)
+{
+    OpDesc op;
+    op.tag = tag;
+    op.name = name;
+    op.sub = sub;
+    op.reads = std::move(reads);
+    op.writes = std::move(writes);
+    op.param = param;
+    ops.push_back(std::move(op));
+    return ops.back();
+}
+
+std::vector<Interval>
+computeLiveness(const GraphDef &g)
+{
+    std::vector<Interval> live(g.values.size());
+    for (std::size_t i = 0; i < g.ops.size(); ++i) {
+        const int idx = static_cast<int>(i);
+        for (int id : g.ops[i].writes) {
+            BP_REQUIRE(id >= 0 &&
+                       id < static_cast<int>(g.values.size()));
+            if (live[id].start < 0)
+                live[id].start = idx;
+            // A write keeps the value live through this op.
+            live[id].end = std::max(live[id].end, idx + 1);
+        }
+        for (int id : g.ops[i].reads) {
+            BP_REQUIRE(id >= 0 &&
+                       id < static_cast<int>(g.values.size()));
+            // Conservative rule: a value read by op i stays live
+            // through i (end = i + 1), so op i's outputs can never be
+            // placed on top of its inputs.
+            live[id].end = std::max(live[id].end, idx + 1);
+        }
+    }
+    for (std::size_t id = 0; id < g.values.size(); ++id) {
+        if (g.values[id].external)
+            live[id] = Interval{-1, -1};
+    }
+    return live;
+}
+
+bool
+onlyReadWithin(const GraphDef &g, int id, std::size_t lo, std::size_t hi)
+{
+    for (std::size_t i = 0; i < g.ops.size(); ++i) {
+        if (i >= lo && i <= hi)
+            continue;
+        for (int r : g.ops[i].reads)
+            if (r == id)
+                return false;
+    }
+    return true;
+}
+
+namespace {
+
+bool
+tagsAt(const GraphDef &g, std::size_t i,
+       const std::vector<OpTag> &pattern)
+{
+    if (i + pattern.size() > g.ops.size())
+        return false;
+    for (std::size_t j = 0; j < pattern.size(); ++j)
+        if (g.ops[i + j].tag != pattern[j])
+            return false;
+    return true;
+}
+
+/** Replace ops [i, i+count) with one fused op. */
+void
+replaceChain(GraphDef &g, std::size_t i, std::size_t count, OpDesc fused)
+{
+    g.ops.erase(g.ops.begin() + static_cast<std::ptrdiff_t>(i),
+                g.ops.begin() + static_cast<std::ptrdiff_t>(i + count));
+    g.ops.insert(g.ops.begin() + static_cast<std::ptrdiff_t>(i),
+                 std::move(fused));
+}
+
+/**
+ * Match [Gemm, BiasAdd, SplitHeads] x3 where the three GEMMs read the
+ * same input. Emits FusedQkv reading that input and the mask-free
+ * operands, writing the three split 3-D outputs.
+ */
+bool
+tryFuseQkv(GraphDef &g, std::size_t i)
+{
+    const std::vector<OpTag> unit = {OpTag::Gemm, OpTag::BiasAdd,
+                                     OpTag::SplitHeads};
+    for (int rep = 0; rep < 3; ++rep)
+        if (!tagsAt(g, i + 3 * static_cast<std::size_t>(rep), unit))
+            return false;
+    const int x_id = g.ops[i].reads[0];
+    std::vector<int> q3d_writes;
+    for (int rep = 0; rep < 3; ++rep) {
+        const std::size_t base = i + 3 * static_cast<std::size_t>(rep);
+        const OpDesc &gemm_op = g.ops[base];
+        const OpDesc &bias_op = g.ops[base + 1];
+        const OpDesc &split_op = g.ops[base + 2];
+        if (gemm_op.reads[0] != x_id)
+            return false;
+        const int y2d = gemm_op.writes[0];
+        // Chain: GEMM out -> in-place bias -> split in; the 2-D
+        // intermediate must die inside the chain.
+        if (bias_op.reads[0] != y2d || bias_op.writes[0] != y2d)
+            return false;
+        if (split_op.reads[0] != y2d)
+            return false;
+        if (!onlyReadWithin(g, y2d, base, base + 2))
+            return false;
+        q3d_writes.push_back(split_op.writes[0]);
+    }
+    OpDesc fused;
+    fused.tag = OpTag::FusedQkv;
+    fused.name = "attn.qkv.fwd";
+    fused.sub = SubLayer::AttnLinear;
+    fused.reads = {x_id};
+    fused.writes = q3d_writes;
+    replaceChain(g, i, 9, std::move(fused));
+    return true;
+}
+
+/**
+ * Match [BatchedGemm, Scale, MaskAdd, Softmax, BatchedGemm]: the
+ * score GEMM feeding the in-place scale/mask, the softmax, and the
+ * context GEMM. Emits FusedAttention reading q/k/v/mask directly.
+ */
+bool
+tryFuseAttention(GraphDef &g, std::size_t i)
+{
+    if (!tagsAt(g, i,
+                {OpTag::BatchedGemm, OpTag::Scale, OpTag::MaskAdd,
+                 OpTag::Softmax, OpTag::BatchedGemm}))
+        return false;
+    const OpDesc &score = g.ops[i];
+    const OpDesc &scale = g.ops[i + 1];
+    const OpDesc &mask = g.ops[i + 2];
+    const OpDesc &softmax = g.ops[i + 3];
+    const OpDesc &context = g.ops[i + 4];
+    const int scores_id = score.writes[0];
+    if (scale.reads[0] != scores_id || scale.writes[0] != scores_id)
+        return false;
+    if (mask.reads[0] != scores_id || mask.writes[0] != scores_id)
+        return false;
+    if (softmax.reads[0] != scores_id)
+        return false;
+    const int probs_id = softmax.writes[0];
+    if (context.reads[0] != probs_id)
+        return false;
+    if (!onlyReadWithin(g, scores_id, i, i + 3) ||
+        !onlyReadWithin(g, probs_id, i + 3, i + 4))
+        return false;
+    OpDesc fused;
+    fused.tag = OpTag::FusedAttention;
+    fused.name = "attn.fused.fwd";
+    fused.sub = SubLayer::AttnBGemm;
+    // q3d, k3d, v3d, mask — the values the chain actually consumes.
+    fused.reads = {score.reads[0], score.reads[1], context.reads[1],
+                   mask.reads[1]};
+    fused.writes = context.writes;
+    replaceChain(g, i, 5, std::move(fused));
+    return true;
+}
+
+/** Match [BiasAdd, Gelu] -> FusedBiasGelu (the FC1 epilogue). */
+bool
+tryFuseBiasGelu(GraphDef &g, std::size_t i)
+{
+    if (!tagsAt(g, i, {OpTag::BiasAdd, OpTag::Gelu}))
+        return false;
+    const OpDesc &bias = g.ops[i];
+    const OpDesc &gelu = g.ops[i + 1];
+    const int pre_id = bias.writes[0];
+    if (gelu.reads[0] != pre_id)
+        return false;
+    if (!onlyReadWithin(g, pre_id, i, i + 1))
+        return false;
+    OpDesc fused;
+    fused.tag = OpTag::FusedBiasGelu;
+    fused.name = "bias_gelu.fwd";
+    fused.sub = SubLayer::FcGelu;
+    fused.reads = {bias.reads[0]};
+    fused.writes = gelu.writes;
+    fused.param = bias.param;
+    replaceChain(g, i, 2, std::move(fused));
+    return true;
+}
+
+/** Match [Add, LayerNorm] -> FusedResidualLayerNorm. */
+bool
+tryFuseResidualLn(GraphDef &g, std::size_t i)
+{
+    if (!tagsAt(g, i, {OpTag::Add, OpTag::LayerNorm}))
+        return false;
+    const OpDesc &add = g.ops[i];
+    const OpDesc &ln = g.ops[i + 1];
+    const int sum_id = add.writes[0];
+    if (ln.reads[0] != sum_id)
+        return false;
+    if (!onlyReadWithin(g, sum_id, i, i + 1))
+        return false;
+    OpDesc fused;
+    fused.tag = OpTag::FusedResidualLayerNorm;
+    fused.name = "res_ln.fwd";
+    fused.sub = SubLayer::DrRcLn;
+    fused.reads = add.reads;
+    fused.writes = ln.writes;
+    fused.param = ln.param;
+    replaceChain(g, i, 2, std::move(fused));
+    return true;
+}
+
+} // namespace
+
+int
+fuseEncoderPatterns(GraphDef &g)
+{
+    int rewritten = 0;
+    std::size_t i = 0;
+    while (i < g.ops.size()) {
+        if (tryFuseQkv(g, i) || tryFuseAttention(g, i) ||
+            tryFuseBiasGelu(g, i) || tryFuseResidualLn(g, i)) {
+            ++rewritten;
+            // Stay at i: the fused op's successor may start a new
+            // fusible chain at the same index.
+            continue;
+        }
+        ++i;
+    }
+    return rewritten;
+}
+
+} // namespace graph
+} // namespace bertprof

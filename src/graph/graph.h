@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Graph-level IR for the encoder-layer executor. Ops declare which
+ * values they read and write; everything downstream is derived from
+ * that declaration:
+ *
+ *  - fuseEncoderPatterns() pattern-matches fusible chains (bias+GeLU,
+ *    residual+LayerNorm, score->softmax->context, the Q/K/V
+ *    projection trio) and rewrites them into single fused ops. Fusion
+ *    is a *scheduling decision*: the same builder output runs fused
+ *    or unfused depending on whether the pass is applied.
+ *  - computeLiveness() turns the scheduled op list into per-value
+ *    [def, last_use+1) intervals. The +1 is the conservative rule
+ *    that keeps an op's inputs alive while it runs, so its outputs
+ *    can never be assigned storage that aliases them.
+ *  - The arena planner (graph/arena.h) maps intervals to offsets in
+ *    one backing buffer with reuse.
+ *
+ * The IR is declarative (no function pointers); graph/encoder_exec.cc
+ * interprets it against an EncoderLayer's parameters. That keeps the
+ * passes pure and unit-testable.
+ */
+
+#ifndef BERTPROF_GRAPH_GRAPH_H
+#define BERTPROF_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "trace/taxonomy.h"
+
+namespace bertprof {
+namespace graph {
+
+/** What an op computes; the interpreter switches on this. */
+enum class OpTag {
+    Gemm,        ///< y = x W^T against a layer parameter
+    BiasAdd,     ///< y += b (in-place: reads and writes the value)
+    SplitHeads,  ///< [B*n, H] -> [B*h, n, H/h]
+    MergeHeads,  ///< inverse of SplitHeads
+    BatchedGemm, ///< attention score / context B*h GEMMs
+    Scale,       ///< scores *= 1/sqrt(d/h) (in-place)
+    MaskAdd,     ///< scores += additive mask (in-place)
+    Softmax,     ///< row softmax
+    Gelu,        ///< elementwise GeLU
+    Add,         ///< residual add
+    LayerNorm,   ///< row layernorm, writes y + mean + rstd
+    // Fused ops, produced only by fuseEncoderPatterns().
+    FusedQkv,              ///< one packed GEMM + bias/split epilogue
+    FusedAttention,        ///< score->softmax->context, no probs tensor
+    FusedBiasGelu,         ///< bias + GeLU in one pass
+    FusedResidualLayerNorm ///< add + layernorm in one pass
+};
+
+/** Which layer parameter an op consumes (resolved by the executor). */
+enum ParamRef : std::int64_t {
+    kParamNone = -1,
+    kParamWq = 0,
+    kParamWk,
+    kParamWv,
+    kParamWo,
+    kParamFc1,
+    kParamFc2,
+    kParamLn1,
+    kParamLn2,
+};
+
+/** One scheduled op: tag + declared reads/writes + metadata. */
+struct OpDesc {
+    OpTag tag;
+    std::string name;        ///< profiler kernel name
+    SubLayer sub;            ///< profiler sub-layer attribution
+    std::vector<int> reads;  ///< value ids consumed
+    std::vector<int> writes; ///< value ids produced (may repeat reads
+                             ///< for in-place ops)
+    std::int64_t param = kParamNone; ///< ParamRef, if any
+};
+
+/** One value: a tensor flowing between ops. */
+struct ValueDesc {
+    std::string name;
+    Shape shape;
+    bool external = false; ///< graph input/output; never arena-backed
+};
+
+/** A scheduled graph: values plus ops in execution order. */
+struct GraphDef {
+    std::vector<ValueDesc> values;
+    std::vector<OpDesc> ops;
+
+    int addValue(const std::string &name, Shape shape,
+                 bool external = false);
+    OpDesc &addOp(OpTag tag, const std::string &name, SubLayer sub,
+                  std::vector<int> reads, std::vector<int> writes,
+                  std::int64_t param = kParamNone);
+};
+
+/**
+ * Per-value live interval in op indices: [start, end) with the
+ * conservative end = last_use + 1. Values never defined (graph
+ * inputs) start at -1; external values get {-1, -1} and are skipped
+ * by the arena planner.
+ */
+struct Interval {
+    int start = -1;
+    int end = -1;
+};
+
+std::vector<Interval> computeLiveness(const GraphDef &g);
+
+/**
+ * Pattern-match and rewrite the four encoder fusion chains:
+ *
+ *  1. [Gemm, BiasAdd, SplitHeads] x3 off one input -> FusedQkv
+ *  2. [BatchedGemm, Scale, MaskAdd, Softmax, BatchedGemm]
+ *       -> FusedAttention
+ *  3. [BiasAdd, Gelu] -> FusedBiasGelu
+ *  4. [Add, LayerNorm] -> FusedResidualLayerNorm
+ *
+ * A chain only matches when the ops are adjacent in schedule order
+ * and every intermediate value is consumed solely inside the chain
+ * (checked against the whole op list), so the rewrite can never drop
+ * a value some later op still needs. Returns the number of chains
+ * rewritten.
+ */
+int fuseEncoderPatterns(GraphDef &g);
+
+/**
+ * True when no op outside [lo, hi] reads value id — the safety check
+ * fusion uses before erasing an intermediate. Exposed for tests.
+ */
+bool onlyReadWithin(const GraphDef &g, int id, std::size_t lo,
+                    std::size_t hi);
+
+} // namespace graph
+} // namespace bertprof
+
+#endif // BERTPROF_GRAPH_GRAPH_H

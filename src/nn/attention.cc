@@ -4,9 +4,11 @@
 
 #include "ops/dropout.h"
 #include "ops/elementwise.h"
+#include "ops/fused.h"
 #include "ops/gemm.h"
 #include "ops/reshape.h"
 #include "ops/softmax.h"
+#include "runtime/config.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -51,18 +53,63 @@ MultiHeadAttention::forward(const Tensor &x, const Tensor &mask,
     const std::int64_t dh = dModel_ / numHeads_;
     const std::int64_t bh = batch * numHeads_;
 
-    // Linear projections (the paper's "Linear" GEMMs).
-    Tensor q = wq_.forward(x);
-    Tensor k = wk_.forward(x);
-    Tensor v = wv_.forward(x);
+    const bool fused = fusionEnabled();
+    usedFusedQkv_ = fused && training;
 
-    // Rearrange into per-head batches for the B*h batched GEMM.
     Tensor q3d(Shape({bh, seq, dh}));
     Tensor k3d(Shape({bh, seq, dh}));
     Tensor v3d(Shape({bh, seq, dh}));
-    splitHeads(q, batch, seq, numHeads_, q3d);
-    splitHeads(k, batch, seq, numHeads_, k3d);
-    splitHeads(v, batch, seq, numHeads_, v3d);
+    if (fused) {
+        // Single packed GEMM over [Wq; Wk; Wv] with a fused bias +
+        // split-heads epilogue (Fig. 12b's QKV fusion, for real).
+        if (training)
+            xSaved_ = x.clone();
+        else
+            xSaved_ = Tensor();
+        ScopedKernel kern(rt_->profiler, "attn.qkv.fwd", OpKind::Gemm,
+                          Phase::Fwd, LayerScope::Transformer,
+                          SubLayer::AttnLinear);
+        kern.setStats(fusedQkvForward(
+            x, wq_.weight().value, wk_.weight().value, wv_.weight().value,
+            wq_.bias().value, wk_.bias().value, wv_.bias().value, batch,
+            seq, numHeads_, q3d, k3d, v3d));
+    } else {
+        xSaved_ = Tensor();
+        // Linear projections (the paper's "Linear" GEMMs).
+        Tensor q = wq_.forward(x);
+        Tensor k = wk_.forward(x);
+        Tensor v = wv_.forward(x);
+
+        // Rearrange into per-head batches for the B*h batched GEMM.
+        splitHeads(q, batch, seq, numHeads_, q3d);
+        splitHeads(k, batch, seq, numHeads_, k3d);
+        splitHeads(v, batch, seq, numHeads_, v3d);
+    }
+
+    if (fused && !training) {
+        // Eval-only fused attention: score -> softmax -> context in
+        // one pass per query row; the [B*h, n, n] scores/probs
+        // tensors are never materialized.
+        const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+        Tensor context(Shape({bh, seq, dh}));
+        {
+            ScopedKernel kern(rt_->profiler, "attn.fused.fwd",
+                              OpKind::BatchedGemm, Phase::Fwd,
+                              LayerScope::Transformer,
+                              SubLayer::AttnBGemm);
+            kern.setStats(fusedAttentionEvalForward(
+                q3d, k3d, v3d, mask, numHeads_, scale, context));
+        }
+        Tensor merged(Shape({batch * seq, dModel_}));
+        mergeHeads(context, batch, seq, numHeads_, merged);
+        q3d_ = Tensor();
+        k3d_ = Tensor();
+        v3d_ = Tensor();
+        probs_ = Tensor();
+        probsDropped_ = Tensor();
+        dropMask_ = Tensor();
+        return wo_.forward(merged);
+    }
 
     // Attention scores: B*h GEMMs of n x n x d/h (Table 2b row 2).
     Tensor scores(Shape({bh, seq, seq}));
@@ -223,6 +270,35 @@ MultiHeadAttention::backward(const Tensor &dout)
     mergeHeads(dq3d, batch_, seq_, numHeads_, dq);
     mergeHeads(dk3d, batch_, seq_, numHeads_, dk);
     mergeHeads(dv3d, batch_, seq_, numHeads_, dv);
+
+    if (usedFusedQkv_) {
+        // Single concatenated-weight backward: one k=3H dgrad GEMM
+        // and one wgrad GEMM over dqkv [T, 3H]; weight/bias grads are
+        // bitwise vs three Linear backwards, dx is tolerance-only.
+        Tensor dwq(wq_.weight().value.shape());
+        Tensor dwk(wk_.weight().value.shape());
+        Tensor dwv(wv_.weight().value.shape());
+        Tensor dbq(wq_.bias().value.shape());
+        Tensor dbk(wk_.bias().value.shape());
+        Tensor dbv(wv_.bias().value.shape());
+        Tensor dx(xSaved_.shape());
+        {
+            ScopedKernel kern(rt_->profiler, "attn.qkv.bwd", OpKind::Gemm,
+                              Phase::Bwd, LayerScope::Transformer,
+                              SubLayer::AttnLinear);
+            kern.setStats(fusedQkvBackward(
+                dq, dk, dv, xSaved_, wq_.weight().value,
+                wk_.weight().value, wv_.weight().value, dwq, dwk, dwv,
+                dbq, dbk, dbv, dx));
+        }
+        accumulate(wq_.weight().grad, dwq);
+        accumulate(wk_.weight().grad, dwk);
+        accumulate(wv_.weight().grad, dwv);
+        accumulate(wq_.bias().grad, dbq);
+        accumulate(wk_.bias().grad, dbk);
+        accumulate(wv_.bias().grad, dbv);
+        return dx;
+    }
 
     Tensor dx = wq_.backward(dq);
     accumulate(dx, wk_.backward(dk));

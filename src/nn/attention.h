@@ -46,6 +46,13 @@ class MultiHeadAttention : public Module
     /** Initialize all projection weights. */
     void initialize(Rng &rng, float stddev = 0.02f);
 
+    Linear &wq() { return wq_; }
+    Linear &wk() { return wk_; }
+    Linear &wv() { return wv_; }
+    Linear &wo() { return wo_; }
+    int numHeads() const { return numHeads_; }
+    std::int64_t dModel() const { return dModel_; }
+
   protected:
     void collectChildren(std::vector<Module *> &out) override;
 
@@ -66,6 +73,12 @@ class MultiHeadAttention : public Module
     Tensor probs_;             ///< post-softmax scores [B*h, n, n]
     Tensor dropMask_;          ///< dropout mask on probs
     Tensor probsDropped_;      ///< probs after dropout
+
+    // Fused-QKV training state: the projection input, kept so
+    // backward can run the single concatenated-weight GEMM pair
+    // instead of three Linear backwards.
+    Tensor xSaved_;
+    bool usedFusedQkv_ = false;
 };
 
 } // namespace bertprof

@@ -1,7 +1,9 @@
 #include "nn/encoder_layer.h"
 
+#include "nn/graph_hook.h"
 #include "ops/dropout.h"
 #include "ops/elementwise.h"
+#include "runtime/config.h"
 #include "tensor/contracts.h"
 #include "util/logging.h"
 
@@ -40,6 +42,16 @@ EncoderLayer::forward(const Tensor &x, const Tensor &mask,
         attnDropMask_ = Tensor();
         ffDropMask_ = Tensor();
     }
+    const bool fused = fusionEnabled();
+
+    // Eval + fusion: hand the whole layer to the graph executor when
+    // one is installed — fusion becomes a scheduling decision (the
+    // planner pattern-matches the chains and places intermediates in
+    // an arena). Falls back to the eager fused kernels below.
+    if (!training && fused) {
+        if (EncoderGraphExec *exec = encoderGraphExec())
+            return exec->forwardEval(*this, x, mask, batch, seq);
+    }
 
     // Attention sub-layer + DR + RC + LN. Eval mode: the block
     // dropouts are exact identities (no RNG draw, no mask alloc), so
@@ -57,14 +69,19 @@ EncoderLayer::forward(const Tensor &x, const Tensor &mask,
                                   rt_->rng, dropped, attnDropMask_));
         residual_in = &dropped;
     }
-    Tensor residual(attn_out.shape());
-    {
-        ScopedKernel k(rt_->profiler, "attn.block.residual",
-                       OpKind::Elementwise, Phase::Fwd,
-                       LayerScope::Transformer, SubLayer::DrRcLn);
-        k.setStats(addForward(*residual_in, x, residual));
+    Tensor normed;
+    if (fused) {
+        normed = ln1_.forwardFusedResidual(*residual_in, x);
+    } else {
+        Tensor residual(attn_out.shape());
+        {
+            ScopedKernel k(rt_->profiler, "attn.block.residual",
+                           OpKind::Elementwise, Phase::Fwd,
+                           LayerScope::Transformer, SubLayer::DrRcLn);
+            k.setStats(addForward(*residual_in, x, residual));
+        }
+        normed = ln1_.forward(residual);
     }
-    Tensor normed = ln1_.forward(residual);
 
     // Feed-forward sub-layer + DR + RC + LN.
     Tensor ff_out = ff_.forward(normed);
@@ -80,6 +97,8 @@ EncoderLayer::forward(const Tensor &x, const Tensor &mask,
                                   ff_dropped, ffDropMask_));
         ff_residual_in = &ff_dropped;
     }
+    if (fused)
+        return ln2_.forwardFusedResidual(*ff_residual_in, normed);
     Tensor ff_residual(ff_out.shape());
     {
         ScopedKernel k(rt_->profiler, "ff.block.residual",

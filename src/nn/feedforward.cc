@@ -1,6 +1,8 @@
 #include "nn/feedforward.h"
 
 #include "ops/activation.h"
+#include "ops/fused.h"
+#include "runtime/config.h"
 #include "util/logging.h"
 
 namespace bertprof {
@@ -25,8 +27,38 @@ FeedForward::initialize(Rng &rng, float stddev)
 Tensor
 FeedForward::forward(const Tensor &x)
 {
+    const bool training = isTraining();
+    if (fusionEnabled()) {
+        // FC1 GEMM without its bias epilogue; the bias rides along in
+        // the fused bias+GeLU kernel (bitwise vs the unfused pair).
+        Tensor pre_gemm = fc1_.forwardGemm(x);
+        Tensor activated(pre_gemm.shape());
+        {
+            ScopedKernel k(rt_->profiler, "bias_gelu.fwd",
+                           OpKind::Elementwise, Phase::Fwd,
+                           LayerScope::Transformer, SubLayer::FcGelu);
+            if (training) {
+                // Backward needs the post-bias pre-activation; the
+                // fused kernel materializes it alongside the
+                // activation.
+                savedPreGelu_ = Tensor(pre_gemm.shape());
+                hasSaved_ = true;
+                k.setStats(fusedBiasGeluForwardWithPre(
+                    pre_gemm, fc1_.bias().value, savedPreGelu_,
+                    activated));
+            } else {
+                savedPreGelu_ = Tensor();
+                hasSaved_ = false;
+                k.setStats(fusedBiasGeluForward(pre_gemm,
+                                                fc1_.bias().value,
+                                                activated));
+            }
+        }
+        return fc2_.forward(activated);
+    }
+
     Tensor pre = fc1_.forward(x);
-    if (isTraining()) {
+    if (training) {
         savedPreGelu_ = pre.clone();
         hasSaved_ = true;
     } else {

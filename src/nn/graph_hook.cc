@@ -1,0 +1,25 @@
+#include "nn/graph_hook.h"
+
+#include <atomic>
+
+namespace bertprof {
+
+namespace {
+
+std::atomic<EncoderGraphExec *> g_exec{nullptr};
+
+} // namespace
+
+void
+installEncoderGraphExec(EncoderGraphExec *exec)
+{
+    g_exec.store(exec, std::memory_order_release);
+}
+
+EncoderGraphExec *
+encoderGraphExec()
+{
+    return g_exec.load(std::memory_order_acquire);
+}
+
+} // namespace bertprof

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dependency-inversion seam between nn and the graph executor. The
+ * include-hygiene DAG forbids nn -> graph (graph sits above nn), so
+ * nn declares this abstract interface and src/graph registers a
+ * process-wide implementation via installEncoderGraphExec — the same
+ * pattern runtime/profiler.h uses for KernelEventSink.
+ *
+ * EncoderLayer::forward consults the installed executor on the eval
+ * path when BERTPROF_FUSION=on; when none is installed it falls back
+ * to the eager fused kernels. Installation is explicit
+ * (graph/encoder_exec.h's ensureEncoderGraphExecInstalled), never a
+ * static initializer — those get dropped when linking static libs.
+ */
+
+#ifndef BERTPROF_NN_GRAPH_HOOK_H
+#define BERTPROF_NN_GRAPH_HOOK_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace bertprof {
+
+class EncoderLayer;
+
+/** Graph-level encoder executor installed by src/graph. */
+class EncoderGraphExec
+{
+  public:
+    virtual ~EncoderGraphExec() = default;
+
+    /**
+     * Run one encoder layer forward in eval mode through the planned
+     * graph. Semantics match EncoderLayer::forward (eval): x is
+     * [B*n, d_model], mask is [n, n] or [B, n, n] additive.
+     */
+    virtual Tensor forwardEval(EncoderLayer &layer, const Tensor &x,
+                               const Tensor &mask, std::int64_t batch,
+                               std::int64_t seq) = 0;
+
+    /** Arena high-water mark (bytes) across all executed plans. */
+    virtual std::int64_t arenaPeakBytes() const = 0;
+
+    /**
+     * Sum of all arena-assigned tensor bytes in the most recent plan
+     * — what a no-reuse allocator would need. The planner's win is
+     * arenaPeakBytes() strictly below this.
+     */
+    virtual std::int64_t plannedSumBytes() const = 0;
+};
+
+/** Install (or clear, with nullptr) the process-wide executor. */
+void installEncoderGraphExec(EncoderGraphExec *exec);
+
+/** The installed executor, or nullptr. */
+EncoderGraphExec *encoderGraphExec();
+
+} // namespace bertprof
+
+#endif // BERTPROF_NN_GRAPH_HOOK_H

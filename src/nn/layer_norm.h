@@ -23,6 +23,14 @@ class LayerNorm : public Module
     /** Forward over [rows, dim]; saves state for backward. */
     Tensor forward(const Tensor &x);
 
+    /**
+     * Fused residual + LayerNorm forward: returns LN(a + b) in one
+     * kernel. Bitwise identical to addForward then forward(). In
+     * training the sum is materialized and saved (backward needs the
+     * LN input); in eval it never touches memory.
+     */
+    Tensor forwardFusedResidual(const Tensor &a, const Tensor &b);
+
     /** Backward; accumulates gamma/beta grads, returns dx. */
     Tensor backward(const Tensor &dout);
 
@@ -30,6 +38,7 @@ class LayerNorm : public Module
 
     Parameter &gamma() { return gamma_; }
     Parameter &beta() { return beta_; }
+    std::int64_t dim() const { return dim_; }
 
   private:
     std::int64_t dim_;

@@ -51,6 +51,26 @@ Linear::forward(const Tensor &x)
 }
 
 Tensor
+Linear::forwardGemm(const Tensor &x)
+{
+    BP_REQUIRE(x.shape().rank() == 2 && x.shape().dim(1) == inDim_);
+    if (isTraining()) {
+        savedInput_ = x.clone();
+        hasSavedInput_ = true;
+    } else {
+        savedInput_ = Tensor();
+        hasSavedInput_ = false;
+    }
+    Tensor y(Shape({x.shape().dim(0), outDim_}));
+    {
+        ScopedKernel k(rt_->profiler, weight_.name + ".fwd", OpKind::Gemm,
+                       Phase::Fwd, scope_, sub_);
+        k.setStats(gemm(x, weight_.value, y, false, true));
+    }
+    return y;
+}
+
+Tensor
 Linear::backward(const Tensor &dout)
 {
     BP_REQUIRE(hasSavedInput_);

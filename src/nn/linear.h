@@ -35,6 +35,15 @@ class Linear : public Module
     Tensor forward(const Tensor &x);
 
     /**
+     * GEMM-only forward: y = x W^T without the bias epilogue, for
+     * callers that fuse the bias into the next kernel (FC1's fused
+     * bias+GeLU). Saves the input for backward exactly as forward()
+     * does; backward() stays valid because the bias gradient is read
+     * off dout, which is the same tensor either way.
+     */
+    Tensor forwardGemm(const Tensor &x);
+
+    /**
      * Backward: dout is [rows, out_dim]; accumulates weight and bias
      * gradients and returns dx [rows, in_dim]. Requires a training-
      * mode forward() to have been called (eval-mode forwards retain
@@ -49,6 +58,8 @@ class Linear : public Module
 
     Parameter &weight() { return weight_; }
     Parameter &bias() { return bias_; }
+    std::int64_t inDim() const { return inDim_; }
+    std::int64_t outDim() const { return outDim_; }
 
   private:
     std::int64_t inDim_;

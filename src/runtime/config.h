@@ -12,6 +12,12 @@
  * override (setGemmImpl) > BERTPROF_GEMM_IMPL environment variable
  * ("packed" or "reference") > the packed default. "reference"
  * selects the original blocked triple-loop kernel bit-for-bit.
+ *
+ * Fusion resolution order is the same shape: programmatic override
+ * (setFusionMode) > BERTPROF_FUSION environment variable ("on" or
+ * "off") > Off. Off keeps the original per-op kernel schedule as the
+ * oracle; On enables the fused kernels and the graph executor
+ * (src/graph) where one is installed.
  */
 
 #ifndef BERTPROF_RUNTIME_CONFIG_H
@@ -58,6 +64,36 @@ void setGemmImpl(GemmImpl impl);
 /** Drop the programmatic override and re-resolve from the
  * environment. */
 void clearGemmImplOverride();
+
+/** Whether fused kernels / graph scheduling are in effect. */
+enum class FusionMode {
+    /** Per-op kernel schedule, exactly the pre-fusion code path — the
+     * parity oracle. The default. */
+    Off,
+    /** Fused kernels (bias+GeLU, residual+LN, one-pass attention,
+     * packed QKV) and, where installed, the graph executor. */
+    On,
+};
+
+/** Short name: "off" / "on". */
+const char *fusionModeName(FusionMode mode);
+
+/**
+ * The fusion mode in effect: an explicit setFusionMode() override
+ * wins, then BERTPROF_FUSION ("on" | "off"), then Off.
+ */
+FusionMode configuredFusionMode();
+
+/** True when configuredFusionMode() == FusionMode::On. */
+bool fusionEnabled();
+
+/** Override the fusion mode programmatically (tests and benches
+ * sweep both). Cleared by clearFusionModeOverride(). */
+void setFusionMode(FusionMode mode);
+
+/** Drop the programmatic override and re-resolve from the
+ * environment. */
+void clearFusionModeOverride();
 
 } // namespace bertprof
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "nn/graph_hook.h"
 #include "telemetry/metrics.h"
 #include "telemetry/recorder.h"
 #include "util/logging.h"
@@ -135,6 +136,19 @@ InferenceServer::executorLoop()
             nanosBetween(oldestArrival, start),
             nanosBetween(start, end), batch_size, batch.paddedLen,
             depth);
+        // Arena footprint of the graph executor, when engaged: the
+        // high-water mark shows up in bptrace --stats next to the
+        // serving gauges.
+        if (EncoderGraphExec *exec = encoderGraphExec()) {
+            const std::int64_t arena_peak = exec->arenaPeakBytes();
+            if (arena_peak > 0) {
+                metrics.gauge("graph.arena_peak_bytes")
+                    .set(static_cast<double>(arena_peak));
+                TraceRecorder::instance().gauge(
+                    "graph.arena_peak_bytes",
+                    static_cast<double>(arena_peak));
+            }
+        }
 
         batch.requests.clear();
         replies.clear();

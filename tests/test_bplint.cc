@@ -44,13 +44,13 @@ firesAtLine(const std::vector<Finding> &all, const std::string &rule,
 // Rule inventory and infrastructure.
 // --------------------------------------------------------------------
 
-TEST(BplintMeta, AllSevenRulesAreRegistered)
+TEST(BplintMeta, AllEightRulesAreRegistered)
 {
     const std::vector<std::string> rules = bplint::ruleNames();
     const char *expected[] = {"wall-clock",         "libc-rand",
                               "kernel-stats",       "op-entry-contract",
                               "parallel-shared-accum", "include-hygiene",
-                              "unchecked-io"};
+                              "unchecked-io",       "arena-escape"};
     for (const char *rule : expected) {
         EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
             << "missing rule " << rule;
@@ -335,6 +335,63 @@ TEST(BplintIncludeHygiene, NothingUnderSrcMayDependOnServe)
     EXPECT_TRUE(byRule(lintSource("bench/bench_serving.cc", text),
                        "include-hygiene")
                     .empty());
+}
+
+TEST(BplintIncludeHygiene, GraphMayUseNnButNnMayNotUseGraph)
+{
+    const auto up = lintSource("src/nn/encoder_layer.cc",
+                               "#include \"graph/encoder_exec.h\"\n");
+    EXPECT_TRUE(firesAtLine(up, "include-hygiene", 1));
+
+    const auto down = lintSource("src/graph/encoder_exec.cc",
+                                 "#include \"nn/encoder_layer.h\"\n"
+                                 "#include \"ops/fused.h\"\n"
+                                 "#include \"runtime/profiler.h\"\n");
+    EXPECT_TRUE(byRule(down, "include-hygiene").empty());
+
+    // serve may reach the executor to install it.
+    const auto serve = lintSource("src/serve/engine.cc",
+                                  "#include \"graph/encoder_exec.h\"\n");
+    EXPECT_TRUE(byRule(serve, "include-hygiene").empty());
+}
+
+// --------------------------------------------------------------------
+// arena-escape: Tensor::borrow is confined to the graph executor.
+// --------------------------------------------------------------------
+
+TEST(BplintArenaEscape, FiresOnBorrowOutsideGraph)
+{
+    const char *src =
+        "void f(float *p) {\n"
+        "    Tensor t = Tensor::borrow(p, Shape({4}));\n"
+        "}\n";
+    const auto in_nn = lintSource("src/nn/attention.cc", src);
+    EXPECT_TRUE(firesAtLine(in_nn, "arena-escape", 2));
+    const auto in_ops = lintSource("src/ops/fused.cc", src);
+    EXPECT_TRUE(firesAtLine(in_ops, "arena-escape", 2));
+}
+
+TEST(BplintArenaEscape, GraphTensorAndNonSrcAreExempt)
+{
+    const char *src = "Tensor t = Tensor::borrow(p, Shape({4}));\n";
+    EXPECT_TRUE(
+        byRule(lintSource("src/graph/encoder_exec.cc", src),
+               "arena-escape")
+            .empty());
+    EXPECT_TRUE(
+        byRule(lintSource("src/tensor/tensor.cc", src), "arena-escape")
+            .empty());
+    EXPECT_TRUE(
+        byRule(lintSource("tests/test_graph.cc", src), "arena-escape")
+            .empty());
+}
+
+TEST(BplintArenaEscape, MentionInCommentIsClean)
+{
+    const auto res = lintSource(
+        "src/nn/module.cc",
+        "// views come from Tensor::borrow in the executor\n");
+    EXPECT_TRUE(byRule(res, "arena-escape").empty());
 }
 
 TEST(BplintIncludeHygiene, TelemetryMayUseIoAndRuntimeLayers)

@@ -13,6 +13,7 @@
 #include "data/synthetic.h"
 #include "nn/bert_pretrainer.h"
 #include "optim/lamb.h"
+#include "runtime/config.h"
 #include "test_helpers.h"
 #include "trace/bert_trace_builder.h"
 
@@ -24,6 +25,13 @@ using testing::tinyBertConfig;
 struct CrossValidation : public ::testing::Test {
     BertConfig config_ = tinyBertConfig();
     Profiler profiler_;
+
+    // The trace builder emits the *unfused* op decomposition, so the
+    // substrate must run the unfused oracle path regardless of any
+    // ambient BERTPROF_FUSION setting (the fused kernels merge GEMMs
+    // and change the per-kernel taxonomy by design).
+    void SetUp() override { setFusionMode(FusionMode::Off); }
+    void TearDown() override { clearFusionModeOverride(); }
 
     void
     runSubstrateIteration()

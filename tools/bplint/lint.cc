@@ -716,6 +716,12 @@ layerMap()
         // runtime profiler's sink, not direct dependencies, so the
         // substrate stays recordable without being recorder-aware.
         {"telemetry", {"telemetry", "io", "runtime", "trace", "util"}},
+        // The graph executor sits above nn: it builds op lists out of
+        // nn modules and interprets them over ops kernels. Nothing
+        // below it (nn/ops/tensor/...) may include graph — nn reaches
+        // it only through the nn/graph_hook.h seam.
+        {"graph",
+         {"graph", "nn", "ops", "runtime", "tensor", "trace", "util"}},
         {"dist", {"dist", "perf", "trace", "tensor", "util"}},
         {"nmc", {"nmc", "dist", "perf", "trace", "tensor", "util"}},
         // The serving runtime sits beside core at the top of the
@@ -724,8 +730,8 @@ layerMap()
         // in particular core must stay serving-free, so embedding the
         // substrate never drags in the server.
         {"serve",
-         {"serve", "nn", "io", "ops", "runtime", "telemetry", "tensor",
-          "trace", "util"}},
+         {"serve", "graph", "nn", "io", "ops", "runtime", "telemetry",
+          "tensor", "trace", "util"}},
         {"core",
          {"core", "data", "dist", "io", "nmc", "nn", "optim", "ops",
           "perf", "runtime", "telemetry", "tensor", "trace", "train",
@@ -790,6 +796,36 @@ checkIncludeHygiene(const std::string &path, const std::string &original,
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: arena-escape
+// ---------------------------------------------------------------------------
+
+// Tensor::borrow wraps raw arena storage in a non-owning view whose
+// lifetime is bounded by the executor's plan. Only the graph layer
+// (which owns the arena) and the tensor layer (which defines the
+// type) may mint such views; anywhere else a borrowed view could
+// outlive its backing buffer.
+void
+checkArenaEscape(const std::string &path, const std::string &s,
+                 std::vector<Finding> &out)
+{
+    const std::size_t sp = path.rfind("src/");
+    if (sp == std::string::npos)
+        return;
+    const std::string rel = path.substr(sp + 4);
+    if (rel.rfind("graph/", 0) == 0 || rel.rfind("tensor/", 0) == 0)
+        return;
+    std::size_t pos = 0;
+    while ((pos = s.find("Tensor::borrow", pos)) != std::string::npos) {
+        out.push_back(
+            {path, lineOf(s, pos), "arena-escape",
+             "Tensor::borrow outside src/graph creates a non-owning "
+             "view that can outlive its arena; only the graph "
+             "executor may bind borrowed storage"});
+        pos += 14;
+    }
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -798,7 +834,7 @@ ruleNames()
     return {"wall-clock",        "libc-rand",
             "kernel-stats",      "op-entry-contract",
             "parallel-shared-accum", "include-hygiene",
-            "unchecked-io"};
+            "unchecked-io",      "arena-escape"};
 }
 
 std::vector<Finding>
@@ -811,6 +847,7 @@ lintSource(const std::string &path, const std::string &text)
     checkParallelBodies(path, f.text, raw);
     checkUncheckedIo(path, f.text, raw);
     checkIncludeHygiene(path, text, raw);
+    checkArenaEscape(path, f.text, raw);
     if (path.find("src/ops/") != std::string::npos &&
         path.size() > 3 && path.compare(path.size() - 3, 3, ".cc") == 0) {
         checkOpsKernels(path, f.text, raw);
