@@ -27,7 +27,7 @@ cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
     -DBERTPROF_NATIVE="${NATIVE}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
     --target bench_gemm_microkernel bench_cpu_parallel_scaling \
-    bench_serving bench_trace_overhead bench_fusion
+    bench_serving bench_trace_overhead bench_fusion bench_bplint
 
 mkdir -p results
 "${BUILD_DIR}/bench/bench_gemm_microkernel" \
@@ -45,9 +45,13 @@ mkdir -p results
 "${BUILD_DIR}/bench/bench_fusion" \
     --json results/BENCH_fusion.json \
     | tee results/bench_fusion.txt
+"${BUILD_DIR}/bench/bench_bplint" \
+    --json results/BENCH_lint.json \
+    | tee results/bench_bplint.txt
 
 echo "snapshots: results/bench_gemm_microkernel.txt," \
      "results/BENCH_gemm.json, results/bench_cpu_parallel_scaling.txt," \
      "results/bench_serving.txt, results/BENCH_serving.json," \
      "results/bench_trace_overhead.txt, results/BENCH_trace.json," \
-     "results/bench_fusion.txt, results/BENCH_fusion.json"
+     "results/bench_fusion.txt, results/BENCH_fusion.json," \
+     "results/bench_bplint.txt, results/BENCH_lint.json"

@@ -28,7 +28,10 @@ echo "=== [1/4] bplint invariant checks ==="
 BUILD_DIR=build-lint
 cmake -B "${BUILD_DIR}" -S . >/dev/null
 cmake --build "${BUILD_DIR}" --target bplint -j "$(nproc)" >/dev/null
-"${BUILD_DIR}/tools/bplint/bplint" src bench tests
+mkdir -p results
+"${BUILD_DIR}/tools/bplint/bplint" \
+    --env-doc README.md --sarif results/bplint.sarif \
+    src bench tests tools examples
 
 echo "=== [2/4] -Werror hardened build ==="
 cmake -B build-werror -S . -DBERTPROF_WERROR=ON >/dev/null

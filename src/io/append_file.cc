@@ -14,12 +14,18 @@ namespace bertprof {
 
 AppendFile::~AppendFile()
 {
+    // Destructor has nowhere to surface a close failure; callers who
+    // care must close() explicitly before destruction.
+    // bplint: allow(must-check-io)
     close();
 }
 
 IoStatus
 AppendFile::open(const std::string &path)
 {
+    // Reopening: the previous handle's fate cannot affect the new
+    // file, and open() reports its own status.
+    // bplint: allow(must-check-io)
     close();
     fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd_ < 0) {

@@ -148,17 +148,17 @@ BertPretrainer::forwardBackward(const PretrainBatch &batch,
 
     // Decoder backward.
     {
+        Tensor dbias(mlmDecoderBias_.value.shape());
         ScopedKernel k(rt_->profiler, "mlm.decoder.bias.bwd",
                        OpKind::Reduction, Phase::Bwd, LayerScope::Output,
                        SubLayer::OutputOps);
-        Tensor dbias(mlmDecoderBias_.value.shape());
         k.setStats(biasBackward(dlogits, dbias));
         accumulate(mlmDecoderBias_.grad, dbias);
     }
     {
+        Tensor dtable(tok_table.value.shape());
         ScopedKernel k(rt_->profiler, "mlm.decoder.wgrad", OpKind::Gemm,
                        Phase::Bwd, LayerScope::Output, SubLayer::OutputOps);
-        Tensor dtable(tok_table.value.shape());
         k.setStats(gemm(dlogits, normed, dtable, true, false));
         accumulate(tok_table.grad, dtable);
     }

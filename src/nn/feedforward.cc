@@ -33,22 +33,24 @@ FeedForward::forward(const Tensor &x)
         // the fused bias+GeLU kernel (bitwise vs the unfused pair).
         Tensor pre_gemm = fc1_.forwardGemm(x);
         Tensor activated(pre_gemm.shape());
+        if (training) {
+            // Backward needs the post-bias pre-activation; the fused
+            // kernel materializes it alongside the activation.
+            savedPreGelu_ = Tensor(pre_gemm.shape());
+            hasSaved_ = true;
+        } else {
+            savedPreGelu_ = Tensor();
+            hasSaved_ = false;
+        }
         {
             ScopedKernel k(rt_->profiler, "bias_gelu.fwd",
                            OpKind::Elementwise, Phase::Fwd,
                            LayerScope::Transformer, SubLayer::FcGelu);
             if (training) {
-                // Backward needs the post-bias pre-activation; the
-                // fused kernel materializes it alongside the
-                // activation.
-                savedPreGelu_ = Tensor(pre_gemm.shape());
-                hasSaved_ = true;
                 k.setStats(fusedBiasGeluForwardWithPre(
                     pre_gemm, fc1_.bias().value, savedPreGelu_,
                     activated));
             } else {
-                savedPreGelu_ = Tensor();
-                hasSaved_ = false;
                 k.setStats(fusedBiasGeluForward(pre_gemm,
                                                 fc1_.bias().value,
                                                 activated));

@@ -55,11 +55,12 @@ LayerNorm::forwardFusedResidual(const Tensor &a, const Tensor &b)
     Tensor mean(Shape({rows}));
     Tensor rstd(Shape({rows}));
     Tensor y(a.shape());
+    if (isTraining())
+        savedInput_ = Tensor(a.shape());
     {
         ScopedKernel k(rt_->profiler, gamma_.name + ".res_ln.fwd",
                        OpKind::Reduction, Phase::Fwd, scope_, sub_);
         if (isTraining()) {
-            savedInput_ = Tensor(a.shape());
             k.setStats(fusedResidualLayerNormForwardWithSum(
                 a, b, gamma_.value, beta_.value, savedInput_, y, mean,
                 rstd));

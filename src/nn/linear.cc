@@ -78,17 +78,17 @@ Linear::backward(const Tensor &dout)
     BP_REQUIRE(dout.shape().dim(0) == savedInput_.shape().dim(0));
 
     {
+        Tensor dbias(bias_.value.shape());
         ScopedKernel k(rt_->profiler, bias_.name + ".bwd",
                        OpKind::Reduction, Phase::Bwd, scope_, sub_);
-        Tensor dbias(bias_.value.shape());
         k.setStats(biasBackward(dout, dbias));
         accumulate(bias_.grad, dbias);
     }
     {
         // dW = dout^T * x  -> [out, in]
+        Tensor dweight(weight_.value.shape());
         ScopedKernel k(rt_->profiler, weight_.name + ".wgrad",
                        OpKind::Gemm, Phase::Bwd, scope_, sub_);
-        Tensor dweight(weight_.value.shape());
         k.setStats(gemm(dout, savedInput_, dweight, true, false));
         accumulate(weight_.grad, dweight);
     }

@@ -120,6 +120,9 @@ TraceWriter::open(const std::string &path)
     status = file_.append(header.data(), header.size());
     if (!status.ok()) {
         failed_ = true;
+        // Cleanup after a failed header append: the first error is
+        // the one worth reporting, not the close of a dead file.
+        // bplint: allow(must-check-io)
         file_.close();
     }
     return status;

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * bplint canary TU — NOT compiled (deliberately omitted from
+ * src/util/CMakeLists.txt; the code below would not survive a real
+ * build and exists only as lint input). Each block seeds exactly one
+ * violation of a bplint v2 semantic rule, suppressed with the
+ * standard directives. The `lint` CTest therefore exercises every
+ * rule against the real project model on every run: delete any
+ * suppression comment and `bplint_tree` fails.
+ */
+
+// The util layer transitively reaches everything the seeded
+// train include drags in; see lint_canary.h. The direct includes
+// below (io/runtime/tensor, needed so the canary code is plausible)
+// are likewise above util — the seeded direct violation lives in
+// lint_canary.h, so a blanket allow keeps this file to one seed per
+// rule.
+// bplint: allow-file(include-dag)
+// bplint: allow-file(include-hygiene)
+
+#include "util/lint_canary.h"
+
+#include "io/binary_io.h"
+#include "runtime/env.h"
+#include "runtime/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace bertprof {
+
+double
+lintCanaryAccumulate(int n)
+{
+    // Seeded violation: env knob read that the README table does not
+    // document (env-registry, read side).
+    // bplint: allow(env-registry)
+    bool warned = false;
+    const std::int64_t reps =
+        // bplint: allow(env-registry)
+        envInt("BERTPROF_LINT_CANARY", 1, 8, 1, &warned);
+
+    double acc = 0.0;
+    parallelFor(0, n * reps, 64, [&](std::int64_t lo, std::int64_t hi) {
+        // Seeded violation: Tensor construction in a hot region.
+        // bplint: allow(hot-loop-alloc)
+        Tensor scratch(Shape({hi - lo}));
+        for (std::int64_t i = lo; i < hi; ++i) {
+            // Seeded violation: by-ref captured accumulator written
+            // without a disjoint body-local subscript.
+            // bplint: allow(parallel-capture-race)
+            acc += scratch.data()[i - lo];
+        }
+    });
+
+    // Seeded violation: IoStatus dropped on the floor.
+    // bplint: allow(must-check-io)
+    writeTextFile("/tmp/lint_canary.txt", "canary");
+    return acc;
+}
+
+} // namespace bertprof

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * bplint canary header — NOT compiled (deliberately omitted from
+ * src/util/CMakeLists.txt). Together with lint_canary.cc this file
+ * seeds one suppressed violation for each bplint v2 semantic rule,
+ * so the `lint` CTest proves the rules keep firing on the real tree:
+ * delete any suppression comment below and `bplint_tree` fails.
+ *
+ * This header carries the include-layer seeds: a util header
+ * reaching up to train is a direct include-hygiene violation, and
+ * every layer train drags in transitively becomes an include-dag
+ * violation here and in the .cc that includes us.
+ */
+
+// bplint: allow-file(include-dag)
+
+#ifndef BERTPROF_UTIL_LINT_CANARY_H
+#define BERTPROF_UTIL_LINT_CANARY_H
+
+// Seeded violation: util must not include the train layer.
+// bplint: allow(include-hygiene)
+#include "train/trainer.h"
+
+namespace bertprof {
+
+/** Exists so the canary TU has a namespace-scope definition. */
+double lintCanaryAccumulate(int n);
+
+} // namespace bertprof
+
+#endif // BERTPROF_UTIL_LINT_CANARY_H

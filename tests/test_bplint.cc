@@ -12,13 +12,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "lint.h"
 
 namespace {
 
 using bplint::Finding;
+using bplint::lintProject;
+using bplint::LintOptions;
 using bplint::lintSource;
+using bplint::SourceFile;
 
 /** Findings for `rule` only. */
 std::vector<Finding>
@@ -44,13 +50,16 @@ firesAtLine(const std::vector<Finding> &all, const std::string &rule,
 // Rule inventory and infrastructure.
 // --------------------------------------------------------------------
 
-TEST(BplintMeta, AllEightRulesAreRegistered)
+TEST(BplintMeta, AllTwelveRulesAreRegistered)
 {
     const std::vector<std::string> rules = bplint::ruleNames();
     const char *expected[] = {"wall-clock",         "libc-rand",
                               "kernel-stats",       "op-entry-contract",
-                              "parallel-shared-accum", "include-hygiene",
+                              "parallel-capture-race", "hot-loop-alloc",
+                              "must-check-io",      "env-registry",
+                              "include-hygiene",    "include-dag",
                               "unchecked-io",       "arena-escape"};
+    EXPECT_EQ(rules.size(), 12u);
     for (const char *rule : expected) {
         EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
             << "missing rule " << rule;
@@ -223,10 +232,10 @@ TEST(BplintOpEntryContract, AnyContractMacroSatisfiesIt)
 }
 
 // --------------------------------------------------------------------
-// parallel-shared-accum
+// parallel-capture-race
 // --------------------------------------------------------------------
 
-TEST(BplintParallelAccum, FiresOnCapturedCompoundAssign)
+TEST(BplintCaptureRace, FiresOnCapturedCompoundAssign)
 {
     const std::string bad =
         "void f(ThreadPool &pool) {\n"
@@ -236,10 +245,10 @@ TEST(BplintParallelAccum, FiresOnCapturedCompoundAssign)
         "  });\n"
         "}\n";
     const auto findings = lintSource("src/runtime/bad.cc", bad);
-    EXPECT_TRUE(firesAtLine(findings, "parallel-shared-accum", 4));
+    EXPECT_TRUE(firesAtLine(findings, "parallel-capture-race", 4));
 }
 
-TEST(BplintParallelAccum, LocalAndSubscriptedWritesAreClean)
+TEST(BplintCaptureRace, LocalAndSubscriptedWritesAreClean)
 {
     const std::string good =
         "void f(ThreadPool &pool) {\n"
@@ -251,18 +260,109 @@ TEST(BplintParallelAccum, LocalAndSubscriptedWritesAreClean)
         "  });\n"
         "}\n";
     EXPECT_TRUE(byRule(lintSource("src/runtime/good.cc", good),
-                       "parallel-shared-accum")
+                       "parallel-capture-race")
                     .empty());
 }
 
-TEST(BplintParallelAccum, OutsideParallelForIsClean)
+TEST(BplintCaptureRace, OutsideParallelForIsClean)
 {
     const std::string good = "void f() {\n"
                              "  double total = 0.0;\n"
                              "  total += 1.0;\n"
                              "}\n";
     EXPECT_TRUE(byRule(lintSource("src/runtime/good.cc", good),
-                       "parallel-shared-accum")
+                       "parallel-capture-race")
+                    .empty());
+}
+
+TEST(BplintCaptureRace, FiresOnIncrementAndPlainAssign)
+{
+    const std::string bad =
+        "void f() {\n"
+        "  int hits = 0;\n"
+        "  long last = 0;\n"
+        "  parallelFor(0, n, 8, [&](std::int64_t b, std::int64_t e) {\n"
+        "    ++hits;\n"
+        "    last = e;\n"
+        "  });\n"
+        "}\n";
+    const auto findings = lintSource("src/runtime/bad.cc", bad);
+    EXPECT_TRUE(firesAtLine(findings, "parallel-capture-race", 5));
+    EXPECT_TRUE(firesAtLine(findings, "parallel-capture-race", 6));
+}
+
+TEST(BplintCaptureRace, FiresOnMutatingMemberCall)
+{
+    const std::string bad =
+        "void f() {\n"
+        "  std::vector<double> rows;\n"
+        "  parallelFor(0, n, 8, [&](std::int64_t b, std::int64_t e) {\n"
+        "    rows.push_back(static_cast<double>(b));\n"
+        "  });\n"
+        "}\n";
+    EXPECT_TRUE(firesAtLine(lintSource("src/runtime/bad.cc", bad),
+                            "parallel-capture-race", 4));
+}
+
+TEST(BplintCaptureRace, FiresOnPassByNonConstReference)
+{
+    const std::string bad =
+        "namespace bertprof {\n"
+        "void bump(double &x);\n"
+        "void f() {\n"
+        "  double total = 0.0;\n"
+        "  parallelFor(0, n, 8, [&](std::int64_t b, std::int64_t e) {\n"
+        "    bump(total);\n"
+        "  });\n"
+        "}\n"
+        "}\n";
+    EXPECT_TRUE(firesAtLine(lintSource("src/runtime/bad.cc", bad),
+                            "parallel-capture-race", 6));
+    // const& and by-value parameters are reads, not writes.
+    const std::string good =
+        "namespace bertprof {\n"
+        "void observe(const double &x);\n"
+        "void f() {\n"
+        "  double total = 0.0;\n"
+        "  parallelFor(0, n, 8, [&](std::int64_t b, std::int64_t e) {\n"
+        "    observe(total);\n"
+        "  });\n"
+        "}\n"
+        "}\n";
+    EXPECT_TRUE(byRule(lintSource("src/runtime/good.cc", good),
+                       "parallel-capture-race")
+                    .empty());
+}
+
+TEST(BplintCaptureRace, AtomicsAndDeclarationsAreClean)
+{
+    const std::string good =
+        "void f() {\n"
+        "  std::atomic<int> done{0};\n"
+        "  parallelFor(0, n, 8, [&](std::int64_t b, std::int64_t e) {\n"
+        "    const std::thread::id me = std::this_thread::get_id();\n"
+        "    done.fetch_add(1);\n"
+        "  });\n"
+        "}\n";
+    EXPECT_TRUE(byRule(lintSource("src/runtime/good.cc", good),
+                       "parallel-capture-race")
+                    .empty());
+}
+
+TEST(BplintCaptureRace, ValueCapturesAreNotShared)
+{
+    // [total] copies; writes to the copy are local to each task
+    // (require `mutable`, but either way they do not race).
+    const std::string good =
+        "void f() {\n"
+        "  double total = 0.0;\n"
+        "  parallelFor(0, n, 8,\n"
+        "              [total](std::int64_t b, std::int64_t e) mutable {\n"
+        "    total += 1.0;\n"
+        "  });\n"
+        "}\n";
+    EXPECT_TRUE(byRule(lintSource("src/runtime/good.cc", good),
+                       "parallel-capture-race")
                     .empty());
 }
 
@@ -536,5 +636,428 @@ TEST(BplintSuppression, AllowForWrongRuleDoesNotSilence)
         "int x = rand(); // bplint: allow(wall-clock)\n";
     EXPECT_FALSE(byRule(lintSource("src/a.cc", text), "libc-rand").empty());
 }
+
+// --------------------------------------------------------------------
+// hot-loop-alloc
+// --------------------------------------------------------------------
+
+TEST(BplintHotLoopAlloc, FiresOnAllocationsInParallelBody)
+{
+    const std::string bad =
+        "void f(ThreadPool &pool) {\n"
+        "  parallelFor(pool, 0, n, [&](std::int64_t b, std::int64_t e) {\n"
+        "    Tensor scratch(Shape({e - b}));\n"
+        "    auto owned = std::make_unique<float[]>(e - b);\n"
+        "    float *raw = new float[e - b];\n"
+        "    void *c = malloc(static_cast<std::size_t>(e - b));\n"
+        "  });\n"
+        "}\n";
+    const auto findings = lintSource("src/ops/bad.cc", bad);
+    EXPECT_TRUE(firesAtLine(findings, "hot-loop-alloc", 3));
+    EXPECT_TRUE(firesAtLine(findings, "hot-loop-alloc", 4));
+    EXPECT_TRUE(firesAtLine(findings, "hot-loop-alloc", 5));
+    EXPECT_TRUE(firesAtLine(findings, "hot-loop-alloc", 6));
+}
+
+TEST(BplintHotLoopAlloc, FiresInsideScopedKernelRegionOnly)
+{
+    const std::string text =
+        "KernelStats f(Profiler &prof) {\n"
+        "  Tensor before(Shape({4}));\n"
+        "  {\n"
+        "    ScopedKernel k(prof, \"gemm\");\n"
+        "    Tensor inside(Shape({4}));\n"
+        "  }\n"
+        "  return KernelStats{};\n"
+        "}\n";
+    const auto findings = lintSource("src/ops/gemm.cc", text);
+    EXPECT_TRUE(firesAtLine(findings, "hot-loop-alloc", 5));
+    EXPECT_FALSE(firesAtLine(findings, "hot-loop-alloc", 2));
+}
+
+TEST(BplintHotLoopAlloc, ReferencesPointersAndStaticsAreClean)
+{
+    const std::string good =
+        "void f(ThreadPool &pool) {\n"
+        "  parallelFor(pool, 0, n, [&](std::int64_t b, std::int64_t e) {\n"
+        "    Tensor &view = views[b];\n"
+        "    const Tensor *ptr = &views[b];\n"
+        "    Tensor::scaleInPlace(view, 2.0f);\n"
+        "  });\n"
+        "}\n";
+    EXPECT_TRUE(byRule(lintSource("src/ops/good.cc", good),
+                       "hot-loop-alloc")
+                    .empty());
+}
+
+TEST(BplintHotLoopAlloc, NonSrcTreesAreExempt)
+{
+    const std::string text =
+        "void f(ThreadPool &pool) {\n"
+        "  parallelFor(pool, 0, n, [&](std::int64_t b, std::int64_t e) {\n"
+        "    Tensor scratch(Shape({e - b}));\n"
+        "  });\n"
+        "}\n";
+    EXPECT_TRUE(byRule(lintSource("bench/bench_x.cc", text),
+                       "hot-loop-alloc")
+                    .empty());
+    EXPECT_TRUE(byRule(lintSource("tests/test_x.cc", text),
+                       "hot-loop-alloc")
+                    .empty());
+}
+
+// --------------------------------------------------------------------
+// must-check-io (cross-TU: receivers resolve against other files'
+// class declarations, so the fixtures run through lintProject).
+// --------------------------------------------------------------------
+
+const char *kIoHeader =
+    "namespace bertprof {\n"
+    "class IoStatus {\n"
+    "  public:\n"
+    "    bool ok() const;\n"
+    "};\n"
+    "IoStatus writeTextFile(const std::string &path,\n"
+    "                       const std::string &content);\n"
+    "class AppendFile {\n"
+    "  public:\n"
+    "    IoStatus open(const std::string &path);\n"
+    "    IoStatus sync();\n"
+    "    IoStatus close();\n"
+    "};\n"
+    "class Batcher {\n"
+    "  public:\n"
+    "    void close();\n"
+    "};\n"
+    "}\n";
+
+TEST(BplintMustCheckIo, FiresOnDiscardedAndVoidCastResults)
+{
+    const std::string bad =
+        "#include \"io/io.h\"\n"
+        "namespace bertprof {\n"
+        "void f(const std::string &p) {\n"
+        "  writeTextFile(p, p);\n"
+        "  (void)writeTextFile(p, p);\n"
+        "}\n"
+        "}\n";
+    const auto findings = lintProject(
+        {{"src/io/io.h", kIoHeader}, {"src/core/bad.cc", bad}},
+        LintOptions{});
+    EXPECT_TRUE(firesAtLine(findings, "must-check-io", 4));
+    EXPECT_TRUE(firesAtLine(findings, "must-check-io", 5));
+}
+
+TEST(BplintMustCheckIo, BoundButNeverReadFires)
+{
+    const std::string bad =
+        "#include \"io/io.h\"\n"
+        "namespace bertprof {\n"
+        "void f(const std::string &p) {\n"
+        "  IoStatus dropped = writeTextFile(p, p);\n"
+        "  doOtherWork();\n"
+        "}\n"
+        "}\n";
+    EXPECT_TRUE(firesAtLine(
+        lintProject({{"src/io/io.h", kIoHeader}, {"src/core/bad.cc", bad}},
+                    LintOptions{}),
+        "must-check-io", 4));
+}
+
+TEST(BplintMustCheckIo, ReturnedBoundAndReadOrChainedAreClean)
+{
+    const std::string good =
+        "#include \"io/io.h\"\n"
+        "namespace bertprof {\n"
+        "IoStatus g(const std::string &p) {\n"
+        "  return writeTextFile(p, p);\n"
+        "}\n"
+        "void h(const std::string &p) {\n"
+        "  IoStatus s = writeTextFile(p, p);\n"
+        "  if (!s.ok()) {\n"
+        "    logFailure();\n"
+        "  }\n"
+        "}\n"
+        "void i(const std::string &p) {\n"
+        "  if (!writeTextFile(p, p).ok()) {\n"
+        "    logFailure();\n"
+        "  }\n"
+        "}\n"
+        "}\n";
+    EXPECT_TRUE(byRule(lintProject({{"src/io/io.h", kIoHeader},
+                                    {"src/core/good.cc", good}},
+                                   LintOptions{}),
+                       "must-check-io")
+                    .empty());
+}
+
+TEST(BplintMustCheckIo, ResolvesReceiversAcrossTranslationUnits)
+{
+    // `file.sync()` resolves through the parameter type against the
+    // AppendFile declaration in the other file; Batcher::close()
+    // returns void and must stay clean.
+    const std::string bad =
+        "#include \"io/io.h\"\n"
+        "namespace bertprof {\n"
+        "void flushAll(AppendFile &file, Batcher &batcher) {\n"
+        "  file.sync();\n"
+        "  batcher.close();\n"
+        "}\n"
+        "}\n";
+    const auto findings = lintProject(
+        {{"src/io/io.h", kIoHeader}, {"src/telemetry/bad.cc", bad}},
+        LintOptions{});
+    EXPECT_TRUE(firesAtLine(findings, "must-check-io", 4));
+    EXPECT_FALSE(firesAtLine(findings, "must-check-io", 5));
+}
+
+TEST(BplintMustCheckIo, ResolvesMemberVariableReceivers)
+{
+    const std::string header =
+        "#include \"io/io.h\"\n"
+        "namespace bertprof {\n"
+        "class Writer {\n"
+        "  public:\n"
+        "    IoStatus flush();\n"
+        "  private:\n"
+        "    AppendFile file_;\n"
+        "};\n"
+        "}\n";
+    const std::string impl =
+        "#include \"telemetry/writer.h\"\n"
+        "namespace bertprof {\n"
+        "IoStatus\n"
+        "Writer::flush()\n"
+        "{\n"
+        "    file_.close();\n"
+        "    return IoStatus();\n"
+        "}\n"
+        "}\n";
+    EXPECT_TRUE(firesAtLine(
+        lintProject({{"src/io/io.h", kIoHeader},
+                     {"src/telemetry/writer.h", header},
+                     {"src/telemetry/writer.cc", impl}},
+                    LintOptions{}),
+        "must-check-io", 6));
+}
+
+TEST(BplintMustCheckIo, NonSrcTreesAreExempt)
+{
+    const std::string text = "#include \"io/io.h\"\n"
+                             "namespace bertprof {\n"
+                             "void f(const std::string &p) {\n"
+                             "  writeTextFile(p, p);\n"
+                             "}\n"
+                             "}\n";
+    EXPECT_TRUE(byRule(lintProject({{"src/io/io.h", kIoHeader},
+                                    {"tests/test_x.cc", text}},
+                                   LintOptions{}),
+                       "must-check-io")
+                    .empty());
+}
+
+// --------------------------------------------------------------------
+// env-registry
+// --------------------------------------------------------------------
+
+const char *kEnvDoc =
+    "# Environment knobs\n"
+    "\n"
+    "| Knob | Range | Default | Effect |\n"
+    "| --- | --- | --- | --- |\n"
+    "| `BERTPROF_NUM_THREADS` | 1..256 | hw | worker count |\n"
+    "| `BERTPROF_STALE_KNOB` | 0/1 | 0 | documented, never read |\n"
+    "| prose cell | see BERTPROF_IN_PROSE | - | not a knob row |\n";
+
+TEST(BplintEnvRegistry, FlagsUndocumentedReadsAndStaleDocRows)
+{
+    const std::string code =
+        "#include \"runtime/env.h\"\n"
+        "namespace bertprof {\n"
+        "int f() {\n"
+        "  bool warned = false;\n"
+        "  return envInt(\"BERTPROF_NUM_THREADS\", 1, 256, 8, &warned) +\n"
+        "         envInt(\"BERTPROF_SECRET\", 0, 1, 0, &warned);\n"
+        "}\n"
+        "}\n";
+    LintOptions opts;
+    opts.envDocPath = "README.md";
+    opts.envDocText = kEnvDoc;
+    const auto findings =
+        lintProject({{"src/runtime/cfg.cc", code}}, opts);
+    // Read side: the undocumented knob fires at its read site.
+    EXPECT_TRUE(firesAtLine(findings, "env-registry", 6));
+    // Doc side: the stale row fires at its table line in the doc.
+    bool staleRow = false;
+    for (const auto &f : byRule(findings, "env-registry")) {
+        if (f.file == "README.md" && f.line == 6 &&
+            f.message.find("BERTPROF_STALE_KNOB") != std::string::npos)
+            staleRow = true;
+        // Knob names outside the first table cell are not knob rows.
+        EXPECT_EQ(f.message.find("BERTPROF_IN_PROSE"), std::string::npos);
+        EXPECT_EQ(f.message.find("BERTPROF_NUM_THREADS"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(staleRow);
+}
+
+TEST(BplintEnvRegistry, DisabledWithoutEnvDoc)
+{
+    const std::string code =
+        "int f() { return envInt(\"BERTPROF_SECRET\", 0, 1, 0, nullptr); }\n";
+    EXPECT_TRUE(byRule(lintProject({{"src/runtime/cfg.cc", code}},
+                                   LintOptions{}),
+                       "env-registry")
+                    .empty());
+}
+
+TEST(BplintEnvRegistry, ReadsOutsideSrcAreNotRegistered)
+{
+    const std::string code =
+        "int f() { return envInt(\"BERTPROF_TOOL_ONLY\", 0, 1, 0, "
+        "nullptr); }\n";
+    LintOptions opts;
+    opts.envDocPath = "README.md";
+    opts.envDocText = kEnvDoc;
+    const auto findings = lintProject({{"tools/x/main.cc", code}}, opts);
+    for (const auto &f : byRule(findings, "env-registry"))
+        EXPECT_EQ(f.message.find("BERTPROF_TOOL_ONLY"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// include-dag
+// --------------------------------------------------------------------
+
+TEST(BplintIncludeDag, FiresOnTransitiveViolationThroughMidLayerHeader)
+{
+    // ops -> ops/helper.h -> telemetry is invisible to the direct
+    // include-hygiene rule in bad.cc but caught transitively; the
+    // offending header itself gets the direct hygiene finding.
+    const auto findings = lintProject(
+        {{"src/ops/helper.h", "#include \"telemetry/recorder.h\"\n"},
+         {"src/ops/bad.cc", "#include \"ops/helper.h\"\n"}},
+        LintOptions{});
+    bool transitive = false;
+    for (const auto &f : byRule(findings, "include-dag")) {
+        if (f.file == "src/ops/bad.cc" && f.line == 1 &&
+            f.message.find("telemetry") != std::string::npos)
+            transitive = true;
+    }
+    EXPECT_TRUE(transitive);
+    EXPECT_TRUE(firesAtLine(findings, "include-hygiene", 1));
+}
+
+TEST(BplintIncludeDag, AllowedTransitiveReachIsClean)
+{
+    // graph may include nn, and nn may include io: the closure makes
+    // graph -> nn -> io legal even though graph never lists io in its
+    // direct layer set.
+    const auto findings = lintProject(
+        {{"src/nn/module.h", "#include \"io/binary_io.h\"\n"},
+         {"src/graph/exec.cc", "#include \"nn/module.h\"\n"}},
+        LintOptions{});
+    EXPECT_TRUE(byRule(findings, "include-dag").empty());
+    EXPECT_TRUE(byRule(findings, "include-hygiene").empty());
+}
+
+TEST(BplintIncludeDag, DetectsIncludeCycles)
+{
+    const auto findings = lintProject(
+        {{"src/util/a.h", "#include \"util/b.h\"\n"},
+         {"src/util/b.h", "#include \"util/a.h\"\n"}},
+        LintOptions{});
+    bool cycle = false;
+    for (const auto &f : byRule(findings, "include-dag")) {
+        if (f.message.find("include cycle") != std::string::npos)
+            cycle = true;
+    }
+    EXPECT_TRUE(cycle);
+}
+
+// --------------------------------------------------------------------
+// SARIF and baseline output
+// --------------------------------------------------------------------
+
+TEST(BplintOutput, SarifContainsVersionRuleAndLocation)
+{
+    const auto findings = lintSource("src/a.cc", "int x = rand();\n");
+    ASSERT_FALSE(findings.empty());
+    const std::string sarif = bplint::formatSarif(findings);
+    EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("libc-rand"), std::string::npos);
+    EXPECT_NE(sarif.find("src/a.cc"), std::string::npos);
+    EXPECT_NE(sarif.find("startLine"), std::string::npos);
+}
+
+TEST(BplintOutput, BaselineRoundTripExcusesExistingFindings)
+{
+    const auto findings =
+        lintSource("src/a.cc", "int x = rand();\nint y = rand();\n");
+    ASSERT_EQ(byRule(findings, "libc-rand").size(), 2u);
+    const std::string base = bplint::formatBaseline(findings);
+    EXPECT_TRUE(bplint::applyBaseline(findings, base).empty());
+    // Multiset semantics: one baseline line excuses exactly one
+    // matching finding, even when the keys are identical.
+    const std::string one = bplint::baselineKey(findings[0]) + "\n";
+    EXPECT_EQ(bplint::applyBaseline(findings, one).size(),
+              findings.size() - 1);
+    // An empty baseline excuses nothing.
+    EXPECT_EQ(bplint::applyBaseline(findings, "").size(), findings.size());
+}
+
+// --------------------------------------------------------------------
+// ProjectModel over the real repository tree
+// --------------------------------------------------------------------
+
+#ifdef BERTPROF_SOURCE_DIR
+
+std::vector<SourceFile>
+readRealSrcTree()
+{
+    namespace fs = std::filesystem;
+    const fs::path root(BERTPROF_SOURCE_DIR);
+    std::vector<SourceFile> files;
+    for (const auto &entry :
+         fs::recursive_directory_iterator(root / "src")) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".h" && ext != ".cc")
+            continue;
+        std::ifstream in(entry.path());
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        files.push_back({fs::relative(entry.path(), root).generic_string(),
+                         buf.str()});
+    }
+    std::sort(files.begin(), files.end(),
+              [](const SourceFile &a, const SourceFile &b) {
+                  return a.path < b.path;
+              });
+    return files;
+}
+
+TEST(BplintProjectModel, RealRepoIncludeGraphIsAcyclicAndLayerOrdered)
+{
+    const auto files = readRealSrcTree();
+    ASSERT_GT(files.size(), 50u);
+
+    const bplint::ProjectModel pm = bplint::buildProjectModel(files);
+    EXPECT_TRUE(pm.findIncludeCycles().empty());
+    // Cross-TU facts resolve against the real io layer.
+    ASSERT_NE(pm.method("AppendFile", "sync"), nullptr);
+    EXPECT_TRUE(pm.method("AppendFile", "sync")->returnsIoStatus);
+
+    // Layering holds everywhere except the deliberately seeded (and
+    // suppressed) canary files, so the filtered findings are empty.
+    const auto findings = lintProject(files, LintOptions{});
+    for (const auto &f : findings) {
+        if (f.rule == "include-dag" || f.rule == "include-hygiene")
+            ADD_FAILURE()
+                << f.file << ":" << f.line << " " << f.message;
+    }
+}
+
+#endif // BERTPROF_SOURCE_DIR
 
 } // namespace

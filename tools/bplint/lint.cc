@@ -6,218 +6,24 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
+
+#include "model.h"
+#include "rules.h"
 
 namespace bplint {
 
 namespace {
-
-bool
-isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** Line-level suppressions harvested from bplint directives. */
-struct Suppressions {
-    std::set<std::string> fileRules;
-    // line -> rules allowed on that line and the one after it.
-    std::map<int, std::set<std::string>> lineRules;
-
-    bool
-    allows(const std::string &rule, int line) const
-    {
-        if (fileRules.count(rule) || fileRules.count("*"))
-            return true;
-        for (int l : {line, line - 1}) {
-            auto it = lineRules.find(l);
-            if (it != lineRules.end() &&
-                (it->second.count(rule) || it->second.count("*"))) {
-                return true;
-            }
-        }
-        return false;
-    }
-};
-
-/** Result of the single strip pass over a file. */
-struct StrippedFile {
-    std::string text;  // comments/strings blanked, newlines kept
-    Suppressions supp; // directives found in the comments
-};
-
-/** Parse "allow(rule)" / "allow-file(rule)" directives in a comment. */
-void
-harvestDirectives(const std::string &comment, int line, Suppressions &supp)
-{
-    std::size_t pos = 0;
-    while ((pos = comment.find("bplint:", pos)) != std::string::npos) {
-        pos += 7;
-        while (pos < comment.size() &&
-               std::isspace(static_cast<unsigned char>(comment[pos]))) {
-            ++pos;
-        }
-        bool file_scope = false;
-        if (comment.compare(pos, 11, "allow-file(") == 0) {
-            file_scope = true;
-            pos += 11;
-        } else if (comment.compare(pos, 6, "allow(") == 0) {
-            pos += 6;
-        } else {
-            continue;
-        }
-        const std::size_t close = comment.find(')', pos);
-        if (close == std::string::npos)
-            return;
-        std::string rule = comment.substr(pos, close - pos);
-        rule.erase(std::remove_if(rule.begin(), rule.end(),
-                                  [](char c) {
-                                      return std::isspace(
-                                          static_cast<unsigned char>(c));
-                                  }),
-                   rule.end());
-        if (file_scope)
-            supp.fileRules.insert(rule);
-        else
-            supp.lineRules[line].insert(rule);
-        pos = close + 1;
-    }
-}
-
-/** One pass: blank comments/strings, harvest suppression comments. */
-StrippedFile
-stripAndHarvest(const std::string &text)
-{
-    StrippedFile out;
-    out.text.reserve(text.size());
-    enum class St { Code, Line, Block, Str, Chr, Raw };
-    St st = St::Code;
-    int line = 1;
-    std::string comment;
-    int comment_line = 1;
-    std::string raw_delim;
-
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        const char c = text[i];
-        const char n = i + 1 < text.size() ? text[i + 1] : '\0';
-        switch (st) {
-        case St::Code:
-            if (c == '/' && n == '/') {
-                st = St::Line;
-                comment.clear();
-                comment_line = line;
-                out.text += "  ";
-                ++i;
-            } else if (c == '/' && n == '*') {
-                st = St::Block;
-                comment.clear();
-                comment_line = line;
-                out.text += "  ";
-                ++i;
-            } else if (c == 'R' && n == '"' &&
-                       (i == 0 || !isIdentChar(text[i - 1]))) {
-                // Raw string literal R"delim( ... )delim"
-                std::size_t open = text.find('(', i + 2);
-                if (open == std::string::npos) {
-                    out.text += c;
-                    break;
-                }
-                raw_delim = ")";
-                raw_delim.append(text, i + 2, open - (i + 2));
-                raw_delim += '"';
-                out.text += "  ";
-                out.text.append(open - (i + 2), ' ');
-                i = open;
-                out.text += ' ';
-                st = St::Raw;
-            } else if (c == '"') {
-                st = St::Str;
-                out.text += ' ';
-            } else if (c == '\'') {
-                st = St::Chr;
-                out.text += ' ';
-            } else {
-                out.text += c;
-            }
-            break;
-        case St::Line:
-            if (c == '\n') {
-                harvestDirectives(comment, comment_line, out.supp);
-                st = St::Code;
-                out.text += '\n';
-            } else {
-                comment += c;
-                out.text += ' ';
-            }
-            break;
-        case St::Block:
-            if (c == '*' && n == '/') {
-                harvestDirectives(comment, comment_line, out.supp);
-                st = St::Code;
-                out.text += "  ";
-                ++i;
-            } else {
-                comment += c;
-                out.text += c == '\n' ? '\n' : ' ';
-            }
-            break;
-        case St::Str:
-            if (c == '\\' && n != '\0') {
-                out.text += "  ";
-                ++i;
-            } else if (c == '"') {
-                st = St::Code;
-                out.text += ' ';
-            } else {
-                out.text += c == '\n' ? '\n' : ' ';
-            }
-            break;
-        case St::Chr:
-            if (c == '\\' && n != '\0') {
-                out.text += "  ";
-                ++i;
-            } else if (c == '\'') {
-                st = St::Code;
-                out.text += ' ';
-            } else {
-                out.text += c == '\n' ? '\n' : ' ';
-            }
-            break;
-        case St::Raw:
-            if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-                out.text.append(raw_delim.size(), ' ');
-                i += raw_delim.size() - 1;
-                st = St::Code;
-            } else {
-                out.text += c == '\n' ? '\n' : ' ';
-            }
-            break;
-        }
-        if (c == '\n')
-            ++line;
-    }
-    if (st == St::Line || st == St::Block)
-        harvestDirectives(comment, comment_line, out.supp);
-    return out;
-}
-
-/** 1-based line number of a character offset. */
-int
-lineOf(const std::string &text, std::size_t pos)
-{
-    return 1 + static_cast<int>(
-                   std::count(text.begin(), text.begin() +
-                              static_cast<std::ptrdiff_t>(
-                                  std::min(pos, text.size())), '\n'));
-}
 
 // ---------------------------------------------------------------------------
 // Token rules: wall-clock, libc-rand
 // ---------------------------------------------------------------------------
 
 void
-checkForbiddenTokens(const std::string &path, const std::string &s,
-                     std::vector<Finding> &out)
+checkForbiddenTokens(const TuModel &tu, std::vector<Finding> &out)
 {
+    const std::string &s = tu.stripped;
+    const std::string &path = tu.path;
     std::size_t i = 0;
     while (i < s.size()) {
         if (!isIdentChar(s[i]) ||
@@ -273,255 +79,36 @@ checkForbiddenTokens(const std::string &path, const std::string &s,
 }
 
 // ---------------------------------------------------------------------------
-// Function extraction (namespace-scope definitions in a .cc)
-// ---------------------------------------------------------------------------
-
-struct Func {
-    std::string name;
-    std::string ret;
-    std::string params;
-    std::string body;
-    int line = 0;
-    bool anonOrStatic = false; // internal linkage: exempt from rules
-};
-
-struct Head {
-    enum class Kind { Namespace, AnonNamespace, Function, Other };
-    Kind kind = Kind::Other;
-    std::string name, ret, params;
-    bool isStatic = false;
-};
-
-std::vector<std::string>
-identTokens(const std::string &s)
-{
-    std::vector<std::string> toks;
-    std::size_t i = 0;
-    while (i < s.size()) {
-        if (isIdentChar(s[i]) &&
-            !std::isdigit(static_cast<unsigned char>(s[i]))) {
-            std::size_t b = i;
-            while (i < s.size() && isIdentChar(s[i]))
-                ++i;
-            toks.push_back(s.substr(b, i - b));
-        } else {
-            ++i;
-        }
-    }
-    return toks;
-}
-
-Head
-classifyHead(const std::string &raw)
-{
-    Head h;
-    std::string head = raw;
-    // Drop preprocessor lines that may precede the definition.
-    std::istringstream is(head);
-    std::string cleaned, ln;
-    while (std::getline(is, ln)) {
-        std::size_t f = ln.find_first_not_of(" \t");
-        if (f != std::string::npos && ln[f] == '#')
-            continue;
-        cleaned += ln + "\n";
-    }
-    head = cleaned;
-
-    const auto toks = identTokens(head);
-    if (toks.empty())
-        return h;
-    if (toks.front() == "namespace") {
-        h.kind = toks.size() == 1 ? Head::Kind::AnonNamespace
-                                  : Head::Kind::Namespace;
-        return h;
-    }
-    static const std::set<std::string> control = {
-        "if", "for", "while", "switch", "catch", "do", "else", "return"};
-    static const std::set<std::string> aggregate = {"class", "struct",
-                                                    "enum", "union"};
-    for (const auto &t : toks) {
-        if (control.count(t))
-            return h;
-    }
-    if (aggregate.count(toks.front()) ||
-        (toks.front() == "typedef" || toks.front() == "using")) {
-        return h;
-    }
-    // '=' at paren depth 0 → initializer / lambda assignment.
-    int depth = 0;
-    for (std::size_t i = 0; i < head.size(); ++i) {
-        if (head[i] == '(')
-            ++depth;
-        else if (head[i] == ')')
-            --depth;
-        else if (head[i] == '=' && depth == 0 &&
-                 (i + 1 >= head.size() || head[i + 1] != '=')) {
-            return h;
-        }
-    }
-    const std::size_t close = head.rfind(')');
-    if (close == std::string::npos)
-        return h;
-    // Only cv/ref/noexcept qualifiers may follow the parameter list.
-    static const std::set<std::string> quals = {"const", "noexcept",
-                                               "override", "final"};
-    for (const auto &t : identTokens(head.substr(close + 1))) {
-        if (!quals.count(t))
-            return h;
-    }
-    // Match the '(' that opens the parameter list.
-    int bal = 0;
-    std::size_t open = std::string::npos;
-    for (std::size_t i = close + 1; i-- > 0;) {
-        if (head[i] == ')')
-            ++bal;
-        else if (head[i] == '(' && --bal == 0) {
-            open = i;
-            break;
-        }
-    }
-    if (open == std::string::npos)
-        return h;
-    std::size_t e = open;
-    while (e > 0 && std::isspace(static_cast<unsigned char>(head[e - 1])))
-        --e;
-    std::size_t b = e;
-    while (b > 0 && (isIdentChar(head[b - 1]) || head[b - 1] == ':'))
-        --b;
-    if (b == e)
-        return h;
-    h.kind = Head::Kind::Function;
-    h.name = head.substr(b, e - b);
-    h.ret = head.substr(0, b);
-    h.params = head.substr(open + 1, close - open - 1);
-    for (const auto &t : identTokens(h.ret)) {
-        if (t == "static")
-            h.isStatic = true;
-    }
-    return h;
-}
-
-std::vector<Func>
-parseFunctions(const std::string &s)
-{
-    std::vector<Func> funcs;
-    std::vector<Head::Kind> scopes;
-    std::size_t stmt_start = 0;
-    int anon_depth = 0;
-
-    for (std::size_t i = 0; i < s.size(); ++i) {
-        const char c = s[i];
-        if (c == ';') {
-            // A ';' ends a statement at namespace scope too (e.g. a
-            // constexpr or extern declaration before a definition);
-            // without the reset the next head would absorb it and
-            // misclassify, silently skipping the following function.
-            const bool ns_scope = std::all_of(
-                scopes.begin(), scopes.end(), [](Head::Kind k) {
-                    return k == Head::Kind::Namespace ||
-                           k == Head::Kind::AnonNamespace;
-                });
-            if (ns_scope)
-                stmt_start = i + 1;
-            continue;
-        }
-        if (c == '}') {
-            if (!scopes.empty()) {
-                if (scopes.back() == Head::Kind::AnonNamespace)
-                    --anon_depth;
-                scopes.pop_back();
-            }
-            if (scopes.empty() ||
-                scopes.back() == Head::Kind::Namespace ||
-                scopes.back() == Head::Kind::AnonNamespace) {
-                stmt_start = i + 1;
-            }
-            continue;
-        }
-        if (c != '{')
-            continue;
-
-        const bool at_ns_scope = std::all_of(
-            scopes.begin(), scopes.end(), [](Head::Kind k) {
-                return k == Head::Kind::Namespace ||
-                       k == Head::Kind::AnonNamespace;
-            });
-        Head h;
-        if (at_ns_scope)
-            h = classifyHead(s.substr(stmt_start, i - stmt_start));
-
-        if (at_ns_scope && h.kind == Head::Kind::Function) {
-            // Capture the body by brace matching.
-            int depth = 1;
-            std::size_t j = i + 1;
-            for (; j < s.size() && depth > 0; ++j) {
-                if (s[j] == '{')
-                    ++depth;
-                else if (s[j] == '}')
-                    --depth;
-            }
-            Func f;
-            f.name = h.name;
-            f.ret = h.ret;
-            f.params = h.params;
-            f.body = s.substr(i + 1, j - i - 2);
-            f.line = lineOf(s, stmt_start +
-                                   s.substr(stmt_start, i - stmt_start)
-                                       .find_first_not_of(" \t\n"));
-            f.anonOrStatic = anon_depth > 0 || h.isStatic;
-            funcs.push_back(std::move(f));
-            i = j - 1;
-            stmt_start = j;
-            continue;
-        }
-        if (at_ns_scope && h.kind == Head::Kind::AnonNamespace)
-            ++anon_depth;
-        scopes.push_back(h.kind);
-        stmt_start = i + 1;
-    }
-    return funcs;
-}
-
-// ---------------------------------------------------------------------------
 // Rules: kernel-stats, op-entry-contract (src/ops/*.cc only)
 // ---------------------------------------------------------------------------
 
-bool
-hasToken(const std::string &s, const std::string &tok)
-{
-    std::size_t pos = 0;
-    while ((pos = s.find(tok, pos)) != std::string::npos) {
-        const bool lb = pos == 0 || !isIdentChar(s[pos - 1]);
-        const bool rb = pos + tok.size() >= s.size() ||
-                        !isIdentChar(s[pos + tok.size()]);
-        if (lb && rb)
-            return true;
-        pos += tok.size();
-    }
-    return false;
-}
-
 void
-checkOpsKernels(const std::string &path, const std::string &s,
-                std::vector<Finding> &out)
+checkOpsKernels(const TuModel &tu, std::vector<Finding> &out)
 {
-    for (const Func &f : parseFunctions(s)) {
+    if (tu.path.find("src/ops/") == std::string::npos ||
+        tu.path.size() <= 3 ||
+        tu.path.compare(tu.path.size() - 3, 3, ".cc") != 0) {
+        return;
+    }
+    for (const FuncFact &f : tu.funcs) {
         if (f.anonOrStatic || !hasToken(f.params, "Tensor"))
             continue;
+        const std::string body = tu.stripped.substr(
+            f.bodyBegin, f.bodyEnd - f.bodyBegin);
         const bool reports = hasToken(f.ret, "KernelStats") ||
                              f.ret.find("Result") != std::string::npos;
         if (!reports) {
             out.push_back(
-                {path, f.line, "kernel-stats",
+                {tu.path, f.line, "kernel-stats",
                  "kernel entry '" + f.name +
                      "' takes Tensors but does not return KernelStats "
                      "(or a *Result carrying stats); the perf model's "
                      "operator accounting depends on it"});
         }
-        if (!hasToken(f.body, "BP_REQUIRE") &&
-            f.body.find("BP_CHECK_") == std::string::npos) {
+        if (!hasToken(body, "BP_REQUIRE") &&
+            body.find("BP_CHECK_") == std::string::npos) {
             out.push_back(
-                {path, f.line, "op-entry-contract",
+                {tu.path, f.line, "op-entry-contract",
                  "kernel entry '" + f.name +
                      "' has no BP_REQUIRE/BP_CHECK_* precondition; "
                      "every public op must validate shapes/aliasing "
@@ -531,130 +118,18 @@ checkOpsKernels(const std::string &path, const std::string &s,
 }
 
 // ---------------------------------------------------------------------------
-// Rule: parallel-shared-accum
-// ---------------------------------------------------------------------------
-
-/** Identifiers declared inside a lambda body (approximate). */
-std::set<std::string>
-localDecls(const std::string &body)
-{
-    static const std::set<std::string> types = {
-        "double", "float",   "auto", "bool",  "int",   "unsigned",
-        "signed", "long",    "short", "char", "size_t", "int64_t",
-        "int32_t", "Tensor", "Shape", "std"};
-    std::set<std::string> locals;
-    std::size_t start = 0;
-    for (std::size_t i = 0; i <= body.size(); ++i) {
-        const char c = i < body.size() ? body[i] : ';';
-        if (c != ';' && c != '{' && c != '}' && c != '(' && c != ')')
-            continue;
-        const auto toks = identTokens(body.substr(start, i - start));
-        start = i + 1;
-        if (toks.empty())
-            continue;
-        std::size_t t = 0;
-        if (toks[t] == "const")
-            ++t;
-        if (t >= toks.size() || !types.count(toks[t]))
-            continue;
-        // Skip the type tokens (handles std::int64_t, unsigned long...).
-        while (t < toks.size() && types.count(toks[t]))
-            ++t;
-        if (t < toks.size())
-            locals.insert(toks[t]);
-    }
-    return locals;
-}
-
-void
-checkParallelBodies(const std::string &path, const std::string &s,
-                    std::vector<Finding> &out)
-{
-    std::size_t pos = 0;
-    while ((pos = s.find("parallelFor", pos)) != std::string::npos) {
-        if (pos > 0 && isIdentChar(s[pos - 1])) {
-            pos += 11;
-            continue;
-        }
-        // Find the lambda argument: first '[' after the call opens.
-        const std::size_t lb = s.find('[', pos);
-        pos += 11;
-        if (lb == std::string::npos)
-            continue;
-        const std::size_t lparen = s.find('(', lb);
-        if (lparen == std::string::npos)
-            continue;
-        std::size_t bodyStart = s.find('{', lparen);
-        if (bodyStart == std::string::npos)
-            continue;
-        int depth = 1;
-        std::size_t j = bodyStart + 1;
-        for (; j < s.size() && depth > 0; ++j) {
-            if (s[j] == '{')
-                ++depth;
-            else if (s[j] == '}')
-                --depth;
-        }
-        const std::string body =
-            s.substr(bodyStart + 1, j - bodyStart - 2);
-        std::set<std::string> locals = localDecls(body);
-        for (const auto &p :
-             identTokens(s.substr(lparen, bodyStart - lparen))) {
-            locals.insert(p);
-        }
-
-        static const char *kOps[] = {"+=", "-=", "*=", "/="};
-        for (const char *op : kOps) {
-            std::size_t o = 0;
-            while ((o = body.find(op, o)) != std::string::npos) {
-                const std::size_t at = o;
-                o += 2;
-                // Skip matches inside larger operators (<<=, >>=).
-                if (at > 0 && (body[at - 1] == '<' || body[at - 1] == '>'))
-                    continue;
-                std::size_t e = at;
-                while (e > 0 && std::isspace(
-                                    static_cast<unsigned char>(body[e - 1])))
-                    --e;
-                if (e == 0)
-                    continue;
-                // Subscripted / dereferenced destinations write
-                // disjoint elements — not a shared accumulator.
-                if (body[e - 1] == ']' || body[e - 1] == ')')
-                    continue;
-                std::size_t b = e;
-                while (b > 0 && isIdentChar(body[b - 1]))
-                    --b;
-                if (b == e)
-                    continue;
-                const std::string ident = body.substr(b, e - b);
-                if (locals.count(ident))
-                    continue;
-                out.push_back(
-                    {path, lineOf(s, bodyStart + 1 + at),
-                     "parallel-shared-accum",
-                     "'" + ident + " " + op +
-                         " ...' inside a parallelFor body accumulates "
-                         "into captured state; use "
-                         "parallelReduceOrdered for deterministic "
-                         "reductions"});
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Rule: unchecked-io
 // ---------------------------------------------------------------------------
 
 void
-checkUncheckedIo(const std::string &path, const std::string &s,
-                 std::vector<Finding> &out)
+checkUncheckedIo(const TuModel &tu, std::vector<Finding> &out)
 {
     // Raw file I/O outside src/io/ bypasses the crash-safe write
     // protocol (temp + fsync + atomic rename), the typed IoStatus
     // errors, and the io.* fault-injection sites. The io layer is
     // the one place allowed to touch stdio/fstream directly.
+    const std::string &path = tu.path;
+    const std::string &s = tu.stripped;
     const std::size_t sp = path.rfind("src/");
     if (sp == std::string::npos)
         return;
@@ -685,8 +160,87 @@ checkUncheckedIo(const std::string &path, const std::string &s,
 }
 
 // ---------------------------------------------------------------------------
-// Rule: include-hygiene
+// Rule: include-hygiene (direct includes; include-dag covers transitive)
 // ---------------------------------------------------------------------------
+
+void
+checkIncludeHygiene(const TuModel &tu, std::vector<Finding> &out)
+{
+    const std::size_t sp = tu.path.rfind("src/");
+    if (sp == std::string::npos)
+        return; // hygiene applies to the library tree only
+    const std::string rel = tu.path.substr(sp + 4);
+    const std::size_t slash = rel.find('/');
+    if (slash == std::string::npos)
+        return;
+    const std::string layer = rel.substr(0, slash);
+    const auto it = layerMap().find(layer);
+    if (it == layerMap().end())
+        return;
+
+    for (const IncludeEdge &inc : tu.includes) {
+        const std::size_t tslash = inc.target.find('/');
+        if (tslash == std::string::npos)
+            continue; // same-directory include
+        const std::string tlayer = inc.target.substr(0, tslash);
+        if (!layerMap().count(tlayer))
+            continue; // not a layer-qualified include
+        if (it->second.count(tlayer) ||
+            layerExceptions().count(inc.target)) {
+            continue;
+        }
+        out.push_back(
+            {tu.path, inc.line, "include-hygiene",
+             "src/" + layer + " must not include \"" + inc.target +
+                 "\": layer '" + tlayer +
+                 "' is not below it in the dependency DAG (route "
+                 "shared functionality through a lower layer or "
+                 "src/core)"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: arena-escape
+// ---------------------------------------------------------------------------
+
+// Tensor::borrow wraps raw arena storage in a non-owning view whose
+// lifetime is bounded by the executor's plan. Only the graph layer
+// (which owns the arena) and the tensor layer (which defines the
+// type) may mint such views; anywhere else a borrowed view could
+// outlive its backing buffer.
+void
+checkArenaEscape(const TuModel &tu, std::vector<Finding> &out)
+{
+    const std::string &path = tu.path;
+    const std::string &s = tu.stripped;
+    const std::size_t sp = path.rfind("src/");
+    if (sp == std::string::npos)
+        return;
+    const std::string rel = path.substr(sp + 4);
+    if (rel.rfind("graph/", 0) == 0 || rel.rfind("tensor/", 0) == 0)
+        return;
+    std::size_t pos = 0;
+    while ((pos = s.find("Tensor::borrow", pos)) != std::string::npos) {
+        out.push_back(
+            {path, lineOf(s, pos), "arena-escape",
+             "Tensor::borrow outside src/graph creates a non-owning "
+             "view that can outlive its arena; only the graph "
+             "executor may bind borrowed storage"});
+        pos += 14;
+    }
+}
+
+void
+sortFindings(std::vector<Finding> &v)
+{
+    std::sort(v.begin(), v.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+}
+
+} // namespace
 
 const std::map<std::string, std::set<std::string>> &
 layerMap()
@@ -740,130 +294,75 @@ layerMap()
     return m;
 }
 
-void
-checkIncludeHygiene(const std::string &path, const std::string &original,
-                    std::vector<Finding> &out)
+const std::set<std::string> &
+layerExceptions()
 {
-    const std::size_t sp = path.rfind("src/");
-    if (sp == std::string::npos)
-        return; // hygiene applies to the library tree only
-    const std::string rel = path.substr(sp + 4);
-    const std::size_t slash = rel.find('/');
-    if (slash == std::string::npos)
-        return;
-    const std::string layer = rel.substr(0, slash);
-    const auto it = layerMap().find(layer);
-    if (it == layerMap().end())
-        return;
     // KernelStats is the one shared vocabulary type the upper model
     // layers may pull from ops without owning a full ops dependency.
     static const std::set<std::string> exceptions = {
         "ops/kernel_stats.h"};
-
-    std::istringstream is(original);
-    std::string ln;
-    int line = 0;
-    while (std::getline(is, ln)) {
-        ++line;
-        std::size_t h = ln.find_first_not_of(" \t");
-        if (h == std::string::npos || ln[h] != '#')
-            continue;
-        const std::size_t inc = ln.find("include", h);
-        if (inc == std::string::npos)
-            continue;
-        const std::size_t q1 = ln.find('"', inc);
-        if (q1 == std::string::npos)
-            continue;
-        const std::size_t q2 = ln.find('"', q1 + 1);
-        if (q2 == std::string::npos)
-            continue;
-        const std::string target = ln.substr(q1 + 1, q2 - q1 - 1);
-        const std::size_t tslash = target.find('/');
-        if (tslash == std::string::npos)
-            continue; // same-directory include
-        const std::string tlayer = target.substr(0, tslash);
-        if (!layerMap().count(tlayer))
-            continue; // not a layer-qualified include
-        if (it->second.count(tlayer) || exceptions.count(target))
-            continue;
-        out.push_back(
-            {path, line, "include-hygiene",
-             "src/" + layer + " must not include \"" + target +
-                 "\": layer '" + tlayer +
-                 "' is not below it in the dependency DAG (route "
-                 "shared functionality through a lower layer or "
-                 "src/core)"});
-    }
+    return exceptions;
 }
-
-// ---------------------------------------------------------------------------
-// Rule: arena-escape
-// ---------------------------------------------------------------------------
-
-// Tensor::borrow wraps raw arena storage in a non-owning view whose
-// lifetime is bounded by the executor's plan. Only the graph layer
-// (which owns the arena) and the tensor layer (which defines the
-// type) may mint such views; anywhere else a borrowed view could
-// outlive its backing buffer.
-void
-checkArenaEscape(const std::string &path, const std::string &s,
-                 std::vector<Finding> &out)
-{
-    const std::size_t sp = path.rfind("src/");
-    if (sp == std::string::npos)
-        return;
-    const std::string rel = path.substr(sp + 4);
-    if (rel.rfind("graph/", 0) == 0 || rel.rfind("tensor/", 0) == 0)
-        return;
-    std::size_t pos = 0;
-    while ((pos = s.find("Tensor::borrow", pos)) != std::string::npos) {
-        out.push_back(
-            {path, lineOf(s, pos), "arena-escape",
-             "Tensor::borrow outside src/graph creates a non-owning "
-             "view that can outlive its arena; only the graph "
-             "executor may bind borrowed storage"});
-        pos += 14;
-    }
-}
-
-} // namespace
 
 std::vector<std::string>
 ruleNames()
 {
-    return {"wall-clock",        "libc-rand",
-            "kernel-stats",      "op-entry-contract",
-            "parallel-shared-accum", "include-hygiene",
-            "unchecked-io",      "arena-escape"};
+    return {"wall-clock",         "libc-rand",
+            "kernel-stats",       "op-entry-contract",
+            "parallel-capture-race", "hot-loop-alloc",
+            "must-check-io",      "env-registry",
+            "include-hygiene",    "include-dag",
+            "unchecked-io",       "arena-escape"};
+}
+
+std::vector<Finding>
+lintProject(const std::vector<SourceFile> &files, const LintOptions &opts)
+{
+    ProjectModel pm = buildProjectModel(files);
+
+    std::map<std::string, int> docKnobs;
+    if (!opts.envDocText.empty())
+        docKnobs = parseEnvDoc(opts.envDocText);
+
+    std::vector<Finding> raw;
+    for (const TuModel &tu : pm.tus) {
+        checkForbiddenTokens(tu, raw);
+        checkOpsKernels(tu, raw);
+        checkUncheckedIo(tu, raw);
+        checkIncludeHygiene(tu, raw);
+        checkArenaEscape(tu, raw);
+        checkParallelCaptureRace(pm, tu, raw);
+        checkHotLoopAlloc(tu, raw);
+        checkMustCheckIo(pm, tu, raw);
+        if (!opts.envDocText.empty())
+            checkEnvReads(tu, docKnobs, raw);
+    }
+    if (!opts.envDocText.empty())
+        checkEnvDoc(pm, opts.envDocPath, docKnobs, raw);
+    checkIncludeDag(pm, raw);
+
+    // Suppressions apply per finding at the file it is reported in.
+    std::map<std::string, const Suppressions *> suppByPath;
+    for (const TuModel &tu : pm.tus)
+        suppByPath[tu.path] = &tu.supp;
+
+    std::vector<Finding> kept;
+    for (auto &fd : raw) {
+        const auto si = suppByPath.find(fd.file);
+        if (si != suppByPath.end() &&
+            si->second->allows(fd.rule, fd.line)) {
+            continue;
+        }
+        kept.push_back(std::move(fd));
+    }
+    sortFindings(kept);
+    return kept;
 }
 
 std::vector<Finding>
 lintSource(const std::string &path, const std::string &text)
 {
-    const StrippedFile f = stripAndHarvest(text);
-    std::vector<Finding> raw;
-
-    checkForbiddenTokens(path, f.text, raw);
-    checkParallelBodies(path, f.text, raw);
-    checkUncheckedIo(path, f.text, raw);
-    checkIncludeHygiene(path, text, raw);
-    checkArenaEscape(path, f.text, raw);
-    if (path.find("src/ops/") != std::string::npos &&
-        path.size() > 3 && path.compare(path.size() - 3, 3, ".cc") == 0) {
-        checkOpsKernels(path, f.text, raw);
-    }
-
-    std::vector<Finding> kept;
-    for (auto &fd : raw) {
-        if (!f.supp.allows(fd.rule, fd.line))
-            kept.push_back(std::move(fd));
-    }
-    std::sort(kept.begin(), kept.end(),
-              [](const Finding &a, const Finding &b) {
-                  return std::tie(a.file, a.line, a.rule) <
-                         std::tie(b.file, b.line, b.rule);
-              });
-    return kept;
+    return lintProject({SourceFile{path, text}}, LintOptions{});
 }
 
 std::vector<Finding>
@@ -881,7 +380,7 @@ lintFile(const std::string &path, const std::string &reportPath)
 std::string
 stripCommentsAndStrings(const std::string &text)
 {
-    return stripAndHarvest(text).text;
+    return buildTuModel("x.cc", text).stripped;
 }
 
 std::string
@@ -918,6 +417,114 @@ formatJson(const std::vector<Finding> &findings)
     }
     os << "]\n";
     return os.str();
+}
+
+std::string
+formatSarif(const std::vector<Finding> &findings)
+{
+    auto esc = [](const std::string &s) {
+        std::string r;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                r += '\\';
+            r += c;
+        }
+        return r;
+    };
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"bplint\",\n"
+       << "          \"informationUri\": "
+          "\"tools/bplint\",\n"
+       << "          \"rules\": [\n";
+    const auto rules = ruleNames();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        os << "            {\"id\": \"" << rules[i] << "\"}"
+           << (i + 1 < rules.size() ? "," : "") << "\n";
+    }
+    os << "          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const auto &f = findings[i];
+        os << "        {\n"
+           << "          \"ruleId\": \"" << esc(f.rule) << "\",\n"
+           << "          \"level\": \"error\",\n"
+           << "          \"message\": {\"text\": \"" << esc(f.message)
+           << "\"},\n"
+           << "          \"locations\": [\n"
+           << "            {\n"
+           << "              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": {\"uri\": \""
+           << esc(f.file) << "\"},\n"
+           << "                \"region\": {\"startLine\": "
+           << std::max(1, f.line) << "}\n"
+           << "              }\n"
+           << "            }\n"
+           << "          ]\n"
+           << "        }" << (i + 1 < findings.size() ? "," : "")
+           << "\n";
+    }
+    os << "      ]\n"
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
+    return os.str();
+}
+
+std::string
+baselineKey(const Finding &f)
+{
+    // Line numbers are deliberately excluded so a baseline survives
+    // unrelated edits above a carried finding.
+    return f.file + "|" + f.rule + "|" + f.message;
+}
+
+std::string
+formatBaseline(const std::vector<Finding> &findings)
+{
+    std::vector<std::string> keys;
+    keys.reserve(findings.size());
+    for (const auto &f : findings)
+        keys.push_back(baselineKey(f));
+    std::sort(keys.begin(), keys.end());
+    std::string out;
+    for (const auto &k : keys)
+        out += k + "\n";
+    return out;
+}
+
+std::vector<Finding>
+applyBaseline(const std::vector<Finding> &findings,
+              const std::string &baselineText)
+{
+    std::multiset<std::string> baseline;
+    std::istringstream is(baselineText);
+    std::string ln;
+    while (std::getline(is, ln)) {
+        while (!ln.empty() && (ln.back() == '\r' || ln.back() == '\n'))
+            ln.pop_back();
+        if (!ln.empty())
+            baseline.insert(ln);
+    }
+    std::vector<Finding> kept;
+    for (const auto &f : findings) {
+        const auto it = baseline.find(baselineKey(f));
+        if (it != baseline.end()) {
+            baseline.erase(it); // multiset: each entry excuses one hit
+            continue;
+        }
+        kept.push_back(f);
+    }
+    return kept;
 }
 
 } // namespace bplint

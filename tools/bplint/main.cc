@@ -2,17 +2,24 @@
  * @file
  * bplint CLI. Usage:
  *
- *   bplint [--json] [--list-rules] <path>...
+ *   bplint [--json] [--list-rules] [--sarif <path>]
+ *          [--baseline <path>] [--write-baseline <path>]
+ *          [--env-doc <path>] <path>...
  *
  * Each path may be a file or a directory (scanned recursively for
- * .cc/.h/.cpp/.hpp, skipping build and hidden directories). Exits
- * 0 when clean, 1 when any finding survives suppression, 2 on usage
- * or I/O errors. Designed to finish in well under a second on this
- * tree so it can run as a tier-1 CTest (label: lint).
+ * .cc/.h/.cpp/.hpp, skipping build and hidden directories). All
+ * collected files are analyzed as ONE project, so cross-TU rules
+ * (must-check-io receiver resolution, include-dag, env-registry) see
+ * the whole tree. Exits 0 when clean, 1 when any finding survives
+ * suppression and baseline subtraction, 2 on usage or I/O errors.
+ * Designed to finish in well under two seconds on this tree so it can
+ * run as a tier-1 CTest (label: lint).
  */
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -72,23 +79,64 @@ reportPath(const fs::path &p)
     return s;
 }
 
+bool
+readWholeFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: bplint [--json] [--list-rules] [--sarif <path>]\n"
+          "              [--baseline <path>] [--write-baseline <path>]\n"
+          "              [--env-doc <path>] <path>...\n";
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool json = false;
+    std::string sarifPath, baselinePath, writeBaselinePath, envDocPath;
     std::vector<fs::path> roots;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        auto optValue = [&](std::string &slot) {
+            if (i + 1 >= argc) {
+                std::cerr << "bplint: " << arg << " needs a path\n";
+                return false;
+            }
+            slot = argv[++i];
+            return true;
+        };
         if (arg == "--json") {
             json = true;
         } else if (arg == "--list-rules") {
             for (const auto &r : bplint::ruleNames())
                 std::cout << r << "\n";
             return 0;
+        } else if (arg == "--sarif") {
+            if (!optValue(sarifPath))
+                return 2;
+        } else if (arg == "--baseline") {
+            if (!optValue(baselinePath))
+                return 2;
+        } else if (arg == "--write-baseline") {
+            if (!optValue(writeBaselinePath))
+                return 2;
+        } else if (arg == "--env-doc") {
+            if (!optValue(envDocPath))
+                return 2;
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: bplint [--json] [--list-rules] <path>...\n";
+            usage(std::cout);
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "bplint: unknown option " << arg << "\n";
@@ -98,7 +146,7 @@ main(int argc, char **argv)
         }
     }
     if (roots.empty()) {
-        std::cerr << "usage: bplint [--json] [--list-rules] <path>...\n";
+        usage(std::cerr);
         return 2;
     }
 
@@ -111,10 +159,58 @@ main(int argc, char **argv)
         collect(r, files);
     }
 
-    std::vector<bplint::Finding> findings;
+    std::vector<bplint::SourceFile> sources;
+    sources.reserve(files.size());
     for (const auto &f : files) {
-        auto fs_ = bplint::lintFile(f.string(), reportPath(f));
-        findings.insert(findings.end(), fs_.begin(), fs_.end());
+        std::string text;
+        if (!readWholeFile(f, text)) {
+            std::cerr << "bplint: cannot read " << f << "\n";
+            return 2;
+        }
+        sources.push_back({reportPath(f), std::move(text)});
+    }
+
+    bplint::LintOptions opts;
+    if (!envDocPath.empty()) {
+        if (!readWholeFile(envDocPath, opts.envDocText)) {
+            std::cerr << "bplint: cannot read env doc " << envDocPath
+                      << "\n";
+            return 2;
+        }
+        opts.envDocPath = reportPath(envDocPath);
+        if (opts.envDocPath.empty())
+            opts.envDocPath = envDocPath;
+    }
+
+    std::vector<bplint::Finding> findings =
+        bplint::lintProject(sources, opts);
+
+    if (!writeBaselinePath.empty()) {
+        std::ofstream out(writeBaselinePath, std::ios::binary);
+        if (!out) {
+            std::cerr << "bplint: cannot write baseline "
+                      << writeBaselinePath << "\n";
+            return 2;
+        }
+        out << bplint::formatBaseline(findings);
+    }
+    if (!baselinePath.empty()) {
+        std::string baselineText;
+        if (!readWholeFile(baselinePath, baselineText)) {
+            std::cerr << "bplint: cannot read baseline " << baselinePath
+                      << "\n";
+            return 2;
+        }
+        findings = bplint::applyBaseline(findings, baselineText);
+    }
+    if (!sarifPath.empty()) {
+        std::ofstream out(sarifPath, std::ios::binary);
+        if (!out) {
+            std::cerr << "bplint: cannot write sarif " << sarifPath
+                      << "\n";
+            return 2;
+        }
+        out << bplint::formatSarif(findings);
     }
 
     if (json) {

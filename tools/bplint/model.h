@@ -1,0 +1,210 @@
+/**
+ * @file
+ * bplint v2 phase-1/phase-2 source model.
+ *
+ * Phase 1 (buildTuModel) tokenizes one translation unit into a
+ * lightweight semantic model: comment/string-stripped text, a
+ * brace-matched scope tree, namespace-scope function definitions,
+ * class facts (method return types + constness, member variable
+ * types), free-function declarations, include edges, BERTPROF_* env
+ * read sites, lambda capture lists of parallelFor/parallelFor2d
+ * bodies, and ScopedKernel regions.
+ *
+ * Phase 2 (buildProjectModel) merges the per-TU facts into a
+ * cross-TU model: a project-wide class/method table (so a call
+ * `file_.sync()` in telemetry resolves against the AppendFile
+ * declaration in io/append_file.h), the set of IoStatus-returning
+ * functions, and the real file-level include graph with transitive
+ * reachability and cycle detection.
+ *
+ * Everything here is deliberately heuristic — it is a linter's view
+ * of C++, not a compiler's — but each fact is conservative enough
+ * that the rules built on top (lint.h) hold a zero-false-positive
+ * bar on this repo's idiom.
+ */
+
+#ifndef BERTPROF_TOOLS_BPLINT_MODEL_H
+#define BERTPROF_TOOLS_BPLINT_MODEL_H
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bplint {
+
+/** True for [A-Za-z0-9_]. */
+bool isIdentChar(char c);
+
+/** 1-based line number of a character offset. */
+int lineOf(const std::string &text, std::size_t pos);
+
+/** All identifier tokens in `s`, in order. */
+std::vector<std::string> identTokens(const std::string &s);
+
+/** Whether `s` contains `tok` as a whole identifier token. */
+bool hasToken(const std::string &s, const std::string &tok);
+
+/** Line-level suppressions harvested from bplint directives. */
+struct Suppressions {
+    std::set<std::string> fileRules;
+    /// line -> rules allowed on that line and the one after it.
+    std::map<int, std::set<std::string>> lineRules;
+
+    bool allows(const std::string &rule, int line) const;
+};
+
+/** One string literal in the original text (blanked in `stripped`). */
+struct StringLit {
+    std::size_t pos = 0; ///< offset of the opening quote
+    std::string text;    ///< raw contents (escapes not decoded)
+};
+
+/** One node of the brace-matched scope tree over the stripped text. */
+struct Scope {
+    std::size_t begin = 0; ///< offset of '{' (0 for the file scope)
+    std::size_t end = 0;   ///< offset one past the matching '}'
+    int parent = -1;       ///< index into TuModel::scopes, -1 = root
+};
+
+/** One quoted #include directive. */
+struct IncludeEdge {
+    std::string target; ///< include string, e.g. "io/binary_io.h"
+    int line = 0;
+};
+
+/** One BERTPROF_* environment read site. */
+struct EnvRead {
+    std::string knob; ///< e.g. "BERTPROF_NUM_THREADS"
+    std::string via;  ///< envInt | envString | getenv
+    int line = 0;
+};
+
+/** Parsed lambda capture list + parameters + body span. */
+struct LambdaInfo {
+    bool defaultRef = false;   ///< [&...]
+    bool defaultValue = false; ///< [=...]
+    bool capturesThis = false; ///< [this] / [*this]
+    std::set<std::string> refCaptures;   ///< [&x]
+    std::set<std::string> valueCaptures; ///< [x], [x = expr]
+    std::set<std::string> params;        ///< parameter names
+    std::size_t bodyBegin = 0;           ///< first char inside '{'
+    std::size_t bodyEnd = 0;             ///< offset of the closing '}'
+    int line = 0;
+};
+
+/** A parallelFor / parallelFor2d call with its body lambda. */
+struct ParallelRegion {
+    std::string callee; ///< parallelFor | parallelFor2d
+    LambdaInfo lambda;
+};
+
+/** From a ScopedKernel declaration to the end of its brace scope. */
+struct KernelRegion {
+    std::size_t begin = 0; ///< one past the decl statement's ';'
+    std::size_t end = 0;   ///< enclosing scope end
+    int line = 0;          ///< line of the declaration
+};
+
+/** Return type + qualifiers of one declared function or method. */
+struct MethodFact {
+    std::string retType;        ///< first type token of the return type
+    bool isConst = false;       ///< trailing const (methods only)
+    bool returnsIoStatus = false;
+    std::string params;         ///< raw parameter list text
+};
+
+/** Facts about one class/struct seen anywhere in the project. */
+struct ClassFact {
+    std::map<std::string, MethodFact> methods;
+    std::map<std::string, std::string> memberTypes; ///< name -> type tok
+};
+
+/** One namespace-scope function definition in a TU. */
+struct FuncFact {
+    std::string name;      ///< as written, possibly "Class::name"
+    std::string className; ///< "" for free functions
+    std::string bareName;  ///< name without the class qualifier
+    std::string ret;
+    std::string params;
+    std::size_t bodyBegin = 0;
+    std::size_t bodyEnd = 0;
+    int line = 0;
+    bool anonOrStatic = false; ///< internal linkage: exempt from rules
+};
+
+/** The phase-1 model of one translation unit. */
+struct TuModel {
+    std::string path;     ///< repo-relative report path
+    std::string original; ///< raw file text
+    std::string stripped; ///< comments/strings blanked, newlines kept
+    Suppressions supp;
+    std::vector<StringLit> strings;
+    std::vector<Scope> scopes; ///< scopes[0] is the whole file
+    std::vector<IncludeEdge> includes;
+    std::vector<EnvRead> envReads;
+    std::vector<FuncFact> funcs;
+    std::vector<ParallelRegion> parallelRegions;
+    std::vector<KernelRegion> kernelRegions;
+    std::map<std::string, ClassFact> classes;
+    std::map<std::string, MethodFact> freeFns; ///< namespace-scope decls
+
+    /** Index of the innermost scope containing `pos` (0 = file). */
+    int innermostScope(std::size_t pos) const;
+
+    /** End offset of the innermost brace scope containing `pos`. */
+    std::size_t enclosingScopeEnd(std::size_t pos) const;
+};
+
+/** Build the phase-1 model for one TU. */
+TuModel buildTuModel(const std::string &path, const std::string &text);
+
+/** One input file for a project-wide lint. */
+struct SourceFile {
+    std::string path; ///< repo-relative report path
+    std::string text;
+};
+
+/** The phase-2 cross-TU model. */
+struct ProjectModel {
+    std::vector<TuModel> tus;
+
+    /// Merged class facts across every TU (headers included).
+    std::map<std::string, ClassFact> classes;
+    /// Merged namespace-scope function facts (decls + definitions).
+    std::map<std::string, MethodFact> freeFns;
+
+    /// File-level include graph over src-relative node names
+    /// ("io/binary_io.h"). Nodes exist for every scanned src/ file
+    /// and for every quoted, layer-qualified include target.
+    std::map<std::string, std::vector<std::string>> includeGraph;
+    /// Node name -> report path of the scanned TU (when present).
+    std::map<std::string, std::string> nodePath;
+
+    /** Method fact for `type::method`, or nullptr. */
+    const MethodFact *method(const std::string &type,
+                             const std::string &methodName) const;
+
+    /** Every node reachable from `node` via includes (excl. itself). */
+    std::set<std::string> reachable(const std::string &node) const;
+
+    /**
+     * Distinct include cycles, each reported once as the node chain
+     * a -> b -> ... -> a (rotated so the smallest name leads).
+     */
+    std::vector<std::vector<std::string>> findIncludeCycles() const;
+};
+
+/** Build the phase-2 model over a set of files. */
+ProjectModel buildProjectModel(const std::vector<SourceFile> &files);
+
+/**
+ * Node name of a src-tree path: "src/io/x.h" -> "io/x.h"; "" when the
+ * path is not under src/.
+ */
+std::string srcRelative(const std::string &path);
+
+} // namespace bplint
+
+#endif // BERTPROF_TOOLS_BPLINT_MODEL_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Internal seam between the rule engine halves: lint.cc owns the
+ * per-TU lexical rules and orchestration; semantic.cc owns the
+ * phase-2 rules that need the TU/project model (dataflow must-check,
+ * static capture-race detection, hot-loop allocation, the env-knob
+ * registry, and transitive include-DAG enforcement). Not installed;
+ * linked only into bp_lint.
+ */
+
+#ifndef BERTPROF_TOOLS_BPLINT_RULES_H
+#define BERTPROF_TOOLS_BPLINT_RULES_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "model.h"
+
+namespace bplint {
+
+/** Layer -> layers it may include (itself always included). */
+const std::map<std::string, std::set<std::string>> &layerMap();
+
+/** Include targets exempt from layering (shared vocabulary types). */
+const std::set<std::string> &layerExceptions();
+
+/** must-check-io: dropped or never-read IoStatus results (src .cc). */
+void checkMustCheckIo(const ProjectModel &pm, const TuModel &tu,
+                      std::vector<Finding> &out);
+
+/** parallel-capture-race: writes to by-ref captures in parallel bodies. */
+void checkParallelCaptureRace(const ProjectModel &pm, const TuModel &tu,
+                              std::vector<Finding> &out);
+
+/** hot-loop-alloc: Tensor ctors / heap allocs in hot regions (src/). */
+void checkHotLoopAlloc(const TuModel &tu, std::vector<Finding> &out);
+
+/** env-registry, read side: undocumented BERTPROF_* reads in src/. */
+void checkEnvReads(const TuModel &tu,
+                   const std::map<std::string, int> &docKnobs,
+                   std::vector<Finding> &out);
+
+/** env-registry, doc side: documented knobs never read in src/. */
+void checkEnvDoc(const ProjectModel &pm, const std::string &envDocPath,
+                 const std::map<std::string, int> &docKnobs,
+                 std::vector<Finding> &out);
+
+/** Parse the env-knob table: knob -> 1-based doc line. */
+std::map<std::string, int> parseEnvDoc(const std::string &text);
+
+/** include-dag: transitive layering violations + include cycles. */
+void checkIncludeDag(const ProjectModel &pm, std::vector<Finding> &out);
+
+} // namespace bplint
+
+#endif // BERTPROF_TOOLS_BPLINT_RULES_H
