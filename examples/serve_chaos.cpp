@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Out-of-process chaos driver for the serving runtime, run by
+ * scripts/check_chaos.sh with BERTPROF_FAULT armed: 8 client threads
+ * push open-loop Poisson traffic at a multiple of the server's
+ * measured capacity while submit/batch/compute faults fire. The
+ * invariant under test is the overload tentpole's contract — every
+ * submitted future resolves exactly once, with either logits or a
+ * typed rejection, and shutdown drains cleanly (no deadlock, no
+ * leaked promise).
+ *
+ * Usage: serve_chaos [--load <multiple>] [--requests <per-thread>]
+ * Exit 0 and a final "unresolved futures: 0" line on success.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/bertprof.h"
+#include "serve/server.h"
+#include "serve/traffic.h"
+
+using namespace bertprof;
+
+int
+main(int argc, char **argv)
+{
+    double load_multiple = 4.0;
+    int per_thread = 16;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc)
+            load_multiple = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+            per_thread = std::atoi(argv[++i]);
+    }
+
+    BertConfig config;
+    config.name = "bert-serve-chaos";
+    config.numLayers = 2;
+    config.dModel = 64;
+    config.numHeads = 4;
+    config.dFf = 4 * config.dModel;
+    config.vocabSize = 512;
+    config.maxPositions = 32;
+    config.typeVocab = 2;
+    config.batch = 1;
+    config.seqLen = config.maxPositions;
+    config.numClasses = 2;
+
+    NnRuntime rt;
+    BertClassifier model(config, &rt);
+    Rng init(97);
+    model.initialize(init);
+    model.setTraining(false);
+    ClassifierEngine engine(model, /*pad_id=*/3);
+    const BucketSpec buckets({8, 16, 32});
+
+    // Measure one padded forward to calibrate the offered load.
+    double t_fwd = 0.0;
+    {
+        Rng calib(98);
+        InferRequest probe =
+            syntheticRequest(calib, 0, 16, config.vocabSize);
+        std::vector<std::int64_t> tokens(16, 3), segments(16, 0);
+        for (std::size_t t = 0; t < probe.tokenIds.size(); ++t) {
+            tokens[t] = probe.tokenIds[t];
+            segments[t] = probe.segmentIds[t];
+        }
+        for (int r = 0; r < 3; ++r) {
+            Stopwatch watch;
+            (void)model.forwardLogitsEval(tokens, segments, 1, 16,
+                                          {16});
+            const double t = watch.elapsed();
+            if (r == 0 || t < t_fwd)
+                t_fwd = t;
+        }
+    }
+    const double capacity_qps = 8.0 / t_fwd; // maxBatch=8 best case
+    const double offered_qps = load_multiple * capacity_qps;
+
+    ServeOptions options;
+    options.maxBatch = 8;
+    options.maxWaitUs = 500;
+    options.queueCap = 8;
+    options.defaultDeadlineUs = std::max<std::int64_t>(
+        20000, static_cast<std::int64_t>(4.0 * t_fwd * 1e6));
+    InferenceServer server(engine, buckets, options);
+
+    constexpr int kThreads = 8;
+    const int total = kThreads * per_thread;
+    std::printf("serve_chaos: %d threads x %d requests at %.1fx "
+                "capacity (%.0f qps offered), deadline %.1f ms, "
+                "faults: %s\n",
+                kThreads, per_thread, load_multiple, offered_qps,
+                static_cast<double>(options.defaultDeadlineUs) * 1e-3,
+                std::getenv("BERTPROF_FAULT")
+                    ? std::getenv("BERTPROF_FAULT")
+                    : "(none)");
+
+    std::atomic<int> resolved{0};
+    std::atomic<int> completed{0};
+    std::atomic<int> rejected{0};
+    std::atomic<int> unresolved{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kThreads; ++c) {
+        clients.emplace_back([&, c] {
+            Rng body(static_cast<std::uint64_t>(7000 + c));
+            const std::vector<double> schedule = poissonSchedule(
+                offered_qps / kThreads, per_thread,
+                static_cast<std::uint64_t>(100 + c));
+            const MonoTime start = monoNow();
+            std::vector<std::future<InferReply>> futures;
+            futures.reserve(static_cast<std::size_t>(per_thread));
+            for (int i = 0; i < per_thread; ++i) {
+                std::this_thread::sleep_until(monoAddMicros(
+                    start, static_cast<std::int64_t>(
+                               schedule[static_cast<std::size_t>(i)] *
+                               1e6)));
+                const std::int64_t len = body.uniformInt(1, 32);
+                futures.push_back(server.submit(syntheticRequest(
+                    body,
+                    static_cast<std::uint64_t>(c * per_thread + i),
+                    len, config.vocabSize)));
+            }
+            for (auto &f : futures) {
+                // A future that cannot deliver within a generous
+                // watchdog window counts as unresolved (deadlock or
+                // leaked promise) — the failure this driver exists
+                // to catch.
+                if (f.wait_for(std::chrono::seconds(60)) !=
+                    std::future_status::ready) {
+                    ++unresolved;
+                    continue;
+                }
+                const InferReply reply = f.get();
+                ++resolved;
+                if (reply.ok)
+                    ++completed;
+                else if (reply.reject != RejectReason::None)
+                    ++rejected;
+                else
+                    ++unresolved; // !ok with no reason = broken typing
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    server.shutdown();
+
+    const ServerStats stats = server.stats();
+    std::printf("resolved %d/%d (completed %d, typed rejects %d); "
+                "server: completed %lld (in-deadline %lld), rejected "
+                "expired %lld queue-full %lld shutdown %lld overlong "
+                "%lld; degrade level %d\n",
+                resolved.load(), total, completed.load(),
+                rejected.load(),
+                static_cast<long long>(stats.completed),
+                static_cast<long long>(stats.completedInDeadline),
+                static_cast<long long>(stats.rejectedExpired),
+                static_cast<long long>(stats.rejectedQueueFull),
+                static_cast<long long>(stats.rejectedShutdown),
+                static_cast<long long>(stats.rejectedOverlong),
+                stats.degradeLevel);
+    std::printf("unresolved futures: %d\n", unresolved.load());
+
+    if (unresolved.load() != 0 || resolved.load() != total) {
+        std::fprintf(stderr, "serve_chaos: FAILED\n");
+        return 1;
+    }
+    std::printf("serve_chaos: OK\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Out-of-process chaos smoke for the serving runtime's overload
+# tentpole: run examples/serve_chaos (8 client threads, open-loop
+# Poisson traffic at 4x the measured capacity) with BERTPROF_FAULT
+# arming the serve.submit / serve.batch / serve.compute sites, and
+# assert the resilience contract — clean exit, no deadlock (a
+# watchdog bounds the whole run), and "unresolved futures: 0" (every
+# submission resolved exactly once, with logits or a typed
+# rejection).
+#
+# Usage: scripts/check_chaos.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BIN="${BUILD_DIR}/examples/serve_chaos"
+if [[ ! -x "${BIN}" ]]; then
+    cmake --build "${BUILD_DIR}" --target serve_chaos
+fi
+
+run_plan() {
+    local name="$1" faults="$2"
+    echo "== chaos plan: ${name} (${faults}) =="
+    local out
+    # timeout(1) is the deadlock watchdog: a hung executor or an
+    # unresolved future parks a client thread forever, and the run
+    # must die loudly instead.
+    out="$(BERTPROF_FAULT="${faults}" timeout 120 "${BIN}" \
+        --load 4 --requests 16 2>&1)" || {
+        echo "${out}"
+        echo "check_chaos: plan '${name}' FAILED (exit or watchdog)"
+        exit 1
+    }
+    echo "${out}" | tail -3
+    if ! grep -q "unresolved futures: 0" <<<"${out}"; then
+        echo "check_chaos: plan '${name}' leaked futures"
+        exit 1
+    fi
+}
+
+# Stalled compute + refused admissions: the ISSUE's reference plan.
+run_plan "slow-compute+reject-submit" \
+    "slow=5000@serve.compute:2+6;reject@serve.submit:3+10"
+# Batch-forming rejections while compute also poisons some logits.
+run_plan "reject-batch+nan-compute" \
+    "reject@serve.batch:2+4;nan@serve.compute:1+3"
+# Everything at once, repeating.
+run_plan "combined" \
+    "slow=2000@serve.submit:5+4;slow=4000@serve.compute:1+8;reject@serve.batch:6+2"
+
+echo "check_chaos: all plans clean (no deadlock, zero unresolved futures)."

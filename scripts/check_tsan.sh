@@ -51,5 +51,11 @@ fi
 if [[ -z "${LABEL}" || "${LABEL}" == "robust" ]]; then
     scripts/check_resume.sh "${BUILD_DIR}"
 fi
+# The overload chaos smoke under TSan: 8 client threads + the
+# executor with submit/batch/compute faults armed is exactly the
+# interleaving soup where a shedding-path race would hide.
+if [[ -z "${LABEL}" || "${LABEL}" == "serve" ]]; then
+    scripts/check_chaos.sh "${BUILD_DIR}"
+fi
 echo "ThreadSanitizer run clean (GEMM_IMPL=${BERTPROF_GEMM_IMPL}," \
      "FUSION=${BERTPROF_FUSION})."

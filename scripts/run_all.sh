@@ -16,9 +16,15 @@ ctest --test-dir build -L robust --output-on-failure
 scripts/check_resume.sh build
 
 # Serving-runtime smoke: eval-mode determinism, padding invariance,
-# batcher policy, and the end-to-end server (the `serve` label also
-# covers the bench_serving --quick naive-vs-bucketed comparison).
+# batcher policy, admission control / shedding / degradation ladder,
+# and the end-to-end server (the `serve` label also covers the
+# bench_serving --quick naive-vs-bucketed comparison).
 ctest --test-dir build -L serve --output-on-failure
+
+# Overload chaos smoke: serve_chaos out-of-process at 4x capacity
+# with serve.submit/serve.batch/serve.compute faults armed — clean
+# shutdown and zero unresolved futures under every plan.
+scripts/check_chaos.sh build
 
 # Fusion smoke: fused-kernel / graph-executor parity suites plus the
 # measured fused-vs-unfused quick bench (BERTPROF_FUSION defaults off,

@@ -38,6 +38,9 @@ mkdir -p results
 "${BUILD_DIR}/bench/bench_serving" \
     --json results/BENCH_serving.json \
     | tee results/bench_serving.txt
+"${BUILD_DIR}/bench/bench_serving" --overload \
+    --json results/BENCH_serving_overload.json \
+    | tee results/bench_serving_overload.txt
 "${BUILD_DIR}/bench/bench_trace_overhead" \
     --json results/BENCH_trace.json \
     --record results/bench_trace_overhead.bptr \
@@ -52,6 +55,8 @@ mkdir -p results
 echo "snapshots: results/bench_gemm_microkernel.txt," \
      "results/BENCH_gemm.json, results/bench_cpu_parallel_scaling.txt," \
      "results/bench_serving.txt, results/BENCH_serving.json," \
+     "results/bench_serving_overload.txt," \
+     "results/BENCH_serving_overload.json," \
      "results/bench_trace_overhead.txt, results/BENCH_trace.json," \
      "results/bench_fusion.txt, results/BENCH_fusion.json," \
      "results/bench_bplint.txt, results/BENCH_lint.json"

@@ -5,6 +5,7 @@
 
 #include "io/binary_io.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -337,18 +338,64 @@ writeTextFile(const std::string &path, const std::string &content)
     return IoStatus::success();
 }
 
+namespace {
+
+std::atomic<IoRetrySink> g_io_retry_sink{nullptr};
+
+/** splitmix64: the standard 64-bit finalizing mixer. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic u in [0, 1) for retry `attempt` under `seed`. */
+double
+jitterUnit(std::uint64_t seed, int attempt)
+{
+    const std::uint64_t h =
+        splitmix64(seed ^ (static_cast<std::uint64_t>(attempt) *
+                           0xd1342543de82ef95ULL));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+void
+installIoRetrySink(IoRetrySink sink)
+{
+    g_io_retry_sink.store(sink, std::memory_order_release);
+}
+
 IoStatus
-withRetries(int attempts, double backoffMs,
+withRetries(const RetryPolicy &policy,
             const std::function<IoStatus()> &op)
 {
-    BP_REQUIRE(attempts >= 1);
+    BP_REQUIRE(policy.attempts >= 1);
+    BP_REQUIRE(policy.backoffMs >= 0.0);
+    BP_REQUIRE(policy.jitter >= 0.0 && policy.jitter <= 1.0);
     IoStatus status;
-    for (int attempt = 0; attempt < attempts; ++attempt) {
+    for (int attempt = 0; attempt < policy.attempts; ++attempt) {
         if (attempt > 0) {
-            const auto delay = std::chrono::duration<double, std::milli>(
-                backoffMs * static_cast<double>(1 << (attempt - 1)));
-            std::this_thread::sleep_for(delay);
-            BP_LOG(Warn) << "io retry " << attempt << "/" << attempts - 1
+            double ms = policy.backoffMs *
+                        static_cast<double>(1ULL << (attempt - 1 < 62
+                                                         ? attempt - 1
+                                                         : 62));
+            if (ms > policy.maxBackoffMs)
+                ms = policy.maxBackoffMs;
+            if (policy.jitter > 0.0)
+                ms *= 1.0 - policy.jitter / 2.0 +
+                      policy.jitter * jitterUnit(policy.seed, attempt);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(ms));
+            if (IoRetrySink sink =
+                    g_io_retry_sink.load(std::memory_order_acquire))
+                sink(1);
+            BP_LOG(Warn) << "io retry " << attempt << "/"
+                         << policy.attempts - 1
                          << " after transient failure: "
                          << status.message;
         }
@@ -357,6 +404,16 @@ withRetries(int attempts, double backoffMs,
             return status;
     }
     return status;
+}
+
+IoStatus
+withRetries(int attempts, double backoffMs,
+            const std::function<IoStatus()> &op)
+{
+    RetryPolicy policy;
+    policy.attempts = attempts;
+    policy.backoffMs = backoffMs;
+    return withRetries(policy, op);
 }
 
 const char *

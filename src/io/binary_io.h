@@ -120,11 +120,49 @@ IoStatus readFileValidated(const std::string &path,
 IoStatus writeTextFile(const std::string &path, const std::string &content);
 
 /**
- * Run `op` up to `attempts` times, sleeping `backoffMs * 2^i` between
- * tries, as long as it keeps failing with IoError::Transient — the
- * bounded retry-with-backoff path for flaky storage. Any other
- * outcome (success or a permanent error) returns immediately.
+ * Bounded retry-with-backoff policy for flaky storage. The delay
+ * before retry i (1-based) is
+ *
+ *   min(backoffMs * 2^(i-1), maxBackoffMs) * (1 - jitter/2 + jitter*u)
+ *
+ * where u in [0, 1) is drawn from a splitmix64 stream keyed by
+ * (seed, i) — deterministic and wall-clock-free, so two processes
+ * started with different seeds decorrelate their retry storms while
+ * any single run replays identically.
  */
+struct RetryPolicy {
+    /** Total tries, including the first (>= 1). */
+    int attempts = 3;
+    /** Base delay before the first retry, in milliseconds. */
+    double backoffMs = 1.0;
+    /** Cap on the exponential growth, in milliseconds. */
+    double maxBackoffMs = 1000.0;
+    /** Multiplicative jitter width in [0, 1]; 0 = pure exponential. */
+    double jitter = 0.5;
+    /** Seed for the deterministic jitter stream. */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Retry-attempt observer, installed by the telemetry layer (which
+ * sits above io in the include DAG) so retries show up as the
+ * `io.retry.attempts` counter without io depending on telemetry.
+ * Called once per *retry* (not per first try) with count 1; nullptr
+ * uninstalls. The installed sink must be thread-safe.
+ */
+using IoRetrySink = void (*)(std::int64_t retries);
+void installIoRetrySink(IoRetrySink sink);
+
+/**
+ * Run `op` up to policy.attempts times, backing off per `policy`, as
+ * long as it keeps failing with IoError::Transient. Any other outcome
+ * (success or a permanent error) returns immediately. Each retry is
+ * reported to the installed IoRetrySink, if any.
+ */
+IoStatus withRetries(const RetryPolicy &policy,
+                     const std::function<IoStatus()> &op);
+
+/** Legacy form: attempts + base backoff, defaults for the rest. */
 IoStatus withRetries(int attempts, double backoffMs,
                      const std::function<IoStatus()> &op);
 

@@ -249,12 +249,23 @@ CheckpointManager::listSteps() const
     return steps;
 }
 
+RetryPolicy
+CheckpointManagerOptions::retryPolicy() const
+{
+    RetryPolicy policy;
+    policy.attempts = ioRetries;
+    policy.backoffMs = ioBackoffMs;
+    policy.maxBackoffMs = ioMaxBackoffMs;
+    policy.seed = ioRetrySeed;
+    return policy;
+}
+
 IoStatus
 CheckpointManager::save(std::int64_t step, const std::string &payload)
 {
     const std::string path = pathForStep(step);
     const IoStatus status =
-        withRetries(options_.ioRetries, options_.ioBackoffMs,
+        withRetries(options_.retryPolicy(),
                     [&] { return writeFileAtomic(path, payload); });
     if (!status.ok())
         return status;
@@ -281,8 +292,8 @@ CheckpointManager::loadLatest(std::string &payloadOut,
         IoError::NotFound, "no checkpoint found in " + options_.dir);
     for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
         const std::string path = pathForStep(*it);
-        const IoStatus status = withRetries(
-            options_.ioRetries, options_.ioBackoffMs, [&] {
+        const IoStatus status =
+            withRetries(options_.retryPolicy(), [&] {
                 return readFileValidated(path, payloadOut);
             });
         if (status.ok()) {

@@ -87,8 +87,16 @@ struct CheckpointManagerOptions {
     int keepLast = 3;
     /** Attempts per save/load on transient I/O failure (>= 1). */
     int ioRetries = 3;
-    /** Base backoff between retries; doubles per attempt. */
+    /** Base backoff between retries; doubles per attempt (jittered
+     *  per RetryPolicy, capped at ioMaxBackoffMs). */
     double ioBackoffMs = 1.0;
+    /** Cap on the exponential backoff growth. */
+    double ioMaxBackoffMs = 1000.0;
+    /** Seed for the deterministic retry jitter stream. */
+    std::uint64_t ioRetrySeed = 0;
+
+    /** The equivalent withRetries() policy. */
+    RetryPolicy retryPolicy() const;
 };
 
 /** Crash-safe store of step-indexed checkpoints in one directory. */

@@ -23,6 +23,10 @@ faultKindName(FaultKind kind)
         return "inf";
     case FaultKind::Kill:
         return "kill";
+    case FaultKind::Reject:
+        return "reject";
+    case FaultKind::Slow:
+        return "slow";
     }
     return "none";
 }
@@ -42,6 +46,10 @@ kindFromName(const std::string &name)
         return FaultKind::Inf;
     if (name == "kill")
         return FaultKind::Kill;
+    if (name == "reject")
+        return FaultKind::Reject;
+    if (name == "slow")
+        return FaultKind::Slow;
     return FaultKind::None;
 }
 
@@ -89,7 +97,21 @@ FaultInjector::parseClause(const std::string &clause, bool *ok)
         *ok = false;
         return spec;
     }
-    spec.kind = kindFromName(trimmed(c.substr(0, at)));
+    std::string kind_name = trimmed(c.substr(0, at));
+    // "slow" takes an optional stall length: slow=<us>.
+    const std::size_t eq = kind_name.find('=');
+    if (eq != std::string::npos) {
+        const std::string param = trimmed(kind_name.substr(eq + 1));
+        kind_name = trimmed(kind_name.substr(0, eq));
+        if (kind_name != "slow") {
+            *ok = false;
+            return spec;
+        }
+        spec.slowUs = parseCount(param, ok);
+        if (spec.slowUs < 1)
+            *ok = false;
+    }
+    spec.kind = kindFromName(kind_name);
     if (spec.kind == FaultKind::None) {
         *ok = false;
         return spec;
@@ -147,7 +169,8 @@ FaultInjector::configure(const std::string &spec)
         if (!ok) {
             BP_FATAL() << "BERTPROF_FAULT: malformed clause '" << clause
                        << "' (expected kind@site:first[+count] with "
-                          "kind in torn|ioerr|nan|inf|kill)";
+                          "kind in torn|ioerr|nan|inf|kill|reject|"
+                          "slow[=us])";
         }
         specs_.push_back(std::move(parsed));
     }
@@ -165,7 +188,7 @@ FaultInjector::reset()
 }
 
 FaultKind
-FaultInjector::check(const std::string &site)
+FaultInjector::check(const std::string &site, std::int64_t *slow_us)
 {
     std::lock_guard<std::mutex> lock(mu_);
     const std::int64_t occurrence = ++hits_[site];
@@ -187,6 +210,8 @@ FaultInjector::check(const std::string &site)
             std::_Exit(137);
         }
         ++injected_;
+        if (spec.kind == FaultKind::Slow && slow_us != nullptr)
+            *slow_us = spec.slowUs;
         BP_LOG(Warn) << "fault injection: " << faultKindName(spec.kind)
                      << " at site '" << site << "' (occurrence "
                      << occurrence << ")";

@@ -13,7 +13,7 @@
  *
  *   BERTPROF_FAULT="kind@site:first[+count]"
  *
- *   kind   torn | ioerr | nan | inf | kill
+ *   kind   torn | ioerr | nan | inf | kill | reject | slow[=us]
  *   site   a site name from the catalog below
  *   first  1-based occurrence of the site at which the fault fires
  *   count  number of consecutive occurrences faulted (default 1)
@@ -24,8 +24,14 @@
  *   nan@nn.activations:5     step 5's encoder output is poisoned
  *   kill@optim.step:10       process exits (code 137) entering the
  *                            10th optimizer step, as if preempted
+ *   reject@serve.submit:5+50 submissions 5..54 are refused at the
+ *                            admission gate (chaos back-pressure)
+ *   slow=3000@serve.compute:2+20
+ *                            batches 2..21 take an extra 3ms, as if
+ *                            the host were contended
  *
- * Site catalog (see DESIGN.md section 10 for recovery semantics):
+ * Site catalog (see DESIGN.md sections 10 and 15 for recovery
+ * semantics):
  *   io.write        checkpoint temp-file write   (torn, ioerr)
  *   io.commit       between write and rename     (torn)
  *   io.read         checkpoint read              (ioerr)
@@ -34,6 +40,9 @@
  *   train.grad      parameter gradients after
  *                   backward                     (nan, inf)
  *   optim.step      optimizer step entry         (kill)
+ *   serve.submit    server admission gate        (reject, slow)
+ *   serve.batch     batch formed, pre-dispatch   (reject, slow)
+ *   serve.compute   engine forward for a batch   (slow, nan)
  *
  * Occurrence counting is per site and strictly sequential, so a given
  * spec reproduces the same failure on every run. The disabled path is
@@ -60,9 +69,12 @@ enum class FaultKind {
     NaN,       ///< poison a value with quiet NaN
     Inf,       ///< poison a value with +infinity
     Kill,      ///< hard process exit (code 137), as if preempted
+    Reject,    ///< refuse the operation (serving admission gate)
+    Slow,      ///< stall the site for `slowUs` microseconds
 };
 
-/** Short name: "torn" / "ioerr" / "nan" / "inf" / "kill" / "none". */
+/** Short name: "torn" / "ioerr" / "nan" / "inf" / "kill" / "reject"
+ *  / "slow" / "none". */
 const char *faultKindName(FaultKind kind);
 
 /** One armed fault: fire `kind` at `site` occurrences
@@ -72,6 +84,8 @@ struct FaultSpec {
     std::string site;
     std::int64_t first = 1;
     std::int64_t count = 1;
+    /** Stall length for FaultKind::Slow ("slow=<us>", default 1ms). */
+    std::int64_t slowUs = 1000;
 };
 
 /**
@@ -100,9 +114,13 @@ class FaultInjector
     /**
      * Record one occurrence of `site` and return the fault to inject
      * there (None almost always). Kill specs do not return: the
-     * process exits with code 137.
+     * process exits with code 137. When `slow_us` is non-null and the
+     * returned kind is Slow, it receives the stall length — the
+     * caller performs the stall (the injector never sleeps under its
+     * own lock).
      */
-    FaultKind check(const std::string &site);
+    FaultKind check(const std::string &site,
+                    std::int64_t *slow_us = nullptr);
 
     /** Occurrences of `site` seen so far. */
     std::int64_t hits(const std::string &site) const;
@@ -132,15 +150,16 @@ class FaultInjector
 
 /**
  * Hot-path site check: one relaxed load when no fault is armed.
- * Returns the fault to inject at this occurrence of `site`.
+ * Returns the fault to inject at this occurrence of `site`; for
+ * FaultKind::Slow the stall length lands in `*slow_us` when given.
  */
 inline FaultKind
-faultAt(const char *site)
+faultAt(const char *site, std::int64_t *slow_us = nullptr)
 {
     FaultInjector &fi = FaultInjector::instance();
     if (!fi.enabled())
         return FaultKind::None;
-    return fi.check(site);
+    return fi.check(site, slow_us);
 }
 
 } // namespace bertprof

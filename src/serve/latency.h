@@ -36,6 +36,9 @@ class LatencyRecorder
   public:
     void add(double seconds) { samples_.push_back(seconds); }
 
+    /** Discard all samples (e.g. after a warm-up phase). */
+    void reset() { samples_.clear(); }
+
     std::int64_t count() const
     {
         return static_cast<std::int64_t>(samples_.size());

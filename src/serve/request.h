@@ -16,6 +16,25 @@
 
 namespace bertprof {
 
+/**
+ * Why a request was refused or shed. `None` means the request was
+ * accepted and computed; everything else resolves the future with
+ * ok=false and this typed reason, so clients and the overload bench
+ * can tell dead work (Expired) from back-pressure (QueueFull) from
+ * lifecycle refusals (Shutdown) from malformed input (Overlong).
+ */
+enum class RejectReason : std::uint8_t {
+    None = 0,  ///< accepted (reply carries logits)
+    Expired,   ///< deadline already passed or provably unmeetable
+    QueueFull, ///< admission control / load shedding under pressure
+    Shutdown,  ///< server closed before the request could queue
+    Overlong,  ///< empty or longer than the top bucket
+};
+
+/** Short name: "none" / "expired" / "queue-full" / "shutdown" /
+ *  "overlong". */
+const char *rejectReasonName(RejectReason reason);
+
 /** One inference request: a single unpadded sequence. */
 struct InferRequest {
     /** Caller-chosen id, echoed in the reply. */
@@ -41,8 +60,10 @@ struct InferRequest {
 /** The answer to one request. */
 struct InferReply {
     std::uint64_t id = 0;
-    /** False when the request was rejected (shutdown / over-long). */
+    /** False when the request was rejected (see `reject`). */
     bool ok = false;
+    /** Why ok is false; None on accepted replies. */
+    RejectReason reject = RejectReason::None;
     /** Row-major logits: rows x cols. Classification: 1 x numClasses;
      * MLM: |mlmPositions| x vocabSize. */
     std::vector<float> logits;

@@ -4,6 +4,24 @@
 
 namespace bertprof {
 
+const char *
+rejectReasonName(RejectReason reason)
+{
+    switch (reason) {
+    case RejectReason::None:
+        return "none";
+    case RejectReason::Expired:
+        return "expired";
+    case RejectReason::QueueFull:
+        return "queue-full";
+    case RejectReason::Shutdown:
+        return "shutdown";
+    case RejectReason::Overlong:
+        return "overlong";
+    }
+    return "none";
+}
+
 PendingQueue::PendingQueue(int num_buckets)
     : buckets_(static_cast<std::size_t>(num_buckets))
 {
@@ -70,6 +88,64 @@ PendingQueue::popUpTo(int bucket, int max_batch)
         --size_;
     }
     return out;
+}
+
+PendingRequest
+PendingQueue::popOldest(int bucket)
+{
+    BP_REQUIRE(count(bucket) > 0);
+    auto &q = buckets_[static_cast<std::size_t>(bucket)];
+    PendingRequest out = std::move(q.front());
+    q.pop_front();
+    --size_;
+    return out;
+}
+
+std::vector<PendingRequest>
+PendingQueue::dropExpired(MonoTime now)
+{
+    std::vector<PendingRequest> dropped;
+    for (auto &q : buckets_) {
+        for (std::size_t i = 0; i < q.size();) {
+            if (q[i].request.deadline <= now) {
+                dropped.push_back(std::move(q[i]));
+                q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+                --size_;
+            } else {
+                ++i;
+            }
+        }
+    }
+    return dropped;
+}
+
+std::vector<PendingRequest>
+PendingQueue::shedLowestUrgency(std::size_t target)
+{
+    std::vector<PendingRequest> shed;
+    while (size_ > target) {
+        std::deque<PendingRequest> *victim = nullptr;
+        for (auto &q : buckets_) {
+            if (q.empty())
+                continue;
+            if (victim == nullptr) {
+                victim = &q;
+                continue;
+            }
+            const InferRequest &cur = q.back().request;
+            const InferRequest &best = victim->back().request;
+            if (cur.deadline > best.deadline ||
+                (cur.deadline == best.deadline &&
+                 cur.arrival > best.arrival)) {
+                victim = &q;
+            }
+        }
+        BP_REQUIRE(victim != nullptr);
+        shed.push_back(std::move(victim->back()));
+        victim->pop_back();
+        --size_;
+    }
+    return shed;
 }
 
 } // namespace bertprof

@@ -56,6 +56,27 @@ class PendingQueue
     /** Pop up to max_batch requests from `bucket`, FIFO order. */
     std::vector<PendingRequest> popUpTo(int bucket, int max_batch);
 
+    /** Pop the oldest request in `bucket` (must be non-empty) — the
+     *  drop-oldest admission policy's eviction primitive. */
+    PendingRequest popOldest(int bucket);
+
+    /**
+     * Remove every request whose deadline is at or before `now` and
+     * return them (the caller resolves their futures as Expired).
+     * Dead work never reaches a batch, so the executor stops burning
+     * compute on requests nobody is waiting for.
+     */
+    std::vector<PendingRequest> dropExpired(MonoTime now);
+
+    /**
+     * Shed until at most `target` requests remain, returning the
+     * removed ones. Candidates are the bucket tails (the newest
+     * request of each bucket — the last in FIFO line anyway); among
+     * them the latest deadline (lowest urgency) goes first, ties by
+     * latest arrival. The degradation ladder's final rung.
+     */
+    std::vector<PendingRequest> shedLowestUrgency(std::size_t target);
+
   private:
     std::vector<std::deque<PendingRequest>> buckets_;
     std::size_t size_ = 0;

@@ -11,6 +11,9 @@ namespace {
 
 std::atomic<bool> g_warned_bad_batch_env{false};
 std::atomic<bool> g_warned_bad_wait_env{false};
+std::atomic<bool> g_warned_bad_cap_env{false};
+std::atomic<bool> g_warned_bad_policy_env{false};
+std::atomic<bool> g_warned_bad_degrade_env{false};
 
 } // namespace
 
@@ -30,6 +33,47 @@ configuredServeMaxWaitUs()
 }
 
 int
+configuredServeQueueCap()
+{
+    return static_cast<int>(envInt("BERTPROF_SERVE_QUEUE_CAP", 1,
+                                   1 << 20,
+                                   /*fallback=*/64,
+                                   g_warned_bad_cap_env));
+}
+
+QueuePolicy
+configuredServeQueuePolicy()
+{
+    const std::string v =
+        envString("BERTPROF_SERVE_QUEUE_POLICY", "reject-new");
+    if (v == "reject-new")
+        return QueuePolicy::RejectNew;
+    if (v == "drop-oldest")
+        return QueuePolicy::DropOldest;
+    if (!g_warned_bad_policy_env.exchange(true)) {
+        BP_LOG(Warn) << "BERTPROF_SERVE_QUEUE_POLICY='" << v
+                     << "' is not reject-new|drop-oldest; using "
+                        "reject-new";
+    }
+    return QueuePolicy::RejectNew;
+}
+
+bool
+configuredServeDegrade()
+{
+    const std::string v = envString("BERTPROF_SERVE_DEGRADE", "on");
+    if (v == "on")
+        return true;
+    if (v == "off")
+        return false;
+    if (!g_warned_bad_degrade_env.exchange(true)) {
+        BP_LOG(Warn) << "BERTPROF_SERVE_DEGRADE='" << v
+                     << "' is not on|off; using on";
+    }
+    return true;
+}
+
+int
 ServeOptions::resolvedMaxBatch() const
 {
     if (maxBatch > 0)
@@ -43,6 +87,44 @@ ServeOptions::resolvedMaxWaitUs() const
     if (maxWaitUs >= 0)
         return maxWaitUs;
     return configuredServeMaxWaitUs();
+}
+
+int
+ServeOptions::resolvedQueueCap() const
+{
+    if (queueCap > 0)
+        return queueCap;
+    return configuredServeQueueCap();
+}
+
+QueuePolicy
+ServeOptions::resolvedQueuePolicy() const
+{
+    if (queuePolicy != QueuePolicy::Default)
+        return queuePolicy;
+    return configuredServeQueuePolicy();
+}
+
+bool
+ServeOptions::resolvedDegrade() const
+{
+    if (degrade >= 0)
+        return degrade > 0;
+    return configuredServeDegrade();
+}
+
+ResolvedServePolicy
+ServeOptions::resolve() const
+{
+    ResolvedServePolicy p;
+    p.maxBatch = resolvedMaxBatch();
+    p.maxWaitUs = resolvedMaxWaitUs();
+    p.queueCap = resolvedQueueCap();
+    p.queuePolicy = resolvedQueuePolicy();
+    p.degrade = resolvedDegrade();
+    p.admission = admission;
+    p.shedExpired = shedExpired;
+    return p;
 }
 
 } // namespace bertprof

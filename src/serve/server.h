@@ -24,6 +24,25 @@
 
 namespace bertprof {
 
+/** One server's overload/outcome accounting (all requests ever
+ *  submitted resolve into exactly one of these rows). */
+struct ServerStats {
+    std::int64_t completed = 0;          ///< accepted, computed
+    std::int64_t completedInDeadline = 0; ///< ... before the deadline
+    std::int64_t rejectedExpired = 0;
+    std::int64_t rejectedQueueFull = 0;
+    std::int64_t rejectedShutdown = 0;
+    std::int64_t rejectedOverlong = 0;
+    int degradeLevel = 0; ///< ladder level at snapshot time
+
+    std::int64_t
+    rejectedTotal() const
+    {
+        return rejectedExpired + rejectedQueueFull + rejectedShutdown +
+               rejectedOverlong;
+    }
+};
+
 /** Dynamic-batching, bucket-padding inference front end. */
 class InferenceServer
 {
@@ -45,9 +64,13 @@ class InferenceServer
     /**
      * Submit a request from any thread. Stamps the arrival time; a
      * default-constructed deadline becomes arrival +
-     * defaultDeadlineUs. The future resolves with ok=false when the
-     * request is rejected (server shut down, empty, or longer than
-     * the top bucket).
+     * defaultDeadlineUs (saturating). The future always resolves
+     * exactly once: with ok=true and logits on success, or ok=false
+     * and a typed InferReply::reject reason — Expired (deadline
+     * already past at submit, unmeetable under the bucket's measured
+     * service time, or shed before compute), QueueFull (bucket at
+     * cap under reject-new, evicted under drop-oldest, or shed by
+     * the ladder), Shutdown, Overlong.
      */
     std::future<InferReply> submit(InferRequest req);
 
@@ -63,6 +86,17 @@ class InferenceServer
     /** Completed requests so far. */
     std::int64_t completedCount();
 
+    /** Outcome accounting snapshot (completions, typed rejections,
+     *  current ladder level). Callable from any thread. */
+    ServerStats stats();
+
+    /** Discard latency samples and completion counts accumulated so
+     *  far — benchmarks call this after a warm-up phase so measured
+     *  percentiles exclude cold-cache / cold-EWMA traffic. Batcher
+     *  state (service-time EWMAs, rejection counters) is preserved:
+     *  warming those is the point of a warm-up. */
+    void resetStats();
+
     const BucketSpec &buckets() const { return batcher_.spec(); }
     const ServeOptions &options() const { return options_; }
 
@@ -75,6 +109,7 @@ class InferenceServer
 
     std::mutex statsMu_;
     LatencyRecorder recorder_;
+    std::int64_t completedInDeadline_ = 0;
 
     std::mutex lifecycleMu_;
     bool shutDown_ = false;

@@ -5,9 +5,29 @@
 #include <limits>
 #include <sstream>
 
+#include "io/binary_io.h"
+
 namespace bertprof {
 
 namespace {
+
+void
+countIoRetry(std::int64_t retries)
+{
+    MetricsRegistry::instance().counter("io.retry.attempts").add(retries);
+}
+
+/**
+ * Dependency inversion: io (below telemetry in the include DAG)
+ * exposes a retry sink; linking telemetry points it at the metrics
+ * registry so every backoff retry lands in `io.retry.attempts`.
+ * Installed at static-init time from this TU — any binary that pulls
+ * in the registry gets the wiring for free.
+ */
+struct IoRetrySinkInstaller {
+    IoRetrySinkInstaller() { installIoRetrySink(&countIoRetry); }
+};
+const IoRetrySinkInstaller g_ioRetrySinkInstaller;
 
 void
 atomicMinDouble(std::atomic<std::int64_t> &bits, double v)

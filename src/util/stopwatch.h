@@ -40,10 +40,38 @@ secondsBetween(MonoTime from, MonoTime to)
     return std::chrono::duration<double>(to - from).count();
 }
 
-/** `t` advanced by a microsecond count (deadline arithmetic). */
+/**
+ * `t` advanced by a microsecond count (deadline arithmetic),
+ * saturating at the clock's representable range instead of
+ * overflowing — an extreme defaultDeadlineUs (say INT64_MAX) must
+ * mean "effectively never", not a wrapped-around instant in the past.
+ */
 inline MonoTime
 monoAddMicros(MonoTime t, std::int64_t us)
 {
+    // Compare in microseconds relative to the clock epoch: casting
+    // `us` up to the clock's finer tick would overflow before any
+    // clamp could run, and subtracting time_points directly
+    // (MonoTime::min() - t) is signed overflow on the raw ticks.
+    // Casting each endpoint down only truncates (conservative by
+    // < 1us), and the epoch-relative values are ~9.2e12 us, so their
+    // differences stay far inside the int64 range.
+    const std::int64_t t_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            t.time_since_epoch())
+            .count();
+    const std::int64_t max_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            MonoTime::max().time_since_epoch())
+            .count();
+    const std::int64_t min_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            MonoTime::min().time_since_epoch())
+            .count();
+    if (us >= 0 && us >= max_us - t_us)
+        return MonoTime::max();
+    if (us < 0 && us <= min_us - t_us)
+        return MonoTime::min();
     return t + std::chrono::microseconds(us);
 }
 

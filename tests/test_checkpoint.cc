@@ -252,6 +252,76 @@ TEST(WithRetries, GivesUpAfterTheAttemptBudget)
     EXPECT_EQ(calls, 3);
 }
 
+namespace {
+std::int64_t g_retrySinkTotal = 0;
+void countRetrySink(std::int64_t retries) { g_retrySinkTotal += retries; }
+} // namespace
+
+TEST(WithRetries, PolicyFormReportsEachRetryToTheInstalledSink)
+{
+    g_retrySinkTotal = 0;
+    installIoRetrySink(&countRetrySink);
+    RetryPolicy policy;
+    policy.attempts = 4;
+    policy.backoffMs = 0.01;
+
+    int calls = 0;
+    const IoStatus s = withRetries(policy, [&]() {
+        ++calls;
+        if (calls < 3)
+            return IoStatus::failure(IoError::Transient, "flaky");
+        return IoStatus::success();
+    });
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(g_retrySinkTotal, 2); // one report per retry, not per try
+
+    // Permanent failures return without retrying or reporting.
+    g_retrySinkTotal = 0;
+    const IoStatus p = withRetries(policy, [&]() {
+        return IoStatus::failure(IoError::BadChecksum, "permanent");
+    });
+    EXPECT_EQ(p.error, IoError::BadChecksum);
+    EXPECT_EQ(g_retrySinkTotal, 0);
+    installIoRetrySink(nullptr);
+}
+
+TEST(WithRetries, PolicyBackoffIsDeterministicAndWallClockFree)
+{
+    // Zero base backoff: the jitter stream is still consulted, but
+    // every delay collapses to zero — the run's outcome (attempt
+    // count, final status) must be identical on every execution and
+    // independent of elapsed wall time.
+    RetryPolicy policy;
+    policy.attempts = 5;
+    policy.backoffMs = 0.0;
+    policy.jitter = 1.0;
+    policy.seed = 42;
+    for (int run = 0; run < 3; ++run) {
+        int calls = 0;
+        const IoStatus s = withRetries(policy, [&]() {
+            ++calls;
+            return IoStatus::failure(IoError::Transient, "always");
+        });
+        EXPECT_EQ(s.error, IoError::Transient);
+        EXPECT_EQ(calls, 5);
+    }
+}
+
+TEST(WithRetries, CheckpointManagerOptionsExposeTheRetryPolicy)
+{
+    CheckpointManagerOptions opts;
+    opts.ioRetries = 7;
+    opts.ioBackoffMs = 2.5;
+    opts.ioMaxBackoffMs = 40.0;
+    opts.ioRetrySeed = 99;
+    const RetryPolicy policy = opts.retryPolicy();
+    EXPECT_EQ(policy.attempts, 7);
+    EXPECT_DOUBLE_EQ(policy.backoffMs, 2.5);
+    EXPECT_DOUBLE_EQ(policy.maxBackoffMs, 40.0);
+    EXPECT_EQ(policy.seed, 99u);
+}
+
 // --------------------------------------------------------------------
 // StateWriter / StateReader
 // --------------------------------------------------------------------

@@ -109,6 +109,47 @@ TEST(FaultSpecParse, AcceptsTheFullGrammar)
     s = FaultInjector::parseClause("inf@train.grad:1", &ok);
     ASSERT_TRUE(ok);
     EXPECT_EQ(s.kind, FaultKind::Inf);
+
+    s = FaultInjector::parseClause("reject@serve.submit:1+5", &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(s.kind, FaultKind::Reject);
+    EXPECT_EQ(s.first, 1);
+    EXPECT_EQ(s.count, 5);
+
+    // Parameterless slow keeps the default stall.
+    s = FaultInjector::parseClause("slow@serve.compute:2", &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(s.kind, FaultKind::Slow);
+    EXPECT_EQ(s.slowUs, 1000);
+
+    s = FaultInjector::parseClause("slow=2500@serve.batch:1+3", &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(s.kind, FaultKind::Slow);
+    EXPECT_EQ(s.slowUs, 2500);
+}
+
+TEST(FaultSpecParse, SlowParameterValidation)
+{
+    bool ok = true;
+    for (const char *bad : {"slow=@site:1", "slow=0@site:1",
+                            "slow=abc@site:1", "torn=5@site:1"}) {
+        (void)FaultInjector::parseClause(bad, &ok);
+        EXPECT_FALSE(ok) << "accepted malformed clause: " << bad;
+    }
+}
+
+TEST(FaultInjection, SlowReportsStallThroughCheck)
+{
+    InjectorGuard guard;
+    FaultInjector &fi = FaultInjector::instance();
+    fi.configure("slow=750@test.slow:1+2");
+    std::int64_t us = 0;
+    EXPECT_EQ(faultAt("test.slow", &us), FaultKind::Slow);
+    EXPECT_EQ(us, 750);
+    us = 0;
+    EXPECT_EQ(faultAt("test.slow", &us), FaultKind::Slow);
+    EXPECT_EQ(us, 750);
+    EXPECT_EQ(faultAt("test.slow", &us), FaultKind::None);
 }
 
 TEST(FaultSpecParse, RejectsMalformedClauses)

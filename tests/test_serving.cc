@@ -96,14 +96,25 @@ TEST(PendingQueueTest, FifoWithinBucketAndDeadlineLead)
     EXPECT_TRUE(queue.empty());
 }
 
+/** A ResolvedServePolicy with just batch/wait set (rest defaulted). */
+ResolvedServePolicy
+makePolicy(int max_batch, std::int64_t max_wait_us)
+{
+    ResolvedServePolicy policy;
+    policy.maxBatch = max_batch;
+    policy.maxWaitUs = max_wait_us;
+    return policy;
+}
+
 TEST(DynamicBatcherTest, CoalescesSameBucketUpToMaxBatch)
 {
-    DynamicBatcher batcher(BucketSpec({8, 16}), /*max_batch=*/3,
-                           /*max_wait_us=*/1000000);
+    DynamicBatcher batcher(BucketSpec({8, 16}),
+                           makePolicy(/*max_batch=*/3,
+                                      /*max_wait_us=*/1000000));
     const MonoTime t0 = monoNow();
     for (std::uint64_t id = 1; id <= 3; ++id) {
         PendingRequest p = makePending(id, 4, t0, 60000000);
-        EXPECT_TRUE(batcher.submit(p));
+        EXPECT_EQ(batcher.submit(p), RejectReason::None);
     }
     Batch batch;
     ASSERT_TRUE(batcher.nextBatch(batch));
@@ -117,10 +128,11 @@ TEST(DynamicBatcherTest, CoalescesSameBucketUpToMaxBatch)
 
 TEST(DynamicBatcherTest, MaxWaitFlushesLoneRequest)
 {
-    DynamicBatcher batcher(BucketSpec({8}), /*max_batch=*/64,
-                           /*max_wait_us=*/500);
+    DynamicBatcher batcher(BucketSpec({8}),
+                           makePolicy(/*max_batch=*/64,
+                                      /*max_wait_us=*/500));
     PendingRequest p = makePending(7, 4, monoNow(), 60000000);
-    EXPECT_TRUE(batcher.submit(p));
+    EXPECT_EQ(batcher.submit(p), RejectReason::None);
     Batch batch;
     const MonoTime start = monoNow();
     ASSERT_TRUE(batcher.nextBatch(batch));
@@ -131,11 +143,16 @@ TEST(DynamicBatcherTest, MaxWaitFlushesLoneRequest)
 
 TEST(DynamicBatcherTest, DeadlineBeatsMaxWait)
 {
-    DynamicBatcher batcher(BucketSpec({8}), /*max_batch=*/64,
-                           /*max_wait_us=*/60000000);
+    // shedExpired off: the legacy flush-accelerator semantics, where
+    // a request reaching its deadline still ships (late) instead of
+    // being shed at dequeue.
+    ResolvedServePolicy policy = makePolicy(/*max_batch=*/64,
+                                            /*max_wait_us=*/60000000);
+    policy.shedExpired = false;
+    DynamicBatcher batcher(BucketSpec({8}), policy);
     // Deadline 1ms out; max-wait alone would hold for a minute.
     PendingRequest p = makePending(8, 4, monoNow(), 1000);
-    EXPECT_TRUE(batcher.submit(p));
+    EXPECT_EQ(batcher.submit(p), RejectReason::None);
     Batch batch;
     const MonoTime start = monoNow();
     ASSERT_TRUE(batcher.nextBatch(batch));
@@ -143,19 +160,43 @@ TEST(DynamicBatcherTest, DeadlineBeatsMaxWait)
     EXPECT_LT(secondsBetween(start, monoNow()), 5.0);
 }
 
+TEST(DynamicBatcherTest, ExpiredQueuedRequestIsShedAtDequeue)
+{
+    // With shedding on (the default), the same scenario resolves the
+    // request Expired at dequeue and the batcher moves on to live
+    // work instead of shipping a dead batch.
+    DynamicBatcher batcher(BucketSpec({8, 16}),
+                           makePolicy(/*max_batch=*/64,
+                                      /*max_wait_us=*/2000));
+    PendingRequest doomed = makePending(1, 4, monoNow(), 1000);
+    std::future<InferReply> doomed_future = doomed.promise.get_future();
+    EXPECT_EQ(batcher.submit(doomed), RejectReason::None);
+    PendingRequest alive = makePending(2, 12, monoNow(), 60000000);
+    EXPECT_EQ(batcher.submit(alive), RejectReason::None);
+
+    Batch batch;
+    ASSERT_TRUE(batcher.nextBatch(batch));
+    ASSERT_EQ(batch.requests.size(), 1u);
+    EXPECT_EQ(batch.requests[0].request.id, 2u);
+    const InferReply shed = doomed_future.get();
+    EXPECT_FALSE(shed.ok);
+    EXPECT_EQ(shed.reject, RejectReason::Expired);
+    EXPECT_EQ(batcher.rejectedCount(RejectReason::Expired), 1);
+}
+
 TEST(DynamicBatcherTest, RejectsOverlongAndClosed)
 {
-    DynamicBatcher batcher(BucketSpec({8}), 4, 1000);
+    DynamicBatcher batcher(BucketSpec({8}), makePolicy(4, 1000));
     PendingRequest too_long = makePending(1, 9, monoNow(), 1000);
-    EXPECT_FALSE(batcher.submit(too_long));
+    EXPECT_EQ(batcher.submit(too_long), RejectReason::Overlong);
     PendingRequest empty = makePending(2, 0, monoNow(), 1000);
-    EXPECT_FALSE(batcher.submit(empty));
+    EXPECT_EQ(batcher.submit(empty), RejectReason::Overlong);
 
     PendingRequest queued = makePending(3, 4, monoNow(), 1000);
-    EXPECT_TRUE(batcher.submit(queued));
+    EXPECT_EQ(batcher.submit(queued), RejectReason::None);
     batcher.close();
     PendingRequest late = makePending(4, 4, monoNow(), 1000);
-    EXPECT_FALSE(batcher.submit(late));
+    EXPECT_EQ(batcher.submit(late), RejectReason::Shutdown);
 
     // Close drains: the queued request still ships, then the stream
     // ends.

@@ -37,6 +37,10 @@ TEST(InferenceServerTest, ServesAndMatchesSoloEval)
     ServeOptions options;
     options.maxBatch = 4;
     options.maxWaitUs = 200;
+    // This test asserts completion and bitwise-correct replies, not
+    // latency: a roomy deadline keeps the shedding machinery out of
+    // the picture even under sanitizer-slowed compute.
+    options.defaultDeadlineUs = 60'000'000;
 
     Rng body(42);
     std::vector<InferRequest> requests;
@@ -111,6 +115,9 @@ TEST(InferenceServerTest, EightClientThreadsAllResolve)
     ServeOptions options;
     options.maxBatch = 8;
     options.maxWaitUs = 100;
+    // All 64 requests must complete — deadline slack for sanitizer
+    // builds, where a tiny forward still takes tens of milliseconds.
+    options.defaultDeadlineUs = 60'000'000;
     InferenceServer server(engine, BucketSpec({8, 16, 32}), options);
 
     constexpr int kThreads = 8;
@@ -154,6 +161,7 @@ TEST(InferenceServerTest, MlmServingMatchesSoloEval)
     ServeOptions options;
     options.maxBatch = 4;
     options.maxWaitUs = 100;
+    options.defaultDeadlineUs = 60'000'000; // sanitizer-build slack
     InferenceServer server(engine, BucketSpec({8, 16, 32}), options);
 
     Rng body(62);
@@ -200,15 +208,34 @@ TEST(InferenceServerTest, RejectsOverlongAndAfterShutdown)
     InferReply rejected = server.submit(std::move(too_long)).get();
     EXPECT_FALSE(rejected.ok);
     EXPECT_EQ(rejected.id, 1u);
+    EXPECT_EQ(rejected.reject, RejectReason::Overlong);
 
     InferRequest fine = syntheticRequest(body, 2, 8, config.vocabSize);
-    EXPECT_TRUE(server.submit(std::move(fine)).get().ok);
+    {
+        const InferReply reply = server.submit(std::move(fine)).get();
+        EXPECT_TRUE(reply.ok);
+        EXPECT_EQ(reply.reject, RejectReason::None);
+    }
+
+    // An explicitly-past deadline is refused at submit, typed Expired
+    // — the server must not queue provably-dead work.
+    InferRequest dead = syntheticRequest(body, 4, 8, config.vocabSize);
+    dead.deadline = monoAddMicros(monoNow(), -1000000);
+    InferReply expired = server.submit(std::move(dead)).get();
+    EXPECT_FALSE(expired.ok);
+    EXPECT_EQ(expired.id, 4u);
+    EXPECT_EQ(expired.reject, RejectReason::Expired);
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.rejectedOverlong, 1);
+    EXPECT_EQ(stats.rejectedExpired, 1);
 
     server.shutdown();
     InferRequest late = syntheticRequest(body, 3, 8, config.vocabSize);
     InferReply after = server.submit(std::move(late)).get();
     EXPECT_FALSE(after.ok);
     EXPECT_EQ(after.id, 3u);
+    EXPECT_EQ(after.reject, RejectReason::Shutdown);
     // Idempotent.
     server.shutdown();
 }
